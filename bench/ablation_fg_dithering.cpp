@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation: FG dithering/convergence controls.
+ *
+ * DESIGN.md calls out two FG design choices the paper motivates but
+ * does not sweep: the dithering cap (how many failed probes before a
+ * tunable locks) and the descent depth below the CG vicinity. This
+ * bench sweeps both and reports geomean ED^2 and performance, showing
+ * the convergence trade-off: probing more finds deeper savings but
+ * pays more failed-probe iterations.
+ */
+
+#include "bench/common/bench_util.hh"
+#include "core/training.hh"
+
+using namespace harmonia;
+using namespace harmonia::bench;
+
+int
+main()
+{
+    banner("Ablation: FG dithering and descent depth",
+           "Sweeping maxDither and maxFgDepth of the FG loop.");
+
+    GpuDevice device;
+    const auto suite = standardSuite();
+    const TrainingResult training = trainPredictors(device, suite);
+    Runtime runtime(device);
+
+    // Baseline reference.
+    std::map<std::string, AppRunResult> base;
+    {
+        BaselineGovernor governor(device.space());
+        for (const auto &app : suite)
+            base.emplace(app.name, runtime.run(app, governor));
+    }
+
+    TextTable table({"maxDither", "maxFgDepth", "geomean ED2 gain",
+                     "geomean perf change"});
+    for (int dither : {1, 2, 4}) {
+        for (int depth : {0, 1, 3, 6}) {
+            HarmoniaOptions options;
+            options.maxDither = dither;
+            options.maxFgDepth = depth;
+            HarmoniaGovernor governor(device.space(),
+                                      training.predictor(), options);
+            std::vector<double> ed2Ratios, timeRatios;
+            for (const auto &app : suite) {
+                const AppRunResult run = runtime.run(app, governor);
+                const AppRunResult &b = base.at(app.name);
+                ed2Ratios.push_back(run.ed2() / b.ed2());
+                timeRatios.push_back(run.totalTime / b.totalTime);
+            }
+            table.row()
+                .numInt(dither)
+                .numInt(depth)
+                .pct(1.0 - geomean(ed2Ratios), 1)
+                .pct(1.0 / geomean(timeRatios) - 1.0, 2);
+        }
+    }
+    emit(table, "FG control-parameter sweep", "ablation_fg");
+    return 0;
+}

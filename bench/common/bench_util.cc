@@ -1,0 +1,42 @@
+#include "bench_util.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+namespace harmonia::bench
+{
+
+void
+banner(const std::string &exhibit, const std::string &caption)
+{
+    std::cout << "==== " << exhibit << " ====\n" << caption << "\n\n";
+}
+
+void
+emit(const TextTable &table, const std::string &title,
+     const std::string &fileStem)
+{
+    table.print(std::cout, title);
+    std::cout << '\n';
+    const char *dir = std::getenv("HARMONIA_BENCH_CSV_DIR");
+    if (!dir || !*dir)
+        return;
+    const std::string path = std::string(dir) + "/" + fileStem + ".txt";
+    std::ofstream out(path);
+    if (out)
+        table.print(out, title);
+}
+
+Campaign
+runStandardCampaign(const GpuDevice &device)
+{
+    CampaignOptions options;
+    options.includeOracle = true;
+    options.includeFreqOnly = true;
+    Campaign campaign(device, standardSuite(), options);
+    campaign.run();
+    return campaign;
+}
+
+} // namespace harmonia::bench

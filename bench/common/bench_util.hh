@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/table benchmark binaries.
+ *
+ * Every binary regenerates the rows/series of one exhibit from the
+ * paper and prints them as an ASCII table (plus an optional CSV file
+ * when HARMONIA_BENCH_CSV_DIR is set in the environment).
+ */
+
+#ifndef HARMONIA_BENCH_BENCH_UTIL_HH
+#define HARMONIA_BENCH_BENCH_UTIL_HH
+
+#include <string>
+
+#include "common/table.hh"
+#include "core/campaign.hh"
+#include "sim/gpu_device.hh"
+#include "workloads/suite.hh"
+
+namespace harmonia::bench
+{
+
+/** Print the standard exhibit banner. */
+void banner(const std::string &exhibit, const std::string &caption);
+
+/**
+ * Print a table and, when HARMONIA_BENCH_CSV_DIR is set, also write
+ * it to <dir>/<fileStem>.csv.
+ */
+void emit(const TextTable &table, const std::string &title,
+          const std::string &fileStem);
+
+/**
+ * Build and run the standard campaign (full suite, all schemes
+ * including the oracle and the compute-DVFS-only ablation). Shared by
+ * the Figures 10-13 and 17-18 benches; cheap enough (<1 s) to rerun
+ * per binary.
+ */
+Campaign runStandardCampaign(const GpuDevice &device);
+
+} // namespace harmonia::bench
+
+#endif // HARMONIA_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 4: DeviceMemory's GPU card power across compute
+ * configurations at a constant 264 GB/s memory configuration.
+ *
+ * Paper shape: board power varies by about 70% across the compute
+ * configurations ((max-min)/max), each CU-count group rising with CU
+ * frequency.
+ */
+
+#include <iostream>
+
+#include "bench/common/bench_util.hh"
+
+using namespace harmonia;
+using namespace harmonia::bench;
+
+int
+main()
+{
+    banner("Figure 4",
+           "DeviceMemory card power across compute configurations at "
+           "264 GB/s (1375 MHz) memory.");
+
+    GpuDevice device;
+    const KernelProfile kernel = makeDeviceMemory().kernels.front();
+    const ConfigSpace &space = device.space();
+    const HardwareConfig minCfg = space.minConfig();
+    const double pMin =
+        device.run(kernel, 0, {minCfg.cuCount, minCfg.computeFreqMhz,
+                               1375})
+            .power.total();
+
+    TextTable table({"CUs", "freq (MHz)", "ops/byte (norm)",
+                     "card power (W)", "normalized"});
+    double lo = 1e9;
+    double hi = 0.0;
+    for (int cu : space.values(Tunable::CuCount)) {
+        for (int f : space.values(Tunable::ComputeFreq)) {
+            const HardwareConfig cfg{cu, f, 1375};
+            const double p = device.run(kernel, 0, cfg).power.total();
+            lo = std::min(lo, p);
+            hi = std::max(hi, p);
+            table.row()
+                .numInt(cu)
+                .numInt(f)
+                .num(space.normalizedOpsPerByte(cfg), 1)
+                .num(p, 1)
+                .num(p / pMin, 2);
+        }
+    }
+    emit(table, "Card power vs compute configuration", "fig04");
+    std::cout << "power variation across compute configurations: "
+              << formatPct((hi - lo) / hi, 1)
+              << "  (paper: ~70%)\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 5: MaxFlops's GPU card power across memory-bandwidth
+ * configurations at the maximum compute configuration (32 CUs, 1 GHz).
+ *
+ * Paper shape: ~10% power variation between the lowest (475 MHz) and
+ * highest (1375 MHz) memory bus frequency — limited because the
+ * memory interface voltage cannot be scaled.
+ */
+
+#include <iostream>
+
+#include "bench/common/bench_util.hh"
+
+using namespace harmonia;
+using namespace harmonia::bench;
+
+int
+main()
+{
+    banner("Figure 5",
+           "MaxFlops card power across memory configurations at 32 CUs "
+           "/ 1 GHz (fixed memory voltage).");
+
+    GpuDevice device;
+    const KernelProfile kernel = makeMaxFlops().kernels.front();
+    const ConfigSpace &space = device.space();
+
+    TextTable table({"memFreq (MHz)", "BW (GB/s)", "card power (W)",
+                     "vs max-BW point"});
+    double pAtMax = 0.0;
+    {
+        const HardwareConfig cfg{32, 1000, 1375};
+        pAtMax = device.run(kernel, 0, cfg).power.total();
+    }
+    double lo = 1e9;
+    double hi = 0.0;
+    for (int memF : space.values(Tunable::MemFreq)) {
+        const HardwareConfig cfg{32, 1000, memF};
+        const double p = device.run(kernel, 0, cfg).power.total();
+        lo = std::min(lo, p);
+        hi = std::max(hi, p);
+        table.row()
+            .numInt(memF)
+            .num(device.config().peakMemBandwidth(memF) * 1e-9, 0)
+            .num(p, 1)
+            .pct(p / pAtMax - 1.0);
+    }
+    emit(table, "Card power vs memory configuration", "fig05");
+    std::cout << "power variation across memory configurations: "
+              << formatPct((hi - lo) / hi, 1) << "  (paper: ~10%)\n";
+    return 0;
+}

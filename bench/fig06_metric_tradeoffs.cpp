@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 6: performance, energy, ED^2, and ED of the configurations
+ * that (i) minimize energy, (ii) minimize ED^2, and (iii) maximize
+ * performance, for LUD and DeviceMemory — the motivation for using
+ * ED^2 as the optimization metric.
+ *
+ * Paper shape: the energy-optimal configuration costs ~2/3 of the
+ * performance; the ED^2-optimal configuration costs ~1% performance
+ * while still cutting a large share of the energy.
+ */
+
+#include "bench/common/bench_util.hh"
+#include "core/oracle.hh"
+
+using namespace harmonia;
+using namespace harmonia::bench;
+
+namespace
+{
+
+void
+tradeoffs(const GpuDevice &device, const KernelProfile &kernel,
+          const std::string &label, const std::string &stem)
+{
+    const int iteration = 0;
+    struct Objective
+    {
+        OracleObjective objective;
+        const char *name;
+    };
+    const Objective objectives[] = {
+        {OracleObjective::MinEnergy, "min-energy"},
+        {OracleObjective::MinEd2, "min-ED2"},
+        {OracleObjective::MaxPerf, "max-performance"},
+    };
+
+    const HardwareConfig bestPerfCfg = bestConfigFor(
+        device, kernel, iteration, OracleObjective::MaxPerf);
+    const KernelResult ref = device.run(kernel, iteration, bestPerfCfg);
+
+    TextTable table({"objective", "config", "performance", "energy",
+                     "ED^2", "ED"});
+    for (const auto &o : objectives) {
+        const HardwareConfig cfg =
+            bestConfigFor(device, kernel, iteration, o.objective);
+        const KernelResult r = device.run(kernel, iteration, cfg);
+        table.row()
+            .cell(o.name)
+            .cell(cfg.str())
+            .num(ref.time() / r.time(), 2)
+            .num(r.cardEnergy / ref.cardEnergy, 2)
+            .num(r.ed2() / ref.ed2(), 2)
+            .num(r.ed() / ref.ed(), 2);
+    }
+    emit(table,
+         label + " (all metrics normalized to the best-performing "
+                 "configuration)",
+         stem);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 6",
+           "Metric trade-offs under exhaustive search across all "
+           "hardware configurations.");
+
+    GpuDevice device;
+    tradeoffs(device, appByName("LUD").kernel("Internal"), "LUD",
+              "fig06_lud");
+    tradeoffs(device, makeDeviceMemory().kernels.front(),
+              "DeviceMemory", "fig06_devicememory");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 14: time-varying behaviour of Graph500.BottomStepUp — total
+ * compute instructions (VALUInsts), memory reads (VFetchInsts), and
+ * memory writes (VWriteInsts) over eight successive iterations.
+ *
+ * Paper shape: raw instruction totals vary strongly across iterations
+ * as the BFS frontier grows and collapses; the ops/byte demand swings
+ * from under 1 to bursts in the hundreds.
+ */
+
+#include "bench/common/bench_util.hh"
+
+using namespace harmonia;
+using namespace harmonia::bench;
+
+int
+main()
+{
+    banner("Figure 14",
+           "Graph500.BottomStepUp instruction totals over eight "
+           "iterations.");
+
+    GpuDevice device;
+    const KernelProfile kernel =
+        appByName("Graph500").kernel("BottomStepUp");
+    const HardwareConfig maxCfg = device.space().maxConfig();
+
+    TextTable table({"iteration", "VALUInsts (M)", "VFetchInsts (M)",
+                     "VWriteInsts (M)", "demand ops/byte",
+                     "time @max (us)"});
+    for (int iter = 0; iter < 8; ++iter) {
+        const KernelResult r = device.run(kernel, iter, maxCfg);
+        const CounterSet &c = r.timing.counters;
+        const KernelPhase phase = kernel.phase(iter);
+        const double bytesPerItem =
+            (phase.fetchInstsPerItem + phase.writeInstsPerItem) * 4.0 /
+            phase.coalescing;
+        table.row()
+            .numInt(iter)
+            .num(c.valuInsts * 1e-6, 2)
+            .num(c.vfetchInsts * 1e-6, 2)
+            .num(c.vwriteInsts * 1e-6, 2)
+            .num(phase.aluInstsPerItem / bytesPerItem, 1)
+            .num(r.time() * 1e6, 1);
+    }
+    emit(table, "Per-iteration instruction totals", "fig14");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 16: residency of all three hardware tunables while Harmonia
+ * runs Graph500.
+ *
+ * Paper shape: compute frequency stays pinned at the maximum (high
+ * branch divergence keeps compute sensitivity high); the CU count is
+ * 32 about 90% of the time with dithering below; the memory bus
+ * frequency spreads across 1375/925/775 MHz with a small share at
+ * 475 MHz.
+ */
+
+#include "bench/common/bench_util.hh"
+#include "core/training.hh"
+
+using namespace harmonia;
+using namespace harmonia::bench;
+
+int
+main()
+{
+    banner("Figure 16",
+           "Residency of the hardware tunables in Graph500 under "
+           "Harmonia.");
+
+    GpuDevice device;
+    const TrainingResult training =
+        trainPredictors(device, standardSuite());
+    HarmoniaGovernor governor(device.space(), training.predictor());
+    Runtime runtime(device);
+    const AppRunResult run =
+        runtime.run(appByName("Graph500"), governor);
+
+    auto printResidency = [&](const char *label, Tunable t,
+                              const std::string &stem) {
+        const Residency &res = run.residency(t);
+        TextTable table({label, "time share"});
+        for (double state : res.states()) {
+            table.row()
+                .numInt(static_cast<long long>(state))
+                .pct(res.fraction(state), 1);
+        }
+        emit(table, std::string("Residency: ") + label, stem);
+    };
+    printResidency("CU count", Tunable::CuCount, "fig16_cu");
+    printResidency("CU freq (MHz)", Tunable::ComputeFreq,
+                   "fig16_freq");
+    printResidency("mem freq (MHz)", Tunable::MemFreq, "fig16_mem");
+    return 0;
+}

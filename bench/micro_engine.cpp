@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hot paths: one timing-model
+ * evaluation, one full device run (timing + power), an exhaustive
+ * 448-configuration oracle search, and a full Harmonia decide/observe
+ * control step. Demonstrates the policy is cheap enough to run at
+ * kernel-boundary granularity (the paper's control interval).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/harmonia_governor.hh"
+#include "core/oracle.hh"
+#include "core/predictor.hh"
+#include "sim/gpu_device.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+const GpuDevice &
+device()
+{
+    static GpuDevice dev;
+    return dev;
+}
+
+const KernelProfile &
+kernel()
+{
+    static KernelProfile k = makeDeviceMemory().kernels.front();
+    return k;
+}
+
+void
+bmTimingEngine(benchmark::State &state)
+{
+    const HardwareConfig cfg = device().space().maxConfig();
+    const KernelPhase phase = kernel().phase(0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            device().engine().run(kernel(), phase, cfg));
+    }
+}
+BENCHMARK(bmTimingEngine);
+
+void
+bmDeviceRun(benchmark::State &state)
+{
+    const HardwareConfig cfg = device().space().maxConfig();
+    const KernelPhase phase = kernel().phase(0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(device().run(kernel(), phase, cfg));
+}
+BENCHMARK(bmDeviceRun);
+
+void
+bmOracleSearch(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bestConfigFor(
+            device(), kernel(), 0, OracleObjective::MinEd2));
+    }
+}
+BENCHMARK(bmOracleSearch);
+
+void
+bmGovernorStep(benchmark::State &state)
+{
+    HarmoniaGovernor governor(device().space(),
+                              SensitivityPredictor::paperTable3());
+    const KernelResult result =
+        device().run(kernel(), 0, device().space().maxConfig());
+    int iter = 0;
+    for (auto _ : state) {
+        const HardwareConfig cfg = governor.decide(kernel(), iter);
+        KernelSample sample;
+        sample.kernelId = kernel().id();
+        sample.iteration = iter;
+        sample.config = cfg;
+        sample.counters = result.timing.counters;
+        sample.execTime = result.time();
+        sample.cardEnergy = result.cardEnergy;
+        governor.observe(sample);
+        ++iter;
+    }
+}
+BENCHMARK(bmGovernorStep);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the sensitivity-prediction
+ * path: feature extraction, linear-model evaluation, binning, and the
+ * full training pipeline (collect + fit) on a reduced suite.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/predictor.hh"
+#include "core/training.hh"
+#include "sim/gpu_device.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+const CounterSet &
+sampleCounters()
+{
+    static CounterSet counters = [] {
+        GpuDevice dev;
+        const KernelProfile k = makeComd().kernels.front();
+        return dev.run(k, 0, dev.space().maxConfig()).timing.counters;
+    }();
+    return counters;
+}
+
+void
+bmFeatureExtraction(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sampleCounters().bandwidthFeatures());
+        benchmark::DoNotOptimize(sampleCounters().computeFeatures());
+    }
+}
+BENCHMARK(bmFeatureExtraction);
+
+void
+bmPredict(benchmark::State &state)
+{
+    const SensitivityPredictor predictor =
+        SensitivityPredictor::paperTable3();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            predictor.predictBins(sampleCounters()));
+}
+BENCHMARK(bmPredict);
+
+void
+bmTrainingPipeline(benchmark::State &state)
+{
+    GpuDevice dev;
+    const std::vector<Application> suite = {makeComd(), makeSort(),
+                                            makeStencil()};
+    TrainingOptions options;
+    options.iterationsPerKernel = 2;
+    options.configsPerKernel = 4;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trainPredictors(dev, suite, options));
+}
+BENCHMARK(bmTrainingPipeline);
+
+} // namespace
+
+BENCHMARK_MAIN();

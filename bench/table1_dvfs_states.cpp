@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Table 1: the HD7970 GPU DVFS table (DPM0/1/2 plus the boost state)
+ * and the derived voltage for every 100 MHz step Harmonia uses.
+ */
+
+#include "bench/common/bench_util.hh"
+#include "dvfs/dpm_table.hh"
+
+using namespace harmonia;
+using namespace harmonia::bench;
+
+int
+main()
+{
+    banner("Table 1", "AMD HD7970 GPU DVFS states and the interpolated "
+                      "voltage at each 100 MHz tuning step.");
+
+    const DpmTable dpm = hd7970ComputeDpm();
+
+    TextTable fused({"GPU DVFS state", "Freq (MHz)", "Voltage (V)"});
+    for (const auto &s : dpm.states())
+        fused.row().cell(s.name).numInt(s.freqMhz).num(s.voltage, 2);
+    emit(fused, "Fused operating points", "table1");
+
+    GpuDevice device;
+    TextTable steps({"Freq (MHz)", "Voltage (V)"});
+    for (int f : device.space().values(Tunable::ComputeFreq))
+        steps.row().numInt(f).num(dpm.voltageFor(f), 3);
+    emit(steps, "Interpolated lattice points", "table1_lattice");
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Design-space exploration example: sweep all ~450 hardware
+ * configurations for one kernel and report the balance curve, the
+ * best configuration under each objective, and where Harmonia's
+ * online decision lands relative to the exhaustive optimum.
+ *
+ * Usage: explore_design_space [AppName [KernelName]]
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/harmonia_governor.hh"
+#include "core/oracle.hh"
+#include "core/runtime.hh"
+#include "core/training.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+
+int
+main(int argc, char **argv)
+{
+    const std::string appName = argc > 1 ? argv[1] : "CoMD";
+    GpuDevice device;
+    const Application app = appByName(appName);
+    const KernelProfile &kernel =
+        argc > 2 ? app.kernel(argv[2]) : app.kernels.front();
+
+    std::cout << "Exploring " << device.space().size()
+              << " configurations for " << kernel.id() << "\n\n";
+
+    // Balance summary: best perf and best ED^2 per memory config.
+    const ConfigSpace &space = device.space();
+    TextTable curve({"memFreq (MHz)", "best time (us)",
+                     "best-ED2 config", "best-ED2 vs max-config"});
+    const KernelResult maxRun =
+        device.run(kernel, 0, space.maxConfig());
+    for (int memF : space.values(Tunable::MemFreq)) {
+        double bestTime = 1e300;
+        double bestEd2 = 1e300;
+        HardwareConfig bestEd2Cfg = space.maxConfig();
+        for (int cu : space.values(Tunable::CuCount)) {
+            for (int f : space.values(Tunable::ComputeFreq)) {
+                const KernelResult r =
+                    device.run(kernel, 0, {cu, f, memF});
+                bestTime = std::min(bestTime, r.time());
+                if (r.ed2() < bestEd2) {
+                    bestEd2 = r.ed2();
+                    bestEd2Cfg = {cu, f, memF};
+                }
+            }
+        }
+        curve.row()
+            .numInt(memF)
+            .num(bestTime * 1e6, 1)
+            .cell(bestEd2Cfg.str())
+            .pct(bestEd2 / maxRun.ed2() - 1.0, 1);
+    }
+    curve.print(std::cout, "Per-memory-configuration optima");
+
+    // Objective winners.
+    TextTable winners({"objective", "config", "time (us)",
+                       "energy (mJ)", "ED2 vs max-config"});
+    for (OracleObjective obj :
+         {OracleObjective::MaxPerf, OracleObjective::MinEd2,
+          OracleObjective::MinEd, OracleObjective::MinEnergy}) {
+        const HardwareConfig cfg =
+            bestConfigFor(device, kernel, 0, obj);
+        const KernelResult r = device.run(kernel, 0, cfg);
+        winners.row()
+            .cell(oracleObjectiveName(obj))
+            .cell(cfg.str())
+            .num(r.time() * 1e6, 1)
+            .num(r.cardEnergy * 1e3, 2)
+            .pct(r.ed2() / maxRun.ed2() - 1.0, 1);
+    }
+    winners.print(std::cout, "\nObjective winners");
+
+    // Where does Harmonia land after running the whole application?
+    const TrainingResult training =
+        trainPredictors(device, standardSuite());
+    HarmoniaGovernor governor(device.space(), training.predictor());
+    Runtime runtime(device);
+    const AppRunResult run = runtime.run(app, governor);
+    HardwareConfig last = space.maxConfig();
+    for (const auto &t : run.trace) {
+        if (t.kernelId == kernel.id())
+            last = t.config;
+    }
+    const KernelResult harmoniaRun = device.run(kernel, 0, last);
+    std::cout << "\nHarmonia's converged configuration for "
+              << kernel.id() << ": " << last.str() << " (ED^2 "
+              << formatPct(harmoniaRun.ed2() / maxRun.ed2() - 1.0, 1)
+              << " vs the max configuration)\n";
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Full evaluation campaign: every application in the suite under
+ * Baseline, CG-only, Harmonia (FG+CG), and the ED^2 oracle — the data
+ * behind the paper's Figures 10-13 in one run.
+ *
+ * Usage: hpc_campaign [--no-oracle]
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/campaign.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+
+int
+main(int argc, char **argv)
+{
+    CampaignOptions options;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--no-oracle") == 0)
+            options.includeOracle = false;
+    }
+
+    GpuDevice device;
+    Campaign campaign(device, standardSuite(), options);
+    campaign.run();
+
+    TextTable table({"app", "CG ED2", "HM ED2", "Oracle ED2", "CG perf",
+                     "HM perf", "HM power", "HM energy"});
+    for (const auto &app : campaign.appNames()) {
+        auto imp = [&](Scheme s, CampaignMetric m) {
+            return formatPct(
+                1.0 - campaign.normalized(s, app, m), 1);
+        };
+        auto perf = [&](Scheme s) {
+            return formatPct(
+                1.0 / campaign.normalized(s, app, CampaignMetric::Time) -
+                    1.0,
+                1);
+        };
+        table.row()
+            .cell(app)
+            .cell(imp(Scheme::CgOnly, CampaignMetric::Ed2))
+            .cell(imp(Scheme::Harmonia, CampaignMetric::Ed2))
+            .cell(options.includeOracle
+                      ? imp(Scheme::Oracle, CampaignMetric::Ed2)
+                      : "-")
+            .cell(perf(Scheme::CgOnly))
+            .cell(perf(Scheme::Harmonia))
+            .cell(imp(Scheme::Harmonia, CampaignMetric::Power))
+            .cell(imp(Scheme::Harmonia, CampaignMetric::Energy));
+    }
+    table.print(std::cout,
+                "Campaign: improvements vs baseline (positive = better; "
+                "perf = speedup)");
+
+    auto geo = [&](Scheme s, CampaignMetric m, bool noStress) {
+        return formatPct(
+            1.0 - campaign.geomeanNormalized(s, m, noStress), 1);
+    };
+    std::cout << "\nGeomean ED2 improvement:   CG " << geo(Scheme::CgOnly, CampaignMetric::Ed2, false)
+              << ", Harmonia " << geo(Scheme::Harmonia, CampaignMetric::Ed2, false);
+    if (options.includeOracle)
+        std::cout << ", Oracle " << geo(Scheme::Oracle, CampaignMetric::Ed2, false);
+    std::cout << "\nGeomean2 ED2 improvement:  CG " << geo(Scheme::CgOnly, CampaignMetric::Ed2, true)
+              << ", Harmonia " << geo(Scheme::Harmonia, CampaignMetric::Ed2, true);
+    if (options.includeOracle)
+        std::cout << ", Oracle " << geo(Scheme::Oracle, CampaignMetric::Ed2, true);
+    std::cout << "\nGeomean2 power saving:     Harmonia "
+              << geo(Scheme::Harmonia, CampaignMetric::Power, true)
+              << "\nGeomean2 energy saving:    Harmonia "
+              << geo(Scheme::Harmonia, CampaignMetric::Energy, true)
+              << "\nGeomean2 time overhead:    Harmonia "
+              << formatPct(campaign.geomeanNormalized(
+                               Scheme::Harmonia, CampaignMetric::Time,
+                               true) -
+                               1.0,
+                           2)
+              << " (CG-only "
+              << formatPct(campaign.geomeanNormalized(
+                               Scheme::CgOnly, CampaignMetric::Time,
+                               true) -
+                               1.0,
+                           2)
+              << ")\n";
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Diagnostic example: for every kernel in the suite, print measured
+ * ground-truth sensitivities, the trained predictor's estimates, and
+ * the resulting bins; then dump the per-iteration Harmonia trace for
+ * one application to show the control loop's decisions.
+ *
+ * Usage: inspect_sensitivity [AppName]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "core/baseline_governor.hh"
+#include "core/harmonia_governor.hh"
+#include "core/runtime.hh"
+#include "core/training.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+
+int
+main(int argc, char **argv)
+{
+    const std::string target = argc > 1 ? argv[1] : "CoMD";
+
+    GpuDevice device;
+    const auto suite = standardSuite();
+    const TrainingResult training = trainPredictors(device, suite);
+    const SensitivityPredictor predictor = training.predictor();
+
+    std::cout << "bandwidth fit corr=" << training.bandwidthFit.correlation
+              << " mae=" << training.bandwidthMae
+              << " | compute fit corr=" << training.computeFit.correlation
+              << " mae=" << training.computeMae << "\n\n";
+
+    TextTable table({"kernel", "meas.comp", "meas.bw", "pred.comp",
+                     "pred.bw", "bins", "CtoM", "icAct", "VALUBusy",
+                     "MemBusy", "occ%"});
+    for (const auto &app : suite) {
+        for (const auto &kernel : app.kernels) {
+            const SensitivityVector meas =
+                measureSensitivities(device, kernel, 0);
+            const auto res =
+                device.run(kernel, 0, device.space().maxConfig());
+            const CounterSet &c = res.timing.counters;
+            const SensitivityBins bins = predictor.predictBins(c);
+            table.row()
+                .cell(kernel.id())
+                .num(meas.compute(), 2)
+                .num(meas.memBandwidth, 2)
+                .num(predictor.predictCompute(c), 2)
+                .num(predictor.predictBandwidth(c), 2)
+                .cell(std::string(sensitivityBinName(bins.compute)) +
+                      "/" + sensitivityBinName(bins.bandwidth))
+                .num(c.computeToMemIntensity(), 0)
+                .num(c.icActivity, 2)
+                .num(c.valuBusy, 0)
+                .num(c.memUnitBusy, 0)
+                .num(res.timing.occupancy.occupancy * 100, 0);
+        }
+    }
+    table.print(std::cout, "Per-kernel sensitivities (iteration 0)");
+
+    // Per-iteration Harmonia trace of the target application.
+    const Application app = appByName(target);
+    Runtime runtime(device);
+    HarmoniaGovernor gov(device.space(), predictor);
+    const AppRunResult run = runtime.run(app, gov);
+    BaselineGovernor base(device.space());
+    const AppRunResult baseRun = runtime.run(app, base);
+
+    TextTable trace({"kernel", "iter", "config", "time(us)",
+                     "base(us)", "power(W)"});
+    size_t idx = 0;
+    for (const auto &t : run.trace) {
+        trace.row()
+            .cell(t.kernelId)
+            .numInt(t.iteration)
+            .cell(t.config.str())
+            .num(t.result.time() * 1e6, 1)
+            .num(baseRun.trace[idx].result.time() * 1e6, 1)
+            .num(t.result.power.total(), 1);
+        ++idx;
+    }
+    trace.print(std::cout, "\nHarmonia trace: " + app.name);
+    std::cout << "\ntotals: harmonia " << run.totalTime * 1e3
+              << " ms / " << run.cardEnergy << " J;  baseline "
+              << baseRun.totalTime * 1e3 << " ms / "
+              << baseRun.cardEnergy << " J\n";
+    return 0;
+}

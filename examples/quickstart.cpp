@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Quickstart: run one application under the baseline PowerTune policy
+ * and under Harmonia, and print the time / energy / ED^2 comparison.
+ *
+ * This is the smallest end-to-end use of the library:
+ *   1. build the default HD7970 device model,
+ *   2. train the sensitivity predictors on the workload suite,
+ *   3. run an application under both governors,
+ *   4. compare the measured metrics.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/baseline_governor.hh"
+#include "core/harmonia_governor.hh"
+#include "core/runtime.hh"
+#include "core/training.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+
+int
+main()
+{
+    GpuDevice device;
+    Runtime runtime(device);
+
+    std::cout << "Training sensitivity predictors on the suite...\n";
+    const TrainingResult training =
+        trainPredictors(device, standardSuite());
+    std::cout << "  bandwidth model correlation: "
+              << formatNum(training.bandwidthFit.correlation, 3)
+              << ", compute model correlation: "
+              << formatNum(training.computeFit.correlation, 3) << "\n\n";
+
+    const Application app = makeComd();
+
+    BaselineGovernor baseline(device.space());
+    HarmoniaGovernor harmoniaGov(device.space(), training.predictor());
+
+    const AppRunResult base = runtime.run(app, baseline);
+    const AppRunResult harm = runtime.run(app, harmoniaGov);
+
+    TextTable table({"scheme", "time (ms)", "energy (J)", "avg power (W)",
+                     "ED^2 (J*s^2)"});
+    for (const AppRunResult *r : {&base, &harm}) {
+        table.row()
+            .cell(r->governorName)
+            .num(r->totalTime * 1e3, 3)
+            .num(r->cardEnergy, 3)
+            .num(r->averagePower(), 1)
+            .num(r->ed2() * 1e6, 4); // uJ*s^2 scale for readability
+    }
+    table.print(std::cout, "Quickstart: " + app.name +
+                               " under Baseline vs Harmonia");
+
+    std::cout << "\nED^2 improvement: "
+              << formatPct(1.0 - harm.ed2() / base.ed2(), 1)
+              << ", power saving: "
+              << formatPct(1.0 - harm.averagePower() /
+                                      base.averagePower(), 1)
+              << ", performance change: "
+              << formatPct(base.totalTime / harm.totalTime - 1.0, 2)
+              << "\n";
+    return 0;
+}

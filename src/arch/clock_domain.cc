@@ -1,0 +1,26 @@
+#include "clock_domain.hh"
+
+#include "common/error.hh"
+#include "common/units.hh"
+
+namespace harmonia
+{
+
+DomainCrossing::DomainCrossing(double bytesPerComputeCycle)
+    : bytesPerComputeCycle_(bytesPerComputeCycle)
+{
+    fatalIf(bytesPerComputeCycle <= 0.0,
+            "DomainCrossing: width must be positive, got ",
+            bytesPerComputeCycle);
+}
+
+double
+DomainCrossing::maxBandwidth(double computeFreqMhz) const
+{
+    fatalIf(computeFreqMhz <= 0.0,
+            "DomainCrossing: compute frequency must be positive, got ",
+            computeFreqMhz);
+    return mhzToHz(computeFreqMhz) * bytesPerComputeCycle_;
+}
+
+} // namespace harmonia

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Clock-domain descriptors.
+ *
+ * The GPU L2 cache runs in the compute clock domain while the on-chip
+ * memory controllers run in the memory clock domain (Section 3.5,
+ * "Architectural Clock Domains"). Requests crossing from L2 to the
+ * memory controller are throttled by the *compute* clock, which is why
+ * extremely memory-bound kernels with poor L2 hit rates remain
+ * sensitive to compute frequency (Figure 9).
+ */
+
+#ifndef HARMONIA_ARCH_CLOCK_DOMAIN_HH
+#define HARMONIA_ARCH_CLOCK_DOMAIN_HH
+
+#include <string>
+
+namespace harmonia
+{
+
+/** A named clock domain at a given frequency. */
+struct ClockDomain
+{
+    std::string name;
+    double freqMhz = 0.0;
+
+    /** Cycle time in seconds. */
+    double period() const { return 1.0 / (freqMhz * 1.0e6); }
+};
+
+/**
+ * Models the L2 -> memory-controller crossing.
+ *
+ * The queue between domains drains at a rate proportional to the
+ * producing (compute) clock: @p bytesPerComputeCycle bytes per compute
+ * cycle can be handed to the memory controllers.
+ */
+class DomainCrossing
+{
+  public:
+    /**
+     * @param bytesPerComputeCycle Width of the L2-to-MC interface in
+     *        bytes transferred per compute-clock cycle.
+     */
+    explicit DomainCrossing(double bytesPerComputeCycle);
+
+    /** Max off-chip request bandwidth (bytes/s) the crossing sustains
+     * at the given compute frequency. */
+    double maxBandwidth(double computeFreqMhz) const;
+
+    double bytesPerComputeCycle() const { return bytesPerComputeCycle_; }
+
+  private:
+    double bytesPerComputeCycle_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_ARCH_CLOCK_DOMAIN_HH

@@ -1,0 +1,77 @@
+#include "gcn_config.hh"
+
+#include "common/error.hh"
+#include "common/units.hh"
+
+namespace harmonia
+{
+
+double
+GcnDeviceConfig::peakMemBandwidth(double memFreqMhz) const
+{
+    return mhzToHz(memFreqMhz) * memBusBytes() * gddr5TransferRate;
+}
+
+double
+GcnDeviceConfig::peakFlops(int cuCount, double computeFreqMhz) const
+{
+    return static_cast<double>(totalLanes(cuCount)) *
+           flopsPerLanePerCycle * mhzToHz(computeFreqMhz);
+}
+
+double
+GcnDeviceConfig::peakWaveInstRate(int cuCount, double computeFreqMhz) const
+{
+    // One wave instruction per SIMD per 4 cycles; 4 SIMDs per CU.
+    const double perCuPerCycle = simdPerCu / 4.0;
+    return cuCount * perCuPerCycle * mhzToHz(computeFreqMhz);
+}
+
+void
+GcnDeviceConfig::validate() const
+{
+    fatalIf(numCus <= 0, "GcnDeviceConfig: numCus must be positive");
+    fatalIf(simdPerCu <= 0, "GcnDeviceConfig: simdPerCu must be positive");
+    fatalIf(lanesPerSimd <= 0,
+            "GcnDeviceConfig: lanesPerSimd must be positive");
+    fatalIf(wavefrontSize != simdPerCu * lanesPerSimd,
+            "GcnDeviceConfig: wavefrontSize (", wavefrontSize,
+            ") must equal simdPerCu*lanesPerSimd (",
+            simdPerCu * lanesPerSimd, ")");
+    fatalIf(maxWavesPerSimd <= 0,
+            "GcnDeviceConfig: maxWavesPerSimd must be positive");
+    fatalIf(cuCountMin <= 0 || cuCountMin > numCus,
+            "GcnDeviceConfig: cuCountMin out of range");
+    fatalIf(cuCountStep <= 0, "GcnDeviceConfig: cuCountStep must be > 0");
+    fatalIf((numCus - cuCountMin) % cuCountStep != 0,
+            "GcnDeviceConfig: CU range not divisible by step");
+    fatalIf(computeFreqMinMhz <= 0 ||
+                computeFreqMaxMhz < computeFreqMinMhz,
+            "GcnDeviceConfig: bad compute frequency range");
+    fatalIf(computeFreqStepMhz <= 0,
+            "GcnDeviceConfig: computeFreqStepMhz must be > 0");
+    fatalIf((computeFreqMaxMhz - computeFreqMinMhz) %
+                computeFreqStepMhz != 0,
+            "GcnDeviceConfig: compute frequency range not divisible by "
+            "step");
+    fatalIf(memFreqMinMhz <= 0 || memFreqMaxMhz < memFreqMinMhz,
+            "GcnDeviceConfig: bad memory frequency range");
+    fatalIf(memFreqStepMhz <= 0,
+            "GcnDeviceConfig: memFreqStepMhz must be > 0");
+    fatalIf((memFreqMaxMhz - memFreqMinMhz) % memFreqStepMhz != 0,
+            "GcnDeviceConfig: memory frequency range not divisible by "
+            "step");
+    fatalIf(l2Bytes <= 0, "GcnDeviceConfig: l2Bytes must be positive");
+    fatalIf(cacheLineBytes <= 0,
+            "GcnDeviceConfig: cacheLineBytes must be positive");
+}
+
+GcnDeviceConfig
+hd7970()
+{
+    GcnDeviceConfig cfg;
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace harmonia

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Static architecture description of the modeled GPU.
+ *
+ * Defaults describe the AMD Radeon HD7970 ("Tahiti", Graphics Core
+ * Next) used as the paper's test bed (Section 2.2): 32 compute units,
+ * 4 SIMD units per CU, 16 lanes per SIMD, 64-wide wavefronts, 3 GB of
+ * GDDR5 behind six 64-bit dual-channel memory controllers with a peak
+ * of 264 GB/s.
+ */
+
+#ifndef HARMONIA_ARCH_GCN_CONFIG_HH
+#define HARMONIA_ARCH_GCN_CONFIG_HH
+
+#include <cstdint>
+
+namespace harmonia
+{
+
+/**
+ * Architecture parameters of a GCN-class device.
+ *
+ * This is a value type: modules take copies and never mutate shared
+ * state. All sizes in bytes, frequencies in MHz.
+ */
+struct GcnDeviceConfig
+{
+    // --- Compute organization -------------------------------------
+    int numCus = 32;             ///< Physical compute units.
+    int simdPerCu = 4;           ///< SIMD vector units per CU.
+    int lanesPerSimd = 16;       ///< Processing elements per SIMD.
+    int wavefrontSize = 64;      ///< Work-items per wavefront.
+    int maxWavesPerSimd = 10;    ///< Architectural wave slots per SIMD.
+    int flopsPerLanePerCycle = 2; ///< FMA counts as two FLOPs.
+
+    // --- Register files and scratchpad -----------------------------
+    int maxVgprPerWave = 256;    ///< VGPRs addressable by one wave.
+    int maxSgprPerWave = 102;    ///< SGPRs addressable by one wave.
+    int sgprPerSimd = 512;       ///< Physical SGPRs per SIMD.
+    int ldsPerCuBytes = 64 * 1024;  ///< Local data share per CU.
+    int maxWorkgroupSize = 256;  ///< Work-items per workgroup.
+
+    // --- Cache hierarchy -------------------------------------------
+    int l1PerCuBytes = 16 * 1024;   ///< Vector L1 data cache per CU.
+    int l2Bytes = 768 * 1024;       ///< Shared L2 cache.
+    int cacheLineBytes = 64;        ///< Line/transaction granularity.
+
+    // --- Compute DVFS range (Section 3.1) ---------------------------
+    int cuCountMin = 4;          ///< Fewest CUs left active.
+    int cuCountStep = 4;         ///< CU power-gating granularity.
+    int computeFreqMinMhz = 300;
+    int computeFreqMaxMhz = 1000;  ///< Boost state.
+    int computeFreqStepMhz = 100;
+
+    // --- Memory system (Section 2.2 / 3.1) ---------------------------
+    int memChannels = 6;         ///< Dual-channel 64-bit controllers.
+    int memBusBitsPerChannel = 64;
+    int gddr5TransferRate = 4;   ///< Data transfers per bus clock.
+    int memFreqMinMhz = 475;     ///< 90 GB/s.
+    int memFreqMaxMhz = 1375;    ///< 264 GB/s.
+    int memFreqStepMhz = 150;    ///< 30 GB/s steps.
+
+    /** Total memory bus width in bytes (384 bits = 48 B). */
+    double memBusBytes() const
+    {
+        return memChannels * memBusBitsPerChannel / 8.0;
+    }
+
+    /** Peak memory bandwidth in bytes/s at @p memFreqMhz. */
+    double peakMemBandwidth(double memFreqMhz) const;
+
+    /** Lanes in the whole device at @p cuCount active CUs. */
+    int totalLanes(int cuCount) const
+    {
+        return cuCount * simdPerCu * lanesPerSimd;
+    }
+
+    /**
+     * Peak single-precision throughput in FLOP/s at the given compute
+     * configuration. 32 CUs at 1000 MHz yields 4096 GFLOPS.
+     */
+    double peakFlops(int cuCount, double computeFreqMhz) const;
+
+    /**
+     * Peak vector-ALU wave-instruction issue rate (instructions per
+     * second) for the device: each SIMD retires one 64-wide wave
+     * instruction every 4 cycles, so a CU retires one per cycle.
+     */
+    double peakWaveInstRate(int cuCount, double computeFreqMhz) const;
+
+    /** Validate internal consistency; @throws ConfigError. */
+    void validate() const;
+};
+
+/** The default HD7970 description used throughout the library. */
+GcnDeviceConfig hd7970();
+
+} // namespace harmonia
+
+#endif // HARMONIA_ARCH_GCN_CONFIG_HH

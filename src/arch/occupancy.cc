@@ -1,0 +1,105 @@
+#include "occupancy.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace harmonia
+{
+
+void
+KernelResources::validate(const GcnDeviceConfig &dev) const
+{
+    fatalIf(vgprPerWorkitem <= 0, "KernelResources: vgprPerWorkitem must "
+            "be positive, got ", vgprPerWorkitem);
+    fatalIf(vgprPerWorkitem > dev.maxVgprPerWave,
+            "KernelResources: kernel uses ", vgprPerWorkitem,
+            " VGPRs; device limit is ", dev.maxVgprPerWave);
+    fatalIf(sgprPerWave <= 0, "KernelResources: sgprPerWave must be "
+            "positive, got ", sgprPerWave);
+    fatalIf(sgprPerWave > dev.maxSgprPerWave,
+            "KernelResources: kernel uses ", sgprPerWave,
+            " SGPRs; device limit is ", dev.maxSgprPerWave);
+    fatalIf(ldsPerWorkgroupBytes < 0,
+            "KernelResources: negative LDS demand");
+    fatalIf(ldsPerWorkgroupBytes > dev.ldsPerCuBytes,
+            "KernelResources: workgroup needs ", ldsPerWorkgroupBytes,
+            " B of LDS; CU has ", dev.ldsPerCuBytes, " B");
+    fatalIf(workgroupSize <= 0 || workgroupSize > dev.maxWorkgroupSize,
+            "KernelResources: workgroupSize ", workgroupSize,
+            " outside (0, ", dev.maxWorkgroupSize, "]");
+}
+
+const char *
+occupancyLimiterName(OccupancyLimiter limiter)
+{
+    switch (limiter) {
+      case OccupancyLimiter::WaveSlots: return "wave-slots";
+      case OccupancyLimiter::Vgpr: return "VGPR";
+      case OccupancyLimiter::Sgpr: return "SGPR";
+      case OccupancyLimiter::Lds: return "LDS";
+      case OccupancyLimiter::Workgroup: return "workgroup";
+    }
+    return "unknown";
+}
+
+OccupancyInfo
+computeOccupancy(const GcnDeviceConfig &dev, const KernelResources &res)
+{
+    res.validate(dev);
+
+    // Per-SIMD wave limits.
+    const int slotLimit = dev.maxWavesPerSimd;
+    const int vgprLimit = dev.maxVgprPerWave / res.vgprPerWorkitem;
+    const int sgprLimit = dev.sgprPerSimd / res.sgprPerWave;
+
+    int wavesPerSimd = slotLimit;
+    OccupancyLimiter limiter = OccupancyLimiter::WaveSlots;
+    if (vgprLimit < wavesPerSimd) {
+        wavesPerSimd = vgprLimit;
+        limiter = OccupancyLimiter::Vgpr;
+    }
+    if (sgprLimit < wavesPerSimd) {
+        wavesPerSimd = sgprLimit;
+        limiter = OccupancyLimiter::Sgpr;
+    }
+    wavesPerSimd = std::max(wavesPerSimd, 1);
+
+    // CU-level limits: whole workgroups must co-reside.
+    const int wavesPerWorkgroup =
+        (res.workgroupSize + dev.wavefrontSize - 1) / dev.wavefrontSize;
+    int wavesPerCu = wavesPerSimd * dev.simdPerCu;
+
+    if (res.ldsPerWorkgroupBytes > 0) {
+        const int ldsWorkgroups =
+            dev.ldsPerCuBytes / res.ldsPerWorkgroupBytes;
+        const int ldsWaves = ldsWorkgroups * wavesPerWorkgroup;
+        if (ldsWaves < wavesPerCu) {
+            wavesPerCu = ldsWaves;
+            limiter = OccupancyLimiter::Lds;
+        }
+    }
+
+    // Round down to whole workgroups.
+    int workgroupsPerCu = wavesPerCu / wavesPerWorkgroup;
+    if (workgroupsPerCu == 0) {
+        // A single workgroup always fits (validated above for LDS);
+        // it may transiently oversubscribe wave slots.
+        workgroupsPerCu = 1;
+        limiter = OccupancyLimiter::Workgroup;
+    }
+    wavesPerCu = workgroupsPerCu * wavesPerWorkgroup;
+    wavesPerCu =
+        std::min(wavesPerCu, dev.maxWavesPerSimd * dev.simdPerCu);
+
+    OccupancyInfo info;
+    info.wavesPerSimd = std::max(1, wavesPerCu / dev.simdPerCu);
+    info.wavesPerCu = wavesPerCu;
+    info.workgroupsPerCu = workgroupsPerCu;
+    info.occupancy = static_cast<double>(info.wavesPerSimd) /
+                     static_cast<double>(dev.maxWavesPerSimd);
+    info.limiter = limiter;
+    return info;
+}
+
+} // namespace harmonia

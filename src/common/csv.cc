@@ -1,0 +1,100 @@
+#include "csv.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "error.hh"
+
+namespace harmonia
+{
+
+CsvWriter::CsvWriter(std::ostream &os, const std::vector<std::string> &header)
+    : os_(os), columns_(header.size())
+{
+    fatalIf(header.empty(), "CsvWriter: need at least one column");
+    emit(header);
+}
+
+CsvWriter &
+CsvWriter::row()
+{
+    finish();
+    rowOpen_ = true;
+    pending_.clear();
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::field(const std::string &value)
+{
+    panicIf(!rowOpen_, "CsvWriter::field before row()");
+    panicIf(pending_.size() >= columns_, "CsvWriter: too many fields (",
+            columns_, " columns)");
+    pending_.push_back(escape(value));
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::field(double value)
+{
+    std::ostringstream oss;
+    oss << std::setprecision(17) << value;
+    return field(oss.str());
+}
+
+CsvWriter &
+CsvWriter::field(long long value)
+{
+    return field(std::to_string(value));
+}
+
+void
+CsvWriter::finish()
+{
+    if (!rowOpen_)
+        return;
+    panicIf(pending_.size() != columns_, "CsvWriter: row has ",
+            pending_.size(), " fields, expected ", columns_);
+    emit(pending_);
+    pending_.clear();
+    rowOpen_ = false;
+}
+
+CsvWriter::~CsvWriter()
+{
+    // Flushing may throw on a malformed row; destructors must not.
+    try {
+        finish();
+    } catch (...) {
+    }
+}
+
+void
+CsvWriter::emit(const std::vector<std::string> &cells)
+{
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            os_ << ',';
+        os_ << cells[i];
+    }
+    os_ << '\n';
+}
+
+std::string
+CsvWriter::escape(const std::string &value)
+{
+    const bool needsQuote =
+        value.find_first_of(",\"\n") != std::string::npos;
+    if (!needsQuote)
+        return value;
+    std::string out = "\"";
+    for (char ch : value) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace harmonia

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal CSV writer for exporting benchmark series (one file per
+ * paper figure) so results can be re-plotted outside the harness.
+ */
+
+#ifndef HARMONIA_COMMON_CSV_HH
+#define HARMONIA_COMMON_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace harmonia
+{
+
+/**
+ * Streams rows of comma-separated values with RFC-4180-style quoting.
+ * The writer does not own the stream.
+ */
+class CsvWriter
+{
+  public:
+    /** Write to @p os; emits the header row immediately. */
+    CsvWriter(std::ostream &os, const std::vector<std::string> &header);
+
+    /** Begin a new row (flushes the previous one). */
+    CsvWriter &row();
+
+    /** Append a string field, quoting when needed. */
+    CsvWriter &field(const std::string &value);
+
+    /** Append a numeric field with full double precision. */
+    CsvWriter &field(double value);
+
+    /** Append an integer field. */
+    CsvWriter &field(long long value);
+
+    /** Flush the pending row, if any. Called by the destructor. */
+    void finish();
+
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
+
+  private:
+    void emit(const std::vector<std::string> &cells);
+    static std::string escape(const std::string &value);
+
+    std::ostream &os_;
+    size_t columns_;
+    std::vector<std::string> pending_;
+    bool rowOpen_ = false;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_COMMON_CSV_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Error-reporting primitives for the Harmonia library.
+ *
+ * Follows the gem5 fatal()/panic() convention, but raises typed
+ * exceptions instead of terminating the process so that library users
+ * (and the test suite) can recover:
+ *
+ *  - fatal(): the caller supplied an invalid configuration or argument
+ *    (a user error). Raises ConfigError.
+ *  - panic(): an internal invariant was violated (a library bug).
+ *    Raises InternalError.
+ */
+
+#ifndef HARMONIA_COMMON_ERROR_HH
+#define HARMONIA_COMMON_ERROR_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace harmonia
+{
+
+/** Base class for all errors raised by the Harmonia library. */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** The user supplied an invalid configuration, argument, or input. */
+class ConfigError : public SimError
+{
+  public:
+    explicit ConfigError(const std::string &msg) : SimError(msg) {}
+};
+
+/** An internal invariant was violated; indicates a library bug. */
+class InternalError : public SimError
+{
+  public:
+    explicit InternalError(const std::string &msg) : SimError(msg) {}
+};
+
+namespace detail
+{
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concatMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/**
+ * Report a user-caused error (bad configuration or argument).
+ *
+ * @param args Streamable message fragments.
+ * @throws ConfigError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw ConfigError(detail::concatMessage(std::forward<Args>(args)...));
+}
+
+/**
+ * Report an internal library bug (violated invariant).
+ *
+ * @param args Streamable message fragments.
+ * @throws InternalError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw InternalError(detail::concatMessage(std::forward<Args>(args)...));
+}
+
+/** fatal() unless @p cond holds. */
+template <typename... Args>
+void
+fatalIf(bool cond, Args &&...args)
+{
+    if (cond)
+        fatal(std::forward<Args>(args)...);
+}
+
+/** panic() unless @p cond holds. */
+template <typename... Args>
+void
+panicIf(bool cond, Args &&...args)
+{
+    if (cond)
+        panic(std::forward<Args>(args)...);
+}
+
+} // namespace harmonia
+
+#endif // HARMONIA_COMMON_ERROR_HH

@@ -1,0 +1,34 @@
+#include "log.hh"
+
+namespace harmonia
+{
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO ";
+      case LogLevel::Warn: return "WARN ";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Off: return "OFF  ";
+    }
+    return "?????";
+}
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::write(LogLevel level, const std::string &component,
+              const std::string &message)
+{
+    (*stream_) << '[' << logLevelName(level) << "] " << component << ": "
+               << message << '\n';
+}
+
+} // namespace harmonia

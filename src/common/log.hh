@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Minimal leveled logger used across the library.
+ *
+ * The logger writes to a configurable std::ostream (stderr by default)
+ * and supports the classic levels. It is intentionally tiny: the
+ * simulator's hot paths never log, so no async machinery is needed.
+ */
+
+#ifndef HARMONIA_COMMON_LOG_HH
+#define HARMONIA_COMMON_LOG_HH
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace harmonia
+{
+
+/** Severity levels, ordered from most to least verbose. */
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    Off = 4,
+};
+
+/** Render a level as a fixed-width tag, e.g. "INFO ". */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Process-wide logger. Thread-compatible (not thread-safe): the
+ * simulator is single-threaded by design for determinism.
+ */
+class Logger
+{
+  public:
+    /** Access the process-wide logger instance. */
+    static Logger &instance();
+
+    /** Set the minimum level that will be emitted. */
+    void setLevel(LogLevel level) { level_ = level; }
+    LogLevel level() const { return level_; }
+
+    /** Redirect output (used by tests). Pass nullptr to restore stderr. */
+    void setStream(std::ostream *os) { stream_ = os ? os : &std::cerr; }
+
+    /** True when a message at @p level would be emitted. */
+    bool enabled(LogLevel level) const { return level >= level_; }
+
+    /** Emit one formatted line: "[LEVEL] component: message". */
+    void write(LogLevel level, const std::string &component,
+               const std::string &message);
+
+  private:
+    Logger() = default;
+
+    LogLevel level_ = LogLevel::Warn;
+    std::ostream *stream_ = &std::cerr;
+};
+
+namespace detail
+{
+
+template <typename... Args>
+void
+logAt(LogLevel level, const char *component, Args &&...args)
+{
+    Logger &logger = Logger::instance();
+    if (!logger.enabled(level))
+        return;
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    logger.write(level, component, oss.str());
+}
+
+} // namespace detail
+
+/** Emit a debug-level message for @p component. */
+template <typename... Args>
+void
+logDebug(const char *component, Args &&...args)
+{
+    detail::logAt(LogLevel::Debug, component, std::forward<Args>(args)...);
+}
+
+/** Emit an info-level message for @p component. */
+template <typename... Args>
+void
+logInfo(const char *component, Args &&...args)
+{
+    detail::logAt(LogLevel::Info, component, std::forward<Args>(args)...);
+}
+
+/** Emit a warning for @p component. */
+template <typename... Args>
+void
+logWarn(const char *component, Args &&...args)
+{
+    detail::logAt(LogLevel::Warn, component, std::forward<Args>(args)...);
+}
+
+/** Emit an error-level message for @p component. */
+template <typename... Args>
+void
+logError(const char *component, Args &&...args)
+{
+    detail::logAt(LogLevel::Error, component, std::forward<Args>(args)...);
+}
+
+} // namespace harmonia
+
+#endif // HARMONIA_COMMON_LOG_HH

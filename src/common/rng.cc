@@ -1,0 +1,117 @@
+#include "rng.hh"
+
+#include <cmath>
+
+#include "error.hh"
+
+namespace harmonia
+{
+
+namespace
+{
+
+/** splitmix64 step, used to expand the seed into full state. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    fatalIf(lo > hi, "Rng::uniform: lo (", lo, ") > hi (", hi, ")");
+    return lo + (hi - lo) * uniform();
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    fatalIf(lo > hi, "Rng::uniformInt: lo (", lo, ") > hi (", hi, ")");
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<int64_t>(next());
+    return lo + static_cast<int64_t>(next() % span);
+}
+
+double
+Rng::gaussian()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spare_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    haveSpare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::logNormal(double median, double sigma)
+{
+    fatalIf(median <= 0.0, "Rng::logNormal: median must be positive, got ",
+            median);
+    return median * std::exp(sigma * gaussian());
+}
+
+} // namespace harmonia

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Uses xoshiro256++ (Blackman & Vigna). The simulator must be fully
+ * reproducible run-to-run, so all randomness flows through explicitly
+ * seeded Rng instances — never through global state.
+ */
+
+#ifndef HARMONIA_COMMON_RNG_HH
+#define HARMONIA_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace harmonia
+{
+
+/**
+ * A small, fast, seedable PRNG (xoshiro256++).
+ *
+ * Not cryptographically secure; intended for workload synthesis and
+ * property-test input generation.
+ */
+class Rng
+{
+  public:
+    /** Construct with a 64-bit seed, expanded via splitmix64. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). Requires lo <= hi. */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Standard normal variate (Box-Muller, cached pair). */
+    double gaussian();
+
+    /** Normal variate with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Bernoulli trial with success probability p in [0, 1]. */
+    bool chance(double p);
+
+    /**
+     * Log-normally distributed positive value whose *median* is
+     * @p median and whose log-space standard deviation is @p sigma.
+     * Used for bursty per-iteration workload scaling.
+     */
+    double logNormal(double median, double sigma);
+
+  private:
+    uint64_t state_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_COMMON_RNG_HH

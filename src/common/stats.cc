@@ -1,0 +1,181 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "error.hh"
+
+namespace harmonia
+{
+
+void
+RunningStats::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    fatalIf(values.empty(), "geomean: empty input");
+    double logSum = 0.0;
+    for (double v : values) {
+        fatalIf(v <= 0.0, "geomean: requires positive values, got ", v);
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    fatalIf(values.empty(), "mean: empty input");
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+median(std::vector<double> values)
+{
+    fatalIf(values.empty(), "median: empty input");
+    std::sort(values.begin(), values.end());
+    const size_t n = values.size();
+    if (n % 2 == 1)
+        return values[n / 2];
+    return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0)
+{
+    fatalIf(bins == 0, "Histogram: need at least one bin");
+    fatalIf(hi <= lo, "Histogram: hi (", hi, ") must exceed lo (", lo, ")");
+}
+
+void
+Histogram::add(double x, double weight)
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto idx = static_cast<long>(std::floor((x - lo_) / width));
+    idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+    counts_[static_cast<size_t>(idx)] += weight;
+    total_ += weight;
+}
+
+double
+Histogram::binWeight(size_t i) const
+{
+    fatalIf(i >= counts_.size(), "Histogram: bin ", i, " out of range");
+    return counts_[i];
+}
+
+double
+Histogram::binLow(size_t i) const
+{
+    fatalIf(i >= counts_.size(), "Histogram: bin ", i, " out of range");
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * static_cast<double>(i);
+}
+
+double
+Histogram::binHigh(size_t i) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return binLow(i) + width;
+}
+
+double
+Histogram::fraction(size_t i) const
+{
+    if (total_ <= 0.0)
+        return 0.0;
+    return binWeight(i) / total_;
+}
+
+void
+Residency::add(double state, double weight)
+{
+    for (auto &entry : entries_) {
+        if (entry.first == state) {
+            entry.second += weight;
+            total_ += weight;
+            return;
+        }
+    }
+    entries_.emplace_back(state, weight);
+    total_ += weight;
+}
+
+std::vector<double>
+Residency::states() const
+{
+    std::vector<double> out;
+    out.reserve(entries_.size());
+    for (const auto &entry : entries_)
+        out.push_back(entry.first);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+double
+Residency::fraction(double state) const
+{
+    if (total_ <= 0.0)
+        return 0.0;
+    for (const auto &entry : entries_) {
+        if (entry.first == state)
+            return entry.second / total_;
+    }
+    return 0.0;
+}
+
+} // namespace harmonia

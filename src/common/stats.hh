@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Streaming statistics helpers: running mean/variance, extrema,
+ * geometric means, and fixed-bin histograms.
+ */
+
+#ifndef HARMONIA_COMMON_STATS_HH
+#define HARMONIA_COMMON_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace harmonia
+{
+
+/**
+ * Welford-style running statistics over a stream of doubles.
+ */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples added. */
+    size_t count() const { return count_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Population variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest sample seen; -inf when empty. */
+    double max() const { return max_; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = __builtin_huge_val();
+    double max_ = -__builtin_huge_val();
+};
+
+/**
+ * Geometric mean of a set of strictly positive values.
+ *
+ * The paper reports all cross-application averages as geometric means
+ * (Section 7); this helper is used for the Geomean / Geomean2 rows.
+ *
+ * @throws ConfigError when @p values is empty or contains x <= 0.
+ */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean; @throws ConfigError when empty. */
+double mean(const std::vector<double> &values);
+
+/** Median (average of middle two for even sizes). @throws when empty. */
+double median(std::vector<double> values);
+
+/**
+ * Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp
+ * to the first/last bin. Used for residency distributions (Figs 15/16).
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Inclusive lower bound of the first bin.
+     * @param hi Exclusive upper bound of the last bin; must exceed lo.
+     * @param bins Number of bins; must be >= 1.
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Add one sample with the given weight (default 1). */
+    void add(double x, double weight = 1.0);
+
+    /** Number of bins. */
+    size_t bins() const { return counts_.size(); }
+
+    /** Accumulated weight in bin @p i. */
+    double binWeight(size_t i) const;
+
+    /** Inclusive lower edge of bin @p i. */
+    double binLow(size_t i) const;
+
+    /** Exclusive upper edge of bin @p i. */
+    double binHigh(size_t i) const;
+
+    /** Total accumulated weight. */
+    double totalWeight() const { return total_; }
+
+    /** Fraction of total weight in bin @p i (0 when empty). */
+    double fraction(size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<double> counts_;
+    double total_ = 0.0;
+};
+
+/**
+ * Weighted residency tally over a small set of discrete states
+ * (e.g. memory-bus frequencies). Keys are doubles compared exactly.
+ */
+class Residency
+{
+  public:
+    /** Accumulate @p weight (e.g. seconds) for @p state. */
+    void add(double state, double weight);
+
+    /** Distinct states observed, ascending. */
+    std::vector<double> states() const;
+
+    /** Fraction of total weight spent in @p state (0 if unseen). */
+    double fraction(double state) const;
+
+    /** Total accumulated weight. */
+    double total() const { return total_; }
+
+  private:
+    std::vector<std::pair<double, double>> entries_;
+    double total_ = 0.0;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_COMMON_STATS_HH

@@ -1,0 +1,119 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "error.hh"
+
+namespace harmonia
+{
+
+std::string
+formatNum(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+formatPct(double fraction, int precision)
+{
+    return formatNum(fraction * 100.0, precision) + "%";
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    fatalIf(headers_.empty(), "TextTable: need at least one column");
+}
+
+TextTable &
+TextTable::row()
+{
+    rows_.emplace_back();
+    rows_.back().reserve(headers_.size());
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const std::string &value)
+{
+    panicIf(rows_.empty(), "TextTable::cell before row()");
+    panicIf(rows_.back().size() >= headers_.size(),
+            "TextTable: too many cells in row (", headers_.size(),
+            " columns)");
+    rows_.back().push_back(value);
+    return *this;
+}
+
+TextTable &
+TextTable::num(double value, int precision)
+{
+    return cell(formatNum(value, precision));
+}
+
+TextTable &
+TextTable::numInt(long long value)
+{
+    return cell(std::to_string(value));
+}
+
+TextTable &
+TextTable::pct(double fraction, int precision)
+{
+    return cell(formatPct(fraction, precision));
+}
+
+void
+TextTable::print(std::ostream &os, const std::string &title) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 3;
+
+    if (!title.empty()) {
+        os << title << '\n';
+        os << std::string(std::max(title.size(), total), '-') << '\n';
+    }
+
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &text = c < cells.size() ? cells[c] : "";
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << text;
+            if (c + 1 < headers_.size())
+                os << " | ";
+        }
+        os << '\n';
+    };
+
+    emitRow(headers_);
+    std::vector<std::string> rule;
+    rule.reserve(headers_.size());
+    for (size_t w : widths)
+        rule.push_back(std::string(w, '-'));
+    emitRow(rule);
+    for (const auto &row : rows_)
+        emitRow(row);
+}
+
+std::string
+TextTable::str(const std::string &title) const
+{
+    std::ostringstream oss;
+    print(oss, title);
+    return oss.str();
+}
+
+} // namespace harmonia

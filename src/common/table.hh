@@ -1,0 +1,69 @@
+/**
+ * @file
+ * ASCII table renderer used by the benchmark harness to print the
+ * rows/series corresponding to the paper's tables and figures.
+ */
+
+#ifndef HARMONIA_COMMON_TABLE_HH
+#define HARMONIA_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace harmonia
+{
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Cells are strings; numeric helpers format with fixed precision.
+ * Rendering pads every column to its widest cell.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Begin a new row; cells are appended with cell()/num(). */
+    TextTable &row();
+
+    /** Append a string cell to the current row. */
+    TextTable &cell(const std::string &value);
+
+    /** Append a numeric cell with @p precision fractional digits. */
+    TextTable &num(double value, int precision = 3);
+
+    /** Append an integer cell. */
+    TextTable &numInt(long long value);
+
+    /** Append a percentage cell, e.g. 0.1234 -> "12.3%". */
+    TextTable &pct(double fraction, int precision = 1);
+
+    /** Number of data rows so far. */
+    size_t rows() const { return rows_.size(); }
+
+    /** Number of columns (fixed at construction). */
+    size_t cols() const { return headers_.size(); }
+
+    /** Render the table, with an optional title line. */
+    void print(std::ostream &os, const std::string &title = "") const;
+
+    /** Render to a string (convenience for tests). */
+    std::string str(const std::string &title = "") const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string formatNum(double value, int precision = 3);
+
+/** Format a fraction as a percentage string. */
+std::string formatPct(double fraction, int precision = 1);
+
+} // namespace harmonia
+
+#endif // HARMONIA_COMMON_TABLE_HH

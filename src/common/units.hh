@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Unit helpers and physical constants.
+ *
+ * All quantities in the library are SI doubles (seconds, hertz, bytes,
+ * watts, joules). These helpers make call sites self-documenting and
+ * keep conversion factors in one place.
+ */
+
+#ifndef HARMONIA_COMMON_UNITS_HH
+#define HARMONIA_COMMON_UNITS_HH
+
+namespace harmonia
+{
+
+/** Megahertz to hertz. */
+constexpr double mhzToHz(double mhz) { return mhz * 1.0e6; }
+
+/** Hertz to megahertz. */
+constexpr double hzToMhz(double hz) { return hz * 1.0e-6; }
+
+/** Gigabytes-per-second to bytes-per-second. */
+constexpr double gbpsToBps(double gbps) { return gbps * 1.0e9; }
+
+/** Bytes-per-second to gigabytes-per-second. */
+constexpr double bpsToGbps(double bps) { return bps * 1.0e-9; }
+
+/** Kibibytes to bytes. */
+constexpr double kibToBytes(double kib) { return kib * 1024.0; }
+
+/** Nanoseconds to seconds. */
+constexpr double nsToSec(double ns) { return ns * 1.0e-9; }
+
+/** Microseconds to seconds. */
+constexpr double usToSec(double us) { return us * 1.0e-6; }
+
+/** Milliseconds to seconds. */
+constexpr double msToSec(double ms) { return ms * 1.0e-3; }
+
+/** Seconds to milliseconds. */
+constexpr double secToMs(double s) { return s * 1.0e3; }
+
+/** Relative change (x - ref) / ref. */
+constexpr double relativeChange(double x, double ref)
+{
+    return (x - ref) / ref;
+}
+
+} // namespace harmonia
+
+#endif // HARMONIA_COMMON_UNITS_HH

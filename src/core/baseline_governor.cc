@@ -1,0 +1,61 @@
+#include "baseline_governor.hh"
+
+#include "common/error.hh"
+
+namespace harmonia
+{
+
+BaselineGovernor::BaselineGovernor(const ConfigSpace &space,
+                                   double tdpWatts)
+    : space_(space), dpm_(hd7970ComputeDpm()), tdpWatts_(tdpWatts),
+      current_(space.maxConfig())
+{
+    fatalIf(tdpWatts <= 0.0, "BaselineGovernor: TDP must be positive");
+}
+
+HardwareConfig
+BaselineGovernor::decide(const KernelProfile &profile, int iteration)
+{
+    (void)profile;
+    (void)iteration;
+    return current_;
+}
+
+void
+BaselineGovernor::observe(const KernelSample &sample)
+{
+    // Exponential moving average of card power, as a thermal proxy.
+    const double power =
+        sample.execTime > 0.0 ? sample.cardEnergy / sample.execTime : 0.0;
+    avgPower_ = havePower_ ? 0.7 * avgPower_ + 0.3 * power : power;
+    havePower_ = true;
+
+    // PowerTune: walk the fused DPM states against the budget. Memory
+    // and CU count are never managed by the baseline policy.
+    const auto &states = dpm_.states();
+    if (avgPower_ > tdpWatts_) {
+        // Find the next state below the current frequency.
+        for (size_t i = states.size(); i-- > 0;) {
+            if (states[i].freqMhz < current_.computeFreqMhz) {
+                current_.computeFreqMhz = states[i].freqMhz;
+                break;
+            }
+        }
+    } else {
+        current_.computeFreqMhz = space_.maxValue(Tunable::ComputeFreq);
+    }
+    // DPM2 (925 MHz) is not on the 100 MHz lattice min+step grid used
+    // by Harmonia, but it is a legal fused hardware state; snap to the
+    // lattice for comparability.
+    current_ = space_.clamped(current_);
+}
+
+void
+BaselineGovernor::reset()
+{
+    current_ = space_.maxConfig();
+    avgPower_ = 0.0;
+    havePower_ = false;
+}
+
+} // namespace harmonia

@@ -1,0 +1,172 @@
+#include "campaign.hh"
+
+#include "common/error.hh"
+#include "common/stats.hh"
+
+namespace harmonia
+{
+
+const char *
+schemeName(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Baseline: return "Baseline";
+      case Scheme::CgOnly: return "CG";
+      case Scheme::Harmonia: return "FG+CG";
+      case Scheme::Oracle: return "Oracle";
+      case Scheme::FreqOnly: return "FreqOnly";
+    }
+    return "unknown";
+}
+
+Campaign::Campaign(const GpuDevice &device,
+                   std::vector<Application> suite,
+                   CampaignOptions options)
+    : device_(device), suite_(std::move(suite)), options_(options)
+{
+    fatalIf(suite_.empty(), "Campaign: empty suite");
+    for (const auto &app : suite_)
+        app.validate();
+}
+
+std::unique_ptr<Governor>
+Campaign::makeGovernor(Scheme scheme) const
+{
+    panicIf(!predictor_, "Campaign: governor requested before training");
+    switch (scheme) {
+      case Scheme::Baseline:
+        return std::make_unique<BaselineGovernor>(device_.space());
+      case Scheme::CgOnly: {
+        HarmoniaOptions opt = options_.harmonia;
+        opt.enableCg = true;
+        opt.enableFg = false;
+        return std::make_unique<HarmoniaGovernor>(device_.space(),
+                                                  *predictor_, opt);
+      }
+      case Scheme::Harmonia: {
+        HarmoniaOptions opt = options_.harmonia;
+        opt.enableCg = true;
+        opt.enableFg = true;
+        return std::make_unique<HarmoniaGovernor>(device_.space(),
+                                                  *predictor_, opt);
+      }
+      case Scheme::Oracle:
+        return std::make_unique<OracleGovernor>(device_);
+      case Scheme::FreqOnly: {
+        HarmoniaOptions opt = options_.harmonia;
+        opt.enableCg = true;
+        opt.enableFg = true;
+        opt.tunableEnabled = {false, true, false};
+        return std::make_unique<HarmoniaGovernor>(device_.space(),
+                                                  *predictor_, opt);
+      }
+    }
+    panic("Campaign: bad scheme");
+}
+
+void
+Campaign::run()
+{
+    training_ = std::make_unique<TrainingResult>(
+        trainPredictors(device_, suite_, options_.training));
+    predictor_ =
+        std::make_unique<SensitivityPredictor>(training_->predictor());
+
+    Runtime runtime(device_);
+    for (Scheme scheme : schemes()) {
+        auto governor = makeGovernor(scheme);
+        for (const auto &app : suite_) {
+            results_[scheme].emplace(app.name,
+                                     runtime.run(app, *governor));
+        }
+    }
+    ran_ = true;
+}
+
+std::vector<Scheme>
+Campaign::schemes() const
+{
+    std::vector<Scheme> out = {Scheme::Baseline, Scheme::CgOnly,
+                               Scheme::Harmonia};
+    if (options_.includeOracle)
+        out.push_back(Scheme::Oracle);
+    if (options_.includeFreqOnly)
+        out.push_back(Scheme::FreqOnly);
+    return out;
+}
+
+std::vector<std::string>
+Campaign::appNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(suite_.size());
+    for (const auto &app : suite_)
+        out.push_back(app.name);
+    return out;
+}
+
+const AppRunResult &
+Campaign::result(Scheme scheme, const std::string &app) const
+{
+    fatalIf(!ran_, "Campaign: result() before run()");
+    auto sIt = results_.find(scheme);
+    fatalIf(sIt == results_.end(), "Campaign: scheme ",
+            schemeName(scheme), " was not executed");
+    auto aIt = sIt->second.find(app);
+    fatalIf(aIt == sIt->second.end(), "Campaign: no result for app '",
+            app, "'");
+    return aIt->second;
+}
+
+double
+Campaign::metric(Scheme scheme, const std::string &app,
+                 CampaignMetric m) const
+{
+    const AppRunResult &r = result(scheme, app);
+    switch (m) {
+      case CampaignMetric::Ed2: return r.ed2();
+      case CampaignMetric::Energy: return r.cardEnergy;
+      case CampaignMetric::Power: return r.averagePower();
+      case CampaignMetric::Time: return r.totalTime;
+    }
+    panic("Campaign::metric: bad metric");
+}
+
+double
+Campaign::normalized(Scheme scheme, const std::string &app,
+                     CampaignMetric m) const
+{
+    const double base = metric(Scheme::Baseline, app, m);
+    panicIf(base <= 0.0, "Campaign: non-positive baseline metric");
+    return metric(scheme, app, m) / base;
+}
+
+double
+Campaign::geomeanNormalized(Scheme scheme, CampaignMetric m,
+                            bool excludeStress) const
+{
+    std::vector<double> ratios;
+    for (const auto &app : suite_) {
+        if (excludeStress &&
+            (app.name == "MaxFlops" || app.name == "DeviceMemory"))
+            continue;
+        ratios.push_back(normalized(scheme, app.name, m));
+    }
+    return geomean(ratios);
+}
+
+const SensitivityPredictor &
+Campaign::predictor() const
+{
+    fatalIf(!predictor_, "Campaign: predictor() before run()");
+    return *predictor_;
+}
+
+const TrainingResult &
+Campaign::training() const
+{
+    fatalIf(!training_, "Campaign: training() before run()");
+    return *training_;
+}
+
+} // namespace harmonia

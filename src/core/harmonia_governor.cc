@@ -1,0 +1,406 @@
+#include "harmonia_governor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace harmonia
+{
+
+HarmoniaOptions
+harmoniaOptionsFor(const ConfigSpace &space)
+{
+    HarmoniaOptions options;
+    auto pick = [&](Tunable t, double fraction) {
+        const auto values = space.values(t);
+        const auto idx = static_cast<size_t>(
+            fraction * static_cast<double>(values.size() - 1) + 0.5);
+        return values[std::min(idx, values.size() - 1)];
+    };
+    const int cuMax = space.maxValue(Tunable::CuCount);
+    const int freqMax = space.maxValue(Tunable::ComputeFreq);
+    const int memMax = space.maxValue(Tunable::MemFreq);
+    options.cuTargets = {pick(Tunable::CuCount, 0.45), cuMax, cuMax};
+    options.freqTargets = {pick(Tunable::ComputeFreq, 0.5), freqMax,
+                           freqMax};
+    options.memTargets = {pick(Tunable::MemFreq, 0.35),
+                          pick(Tunable::MemFreq, 0.5), memMax};
+    return options;
+}
+
+HarmoniaGovernor::HarmoniaGovernor(const ConfigSpace &space,
+                                   SensitivityPredictor predictor,
+                                   HarmoniaOptions options)
+    : space_(space), predictor_(std::move(predictor)),
+      options_(options)
+{
+    fatalIf(!options_.enableCg && !options_.enableFg,
+            "HarmoniaGovernor: at least one of CG/FG must be enabled");
+    fatalIf(options_.maxDither < 1,
+            "HarmoniaGovernor: maxDither must be >= 1");
+    fatalIf(options_.gradientTolerance < 0.0,
+            "HarmoniaGovernor: negative gradient tolerance");
+    fatalIf(options_.maxFgDepth < 0,
+            "HarmoniaGovernor: negative maxFgDepth");
+    bool any = false;
+    for (bool b : options_.tunableEnabled)
+        any = any || b;
+    fatalIf(!any, "HarmoniaGovernor: no tunable enabled");
+    // Validate the CG bin targets against the lattice.
+    for (int i = 0; i < 3; ++i) {
+        HardwareConfig probe = space_.maxConfig();
+        probe.cuCount = options_.cuTargets[i];
+        probe.computeFreqMhz = options_.freqTargets[i];
+        probe.memFreqMhz = options_.memTargets[i];
+        space_.validate(probe);
+    }
+}
+
+std::string
+HarmoniaGovernor::name() const
+{
+    if (options_.enableCg && options_.enableFg) {
+        const bool all = options_.tunableEnabled[0] &&
+                         options_.tunableEnabled[1] &&
+                         options_.tunableEnabled[2];
+        return all ? "Harmonia(FG+CG)" : "Harmonia(partial)";
+    }
+    if (options_.enableCg)
+        return "CG-only";
+    return "FG-only";
+}
+
+size_t
+HarmoniaGovernor::indexOf(Tunable t)
+{
+    switch (t) {
+      case Tunable::CuCount: return 0;
+      case Tunable::ComputeFreq: return 1;
+      case Tunable::MemFreq: return 2;
+    }
+    panic("HarmoniaGovernor: bad tunable");
+}
+
+std::pair<int, int>
+HarmoniaGovernor::binKey(const SensitivityBins &bins)
+{
+    return {static_cast<int>(bins.compute),
+            static_cast<int>(bins.bandwidth)};
+}
+
+HardwareConfig
+HarmoniaGovernor::decide(const KernelProfile &profile, int iteration)
+{
+    (void)iteration;
+    auto it = state_.find(profile.id());
+    if (it == state_.end()) {
+        KernelState st;
+        st.planned = space_.maxConfig();
+        it = state_.emplace(profile.id(), std::move(st)).first;
+    }
+    return it->second.planned;
+}
+
+int
+HarmoniaGovernor::freqFloorMhz(const CounterSet &counters,
+                               const HardwareConfig &current) const
+{
+    // Traffic the compute-clock domain must sustain: off-chip bytes/s
+    // through the crossing, and (off-chip + hits) through the L2.
+    const GcnDeviceConfig &dev = space_.device();
+    const double offBps =
+        counters.icActivity *
+        dev.peakMemBandwidth(current.memFreqMhz);
+    const double hit =
+        std::clamp(counters.l2CacheHit / 100.0, 0.0, 0.95);
+    const double l2Bps = offBps / (1.0 - hit);
+
+    const double crossingMhz = offBps * options_.crossingSafetyMargin /
+                               options_.crossingBytesPerCycle / 1.0e6;
+    const double l2Mhz = l2Bps * options_.crossingSafetyMargin /
+                         options_.l2BytesPerCycle / 1.0e6;
+    const double floor = std::max(crossingMhz, l2Mhz);
+
+    // Snap up to the frequency lattice.
+    const int minF = space_.minValue(Tunable::ComputeFreq);
+    const int step = space_.step(Tunable::ComputeFreq);
+    const int maxF = space_.maxValue(Tunable::ComputeFreq);
+    if (floor <= minF)
+        return minF;
+    const int steps =
+        static_cast<int>((floor - minF + step - 1) / step);
+    return std::min(minF + steps * step, maxF);
+}
+
+HardwareConfig
+HarmoniaGovernor::cgTarget(const SensitivityBins &bins,
+                           const HardwareConfig &current,
+                           const CounterSet &counters) const
+{
+    auto binIndex = [](SensitivityBin b) {
+        switch (b) {
+          case SensitivityBin::Low: return 0;
+          case SensitivityBin::Med: return 1;
+          case SensitivityBin::High: return 2;
+        }
+        return 2;
+    };
+    HardwareConfig out = current;
+    const int comp = binIndex(bins.compute);
+    const int bw = binIndex(bins.bandwidth);
+    if (options_.tunableEnabled[indexOf(Tunable::CuCount)])
+        out.cuCount = options_.cuTargets[comp];
+    if (options_.tunableEnabled[indexOf(Tunable::ComputeFreq)]) {
+        out.computeFreqMhz =
+            std::max(options_.freqTargets[comp],
+                     freqFloorMhz(counters, current));
+    }
+    if (options_.tunableEnabled[indexOf(Tunable::MemFreq)])
+        out.memFreqMhz = options_.memTargets[bw];
+    space_.validate(out);
+    return out;
+}
+
+bool
+HarmoniaGovernor::fgEligible(const PhaseState &ph,
+                             const SensitivityBins &bins, Tunable t,
+                             const HardwareConfig &cfg,
+                             int freqFloor) const
+{
+    const size_t idx = indexOf(t);
+    if (!options_.tunableEnabled[idx] || ph.locked[idx])
+        return false;
+    if (cfg.get(t) <= space_.minValue(t))
+        return false;
+    // Respect the clock-domain-crossing floor (Figure 9): lowering the
+    // compute clock below it throttles the L2->MC path.
+    if (t == Tunable::ComputeFreq && cfg.get(t) <= freqFloor)
+        return false;
+    // Bound the descent to the CG vicinity so workload noise cannot
+    // walk the configuration arbitrarily far down.
+    const int floor = ph.anchor.get(t) -
+                      options_.maxFgDepth * space_.step(t);
+    if (cfg.get(t) <= std::max(floor, space_.minValue(t)))
+        return false;
+    // A HIGH predicted sensitivity means stepping this tunable down is
+    // known to cost performance in proportion — don't probe it.
+    const SensitivityBin bin =
+        t == Tunable::MemFreq ? bins.bandwidth : bins.compute;
+    return bin != SensitivityBin::High;
+}
+
+bool
+HarmoniaGovernor::scheduleDecrements(PhaseState &ph,
+                                     const SensitivityBins &bins,
+                                     HardwareConfig &cfg, int freqFloor)
+{
+    ph.pendingSteps.clear();
+    // Isolation mode: after a harmful concurrent step was reverted,
+    // re-probe the reverted tunables one at a time to find the
+    // culprit(s).
+    while (!ph.isolationQueue.empty()) {
+        const Tunable t = ph.isolationQueue.front();
+        ph.isolationQueue.erase(ph.isolationQueue.begin());
+        if (!fgEligible(ph, bins, t, cfg, freqFloor))
+            continue;
+        cfg = space_.stepped(cfg, t, -1);
+        ph.pendingSteps.push_back(t);
+        return true;
+    }
+    // Concurrent mode: step every eligible tunable down by one
+    // (Section 5.2: "All tunables can be fine-tuned concurrently").
+    for (Tunable t : kAllTunables) {
+        if (!fgEligible(ph, bins, t, cfg, freqFloor))
+            continue;
+        cfg = space_.stepped(cfg, t, -1);
+        ph.pendingSteps.push_back(t);
+    }
+    return !ph.pendingSteps.empty();
+}
+
+void
+HarmoniaGovernor::observe(const KernelSample &sample)
+{
+    auto it = state_.find(sample.kernelId);
+    panicIf(it == state_.end(),
+            "HarmoniaGovernor: observe() for kernel '", sample.kernelId,
+            "' without a prior decide()");
+    KernelState &st = it->second;
+
+    const SensitivityBins bins = predictor_.predictBins(sample.counters);
+    const auto key = binKey(bins);
+
+    // Work-normalized throughput (see file comment: stands in for the
+    // paper's VALUBusy gradient).
+    const double work = std::max(1.0, sample.counters.valuInsts +
+                                          sample.counters.vfetchInsts +
+                                          sample.counters.vwriteInsts);
+    const double perf =
+        sample.execTime > 0.0 ? work / sample.execTime : 0.0;
+
+    HardwareConfig next = sample.config;
+    ChangeKind change = ChangeKind::None;
+    const bool binsChanged = st.haveBins && !(bins == st.bins);
+    const int freqFloor = freqFloorMhz(sample.counters, sample.config);
+    st.volatility =
+        0.75 * st.volatility + (binsChanged ? 0.25 : 0.0);
+    const bool volatilePhases =
+        st.volatility > options_.fgVolatilityGate;
+
+    PhaseState &ph = st.phases[key];
+
+    // Did the work shrink/grow meaningfully since the last sample? A
+    // bin change with comparable work is an artifact of our own
+    // configuration change, not a workload phase change (Section 5.2's
+    // isolation rule).
+    const bool comparableWork =
+        st.prevWork > 0.0 &&
+        std::fabs(work - st.prevWork) < 0.10 * st.prevWork;
+
+    if (binsChanged && st.lastChange != ChangeKind::None &&
+        comparableWork && st.prevPerf > 0.0 &&
+        perf < st.prevPerf * (1.0 - options_.gradientTolerance)) {
+        // A configuration change we made shifted the phase signature
+        // AND hurt performance: revert the decision (Algorithm 1).
+        PhaseState &prev = st.phases[binKey(st.bins)];
+        next = st.prevConfig;
+        change = ChangeKind::Revert;
+        if (st.lastChange == ChangeKind::FgStep) {
+            for (Tunable t : prev.pendingSteps) {
+                const size_t idx = indexOf(t);
+                if (++prev.dither[idx] >= options_.maxDither)
+                    prev.locked[idx] = true;
+            }
+        } else if (st.lastChange == ChangeKind::CoarseGrain) {
+            st.vetoedBins.insert(binKey(st.cgBins));
+        }
+        prev.pendingSteps.clear();
+        // Do not let this transient initialize or retrain the
+        // artifact phase.
+    } else if (!st.haveBins || binsChanged) {
+        // New or recurring phase signature. An FG probe from the
+        // previous phase cannot be evaluated across the boundary — but
+        // a probe that knocked the kernel into a different signature
+        // destabilized its phase, so it counts as a failed probe
+        // (otherwise the probe would be retried forever).
+        if (st.haveBins) {
+            PhaseState &prev = st.phases[binKey(st.bins)];
+            if (!prev.pendingSteps.empty() &&
+                st.lastChange == ChangeKind::FgStep) {
+                for (Tunable t : prev.pendingSteps) {
+                    const size_t idx = indexOf(t);
+                    if (++prev.dither[idx] >= options_.maxDither)
+                        prev.locked[idx] = true;
+                }
+            }
+            prev.pendingSteps.clear();
+        }
+        if (!ph.initialized) {
+            ph.initialized = true;
+            // The configuration we arrived with is the phase's first
+            // known-good reference.
+            ph.lastGood = sample.config;
+            ph.lastGoodPerf = perf;
+            ph.haveRef = true;
+            ph.anchor = sample.config;
+            if (options_.enableCg && !st.vetoedBins.count(key)) {
+                next = cgTarget(bins, sample.config, sample.counters);
+                ph.anchor = next;
+                if (next != sample.config) {
+                    change = ChangeKind::CoarseGrain;
+                    st.cgBins = bins;
+                }
+            }
+        } else {
+            // Known phase. If the configuration we arrived with beats
+            // the phase's recorded best, adopt it — phases first
+            // observed during a transient can otherwise keep a poor
+            // configuration on record.
+            if (options_.enableFg) {
+                if (perf > ph.lastGoodPerf *
+                               (1.0 + options_.gradientTolerance)) {
+                    ph.lastGood = sample.config;
+                    ph.lastGoodPerf = perf;
+                }
+                next = ph.lastGood;
+            } else {
+                // CG-only has no feedback: re-apply the bin targets.
+                next = cgTarget(bins, sample.config, sample.counters);
+            }
+            if (next != sample.config)
+                change = ChangeKind::PhaseJump;
+        }
+    } else if (options_.enableFg && ph.haveRef) {
+        const double gradient =
+            ph.lastGoodPerf > 0.0
+                ? (perf - ph.lastGoodPerf) / ph.lastGoodPerf
+                : 0.0;
+        const bool belowGood = gradient < -options_.gradientTolerance;
+
+        if (!ph.pendingSteps.empty() && belowGood) {
+            // The step(s) hurt: revert ("increment state;
+            // CountDithering"). A lone step identifies its culprit
+            // directly; a concurrent step queues its members for
+            // one-at-a-time isolation.
+            for (Tunable t : ph.pendingSteps)
+                next = space_.stepped(next, t, +1);
+            change = ChangeKind::Revert;
+            if (ph.pendingSteps.size() == 1) {
+                const size_t idx = indexOf(ph.pendingSteps.front());
+                if (++ph.dither[idx] >= options_.maxDither)
+                    ph.locked[idx] = true;
+            } else {
+                ph.isolationQueue = ph.pendingSteps;
+            }
+            ph.pendingSteps.clear();
+        } else if (!belowGood) {
+            // At or above the phase's known-good level: adopt this
+            // state as the reference and continue the descent.
+            ph.pendingSteps.clear();
+            ph.lastGood = sample.config;
+            ph.lastGoodPerf = std::max(ph.lastGoodPerf, perf);
+            if (!volatilePhases &&
+                scheduleDecrements(ph, bins, next, freqFloor))
+                change = ChangeKind::FgStep;
+        } else if (sample.config != ph.lastGood) {
+            // Running below the phase's known-good level without a
+            // pending step (e.g. after a CG overshoot whose bins did
+            // not move): converge to the last best state in one jump
+            // (Section 5.2). A coarse-grain decision that put us here
+            // is vetoed so it cannot repeat.
+            ph.pendingSteps.clear();
+            next = ph.lastGood;
+            change = ChangeKind::Recover;
+            if (st.lastChange == ChangeKind::CoarseGrain)
+                st.vetoedBins.insert(binKey(st.cgBins));
+        }
+        // else: degradation at the phase's best config is workload
+        // noise; hold.
+    }
+
+    st.lastChange = change;
+    st.planned = next;
+    st.bins = bins;
+    st.haveBins = true;
+    st.prevConfig = sample.config;
+    st.prevPerf = perf;
+    st.prevWork = work;
+}
+
+void
+HarmoniaGovernor::reset()
+{
+    state_.clear();
+}
+
+std::optional<SensitivityBins>
+HarmoniaGovernor::lastBins(const std::string &kernelId) const
+{
+    auto it = state_.find(kernelId);
+    if (it == state_.end() || !it->second.haveBins)
+        return std::nullopt;
+    return it->second.bins;
+}
+
+} // namespace harmonia

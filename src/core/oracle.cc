@@ -1,0 +1,107 @@
+#include "oracle.hh"
+
+#include <limits>
+
+#include "common/error.hh"
+
+namespace harmonia
+{
+
+const char *
+oracleObjectiveName(OracleObjective objective)
+{
+    switch (objective) {
+      case OracleObjective::MinEd2: return "min-ED2";
+      case OracleObjective::MinEnergy: return "min-energy";
+      case OracleObjective::MaxPerf: return "max-performance";
+      case OracleObjective::MinEd: return "min-ED";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+double
+objectiveScore(const KernelResult &result, OracleObjective objective)
+{
+    switch (objective) {
+      case OracleObjective::MinEd2: return result.ed2();
+      case OracleObjective::MinEnergy: return result.cardEnergy;
+      case OracleObjective::MaxPerf: return result.time();
+      case OracleObjective::MinEd: return result.ed();
+    }
+    panic("objectiveScore: bad objective");
+}
+
+} // namespace
+
+HardwareConfig
+bestConfigFor(const GpuDevice &device, const KernelProfile &profile,
+              int iteration, OracleObjective objective)
+{
+    const KernelPhase phase = profile.phase(iteration);
+    double best = std::numeric_limits<double>::infinity();
+    HardwareConfig bestCfg = device.space().maxConfig();
+    // Near-ties on pure performance resolve toward the *maximum*
+    // configuration: a performance-first policy has no reason to give
+    // up any hardware resource, which is exactly the naive baseline
+    // the paper's Figure 6 contrasts ED^2 against.
+    const bool preferBig = objective == OracleObjective::MaxPerf;
+    for (const auto &cfg : device.space().allConfigs()) {
+        const KernelResult result = device.run(profile, phase, cfg);
+        const double s = objectiveScore(result, objective);
+        const bool better =
+            preferBig ? s < best * (1.0 - 1e-6) : s < best;
+        if (better) {
+            best = s;
+            bestCfg = cfg;
+        } else if (preferBig && s <= best * (1.0 + 1e-6)) {
+            // Tie: take the larger configuration.
+            const long long cur =
+                static_cast<long long>(bestCfg.cuCount) *
+                bestCfg.computeFreqMhz * bestCfg.memFreqMhz;
+            const long long cand =
+                static_cast<long long>(cfg.cuCount) *
+                cfg.computeFreqMhz * cfg.memFreqMhz;
+            if (cand > cur)
+                bestCfg = cfg;
+        }
+    }
+    return bestCfg;
+}
+
+OracleGovernor::OracleGovernor(const GpuDevice &device,
+                               OracleObjective objective)
+    : device_(device), objective_(objective)
+{
+}
+
+std::string
+OracleGovernor::name() const
+{
+    return std::string("Oracle(") + oracleObjectiveName(objective_) + ")";
+}
+
+double
+OracleGovernor::score(const KernelResult &result) const
+{
+    return objectiveScore(result, objective_);
+}
+
+HardwareConfig
+OracleGovernor::decide(const KernelProfile &profile, int iteration)
+{
+    const std::string key =
+        profile.id() + "#" + std::to_string(iteration);
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+    ++searches_;
+    const HardwareConfig best =
+        bestConfigFor(device_, profile, iteration, objective_);
+    cache_.emplace(key, best);
+    return best;
+}
+
+} // namespace harmonia

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Oracle governor (paper Section 7).
+ *
+ * For every kernel iteration, exhaustively profiles all ~450 hardware
+ * configurations and picks the one minimizing ED^2. The paper builds
+ * the same oracle by exhaustive online profiling and notes it is
+ * impractical to deploy; here it serves as the upper bound Harmonia is
+ * compared against (Harmonia lands within ~3% on average).
+ */
+
+#ifndef HARMONIA_CORE_ORACLE_HH
+#define HARMONIA_CORE_ORACLE_HH
+
+#include <map>
+#include <string>
+
+#include "core/governor.hh"
+#include "sim/gpu_device.hh"
+
+namespace harmonia
+{
+
+/** Metric the oracle optimizes. */
+enum class OracleObjective
+{
+    MinEd2,     ///< Minimize energy * delay^2 (the paper's oracle).
+    MinEnergy,  ///< Minimize energy.
+    MaxPerf,    ///< Minimize delay.
+    MinEd,      ///< Minimize energy * delay.
+};
+
+/** Printable objective name. */
+const char *oracleObjectiveName(OracleObjective objective);
+
+/** Exhaustive-search oracle. */
+class OracleGovernor : public Governor
+{
+  public:
+    /**
+     * @param device The device model to profile against (the oracle
+     *        gets to "replay" each iteration on every configuration).
+     * @param objective The optimization target.
+     */
+    explicit OracleGovernor(const GpuDevice &device,
+                            OracleObjective objective =
+                                OracleObjective::MinEd2);
+
+    std::string name() const override;
+
+    HardwareConfig decide(const KernelProfile &profile,
+                          int iteration) override;
+
+    void observe(const KernelSample &sample) override { (void)sample; }
+
+    void reset() override { cache_.clear(); }
+
+    /** Number of exhaustive searches performed (for tests). */
+    size_t searches() const { return searches_; }
+
+  private:
+    double score(const KernelResult &result) const;
+
+    const GpuDevice &device_;
+    OracleObjective objective_;
+    std::map<std::string, HardwareConfig> cache_;
+    size_t searches_ = 0;
+};
+
+/**
+ * Standalone exhaustive search: best configuration of @p device for
+ * one kernel invocation under an objective. Used by the oracle and by
+ * the Figure 6 metric-tradeoff analysis.
+ */
+HardwareConfig bestConfigFor(const GpuDevice &device,
+                             const KernelProfile &profile, int iteration,
+                             OracleObjective objective);
+
+} // namespace harmonia
+
+#endif // HARMONIA_CORE_ORACLE_HH

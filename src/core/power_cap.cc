@@ -1,0 +1,82 @@
+#include "power_cap.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace harmonia
+{
+
+PowerCapGovernor::PowerCapGovernor(const ConfigSpace &space,
+                                   std::unique_ptr<Governor> inner,
+                                   double capWatts)
+    : space_(space), inner_(std::move(inner)), capWatts_(capWatts)
+{
+    fatalIf(!inner_, "PowerCapGovernor: inner governor required");
+    fatalIf(capWatts <= 0.0,
+            "PowerCapGovernor: cap must be positive, got ", capWatts);
+}
+
+std::string
+PowerCapGovernor::name() const
+{
+    return inner_->name() + "+cap";
+}
+
+HardwareConfig
+PowerCapGovernor::decide(const KernelProfile &profile, int iteration)
+{
+    HardwareConfig cfg = inner_->decide(profile, iteration);
+    // Derate like PowerTune: walk the compute clock down first; once
+    // it floors, start gating CUs.
+    const int freqSteps =
+        (space_.maxValue(Tunable::ComputeFreq) -
+         space_.minValue(Tunable::ComputeFreq)) /
+        space_.step(Tunable::ComputeFreq);
+    const int fromFreq = std::min(deratingSteps_, freqSteps);
+    const int fromCu = deratingSteps_ - fromFreq;
+    cfg = space_.stepped(cfg, Tunable::ComputeFreq, -fromFreq);
+    cfg = space_.stepped(cfg, Tunable::CuCount, -fromCu);
+    return cfg;
+}
+
+void
+PowerCapGovernor::observe(const KernelSample &sample)
+{
+    inner_->observe(sample);
+
+    const double power =
+        sample.execTime > 0.0 ? sample.cardEnergy / sample.execTime
+                              : 0.0;
+    avgPower_ = havePower_ ? 0.8 * avgPower_ + 0.2 * power : power;
+    havePower_ = true;
+
+    // Proportional controller with hysteresis: derate further while
+    // over budget, relax one step once safely below it.
+    if (avgPower_ > capWatts_) {
+        const double excess = avgPower_ / capWatts_ - 1.0;
+        deratingSteps_ += 1 + static_cast<int>(excess * 2.0);
+    } else if (avgPower_ < 0.97 * capWatts_ && deratingSteps_ > 0) {
+        --deratingSteps_;
+    }
+    const int freqSteps =
+        (space_.maxValue(Tunable::ComputeFreq) -
+         space_.minValue(Tunable::ComputeFreq)) /
+        space_.step(Tunable::ComputeFreq);
+    const int cuSteps = (space_.maxValue(Tunable::CuCount) -
+                         space_.minValue(Tunable::CuCount)) /
+                        space_.step(Tunable::CuCount);
+    deratingSteps_ = std::clamp(deratingSteps_, 0,
+                                freqSteps + cuSteps);
+}
+
+void
+PowerCapGovernor::reset()
+{
+    inner_->reset();
+    avgPower_ = 0.0;
+    havePower_ = false;
+    deratingSteps_ = 0;
+}
+
+} // namespace harmonia

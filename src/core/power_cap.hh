@@ -1,0 +1,65 @@
+/**
+ * @file
+ * TDP-envelope enforcement decorator.
+ *
+ * PowerTune's actual job is optimizing performance "for thermal design
+ * power (TDP)-constrained scenarios" (Section 2.3), and the paper's
+ * insight 6 predicts that tighter shared package envelopes (compute +
+ * stacked memory) make coordinated management more important. This
+ * decorator wraps any governor and enforces a card-power budget the
+ * way PowerTune does — by derating the compute clock (and ultimately
+ * CU count) when the moving-average card power exceeds the cap — so
+ * the `ext_tdp_envelope` bench can compare how a naive baseline and
+ * Harmonia behave as the envelope shrinks.
+ */
+
+#ifndef HARMONIA_CORE_POWER_CAP_HH
+#define HARMONIA_CORE_POWER_CAP_HH
+
+#include <memory>
+
+#include "core/governor.hh"
+#include "dvfs/tunables.hh"
+
+namespace harmonia
+{
+
+/** Wraps another governor and enforces a card power budget. */
+class PowerCapGovernor : public Governor
+{
+  public:
+    /**
+     * @param space Configuration lattice.
+     * @param inner The policy whose decisions are derated; owned.
+     * @param capWatts Card power budget.
+     */
+    PowerCapGovernor(const ConfigSpace &space,
+                     std::unique_ptr<Governor> inner, double capWatts);
+
+    std::string name() const override;
+
+    HardwareConfig decide(const KernelProfile &profile,
+                          int iteration) override;
+
+    void observe(const KernelSample &sample) override;
+
+    void reset() override;
+
+    /** Current derating depth in lattice steps (for tests). */
+    int deratingSteps() const { return deratingSteps_; }
+
+    /** Moving-average card power (W). */
+    double averagePower() const { return avgPower_; }
+
+  private:
+    ConfigSpace space_;
+    std::unique_ptr<Governor> inner_;
+    double capWatts_;
+    double avgPower_ = 0.0;
+    bool havePower_ = false;
+    int deratingSteps_ = 0;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_CORE_POWER_CAP_HH

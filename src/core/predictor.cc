@@ -1,0 +1,76 @@
+#include "predictor.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace harmonia
+{
+
+double
+LinearSensitivityModel::evaluate(const std::vector<double> &features) const
+{
+    fatalIf(features.size() != coeffs.size(),
+            "LinearSensitivityModel: got ", features.size(),
+            " features, model has ", coeffs.size(), " coefficients");
+    double acc = intercept;
+    for (size_t i = 0; i < coeffs.size(); ++i)
+        acc += coeffs[i] * features[i];
+    return std::clamp(acc, 0.0, 1.0);
+}
+
+SensitivityPredictor::SensitivityPredictor(LinearSensitivityModel bandwidth,
+                                           LinearSensitivityModel compute)
+    : bandwidth_(std::move(bandwidth)), compute_(std::move(compute))
+{
+    fatalIf(bandwidth_.coeffs.size() != bandwidthFeatureNames().size(),
+            "SensitivityPredictor: bandwidth model must have ",
+            bandwidthFeatureNames().size(), " coefficients");
+    fatalIf(compute_.coeffs.size() != computeFeatureNames().size(),
+            "SensitivityPredictor: compute model must have ",
+            computeFeatureNames().size(), " coefficients");
+}
+
+SensitivityPredictor
+SensitivityPredictor::paperTable3()
+{
+    // Table 3, in the order of bandwidthFeatureNames():
+    // VALUUtilization, WriteUnitStalled, MemUnitBusy, MemUnitStalled,
+    // icActivity, NormVGPR, NormSGPR.
+    LinearSensitivityModel bw;
+    bw.intercept = -0.42;
+    bw.coeffs = {0.003, 0.011, 0.01, -0.004, 1.003, 1.158, -0.731};
+
+    // C-to-M Intensity, NormVGPR, NormSGPR; the VALUBusy and
+    // icActivity features are extensions of this library (see
+    // CounterSet::computeFeatures) and are unused by the published
+    // coefficients.
+    LinearSensitivityModel comp;
+    comp.intercept = 0.06;
+    comp.coeffs = {0.007, 0.452, 0.024, 0.0, 0.0};
+
+    return SensitivityPredictor(std::move(bw), std::move(comp));
+}
+
+double
+SensitivityPredictor::predictBandwidth(const CounterSet &counters) const
+{
+    return bandwidth_.evaluate(counters.bandwidthFeatures());
+}
+
+double
+SensitivityPredictor::predictCompute(const CounterSet &counters) const
+{
+    return compute_.evaluate(counters.computeFeatures());
+}
+
+SensitivityBins
+SensitivityPredictor::predictBins(const CounterSet &counters) const
+{
+    SensitivityBins bins;
+    bins.bandwidth = binOf(predictBandwidth(counters));
+    bins.compute = binOf(predictCompute(counters));
+    return bins;
+}
+
+} // namespace harmonia

@@ -1,0 +1,91 @@
+#include "runtime.hh"
+
+#include "common/csv.hh"
+#include "common/error.hh"
+
+namespace harmonia
+{
+
+const Residency &
+AppRunResult::residency(Tunable t) const
+{
+    switch (t) {
+      case Tunable::CuCount: return cuResidency;
+      case Tunable::ComputeFreq: return freqResidency;
+      case Tunable::MemFreq: return memResidency;
+    }
+    panic("AppRunResult::residency: bad tunable");
+}
+
+void
+AppRunResult::writeTraceCsv(std::ostream &os) const
+{
+    CsvWriter csv(os,
+                  {"kernel", "iteration", "cuCount", "computeFreqMhz",
+                   "memFreqMhz", "timeSec", "cardEnergyJ", "powerW",
+                   "valuBusy", "memUnitBusy", "icActivity",
+                   "l2CacheHit"});
+    for (const auto &t : trace) {
+        const CounterSet &c = t.result.timing.counters;
+        csv.row()
+            .field(t.kernelId)
+            .field(static_cast<long long>(t.iteration))
+            .field(static_cast<long long>(t.config.cuCount))
+            .field(static_cast<long long>(t.config.computeFreqMhz))
+            .field(static_cast<long long>(t.config.memFreqMhz))
+            .field(t.result.time())
+            .field(t.result.cardEnergy)
+            .field(t.result.power.total())
+            .field(c.valuBusy)
+            .field(c.memUnitBusy)
+            .field(c.icActivity)
+            .field(c.l2CacheHit);
+    }
+    csv.finish();
+}
+
+Runtime::Runtime(const GpuDevice &device) : device_(device)
+{
+}
+
+AppRunResult
+Runtime::run(const Application &app, Governor &governor) const
+{
+    app.validate();
+    governor.reset();
+
+    AppRunResult out;
+    out.appName = app.name;
+    out.governorName = governor.name();
+    out.trace.reserve(static_cast<size_t>(app.iterations) *
+                      app.kernels.size());
+
+    for (int iter = 0; iter < app.iterations; ++iter) {
+        for (const auto &kernel : app.kernels) {
+            const HardwareConfig cfg = governor.decide(kernel, iter);
+            device_.space().validate(cfg);
+            const KernelResult result = device_.run(kernel, iter, cfg);
+
+            KernelSample sample;
+            sample.kernelId = kernel.id();
+            sample.iteration = iter;
+            sample.config = cfg;
+            sample.counters = result.timing.counters;
+            sample.execTime = result.time();
+            sample.cardEnergy = result.cardEnergy;
+            governor.observe(sample);
+
+            out.totalTime += result.time();
+            out.cardEnergy += result.cardEnergy;
+            out.gpuEnergy += result.gpuEnergy;
+            out.memEnergy += result.memEnergy;
+            out.cuResidency.add(cfg.cuCount, result.time());
+            out.freqResidency.add(cfg.computeFreqMhz, result.time());
+            out.memResidency.add(cfg.memFreqMhz, result.time());
+            out.trace.push_back({kernel.id(), iter, cfg, result});
+        }
+    }
+    return out;
+}
+
+} // namespace harmonia

@@ -1,0 +1,126 @@
+#include "sensitivity.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace harmonia
+{
+
+const char *
+sensitivityBinName(SensitivityBin bin)
+{
+    switch (bin) {
+      case SensitivityBin::Low: return "LOW";
+      case SensitivityBin::Med: return "MED";
+      case SensitivityBin::High: return "HIGH";
+    }
+    return "?";
+}
+
+SensitivityBin
+binOf(double sensitivity)
+{
+    const double s = std::clamp(sensitivity, 0.0, 1.0);
+    if (s < kLowMedBoundary)
+        return SensitivityBin::Low;
+    if (s <= kMedHighBoundary)
+        return SensitivityBin::Med;
+    return SensitivityBin::High;
+}
+
+double
+measureTunableSensitivity(const GpuDevice &device,
+                          const KernelProfile &profile, int iteration,
+                          Tunable tunable)
+{
+    const ConfigSpace &space = device.space();
+    const HardwareConfig maxCfg = space.maxConfig();
+
+    // Reduce the tunable to roughly half its maximum, snapped up to
+    // the lattice (on the HD7970: 16 CUs, 500 MHz core, 775 MHz
+    // memory). Lattice-generic so device variants measure the same
+    // way.
+    HardwareConfig reduced = maxCfg;
+    {
+        const int maxV = space.maxValue(tunable);
+        const int minV = space.minValue(tunable);
+        const int step = space.step(tunable);
+        const int target = maxV / 2;
+        int snapped =
+            minV + (std::max(0, target - minV) + step - 1) / step * step;
+        snapped = std::clamp(snapped, minV, maxV - step);
+        reduced.set(tunable, snapped);
+    }
+    space.validate(reduced);
+
+    const KernelPhase phase = profile.phase(iteration);
+    const double tMax = device.run(profile, phase, maxCfg).time();
+    const double tRed = device.run(profile, phase, reduced).time();
+    panicIf(tMax <= 0.0 || tRed <= 0.0,
+            "measureTunableSensitivity: non-positive execution time");
+
+    const double xRatio = static_cast<double>(maxCfg.get(tunable)) /
+                          static_cast<double>(reduced.get(tunable));
+    return (tRed / tMax - 1.0) / (xRatio - 1.0);
+}
+
+double
+measureTunableSensitivityAt(const GpuDevice &device,
+                            const KernelProfile &profile, int iteration,
+                            Tunable tunable, const HardwareConfig &base)
+{
+    const ConfigSpace &space = device.space();
+    space.validate(base);
+
+    HardwareConfig other = space.stepped(base, tunable, -2);
+    if (other.get(tunable) == base.get(tunable))
+        other = space.stepped(base, tunable, +2);
+    panicIf(other.get(tunable) == base.get(tunable),
+            "measureTunableSensitivityAt: tunable ",
+            tunableName(tunable), " cannot move from ",
+            base.get(tunable));
+
+    const KernelPhase phase = profile.phase(iteration);
+    const double tBase = device.run(profile, phase, base).time();
+    const double tOther = device.run(profile, phase, other).time();
+    panicIf(tBase <= 0.0 || tOther <= 0.0,
+            "measureTunableSensitivityAt: non-positive execution time");
+
+    const double xRatio = static_cast<double>(base.get(tunable)) /
+                          static_cast<double>(other.get(tunable));
+    return (tOther / tBase - 1.0) / (xRatio - 1.0);
+}
+
+SensitivityVector
+measureSensitivitiesAt(const GpuDevice &device,
+                       const KernelProfile &profile, int iteration,
+                       const HardwareConfig &base)
+{
+    SensitivityVector out;
+    out.cuCount = measureTunableSensitivityAt(device, profile, iteration,
+                                              Tunable::CuCount, base);
+    out.computeFreq = measureTunableSensitivityAt(
+        device, profile, iteration, Tunable::ComputeFreq, base);
+    out.memBandwidth = measureTunableSensitivityAt(
+        device, profile, iteration, Tunable::MemFreq, base);
+    return out;
+}
+
+SensitivityVector
+measureSensitivities(const GpuDevice &device, const KernelProfile &profile,
+                     int iteration)
+{
+    SensitivityVector out;
+    out.cuCount = measureTunableSensitivity(device, profile, iteration,
+                                            Tunable::CuCount);
+    out.computeFreq = measureTunableSensitivity(device, profile,
+                                                iteration,
+                                                Tunable::ComputeFreq);
+    out.memBandwidth = measureTunableSensitivity(device, profile,
+                                                 iteration,
+                                                 Tunable::MemFreq);
+    return out;
+}
+
+} // namespace harmonia

@@ -1,0 +1,182 @@
+#include "training.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+#include "linalg/correlation.hh"
+
+namespace harmonia
+{
+
+namespace
+{
+
+/**
+ * Deterministic sample of operating points biased toward the region
+ * the governor actually visits: the maximum configuration, the CG bin
+ * targets and their cross combinations, and a mid-lattice point.
+ */
+std::vector<HardwareConfig>
+sampleConfigs(const ConfigSpace &space, int count)
+{
+    // Fractional lattice positions (CU, freq, mem), biased toward the
+    // operating points the governor actually visits; expressed as
+    // fractions so device variants with different lattices sample the
+    // equivalent points.
+    constexpr double kPositions[][3] = {
+        {1.0, 1.0, 1.0},   {0.55, 0.55, 0.5}, {1.0, 1.0, 0.0},
+        {0.15, 0.3, 1.0},  {1.0, 1.0, 0.5},   {0.55, 0.55, 1.0},
+        {0.7, 0.85, 0.85}, {0.3, 0.45, 0.35}, {0.15, 0.3, 0.0},
+        {0.0, 0.0, 0.0},
+    };
+    auto pick = [&](Tunable t, double fraction) {
+        const auto values = space.values(t);
+        const auto idx = static_cast<size_t>(
+            fraction * static_cast<double>(values.size() - 1) + 0.5);
+        return values[std::min(idx, values.size() - 1)];
+    };
+    std::vector<HardwareConfig> out;
+    for (const auto &pos : kPositions) {
+        if (static_cast<int>(out.size()) >= count)
+            break;
+        const HardwareConfig cfg{pick(Tunable::CuCount, pos[0]),
+                                 pick(Tunable::ComputeFreq, pos[1]),
+                                 pick(Tunable::MemFreq, pos[2])};
+        space.validate(cfg);
+        out.push_back(cfg);
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<TrainingSample>
+collectTrainingSamples(const GpuDevice &device,
+                       const std::vector<Application> &suite,
+                       const TrainingOptions &options)
+{
+    fatalIf(suite.empty(), "collectTrainingSamples: empty suite");
+    fatalIf(options.iterationsPerKernel <= 0,
+            "collectTrainingSamples: iterationsPerKernel must be > 0");
+    fatalIf(options.configsPerKernel < 2,
+            "collectTrainingSamples: need at least 2 configs");
+
+    const auto configs =
+        sampleConfigs(device.space(), options.configsPerKernel);
+
+    std::vector<TrainingSample> samples;
+    for (const auto &app : suite) {
+        const int iters =
+            std::min(app.iterations, options.iterationsPerKernel);
+        for (const auto &kernel : app.kernels) {
+            for (int iter = 0; iter < iters; ++iter) {
+                auto emit = [&](const CounterSet &counters,
+                                const SensitivityVector &sens) {
+                    TrainingSample s;
+                    s.kernelId = kernel.id();
+                    s.iteration = iter;
+                    s.counters = counters;
+                    s.bandwidthSens =
+                        std::clamp(sens.memBandwidth, 0.0, 1.0);
+                    s.computeSens =
+                        std::clamp(sens.compute(), 0.0, 1.0);
+                    samples.push_back(std::move(s));
+                };
+                if (options.averageAcrossConfigs) {
+                    // The paper's Section 4.2 reduction: average the
+                    // counters across configurations, pair them with
+                    // the max-configuration sensitivities.
+                    std::vector<CounterSet> counterSets;
+                    counterSets.reserve(configs.size());
+                    for (const auto &cfg : configs) {
+                        counterSets.push_back(
+                            device.run(kernel, iter, cfg)
+                                .timing.counters);
+                    }
+                    emit(averageCounters(counterSets),
+                         measureSensitivities(device, kernel, iter));
+                } else {
+                    // One sample per configuration: counters observed
+                    // at config C paired with the *local* sensitivity
+                    // around C (Section 4.1 computes sensitivity for
+                    // each hardware configuration).
+                    for (const auto &cfg : configs) {
+                        emit(device.run(kernel, iter, cfg)
+                                 .timing.counters,
+                             measureSensitivitiesAt(device, kernel,
+                                                    iter, cfg));
+                    }
+                }
+            }
+        }
+    }
+    return samples;
+}
+
+TrainingResult
+fitPredictors(const std::vector<TrainingSample> &samples)
+{
+    fatalIf(samples.size() < 10,
+            "fitPredictors: need at least 10 samples, got ",
+            samples.size());
+
+    const size_t n = samples.size();
+    Matrix bwX(n, bandwidthFeatureNames().size());
+    Matrix compX(n, computeFeatureNames().size());
+    Vector bwY(n), compY(n);
+    for (size_t i = 0; i < n; ++i) {
+        const auto bwF = samples[i].counters.bandwidthFeatures();
+        const auto cF = samples[i].counters.computeFeatures();
+        for (size_t c = 0; c < bwF.size(); ++c)
+            bwX(i, c) = bwF[c];
+        for (size_t c = 0; c < cF.size(); ++c)
+            compX(i, c) = cF[c];
+        bwY[i] = samples[i].bandwidthSens;
+        compY[i] = samples[i].computeSens;
+    }
+
+    TrainingResult out;
+    out.samples = samples;
+    out.bandwidthFit = fitLinearRegression(bwX, bwY, true);
+    out.computeFit = fitLinearRegression(compX, compY, true);
+
+    Vector bwPred(n), compPred(n);
+    for (size_t i = 0; i < n; ++i) {
+        bwPred[i] = std::clamp(
+            out.bandwidthFit.predict(
+                samples[i].counters.bandwidthFeatures()),
+            0.0, 1.0);
+        compPred[i] = std::clamp(
+            out.computeFit.predict(samples[i].counters.computeFeatures()),
+            0.0, 1.0);
+    }
+    out.bandwidthMae = meanAbsoluteError(bwPred, bwY);
+    out.computeMae = meanAbsoluteError(compPred, compY);
+    return out;
+}
+
+TrainingResult
+trainPredictors(const GpuDevice &device,
+                const std::vector<Application> &suite,
+                const TrainingOptions &options)
+{
+    return fitPredictors(collectTrainingSamples(device, suite, options));
+}
+
+SensitivityPredictor
+TrainingResult::predictor() const
+{
+    auto toModel = [](const RegressionFit &fit) {
+        LinearSensitivityModel m;
+        panicIf(fit.coeffs.empty(), "TrainingResult: empty fit");
+        m.intercept = fit.hasIntercept ? fit.coeffs[0] : 0.0;
+        const size_t base = fit.hasIntercept ? 1 : 0;
+        m.coeffs.assign(fit.coeffs.begin() + base, fit.coeffs.end());
+        return m;
+    };
+    return SensitivityPredictor(toModel(bandwidthFit),
+                                toModel(computeFit));
+}
+
+} // namespace harmonia

@@ -1,0 +1,118 @@
+#include "perf_counters.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace harmonia
+{
+
+double
+CounterSet::computeToMemIntensity() const
+{
+    // Equation (3) defines the raw ratio (VALUBusy*VALUUtilization/100)
+    // / MemUnitBusy "normalized to 100". The raw ratio is extremely
+    // nonlinear (0..inf), which a linear regression cannot use, so we
+    // normalize it to 100 via the equivalent bounded share
+    // alu/(alu + mem) * 100: 100 = pure compute, 0 = pure memory,
+    // monotone in the paper's ratio.
+    const double aluShare = valuBusy * valuUtilization / 100.0;
+    const double denom = aluShare + memUnitBusy;
+    if (denom <= 1e-9)
+        return 0.0;
+    return std::min(kCtoMCap, 100.0 * aluShare / denom);
+}
+
+std::vector<double>
+CounterSet::bandwidthFeatures() const
+{
+    return {valuUtilization, writeUnitStalled, memUnitBusy,
+            memUnitStalled, icActivity, normVgpr, normSgpr};
+}
+
+std::vector<double>
+CounterSet::computeFeatures() const
+{
+    return {computeToMemIntensity(), normVgpr, normSgpr, valuBusy,
+            icActivity};
+}
+
+void
+CounterSet::validate() const
+{
+    auto checkPct = [](double v, const char *name) {
+        panicIf(v < -1e-9 || v > 100.0 + 1e-9, "CounterSet: ", name,
+                " = ", v, " outside [0, 100]");
+    };
+    auto checkFrac = [](double v, const char *name) {
+        panicIf(v < -1e-9 || v > 1.0 + 1e-9, "CounterSet: ", name, " = ",
+                v, " outside [0, 1]");
+    };
+    checkPct(valuBusy, "VALUBusy");
+    checkPct(valuUtilization, "VALUUtilization");
+    checkPct(memUnitBusy, "MemUnitBusy");
+    checkPct(memUnitStalled, "MemUnitStalled");
+    checkPct(writeUnitStalled, "WriteUnitStalled");
+    checkPct(l2CacheHit, "CacheHit");
+    checkFrac(icActivity, "icActivity");
+    checkFrac(normVgpr, "NormVGPR");
+    checkFrac(normSgpr, "NormSGPR");
+    panicIf(valuInsts < 0.0 || vfetchInsts < 0.0 || vwriteInsts < 0.0,
+            "CounterSet: negative instruction count");
+    panicIf(offChipBytes < 0.0, "CounterSet: negative traffic");
+}
+
+const std::vector<std::string> &
+bandwidthFeatureNames()
+{
+    static const std::vector<std::string> names = {
+        "VALUUtilization", "WriteUnitStalled", "MemUnitBusy",
+        "MemUnitStalled", "icActivity",       "NormVGPR",
+        "NormSGPR"};
+    return names;
+}
+
+const std::vector<std::string> &
+computeFeatureNames()
+{
+    static const std::vector<std::string> names = {
+        "C-to-M Intensity", "NormVGPR", "NormSGPR", "VALUBusy",
+        "icActivity"};
+    return names;
+}
+
+double
+icActivityOf(double achievedBytesPerSec, double peakBytesPerSec)
+{
+    fatalIf(peakBytesPerSec <= 0.0,
+            "icActivityOf: peak bandwidth must be positive");
+    fatalIf(achievedBytesPerSec < 0.0,
+            "icActivityOf: negative achieved bandwidth");
+    return std::min(achievedBytesPerSec / peakBytesPerSec, 1.0);
+}
+
+CounterSet
+averageCounters(const std::vector<CounterSet> &sets)
+{
+    fatalIf(sets.empty(), "averageCounters: empty input");
+    CounterSet avg;
+    const double n = static_cast<double>(sets.size());
+    for (const auto &cs : sets) {
+        avg.valuBusy += cs.valuBusy / n;
+        avg.valuUtilization += cs.valuUtilization / n;
+        avg.memUnitBusy += cs.memUnitBusy / n;
+        avg.memUnitStalled += cs.memUnitStalled / n;
+        avg.writeUnitStalled += cs.writeUnitStalled / n;
+        avg.l2CacheHit += cs.l2CacheHit / n;
+        avg.icActivity += cs.icActivity / n;
+        avg.normVgpr += cs.normVgpr / n;
+        avg.normSgpr += cs.normSgpr / n;
+        avg.valuInsts += cs.valuInsts / n;
+        avg.vfetchInsts += cs.vfetchInsts / n;
+        avg.vwriteInsts += cs.vwriteInsts / n;
+        avg.offChipBytes += cs.offChipBytes / n;
+    }
+    return avg;
+}
+
+} // namespace harmonia

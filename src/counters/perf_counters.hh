@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Performance counters and derived metrics (paper Table 2).
+ *
+ * Scale conventions follow the paper's Table 3 regression, which mixes
+ * units:
+ *  - "percent" counters are 0..100 (VALUBusy, VALUUtilization,
+ *    MemUnitBusy, MemUnitStalled, WriteUnitStalled, CacheHit),
+ *  - "normalized" metrics are 0..1 fractions (icActivity, NormVGPR,
+ *    NormSGPR),
+ *  - C-to-M Intensity is normalized to 100 (Equation 3),
+ *  - raw instruction counters are absolute counts.
+ */
+
+#ifndef HARMONIA_COUNTERS_PERF_COUNTERS_HH
+#define HARMONIA_COUNTERS_PERF_COUNTERS_HH
+
+#include <string>
+#include <vector>
+
+namespace harmonia
+{
+
+/**
+ * One kernel invocation's counter snapshot, as sampled at a kernel
+ * boundary by the monitoring block (Section 5.1).
+ */
+struct CounterSet
+{
+    // --- Percent counters (0..100) ---------------------------------
+    double valuBusy = 0.0;         ///< % time vector ALU issuing.
+    double valuUtilization = 0.0;  ///< % active lanes per wave (branch
+                                   ///< divergence indicator).
+    double memUnitBusy = 0.0;      ///< % time fetch/read unit active.
+    double memUnitStalled = 0.0;   ///< % time fetch/read unit stalled.
+    double writeUnitStalled = 0.0; ///< % time write/store unit stalled.
+    double l2CacheHit = 0.0;       ///< % of L2 accesses that hit.
+
+    // --- Normalized metrics (0..1) ----------------------------------
+    double icActivity = 0.0;  ///< Off-chip interconnect utilization
+                              ///< (Equations 1-2).
+    double normVgpr = 0.0;    ///< VGPRs used / 256.
+    double normSgpr = 0.0;    ///< SGPRs used / 102.
+
+    // --- Raw counters ------------------------------------------------
+    double valuInsts = 0.0;   ///< Vector ALU instructions executed.
+    double vfetchInsts = 0.0; ///< Vector memory read instructions.
+    double vwriteInsts = 0.0; ///< Vector memory write instructions.
+    double offChipBytes = 0.0; ///< Bytes moved over the memory bus.
+
+    /**
+     * Compute-to-Memory intensity (Equation 3), normalized to 100:
+     * (VALUBusy * VALUUtilization / 100) / MemUnitBusy.
+     * Returns the cap value when MemUnitBusy is ~0.
+     */
+    double computeToMemIntensity() const;
+
+    /** Cap applied to C-to-M intensity ("normalized to 100"). */
+    static constexpr double kCtoMCap = 100.0;
+
+    /**
+     * Feature vector for the bandwidth-sensitivity model, in Table 3
+     * order: VALUUtilization, WriteUnitStalled, MemUnitBusy,
+     * MemUnitStalled, icActivity, NormVGPR, NormSGPR.
+     */
+    std::vector<double> bandwidthFeatures() const;
+
+    /**
+     * Feature vector for the compute-sensitivity model: C-to-M
+     * Intensity, NormVGPR, NormSGPR (Table 3 order), plus VALUBusy
+     * and icActivity. Equation (3)'s numerator is
+     * VALUBusy*VALUUtilization; exposing VALUBusy as its own linear
+     * feature (instead of only inside the bounded C-to-M ratio) is
+     * what a linear model needs to separate "compute is the critical
+     * path" from "compute merely dominates the instruction mix" —
+     * e.g. overhead-dominated tiny kernels. icActivity carries the
+     * clock-domain-crossing effect of Section 3.5/Figure 9: kernels
+     * with high off-chip interconnect activity stay sensitive to the
+     * compute clock that drives the L2->MC crossing.
+     */
+    std::vector<double> computeFeatures() const;
+
+    /** Validate ranges; @throws InternalError on impossible values. */
+    void validate() const;
+};
+
+/** Names for the bandwidth feature vector entries (Table 3 order). */
+const std::vector<std::string> &bandwidthFeatureNames();
+
+/** Names for the compute feature vector entries (Table 3 order). */
+const std::vector<std::string> &computeFeatureNames();
+
+/**
+ * icActivity as defined by Equations (1)-(2):
+ * read+write traffic divided by peak bandwidth at the current memory
+ * frequency.
+ */
+double icActivityOf(double achievedBytesPerSec, double peakBytesPerSec);
+
+/** Element-wise average of several counter sets (per Section 4.2 the
+ * training pipeline replaces a kernel's counters by their average
+ * across hardware configurations). */
+CounterSet averageCounters(const std::vector<CounterSet> &sets);
+
+} // namespace harmonia
+
+#endif // HARMONIA_COUNTERS_PERF_COUNTERS_HH

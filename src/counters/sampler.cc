@@ -1,0 +1,77 @@
+#include "sampler.hh"
+
+#include "common/error.hh"
+
+namespace harmonia
+{
+
+KernelHistory::KernelHistory(size_t capacity) : capacity_(capacity)
+{
+    fatalIf(capacity < 2, "KernelHistory: capacity must be >= 2 so the "
+            "FG loop can compute gradients, got ", capacity);
+}
+
+void
+KernelHistory::record(const KernelSample &sample)
+{
+    fatalIf(sample.kernelId.empty(), "KernelHistory: empty kernel id");
+    fatalIf(sample.execTime < 0.0, "KernelHistory: negative exec time");
+    auto &dq = perKernel_[sample.kernelId];
+    dq.push_back(sample);
+    while (dq.size() > capacity_)
+        dq.pop_front();
+}
+
+std::optional<KernelSample>
+KernelHistory::last(const std::string &kernelId) const
+{
+    auto it = perKernel_.find(kernelId);
+    if (it == perKernel_.end() || it->second.empty())
+        return std::nullopt;
+    return it->second.back();
+}
+
+std::optional<KernelSample>
+KernelHistory::previous(const std::string &kernelId) const
+{
+    auto it = perKernel_.find(kernelId);
+    if (it == perKernel_.end() || it->second.size() < 2)
+        return std::nullopt;
+    return it->second[it->second.size() - 2];
+}
+
+std::vector<KernelSample>
+KernelHistory::samples(const std::string &kernelId) const
+{
+    auto it = perKernel_.find(kernelId);
+    if (it == perKernel_.end())
+        return {};
+    return {it->second.begin(), it->second.end()};
+}
+
+size_t
+KernelHistory::count(const std::string &kernelId) const
+{
+    auto it = perKernel_.find(kernelId);
+    return it == perKernel_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string>
+KernelHistory::kernels() const
+{
+    std::vector<std::string> out;
+    out.reserve(perKernel_.size());
+    for (const auto &[id, dq] : perKernel_) {
+        (void)dq;
+        out.push_back(id);
+    }
+    return out;
+}
+
+void
+KernelHistory::clear()
+{
+    perKernel_.clear();
+}
+
+} // namespace harmonia

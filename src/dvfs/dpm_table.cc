@@ -1,0 +1,67 @@
+#include "dpm_table.hh"
+
+#include "common/error.hh"
+
+namespace harmonia
+{
+
+DpmTable::DpmTable(std::vector<DvfsState> states)
+    : states_(std::move(states))
+{
+    fatalIf(states_.size() < 2, "DpmTable: need at least two states");
+    for (size_t i = 1; i < states_.size(); ++i) {
+        fatalIf(states_[i].freqMhz <= states_[i - 1].freqMhz,
+                "DpmTable: frequencies must strictly increase (",
+                states_[i - 1].freqMhz, " -> ", states_[i].freqMhz, ")");
+        fatalIf(states_[i].voltage < states_[i - 1].voltage,
+                "DpmTable: voltage must not decrease with frequency");
+    }
+    for (const auto &s : states_) {
+        fatalIf(s.freqMhz <= 0, "DpmTable: non-positive frequency in ",
+                s.name);
+        fatalIf(s.voltage <= 0.0, "DpmTable: non-positive voltage in ",
+                s.name);
+    }
+}
+
+double
+DpmTable::voltageFor(double freqMhz) const
+{
+    fatalIf(freqMhz < states_.front().freqMhz ||
+                freqMhz > states_.back().freqMhz,
+            "DpmTable: frequency ", freqMhz, " MHz outside [",
+            states_.front().freqMhz, ", ", states_.back().freqMhz, "]");
+    for (size_t i = 1; i < states_.size(); ++i) {
+        if (freqMhz <= states_[i].freqMhz) {
+            const auto &lo = states_[i - 1];
+            const auto &hi = states_[i];
+            const double t = (freqMhz - lo.freqMhz) /
+                             static_cast<double>(hi.freqMhz - lo.freqMhz);
+            return lo.voltage + t * (hi.voltage - lo.voltage);
+        }
+    }
+    return states_.back().voltage;
+}
+
+const DvfsState &
+DpmTable::state(const std::string &name) const
+{
+    for (const auto &s : states_) {
+        if (s.name == name)
+            return s;
+    }
+    fatal("DpmTable: no state named '", name, "'");
+}
+
+DpmTable
+hd7970ComputeDpm()
+{
+    return DpmTable({
+        {"DPM0", 300, 0.85},
+        {"DPM1", 500, 0.95},
+        {"DPM2", 925, 1.17},
+        {"Boost", 1000, 1.19},
+    });
+}
+
+} // namespace harmonia

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * DVFS operating-point tables.
+ *
+ * Encodes the paper's Table 1 (DPM0/1/2) plus the 1 GHz / 1.19 V boost
+ * state of the HD7970, and provides voltage lookup for the
+ * intermediate 100 MHz compute steps via linear interpolation between
+ * the surrounding fused table points. The memory bus runs at a fixed
+ * voltage in the paper's setup (Section 3.3), which we mirror.
+ */
+
+#ifndef HARMONIA_DVFS_DPM_TABLE_HH
+#define HARMONIA_DVFS_DPM_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace harmonia
+{
+
+/** One voltage/frequency operating point. */
+struct DvfsState
+{
+    std::string name;    ///< e.g. "DPM0".
+    int freqMhz = 0;
+    double voltage = 0.0;
+};
+
+/**
+ * A monotone frequency->voltage table with interpolation.
+ */
+class DpmTable
+{
+  public:
+    /**
+     * @param states Operating points sorted by ascending frequency
+     *        with strictly increasing voltage. @throws ConfigError.
+     */
+    explicit DpmTable(std::vector<DvfsState> states);
+
+    /** The fused operating points. */
+    const std::vector<DvfsState> &states() const { return states_; }
+
+    /** Lowest supported frequency. */
+    int minFreqMhz() const { return states_.front().freqMhz; }
+
+    /** Highest supported frequency (boost). */
+    int maxFreqMhz() const { return states_.back().freqMhz; }
+
+    /**
+     * Supply voltage required for @p freqMhz. Interpolates between
+     * table points; @throws ConfigError outside the table range.
+     */
+    double voltageFor(double freqMhz) const;
+
+    /** Named state lookup; @throws ConfigError when missing. */
+    const DvfsState &state(const std::string &name) const;
+
+  private:
+    std::vector<DvfsState> states_;
+};
+
+/**
+ * The HD7970 compute DPM table: DPM0 300 MHz/0.85 V, DPM1
+ * 500 MHz/0.95 V, DPM2 925 MHz/1.17 V, Boost 1000 MHz/1.19 V.
+ */
+DpmTable hd7970ComputeDpm();
+
+/** Fixed GDDR5 interface voltage (the platform cannot scale it). */
+constexpr double kGddr5FixedVoltage = 1.5;
+
+} // namespace harmonia
+
+#endif // HARMONIA_DVFS_DPM_TABLE_HH

@@ -1,0 +1,93 @@
+#include "correlation.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace harmonia
+{
+
+double
+pearson(const Vector &a, const Vector &b)
+{
+    fatalIf(a.size() != b.size(), "pearson: size mismatch ", a.size(),
+            " vs ", b.size());
+    fatalIf(a.empty(), "pearson: empty input");
+    const auto n = static_cast<double>(a.size());
+    double meanA = 0.0;
+    double meanB = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        meanA += a[i];
+        meanB += b[i];
+    }
+    meanA /= n;
+    meanB /= n;
+    double cov = 0.0;
+    double varA = 0.0;
+    double varB = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double da = a[i] - meanA;
+        const double db = b[i] - meanB;
+        cov += da * db;
+        varA += da * da;
+        varB += db * db;
+    }
+    if (varA <= 0.0 || varB <= 0.0)
+        return 0.0;
+    return cov / std::sqrt(varA * varB);
+}
+
+double
+meanAbsoluteError(const Vector &pred, const Vector &target)
+{
+    fatalIf(pred.size() != target.size(),
+            "meanAbsoluteError: size mismatch");
+    fatalIf(pred.empty(), "meanAbsoluteError: empty input");
+    double acc = 0.0;
+    for (size_t i = 0; i < pred.size(); ++i)
+        acc += std::fabs(pred[i] - target[i]);
+    return acc / static_cast<double>(pred.size());
+}
+
+double
+rmsError(const Vector &pred, const Vector &target)
+{
+    fatalIf(pred.size() != target.size(), "rmsError: size mismatch");
+    fatalIf(pred.empty(), "rmsError: empty input");
+    double acc = 0.0;
+    for (size_t i = 0; i < pred.size(); ++i) {
+        const double e = pred[i] - target[i];
+        acc += e * e;
+    }
+    return std::sqrt(acc / static_cast<double>(pred.size()));
+}
+
+void
+standardize(Vector &v)
+{
+    if (v.empty())
+        return;
+    const auto n = static_cast<double>(v.size());
+    double mean = 0.0;
+    for (double x : v)
+        mean += x;
+    mean /= n;
+    double var = 0.0;
+    for (double x : v)
+        var += (x - mean) * (x - mean);
+    var /= n;
+    const double sd = std::sqrt(var);
+    for (double &x : v)
+        x = sd > 0.0 ? (x - mean) / sd : 0.0;
+}
+
+Vector
+columnCorrelations(const Matrix &x, const Vector &y)
+{
+    Vector out(x.cols(), 0.0);
+    for (size_t c = 0; c < x.cols(); ++c)
+        out[c] = pearson(x.colVec(c), y);
+    return out;
+}
+
+} // namespace harmonia

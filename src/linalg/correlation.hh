@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Correlation statistics used by the sensitivity-predictor training
+ * pipeline (Section 4.3 of the paper).
+ */
+
+#ifndef HARMONIA_LINALG_CORRELATION_HH
+#define HARMONIA_LINALG_CORRELATION_HH
+
+#include "linalg/matrix.hh"
+
+namespace harmonia
+{
+
+/**
+ * Pearson correlation coefficient between two equal-length series.
+ * Returns 0 when either series has zero variance.
+ */
+double pearson(const Vector &a, const Vector &b);
+
+/** Mean absolute error between predictions and targets. */
+double meanAbsoluteError(const Vector &pred, const Vector &target);
+
+/** Root-mean-square error between predictions and targets. */
+double rmsError(const Vector &pred, const Vector &target);
+
+/**
+ * Standardize a vector to zero mean / unit variance in place.
+ * Zero-variance input is left centered at zero.
+ */
+void standardize(Vector &v);
+
+/**
+ * Per-feature Pearson correlation of each column of @p x with @p y.
+ * Used for the counter-selection step of predictor creation, where
+ * |r| > 0.5 is considered a strong correlation (Section 4.3).
+ */
+Vector columnCorrelations(const Matrix &x, const Vector &y);
+
+} // namespace harmonia
+
+#endif // HARMONIA_LINALG_CORRELATION_HH

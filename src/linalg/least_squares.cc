@@ -1,0 +1,134 @@
+#include "least_squares.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+#include "linalg/correlation.hh"
+
+namespace harmonia
+{
+
+double
+RegressionFit::predict(const Vector &features) const
+{
+    const size_t expected = coeffs.size() - (hasIntercept ? 1 : 0);
+    fatalIf(features.size() != expected,
+            "RegressionFit::predict: got ", features.size(),
+            " features, expected ", expected);
+    double acc = hasIntercept ? coeffs[0] : 0.0;
+    const size_t base = hasIntercept ? 1 : 0;
+    for (size_t i = 0; i < features.size(); ++i)
+        acc += coeffs[base + i] * features[i];
+    return acc;
+}
+
+Vector
+solveLeastSquares(const Matrix &a, const Vector &b)
+{
+    const size_t m = a.rows();
+    const size_t n = a.cols();
+    fatalIf(m < n, "solveLeastSquares: underdetermined system (", m,
+            " rows, ", n, " cols)");
+    fatalIf(b.size() != m, "solveLeastSquares: b has ", b.size(),
+            " entries, expected ", m);
+
+    // Working copies; r is reduced in place, rhs carries Q^T b.
+    Matrix r = a;
+    Vector rhs = b;
+
+    for (size_t k = 0; k < n; ++k) {
+        // Householder vector for column k below the diagonal.
+        double alpha = 0.0;
+        for (size_t i = k; i < m; ++i)
+            alpha += r(i, k) * r(i, k);
+        alpha = std::sqrt(alpha);
+        if (alpha == 0.0)
+            fatal("solveLeastSquares: rank-deficient design matrix at "
+                  "column ", k);
+        if (r(k, k) > 0.0)
+            alpha = -alpha;
+
+        Vector v(m - k, 0.0);
+        v[0] = r(k, k) - alpha;
+        for (size_t i = k + 1; i < m; ++i)
+            v[i - k] = r(i, k);
+        double vnorm2 = 0.0;
+        for (double vi : v)
+            vnorm2 += vi * vi;
+        if (vnorm2 == 0.0) // column already reduced
+            continue;
+
+        // Apply H = I - 2 v v^T / (v^T v) to R (columns k..n-1).
+        for (size_t c = k; c < n; ++c) {
+            double proj = 0.0;
+            for (size_t i = k; i < m; ++i)
+                proj += v[i - k] * r(i, c);
+            proj = 2.0 * proj / vnorm2;
+            for (size_t i = k; i < m; ++i)
+                r(i, c) -= proj * v[i - k];
+        }
+        // ... and to the right-hand side.
+        double proj = 0.0;
+        for (size_t i = k; i < m; ++i)
+            proj += v[i - k] * rhs[i];
+        proj = 2.0 * proj / vnorm2;
+        for (size_t i = k; i < m; ++i)
+            rhs[i] -= proj * v[i - k];
+    }
+
+    // Back-substitute R x = Q^T b.
+    Vector x(n, 0.0);
+    for (size_t kk = n; kk-- > 0;) {
+        double acc = rhs[kk];
+        for (size_t c = kk + 1; c < n; ++c)
+            acc -= r(kk, c) * x[c];
+        const double diag = r(kk, kk);
+        fatalIf(std::fabs(diag) < 1e-12,
+                "solveLeastSquares: singular R at row ", kk);
+        x[kk] = acc / diag;
+    }
+    return x;
+}
+
+RegressionFit
+fitLinearRegression(const Matrix &x, const Vector &y, bool withIntercept)
+{
+    const size_t m = x.rows();
+    const size_t n = x.cols();
+    fatalIf(y.size() != m, "fitLinearRegression: ", y.size(),
+            " targets for ", m, " samples");
+
+    Matrix design(m, n + (withIntercept ? 1 : 0));
+    for (size_t r = 0; r < m; ++r) {
+        size_t c0 = 0;
+        if (withIntercept) {
+            design(r, 0) = 1.0;
+            c0 = 1;
+        }
+        for (size_t c = 0; c < n; ++c)
+            design(r, c0 + c) = x(r, c);
+    }
+
+    RegressionFit fit;
+    fit.hasIntercept = withIntercept;
+    fit.coeffs = solveLeastSquares(design, y);
+
+    const Vector pred = design.multiply(fit.coeffs);
+    double ssRes = 0.0;
+    double yMean = 0.0;
+    for (double yi : y)
+        yMean += yi;
+    yMean /= static_cast<double>(m);
+    double ssTot = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+        const double e = y[i] - pred[i];
+        ssRes += e * e;
+        ssTot += (y[i] - yMean) * (y[i] - yMean);
+    }
+    fit.residualNorm = std::sqrt(ssRes);
+    fit.rSquared = ssTot > 0.0 ? 1.0 - ssRes / ssTot : 1.0;
+    fit.correlation = pearson(pred, y);
+    return fit;
+}
+
+} // namespace harmonia

@@ -1,0 +1,158 @@
+#include "matrix.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace harmonia
+{
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix
+Matrix::fromRows(const std::vector<Vector> &rows)
+{
+    fatalIf(rows.empty(), "Matrix::fromRows: no rows");
+    const size_t cols = rows.front().size();
+    Matrix m(rows.size(), cols);
+    for (size_t r = 0; r < rows.size(); ++r) {
+        fatalIf(rows[r].size() != cols,
+                "Matrix::fromRows: row ", r, " has ", rows[r].size(),
+                " columns, expected ", cols);
+        for (size_t c = 0; c < cols; ++c)
+            m(r, c) = rows[r][c];
+    }
+    return m;
+}
+
+Matrix
+Matrix::identity(size_t n)
+{
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+double &
+Matrix::at(size_t r, size_t c)
+{
+    fatalIf(r >= rows_ || c >= cols_, "Matrix::at(", r, ",", c,
+            ") out of range for ", rows_, "x", cols_);
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::at(size_t r, size_t c) const
+{
+    fatalIf(r >= rows_ || c >= cols_, "Matrix::at(", r, ",", c,
+            ") out of range for ", rows_, "x", cols_);
+    return data_[r * cols_ + c];
+}
+
+Matrix
+Matrix::multiply(const Matrix &rhs) const
+{
+    fatalIf(cols_ != rhs.rows_, "Matrix::multiply: ", rows_, "x", cols_,
+            " * ", rhs.rows_, "x", rhs.cols_);
+    Matrix out(rows_, rhs.cols_);
+    for (size_t r = 0; r < rows_; ++r) {
+        for (size_t k = 0; k < cols_; ++k) {
+            const double a = (*this)(r, k);
+            if (a == 0.0)
+                continue;
+            for (size_t c = 0; c < rhs.cols_; ++c)
+                out(r, c) += a * rhs(k, c);
+        }
+    }
+    return out;
+}
+
+Vector
+Matrix::multiply(const Vector &x) const
+{
+    fatalIf(cols_ != x.size(), "Matrix::multiply: ", rows_, "x", cols_,
+            " * vector of size ", x.size());
+    Vector out(rows_, 0.0);
+    for (size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (size_t c = 0; c < cols_; ++c)
+            acc += (*this)(r, c) * x[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            out(c, r) = (*this)(r, c);
+    return out;
+}
+
+Vector
+Matrix::rowVec(size_t r) const
+{
+    fatalIf(r >= rows_, "Matrix::rowVec: row ", r, " out of range");
+    Vector out(cols_);
+    for (size_t c = 0; c < cols_; ++c)
+        out[c] = (*this)(r, c);
+    return out;
+}
+
+Vector
+Matrix::colVec(size_t c) const
+{
+    fatalIf(c >= cols_, "Matrix::colVec: column ", c, " out of range");
+    Vector out(rows_);
+    for (size_t r = 0; r < rows_; ++r)
+        out[r] = (*this)(r, c);
+    return out;
+}
+
+double
+Matrix::maxAbsDiff(const Matrix &other) const
+{
+    fatalIf(rows_ != other.rows_ || cols_ != other.cols_,
+            "Matrix::maxAbsDiff: shape mismatch");
+    double worst = 0.0;
+    for (size_t i = 0; i < data_.size(); ++i)
+        worst = std::max(worst, std::fabs(data_[i] - other.data_[i]));
+    return worst;
+}
+
+double
+dot(const Vector &a, const Vector &b)
+{
+    fatalIf(a.size() != b.size(), "dot: size mismatch ", a.size(), " vs ",
+            b.size());
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+double
+norm2(const Vector &v)
+{
+    return std::sqrt(dot(v, v));
+}
+
+Vector
+axpy(const Vector &a, double s, const Vector &b)
+{
+    fatalIf(a.size() != b.size(), "axpy: size mismatch ", a.size(), " vs ",
+            b.size());
+    Vector out(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] + s * b[i];
+    return out;
+}
+
+} // namespace harmonia

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Dense row-major matrix and vector helpers.
+ *
+ * The library only needs small dense problems (regression over a few
+ * dozen counters), so this is a deliberately simple, allocation-honest
+ * implementation with bounds checking in accessors.
+ */
+
+#ifndef HARMONIA_LINALG_MATRIX_HH
+#define HARMONIA_LINALG_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace harmonia
+{
+
+using Vector = std::vector<double>;
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** rows x cols matrix initialized to @p fill. */
+    Matrix(size_t rows, size_t cols, double fill = 0.0);
+
+    /** Build from nested initializer data; all rows must match. */
+    static Matrix fromRows(const std::vector<Vector> &rows);
+
+    /** Identity matrix of size n. */
+    static Matrix identity(size_t n);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    /** Checked element access. */
+    double &at(size_t r, size_t c);
+    double at(size_t r, size_t c) const;
+
+    /** Unchecked element access for hot loops. */
+    double &operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    double operator()(size_t r, size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Matrix-matrix product; dimension checked. */
+    Matrix multiply(const Matrix &rhs) const;
+
+    /** Matrix-vector product; dimension checked. */
+    Vector multiply(const Vector &x) const;
+
+    /** Transpose. */
+    Matrix transposed() const;
+
+    /** Extract row @p r as a vector. */
+    Vector rowVec(size_t r) const;
+
+    /** Extract column @p c as a vector. */
+    Vector colVec(size_t c) const;
+
+    /** Max absolute element difference against @p other. */
+    double maxAbsDiff(const Matrix &other) const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/** Dot product; @throws ConfigError on size mismatch. */
+double dot(const Vector &a, const Vector &b);
+
+/** Euclidean norm. */
+double norm2(const Vector &v);
+
+/** a + s * b; @throws ConfigError on size mismatch. */
+Vector axpy(const Vector &a, double s, const Vector &b);
+
+} // namespace harmonia
+
+#endif // HARMONIA_LINALG_MATRIX_HH

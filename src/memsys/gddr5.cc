@@ -1,0 +1,89 @@
+#include "gddr5.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "common/units.hh"
+
+namespace harmonia
+{
+
+Gddr5Model::Gddr5Model(Gddr5TimingParams timing, Gddr5PowerParams power)
+    : timing_(timing), power_(power)
+{
+    fatalIf(timing_.coreLatencyNs <= 0.0,
+            "Gddr5Model: core latency must be positive");
+    fatalIf(timing_.interfaceCycles < 0.0,
+            "Gddr5Model: interface cycles must be non-negative");
+    fatalIf(timing_.queueSensitivity < 0.0 ||
+                timing_.queueSensitivity >= 1.0,
+            "Gddr5Model: queueSensitivity must be in [0, 1)");
+    fatalIf(power_.refFreqMhz <= 0.0,
+            "Gddr5Model: reference frequency must be positive");
+}
+
+Gddr5Model::Gddr5Model() : Gddr5Model(Gddr5TimingParams{},
+                                      Gddr5PowerParams{})
+{
+}
+
+double
+Gddr5Model::unloadedLatency(double memFreqMhz) const
+{
+    fatalIf(memFreqMhz <= 0.0, "Gddr5Model: frequency must be positive");
+    const double interfaceNs =
+        timing_.interfaceCycles / memFreqMhz * 1.0e3; // cycles / MHz
+    return nsToSec(timing_.coreLatencyNs + interfaceNs);
+}
+
+double
+Gddr5Model::loadedLatency(double memFreqMhz, double utilization) const
+{
+    fatalIf(utilization < 0.0, "Gddr5Model: negative utilization");
+    const double u = std::min(utilization, 0.98);
+    const double base = unloadedLatency(memFreqMhz);
+    // M/D/1-flavored growth: latency rises smoothly toward the knee.
+    return base * (1.0 + timing_.queueSensitivity * u / (1.0 - u));
+}
+
+MemPowerBreakdown
+Gddr5Model::power(double memFreqMhz, double bytesPerSec,
+                  double rowHitFraction) const
+{
+    fatalIf(memFreqMhz <= 0.0, "Gddr5Model: frequency must be positive");
+    fatalIf(bytesPerSec < 0.0, "Gddr5Model: negative traffic");
+    fatalIf(rowHitFraction < 0.0 || rowHitFraction > 1.0,
+            "Gddr5Model: rowHitFraction must be in [0, 1], got ",
+            rowHitFraction);
+
+    const double fRatio = memFreqMhz / power_.refFreqMhz;
+    // Per-byte energies grow as the bus slows (longer intervals
+    // between array accesses keep circuits active longer per bit).
+    const double lowFreqScale =
+        1.0 + power_.lowFreqEnergyPenalty * (1.0 / fRatio - 1.0);
+
+    // With (optional) interface voltage scaling, CMOS interface power
+    // falls with the square of the supply.
+    const double vf = power_.voltageFraction(memFreqMhz);
+    const double vScale = vf * vf;
+
+    MemPowerBreakdown out;
+    out.background =
+        (power_.standbyFloor + power_.backgroundAtRef * fRatio) * vScale;
+
+    const double missBytes = bytesPerSec * (1.0 - rowHitFraction);
+    const double activationsPerSec = missBytes / power_.rowBufferBytes;
+    out.activatePrecharge =
+        activationsPerSec * power_.activateEnergyNj * 1.0e-9;
+
+    out.readWrite = bytesPerSec * power_.readWriteEnergyPjPerByte *
+                    1.0e-12 * lowFreqScale * vScale;
+    out.termination = bytesPerSec * power_.terminationEnergyPjPerByte *
+                      1.0e-12 * lowFreqScale * vScale;
+    out.phy = (power_.phyIdleAtRef * fRatio +
+               bytesPerSec * power_.phyEnergyPjPerByte * 1.0e-12) *
+              vScale;
+    return out;
+}
+
+} // namespace harmonia

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * GDDR5 device model: bandwidth, loaded latency, and the power
+ * component breakdown described in Section 2.4 of the paper
+ * (background, activate/precharge, read-write, termination), plus the
+ * PHY and memory-controller interface power that scales with the bus
+ * clock.
+ *
+ * The paper's platform cannot scale the memory-interface voltage, so
+ * the model keeps voltage fixed (kGddr5FixedVoltage) and exposes only
+ * the bus frequency as the knob, exactly like the hardware.
+ */
+
+#ifndef HARMONIA_MEMSYS_GDDR5_HH
+#define HARMONIA_MEMSYS_GDDR5_HH
+
+namespace harmonia
+{
+
+/** Tunable coefficients of the GDDR5 power model. */
+struct Gddr5PowerParams
+{
+    /** Reference (max) bus frequency in MHz for normalization. */
+    double refFreqMhz = 1375.0;
+
+    /** Background + PLL power at the reference frequency (W);
+     * scales linearly with bus frequency. */
+    double backgroundAtRef = 14.0;
+
+    /** Frequency-independent standby floor (W). */
+    double standbyFloor = 2.0;
+
+    /** Activate/precharge energy per row activation (nJ). */
+    double activateEnergyNj = 22.0;
+
+    /** Row-buffer span covered by one activation (bytes). */
+    double rowBufferBytes = 2048.0;
+
+    /** Read/write array+IO energy per byte at ref frequency (pJ/B). */
+    double readWriteEnergyPjPerByte = 52.0;
+
+    /**
+     * Low-frequency energy penalty: at bus frequency f the per-byte
+     * read/write and termination energies grow by
+     * penalty * (refFreq/f - 1), modeling the longer intervals
+     * between array accesses (Section 2.4).
+     */
+    double lowFreqEnergyPenalty = 0.12;
+
+    /** Termination energy per byte transferred (pJ/B) at ref freq. */
+    double terminationEnergyPjPerByte = 30.0;
+
+    /** PHY + interface idle power at ref frequency (W); linear in f. */
+    double phyIdleAtRef = 12.0;
+
+    /** PHY dynamic energy per byte (pJ/B). */
+    double phyEnergyPjPerByte = 18.0;
+
+    /**
+     * Optional memory-interface voltage scaling. The paper's platform
+     * keeps the GDDR5 interface at a fixed voltage and notes twice
+     * (Sections 3.3 and 7.2) that the savings "would actually be
+     * greater if we are able to scale memory bus voltage according to
+     * bus frequency". Enabling this models that future capability:
+     * the interface voltage falls linearly from nominal at the
+     * reference frequency to minVoltageFraction at zero, and all
+     * interface-power components scale with (V/Vnom)^2.
+     */
+    bool voltageScaling = false;
+    double minVoltageFraction = 0.7;
+
+    /** Interface voltage fraction (V/Vnom) at @p freqMhz. */
+    double voltageFraction(double freqMhz) const
+    {
+        if (!voltageScaling)
+            return 1.0;
+        const double f = freqMhz / refFreqMhz;
+        return minVoltageFraction + (1.0 - minVoltageFraction) * f;
+    }
+};
+
+/** Power breakdown of the memory subsystem (Watts). */
+struct MemPowerBreakdown
+{
+    double background = 0.0;    ///< Background + PLL + standby.
+    double activatePrecharge = 0.0;
+    double readWrite = 0.0;
+    double termination = 0.0;
+    double phy = 0.0;           ///< DDR PHYs + bus transceivers.
+
+    /** Sum of all components. */
+    double total() const
+    {
+        return background + activatePrecharge + readWrite + termination +
+               phy;
+    }
+};
+
+/** Timing coefficients of the GDDR5 access-latency model. */
+struct Gddr5TimingParams
+{
+    /** Frequency-independent DRAM core latency (ns). */
+    double coreLatencyNs = 160.0;
+
+    /** Bus/command cycles, paid at the bus clock (cycles). */
+    double interfaceCycles = 60.0;
+
+    /** Queueing knee: latency multiplier grows as utilization
+     * approaches 1 (M/D/1-flavored). */
+    double queueSensitivity = 0.15;
+};
+
+/**
+ * GDDR5 channel-set model.
+ *
+ * Stateless with respect to simulation time: callers pass the achieved
+ * traffic and get back latency/power. This keeps the timing engine
+ * free to evaluate candidate configurations without side effects.
+ */
+class Gddr5Model
+{
+  public:
+    Gddr5Model(Gddr5TimingParams timing, Gddr5PowerParams power);
+    Gddr5Model();
+
+    const Gddr5TimingParams &timing() const { return timing_; }
+    const Gddr5PowerParams &powerParams() const { return power_; }
+
+    /**
+     * Unloaded access latency in seconds at @p memFreqMhz.
+     * Lower bus frequency stretches the interface cycles.
+     */
+    double unloadedLatency(double memFreqMhz) const;
+
+    /**
+     * Loaded latency in seconds at utilization @p u in [0, 1).
+     * Utilization 1 is clamped just below to keep latency finite.
+     */
+    double loadedLatency(double memFreqMhz, double utilization) const;
+
+    /**
+     * Power breakdown when moving @p bytesPerSec of off-chip traffic
+     * (reads + writes) with row-activation ratio implied by
+     * @p rowHitFraction (fraction of bytes served from an open row).
+     *
+     * @param memFreqMhz Bus frequency.
+     * @param bytesPerSec Achieved traffic.
+     * @param rowHitFraction In [0, 1]; lower -> more activations.
+     */
+    MemPowerBreakdown power(double memFreqMhz, double bytesPerSec,
+                            double rowHitFraction) const;
+
+  private:
+    Gddr5TimingParams timing_;
+    Gddr5PowerParams power_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_MEMSYS_GDDR5_HH

@@ -1,0 +1,114 @@
+#include "memory_system.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace harmonia
+{
+
+const char *
+bandwidthLimiterName(BandwidthLimiter limiter)
+{
+    switch (limiter) {
+      case BandwidthLimiter::BusPeak: return "bus-peak";
+      case BandwidthLimiter::Crossing: return "clock-crossing";
+      case BandwidthLimiter::Concurrency: return "concurrency";
+    }
+    return "unknown";
+}
+
+MemorySystem::MemorySystem(const GcnDeviceConfig &dev, Gddr5Model model,
+                           double crossingBytesPerComputeCycle)
+    : dev_(dev), gddr5_(std::move(model)),
+      crossing_(crossingBytesPerComputeCycle)
+{
+    dev_.validate();
+}
+
+double
+MemorySystem::peakBandwidth(double memFreqMhz) const
+{
+    fatalIf(memFreqMhz <= 0.0,
+            "MemorySystem: memory frequency must be positive");
+    return dev_.peakMemBandwidth(memFreqMhz);
+}
+
+BandwidthResult
+MemorySystem::resolveBandwidth(double memFreqMhz, double computeFreqMhz,
+                               const MemDemand &demand) const
+{
+    fatalIf(demand.outstandingRequests < 0.0,
+            "MemorySystem: negative outstanding requests");
+    fatalIf(demand.requestBytes <= 0.0,
+            "MemorySystem: request size must be positive");
+    fatalIf(demand.streamEfficiency <= 0.0 ||
+                demand.streamEfficiency > 1.0,
+            "MemorySystem: streamEfficiency must be in (0, 1], got ",
+            demand.streamEfficiency);
+
+    const double busPeak =
+        peakBandwidth(memFreqMhz) * demand.streamEfficiency;
+    const double crossingCap = crossing_.maxBandwidth(computeFreqMhz);
+
+    BandwidthResult result;
+    if (demand.outstandingRequests == 0.0) {
+        result.effectiveBps = 0.0;
+        result.latency = gddr5_.unloadedLatency(memFreqMhz);
+        result.limiter = BandwidthLimiter::Concurrency;
+        return result;
+    }
+
+    // Little's-law bandwidth at a hypothetical achieved bandwidth bw:
+    // loaded latency rises with bus utilization, so g is decreasing.
+    const double peak = peakBandwidth(memFreqMhz);
+    auto mlpBwAt = [&](double bw) {
+        const double utilization = std::min(bw / peak, 0.95);
+        const double latency =
+            gddr5_.loadedLatency(memFreqMhz, utilization);
+        return demand.outstandingRequests * demand.requestBytes /
+               latency;
+    };
+
+    const double supplyCap = std::min(busPeak, crossingCap);
+    double bw;
+    if (mlpBwAt(supplyCap) >= supplyCap) {
+        // Enough concurrency to saturate the supply path.
+        bw = supplyCap;
+    } else {
+        // Concurrency-limited: solve bw = g(bw) by bisection (g is
+        // strictly decreasing, so the crossing is unique).
+        double lo = 0.0;
+        double hi = supplyCap;
+        for (int iter = 0; iter < 48; ++iter) {
+            const double mid = 0.5 * (lo + hi);
+            if (mlpBwAt(mid) >= mid)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        bw = 0.5 * (lo + hi);
+    }
+
+    result.effectiveBps = bw;
+    result.latency = gddr5_.loadedLatency(
+        memFreqMhz, std::min(bw / peak, 0.95));
+    if (bw >= supplyCap * (1.0 - 1e-9)) {
+        result.limiter = busPeak <= crossingCap
+                             ? BandwidthLimiter::BusPeak
+                             : BandwidthLimiter::Crossing;
+    } else {
+        result.limiter = BandwidthLimiter::Concurrency;
+    }
+    return result;
+}
+
+MemPowerBreakdown
+MemorySystem::power(double memFreqMhz, double bytesPerSec,
+                    double rowHitFraction) const
+{
+    return gddr5_.power(memFreqMhz, bytesPerSec, rowHitFraction);
+}
+
+} // namespace harmonia

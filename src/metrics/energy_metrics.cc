@@ -1,0 +1,41 @@
+#include "energy_metrics.hh"
+
+#include "common/error.hh"
+#include "common/stats.hh"
+
+namespace harmonia
+{
+
+double
+improvementOver(double baseline, double value)
+{
+    fatalIf(baseline <= 0.0, "improvementOver: baseline must be positive");
+    return 1.0 - value / baseline;
+}
+
+double
+speedupOver(double baselineTime, double time)
+{
+    fatalIf(time <= 0.0, "speedupOver: time must be positive");
+    fatalIf(baselineTime <= 0.0,
+            "speedupOver: baseline time must be positive");
+    return baselineTime / time - 1.0;
+}
+
+double
+geomeanImprovement(const std::vector<double> &baselines,
+                   const std::vector<double> &values)
+{
+    fatalIf(baselines.size() != values.size(),
+            "geomeanImprovement: size mismatch");
+    std::vector<double> ratios;
+    ratios.reserve(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+        fatalIf(baselines[i] <= 0.0,
+                "geomeanImprovement: non-positive baseline");
+        ratios.push_back(values[i] / baselines[i]);
+    }
+    return 1.0 - geomean(ratios);
+}
+
+} // namespace harmonia

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Energy-efficiency metric helpers (paper Section 3.4).
+ *
+ * The paper evaluates with ED^2 (energy x delay^2), the metric common
+ * in HPC analysis because it weights performance strongly under
+ * voltage scaling; ED and plain energy are reported for comparison.
+ */
+
+#ifndef HARMONIA_METRICS_ENERGY_METRICS_HH
+#define HARMONIA_METRICS_ENERGY_METRICS_HH
+
+#include <string>
+#include <vector>
+
+namespace harmonia
+{
+
+/** A (time, energy) observation for one run. */
+struct RunMetrics
+{
+    double timeSec = 0.0;
+    double energyJoules = 0.0;
+
+    double ed() const { return energyJoules * timeSec; }
+    double ed2() const { return energyJoules * timeSec * timeSec; }
+    double power() const
+    {
+        return timeSec > 0.0 ? energyJoules / timeSec : 0.0;
+    }
+};
+
+/**
+ * Improvement of @p value relative to @p baseline as a fraction:
+ * 0.12 = 12% better (lower). @throws ConfigError when baseline <= 0.
+ */
+double improvementOver(double baseline, double value);
+
+/**
+ * Performance change of @p time vs @p baselineTime as a fraction:
+ * positive = speedup. @throws ConfigError when time <= 0.
+ */
+double speedupOver(double baselineTime, double time);
+
+/**
+ * Geomean-of-ratios improvement across applications: 1 - geomean of
+ * (value_i / baseline_i). Matches the paper's use of geometric means
+ * for cross-application averages.
+ */
+double geomeanImprovement(const std::vector<double> &baselines,
+                          const std::vector<double> &values);
+
+} // namespace harmonia
+
+#endif // HARMONIA_METRICS_ENERGY_METRICS_HH

@@ -1,0 +1,29 @@
+#include "board_power.hh"
+
+#include "common/error.hh"
+
+namespace harmonia
+{
+
+BoardPowerModel::BoardPowerModel(BoardPowerParams params)
+    : params_(params)
+{
+    fatalIf(params_.fanWatts < 0.0 || params_.miscWatts < 0.0,
+            "BoardPowerModel: negative fixed power");
+    fatalIf(params_.vrLossFraction < 0.0 || params_.vrLossFraction >= 1.0,
+            "BoardPowerModel: vrLossFraction must be in [0, 1)");
+}
+
+CardPowerBreakdown
+BoardPowerModel::compose(const GpuPowerBreakdown &gpu,
+                         const MemPowerBreakdown &mem) const
+{
+    CardPowerBreakdown out;
+    out.gpu = gpu;
+    out.mem = mem;
+    out.other = params_.fanWatts + params_.miscWatts +
+                params_.vrLossFraction * (gpu.total() + mem.total());
+    return out;
+}
+
+} // namespace harmonia

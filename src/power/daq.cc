@@ -1,0 +1,75 @@
+#include "daq.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace harmonia
+{
+
+Daq::Daq(double sampleRateHz) : sampleRateHz_(sampleRateHz)
+{
+    fatalIf(sampleRateHz <= 0.0, "Daq: sample rate must be positive");
+}
+
+void
+Daq::addInterval(double watts, double seconds)
+{
+    fatalIf(watts < 0.0, "Daq: negative power");
+    fatalIf(seconds < 0.0, "Daq: negative duration");
+    if (seconds == 0.0)
+        return;
+    intervals_.push_back({watts, seconds});
+    duration_ += seconds;
+    energy_ += watts * seconds;
+}
+
+double
+Daq::averagePower() const
+{
+    if (duration_ <= 0.0)
+        return 0.0;
+    return energy_ / duration_;
+}
+
+double
+Daq::sampledEnergy() const
+{
+    const double dt = 1.0 / sampleRateHz_;
+    double acc = 0.0;
+    double t = 0.0; // next sample instant
+    double elapsed = 0.0;
+    size_t idx = 0;
+    double intervalEnd =
+        intervals_.empty() ? 0.0 : intervals_.front().seconds;
+    while (t < duration_ && idx < intervals_.size()) {
+        // Advance to the interval containing time t.
+        while (idx < intervals_.size() && t >= intervalEnd) {
+            elapsed = intervalEnd;
+            ++idx;
+            if (idx < intervals_.size())
+                intervalEnd = elapsed + intervals_[idx].seconds;
+        }
+        if (idx >= intervals_.size())
+            break;
+        acc += intervals_[idx].watts * dt;
+        t += dt;
+    }
+    return acc;
+}
+
+size_t
+Daq::sampleCount() const
+{
+    return static_cast<size_t>(std::floor(duration_ * sampleRateHz_));
+}
+
+void
+Daq::reset()
+{
+    intervals_.clear();
+    duration_ = 0.0;
+    energy_ = 0.0;
+}
+
+} // namespace harmonia

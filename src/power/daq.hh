@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Power-measurement emulation.
+ *
+ * The paper profiles power with a National Instruments PCIe-6353 DAQ
+ * card sampling at 1 kHz at the PCIe connector (Section 6). This
+ * module reproduces that measurement chain: a piecewise-constant power
+ * trace is integrated both exactly and through a fixed-rate sampler,
+ * so tests can bound the quantization error the real setup incurs.
+ */
+
+#ifndef HARMONIA_POWER_DAQ_HH
+#define HARMONIA_POWER_DAQ_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace harmonia
+{
+
+/**
+ * Piecewise-constant power trace with exact and sampled integration.
+ */
+class Daq
+{
+  public:
+    /** @param sampleRateHz Sampler frequency; the paper uses 1 kHz. */
+    explicit Daq(double sampleRateHz = 1000.0);
+
+    /** Append an interval at constant @p watts for @p seconds. */
+    void addInterval(double watts, double seconds);
+
+    /** Total trace duration (s). */
+    double duration() const { return duration_; }
+
+    /** Exact energy integral (J). */
+    double energy() const { return energy_; }
+
+    /** Mean power over the trace (W); 0 for an empty trace. */
+    double averagePower() const;
+
+    /**
+     * Energy as the real DAQ would report it: power sampled at the
+     * configured rate (sample-and-hold), then summed * dt.
+     */
+    double sampledEnergy() const;
+
+    /** Number of discrete samples the sampler would take. */
+    size_t sampleCount() const;
+
+    /** Remove all intervals. */
+    void reset();
+
+  private:
+    struct Interval
+    {
+        double watts;
+        double seconds;
+    };
+
+    double sampleRateHz_;
+    std::vector<Interval> intervals_;
+    double duration_ = 0.0;
+    double energy_ = 0.0;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_POWER_DAQ_HH

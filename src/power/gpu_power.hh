@@ -1,0 +1,100 @@
+/**
+ * @file
+ * GPU chip power model (GPUPwr in the paper's Equation 4).
+ *
+ * Components:
+ *  - per-CU dynamic power: C*V^2*f scaled by activity, proportional to
+ *    the number of active (non-power-gated) CUs;
+ *  - uncore dynamic power (L2, fabric, schedulers) in the compute
+ *    clock/voltage domain, scaled by memory-path activity;
+ *  - leakage: voltage-dependent, with power-gated CUs contributing
+ *    nothing (Section 6: "All inactive CUs are power gated").
+ */
+
+#ifndef HARMONIA_POWER_GPU_POWER_HH
+#define HARMONIA_POWER_GPU_POWER_HH
+
+#include "arch/gcn_config.hh"
+#include "counters/perf_counters.hh"
+#include "dvfs/dpm_table.hh"
+#include "dvfs/tunables.hh"
+
+namespace harmonia
+{
+
+/** Calibration constants of the GPU chip power model. */
+struct GpuPowerParams
+{
+    double refVoltage = 1.19;    ///< Boost-state supply.
+    double refFreqMhz = 1000.0;  ///< Boost-state frequency.
+
+    /** Dynamic power of all 32 CUs at ref V/f, activity 1.0 (W). */
+    double cuDynAtRef = 115.0;
+
+    /** Uncore dynamic power at ref V/f, activity 1.0 (W). */
+    double uncoreDynAtRef = 22.0;
+
+    /** CU leakage of all 32 CUs at ref voltage (W). */
+    double cuLeakAtRef = 20.0;
+
+    /** Uncore leakage at ref voltage (W). */
+    double uncoreLeakAtRef = 6.0;
+
+    /** Idle-clocking floor: activity of a powered CU doing nothing. */
+    double activityFloor = 0.30;
+
+    /** Leakage voltage exponent: leak ~ (V/Vref)^exp. */
+    double leakVoltageExp = 2.0;
+};
+
+/** GPU chip power breakdown (Watts). */
+struct GpuPowerBreakdown
+{
+    double cuDynamic = 0.0;
+    double uncoreDynamic = 0.0;
+    double leakage = 0.0;
+
+    double total() const { return cuDynamic + uncoreDynamic + leakage; }
+};
+
+/**
+ * Computes GPU chip power from a hardware configuration and the
+ * activity observed in the performance counters.
+ */
+class GpuPowerModel
+{
+  public:
+    GpuPowerModel(const GcnDeviceConfig &dev, DpmTable dpm,
+                  GpuPowerParams params);
+
+    /** HD7970 defaults. */
+    explicit GpuPowerModel(const GcnDeviceConfig &dev);
+
+    const GpuPowerParams &params() const { return params_; }
+    const DpmTable &dpm() const { return dpm_; }
+
+    /** Core supply voltage at @p computeFreqMhz. */
+    double voltage(double computeFreqMhz) const;
+
+    /**
+     * Chip power while executing.
+     *
+     * @param cfg Hardware configuration.
+     * @param valuBusyPct VALUBusy counter (0..100).
+     * @param memPathActivity Uncore/L2 activity fraction (0..1).
+     */
+    GpuPowerBreakdown power(const HardwareConfig &cfg, double valuBusyPct,
+                            double memPathActivity) const;
+
+    /** Chip power when idle at @p cfg (activity floor only). */
+    GpuPowerBreakdown idlePower(const HardwareConfig &cfg) const;
+
+  private:
+    GcnDeviceConfig dev_;
+    DpmTable dpm_;
+    GpuPowerParams params_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_POWER_GPU_POWER_HH

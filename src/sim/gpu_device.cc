@@ -1,0 +1,99 @@
+#include "gpu_device.hh"
+
+#include <algorithm>
+
+namespace harmonia
+{
+
+GpuDevice::GpuDevice(const GcnDeviceConfig &dev, TimingEngine engine,
+                     GpuPowerModel gpuPower, BoardPowerModel boardPower)
+    : dev_(dev), engine_(std::move(engine)),
+      gpuPower_(std::move(gpuPower)), boardPower_(std::move(boardPower))
+{
+    dev_.validate();
+}
+
+GpuDevice::GpuDevice()
+    : GpuDevice(hd7970(), TimingEngine(hd7970()), GpuPowerModel(hd7970()),
+                BoardPowerModel())
+{
+}
+
+KernelResult
+GpuDevice::run(const KernelProfile &profile, int iteration,
+               const HardwareConfig &cfg) const
+{
+    return run(profile, profile.phase(iteration), cfg);
+}
+
+KernelResult
+GpuDevice::run(const KernelProfile &profile, const KernelPhase &phase,
+               const HardwareConfig &cfg) const
+{
+    KernelResult out;
+    out.timing = engine_.run(profile, phase, cfg);
+
+    // Uncore/memory-path activity: fraction of L2 service bandwidth in
+    // use while the kernel is busy.
+    const double busy = std::max(out.timing.busyTime, 1e-12);
+    const double l2Bps = out.timing.requestedBytes / busy;
+    const double l2Activity = std::min(
+        1.0,
+        l2Bps / engine_.cacheModel().l2Bandwidth(cfg.computeFreqMhz));
+
+    // Activity during the busy phase: the fraction of busy time the
+    // vector ALUs are issuing (the counters themselves are normalized
+    // to total time, which would double-count the idle launch window).
+    const double busyValuPct =
+        std::min(100.0, 100.0 * out.timing.computeTime / busy);
+    const GpuPowerBreakdown busyGpu =
+        gpuPower_.power(cfg, busyValuPct, l2Activity);
+    const GpuPowerBreakdown idleGpu = gpuPower_.idlePower(cfg);
+
+    const double offBps = out.timing.offChipBytes / busy;
+    const MemPowerBreakdown busyMem = engine_.memorySystem().power(
+        cfg.memFreqMhz, std::min(offBps, engine_.memorySystem()
+                                             .peakBandwidth(cfg.memFreqMhz)),
+        phase.rowHitFraction);
+    const MemPowerBreakdown idleMem =
+        engine_.memorySystem().power(cfg.memFreqMhz, 0.0, 1.0);
+
+    const CardPowerBreakdown busyCard =
+        boardPower_.compose(busyGpu, busyMem);
+    const CardPowerBreakdown idleCard =
+        boardPower_.compose(idleGpu, idleMem);
+
+    const double tBusy = out.timing.busyTime;
+    const double tIdle = out.timing.launchOverhead;
+    const double tTotal = std::max(out.timing.execTime, 1e-12);
+
+    out.cardEnergy = busyCard.total() * tBusy + idleCard.total() * tIdle;
+    out.gpuEnergy =
+        busyCard.gpuTotal() * tBusy + idleCard.gpuTotal() * tIdle;
+    out.memEnergy =
+        busyCard.memTotal() * tBusy + idleCard.memTotal() * tIdle;
+
+    // Report the time-weighted average breakdown over the invocation.
+    auto blend = [&](double busyW, double idleW) {
+        return (busyW * tBusy + idleW * tIdle) / tTotal;
+    };
+    out.power.gpu.cuDynamic =
+        blend(busyCard.gpu.cuDynamic, idleCard.gpu.cuDynamic);
+    out.power.gpu.uncoreDynamic =
+        blend(busyCard.gpu.uncoreDynamic, idleCard.gpu.uncoreDynamic);
+    out.power.gpu.leakage =
+        blend(busyCard.gpu.leakage, idleCard.gpu.leakage);
+    out.power.mem.background =
+        blend(busyCard.mem.background, idleCard.mem.background);
+    out.power.mem.activatePrecharge = blend(
+        busyCard.mem.activatePrecharge, idleCard.mem.activatePrecharge);
+    out.power.mem.readWrite =
+        blend(busyCard.mem.readWrite, idleCard.mem.readWrite);
+    out.power.mem.termination =
+        blend(busyCard.mem.termination, idleCard.mem.termination);
+    out.power.mem.phy = blend(busyCard.mem.phy, idleCard.mem.phy);
+    out.power.other = blend(busyCard.other, idleCard.other);
+    return out;
+}
+
+} // namespace harmonia

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The complete simulated GPU card: timing engine + power models.
+ *
+ * GpuDevice is the library's main substrate object. Governors,
+ * examples, and benchmarks run kernels through it and receive a
+ * KernelResult combining execution time, the Table 2 counter snapshot,
+ * and the measured card power breakdown (Equation 4), with energy
+ * integrated the way the paper's DAQ setup would measure it.
+ */
+
+#ifndef HARMONIA_SIM_GPU_DEVICE_HH
+#define HARMONIA_SIM_GPU_DEVICE_HH
+
+#include "power/board_power.hh"
+#include "power/gpu_power.hh"
+#include "timing/timing_engine.hh"
+
+namespace harmonia
+{
+
+/** Result of one kernel invocation on the device. */
+struct KernelResult
+{
+    KernelTiming timing;       ///< Time + counters.
+    CardPowerBreakdown power;  ///< Average power while executing (W).
+    double cardEnergy = 0.0;   ///< Card energy over the kernel (J).
+    double gpuEnergy = 0.0;    ///< Chip-only energy (J).
+    double memEnergy = 0.0;    ///< Memory-only energy (J).
+
+    /** Execution time shorthand (s). */
+    double time() const { return timing.execTime; }
+
+    /** Energy-delay product (J*s). */
+    double ed() const { return cardEnergy * time(); }
+
+    /** Energy-delay-squared product (J*s^2). */
+    double ed2() const { return cardEnergy * time() * time(); }
+};
+
+/**
+ * The simulated GPU card.
+ */
+class GpuDevice
+{
+  public:
+    /** Build with explicit models. */
+    GpuDevice(const GcnDeviceConfig &dev, TimingEngine engine,
+              GpuPowerModel gpuPower, BoardPowerModel boardPower);
+
+    /** Default HD7970 device. */
+    GpuDevice();
+
+    const GcnDeviceConfig &config() const { return dev_; }
+    const ConfigSpace &space() const { return engine_.configSpace(); }
+    const TimingEngine &engine() const { return engine_; }
+    const GpuPowerModel &gpuPower() const { return gpuPower_; }
+    const BoardPowerModel &boardPower() const { return boardPower_; }
+
+    /** Run one invocation of @p profile at iteration @p iteration. */
+    KernelResult run(const KernelProfile &profile, int iteration,
+                     const HardwareConfig &cfg) const;
+
+    /** Run with an explicit phase (bypasses the phase function). */
+    KernelResult run(const KernelProfile &profile,
+                     const KernelPhase &phase,
+                     const HardwareConfig &cfg) const;
+
+  private:
+    GcnDeviceConfig dev_;
+    TimingEngine engine_;
+    GpuPowerModel gpuPower_;
+    BoardPowerModel boardPower_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_SIM_GPU_DEVICE_HH

@@ -1,0 +1,64 @@
+#include "stacked_device.hh"
+
+namespace harmonia
+{
+
+GcnDeviceConfig
+stackedMemoryConfig()
+{
+    GcnDeviceConfig cfg = hd7970();
+    // Four HBM-style stacks, each a 1024-bit channel, double data
+    // rate: peak BW = f x 512 B x 2.
+    cfg.memChannels = 4;
+    cfg.memBusBitsPerChannel = 1024;
+    cfg.gddr5TransferRate = 2;
+    cfg.memFreqMinMhz = 200;  // 205 GB/s
+    cfg.memFreqMaxMhz = 550;  // 563 GB/s
+    cfg.memFreqStepMhz = 50;  // 8 lattice points
+    cfg.validate();
+    return cfg;
+}
+
+Gddr5PowerParams
+stackedMemoryPowerParams()
+{
+    Gddr5PowerParams p;
+    p.refFreqMhz = 550.0;
+    // On-package interconnect: ~4x lower per-bit IO energy, no board
+    // termination network, smaller PHY.
+    p.backgroundAtRef = 10.0;
+    p.standbyFloor = 2.0;
+    p.readWriteEnergyPjPerByte = 20.0;
+    p.terminationEnergyPjPerByte = 4.0;
+    p.phyIdleAtRef = 5.0;
+    p.phyEnergyPjPerByte = 4.0;
+    // On-package voltage regulation makes interface DVFS available.
+    p.voltageScaling = true;
+    return p;
+}
+
+Gddr5TimingParams
+stackedMemoryTimingParams()
+{
+    Gddr5TimingParams t;
+    t.coreLatencyNs = 140.0; // shorter path to the dies
+    t.interfaceCycles = 30.0;
+    return t;
+}
+
+GpuDevice
+makeStackedDevice()
+{
+    const GcnDeviceConfig cfg = stackedMemoryConfig();
+    const Gddr5Model model(stackedMemoryTimingParams(),
+                           stackedMemoryPowerParams());
+    // The L2->MC crossing still runs at the compute clock; a wider
+    // on-package interface doubles its width.
+    MemorySystem memsys(cfg, model, 640.0);
+    TimingEngine engine(cfg, CacheModel(cfg), std::move(memsys),
+                        TimingParams{});
+    return GpuDevice(cfg, std::move(engine), GpuPowerModel(cfg),
+                     BoardPowerModel());
+}
+
+} // namespace harmonia

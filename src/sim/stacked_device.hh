@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Future-system variant: a GPU with on-package stacked DRAM.
+ *
+ * The paper's conclusion and insight 6 point at exactly this system:
+ * "with advanced packaging technologies, compute and memory will
+ * share tighter package power envelopes (e.g., compute with stacked
+ * memory) ... coordinated power management and the concept of
+ * hardware balance will become increasingly important in such
+ * systems." This module builds that device so the `ext_stacked_memory`
+ * bench can quantify how Harmonia behaves when the memory system is a
+ * wide, slow-clocked, low-energy-per-bit HBM-style stack instead of
+ * GDDR5:
+ *
+ *  - 4 stacks x 1024-bit channels (512 B aggregate bus) at 200-550
+ *    MHz DDR -> 205..563 GB/s peak, i.e. roughly 2x the GDDR5 card;
+ *  - far lower per-bit interface energy (no board traces to drive)
+ *    but a shared, tighter package envelope;
+ *  - interface voltage scaling available (on-package regulation).
+ */
+
+#ifndef HARMONIA_SIM_STACKED_DEVICE_HH
+#define HARMONIA_SIM_STACKED_DEVICE_HH
+
+#include "sim/gpu_device.hh"
+
+namespace harmonia
+{
+
+/** Architecture description of the stacked-memory variant. */
+GcnDeviceConfig stackedMemoryConfig();
+
+/** GDDR5-model parameters retuned for an HBM-style stack. */
+Gddr5PowerParams stackedMemoryPowerParams();
+
+/** Timing parameters of the stack (lower interface latency). */
+Gddr5TimingParams stackedMemoryTimingParams();
+
+/**
+ * Build the full stacked-memory device (timing engine + power models).
+ * API-identical to the default GpuDevice, so every governor, bench,
+ * and example runs on it unchanged.
+ */
+GpuDevice makeStackedDevice();
+
+} // namespace harmonia
+
+#endif // HARMONIA_SIM_STACKED_DEVICE_HH

@@ -1,0 +1,49 @@
+#include "cache_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+#include "common/units.hh"
+
+namespace harmonia
+{
+
+CacheModel::CacheModel(const GcnDeviceConfig &dev, CacheModelParams params)
+    : dev_(dev), params_(params)
+{
+    dev_.validate();
+    fatalIf(params_.thrashExponent <= 0.0,
+            "CacheModel: thrashExponent must be positive");
+    fatalIf(params_.l2BytesPerCycle <= 0.0,
+            "CacheModel: l2BytesPerCycle must be positive");
+}
+
+CacheModel::CacheModel(const GcnDeviceConfig &dev)
+    : CacheModel(dev, CacheModelParams{})
+{
+}
+
+double
+CacheModel::hitRate(const KernelPhase &phase, int cuCount) const
+{
+    fatalIf(cuCount <= 0, "CacheModel: cuCount must be positive");
+    phase.validate();
+    if (phase.l2FootprintPerCuBytes <= 0.0)
+        return phase.l2HitBase;
+    const double footprint = phase.l2FootprintPerCuBytes * cuCount;
+    const double ratio = footprint / static_cast<double>(dev_.l2Bytes);
+    if (ratio <= 1.0)
+        return phase.l2HitBase;
+    return phase.l2HitBase / std::pow(ratio, params_.thrashExponent);
+}
+
+double
+CacheModel::l2Bandwidth(double computeFreqMhz) const
+{
+    fatalIf(computeFreqMhz <= 0.0,
+            "CacheModel: compute frequency must be positive");
+    return mhzToHz(computeFreqMhz) * params_.l2BytesPerCycle;
+}
+
+} // namespace harmonia

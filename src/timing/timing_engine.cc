@@ -1,0 +1,155 @@
+#include "timing_engine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+#include "common/units.hh"
+
+namespace harmonia
+{
+
+TimingEngine::TimingEngine(const GcnDeviceConfig &dev, CacheModel cache,
+                           MemorySystem memsys, TimingParams params)
+    : dev_(dev), space_(dev), cache_(std::move(cache)),
+      memsys_(std::move(memsys)), params_(params)
+{
+    dev_.validate();
+    fatalIf(params_.issueEfficiency <= 0.0 ||
+                params_.issueEfficiency > 1.0,
+            "TimingEngine: issueEfficiency must be in (0, 1]");
+    fatalIf(params_.launchOverheadSec < 0.0,
+            "TimingEngine: negative launch overhead");
+    fatalIf(params_.bytesPerLane <= 0.0,
+            "TimingEngine: bytesPerLane must be positive");
+    fatalIf(params_.overlapOccupancyKnee <= 0.0 ||
+                params_.overlapOccupancyKnee > 1.0,
+            "TimingEngine: overlapOccupancyKnee must be in (0, 1]");
+}
+
+TimingEngine::TimingEngine(const GcnDeviceConfig &dev)
+    : TimingEngine(dev, CacheModel(dev), MemorySystem(dev, Gddr5Model()),
+                   TimingParams{})
+{
+}
+
+KernelTiming
+TimingEngine::run(const KernelProfile &profile, const KernelPhase &phase,
+                  const HardwareConfig &cfg) const
+{
+    space_.validate(cfg);
+    phase.validate();
+
+    KernelTiming out;
+    out.occupancy = computeOccupancy(dev_, profile.resources);
+
+    const double waves = phase.workItems / dev_.wavefrontSize;
+
+    // ---- Compute side ------------------------------------------------
+    const double aluWaveInsts = waves * phase.aluInstsPerItem;
+    // Divergent branches serialize both paths: extra issue slots are
+    // spent re-executing with complementary lane masks.
+    const double issueSlots =
+        aluWaveInsts * (1.0 + phase.branchDivergence *
+                                  phase.divergenceSerialization);
+    const double issueRate =
+        dev_.peakWaveInstRate(cfg.cuCount, cfg.computeFreqMhz) *
+        params_.issueEfficiency;
+    out.computeTime = issueSlots / issueRate;
+
+    // ---- Memory side -------------------------------------------------
+    const double accessWaveInsts =
+        waves * (phase.fetchInstsPerItem + phase.writeInstsPerItem);
+    const double usefulBytesPerAccess =
+        dev_.wavefrontSize * params_.bytesPerLane;
+    out.requestedBytes =
+        accessWaveInsts * usefulBytesPerAccess / phase.coalescing;
+
+    out.l2HitRate = cache_.hitRate(phase, cfg.cuCount);
+    out.offChipBytes = out.requestedBytes * (1.0 - out.l2HitRate);
+
+    // All traffic is serviced through the L2 (compute clock domain).
+    out.l2Time =
+        out.requestedBytes / cache_.l2Bandwidth(cfg.computeFreqMhz);
+
+    MemDemand demand;
+    demand.outstandingRequests = static_cast<double>(cfg.cuCount) *
+                                 out.occupancy.wavesPerCu *
+                                 phase.mlpPerWave;
+    demand.requestBytes = dev_.cacheLineBytes;
+    demand.rowHitFraction = phase.rowHitFraction;
+    demand.streamEfficiency = phase.streamEfficiency;
+    out.bandwidth = memsys_.resolveBandwidth(
+        cfg.memFreqMhz, cfg.computeFreqMhz, demand);
+
+    out.memTime = out.offChipBytes > 0.0 && out.bandwidth.effectiveBps > 0.0
+                      ? out.offChipBytes / out.bandwidth.effectiveBps
+                      : 0.0;
+
+    // ---- Overlap -----------------------------------------------------
+    // With enough resident waves, compute and memory pipelines overlap
+    // fully and the kernel runs at the slowest of the three; at low
+    // occupancy part of the shorter phases is exposed.
+    const double longest =
+        std::max({out.computeTime, out.l2Time, out.memTime});
+    const double total = out.computeTime + out.l2Time + out.memTime;
+    const double overlap = std::min(
+        1.0, out.occupancy.occupancy / params_.overlapOccupancyKnee);
+    out.busyTime = longest + (1.0 - overlap) * (total - longest);
+    out.launchOverhead = params_.launchOverheadSec;
+    out.execTime = out.busyTime + out.launchOverhead;
+
+    // ---- Counters ----------------------------------------------------
+    // Busy/stall counters are percentages of *total* GPU time for the
+    // invocation (CodeXL semantics, Table 2), so launch overhead
+    // dilutes them — which is exactly the signal that makes tiny
+    // kernels look insensitive to every tunable.
+    CounterSet &ctr = out.counters;
+    const double wallTime = std::max(out.execTime, 1e-12);
+    ctr.valuBusy = std::min(100.0, 100.0 * out.computeTime / wallTime);
+    ctr.valuUtilization = 100.0 * (1.0 - phase.branchDivergence);
+
+    const double memActive = std::max(out.l2Time, out.memTime);
+    ctr.memUnitBusy = std::min(100.0, 100.0 * memActive / wallTime);
+
+    const double busUtil =
+        out.bandwidth.effectiveBps /
+        memsys_.peakBandwidth(cfg.memFreqMhz);
+    const double exposure = 1.0 - overlap;
+    const double stallFrac =
+        std::min(1.0, params_.busStallWeight * busUtil +
+                          params_.exposureStallWeight * exposure);
+    ctr.memUnitStalled = ctr.memUnitBusy * stallFrac;
+
+    const double accesses =
+        phase.fetchInstsPerItem + phase.writeInstsPerItem;
+    const double writeShare =
+        accesses > 0.0 ? phase.writeInstsPerItem / accesses : 0.0;
+    ctr.writeUnitStalled = ctr.memUnitStalled * writeShare;
+
+    ctr.l2CacheHit = 100.0 * out.l2HitRate;
+    const double achievedBps = out.offChipBytes / wallTime;
+    ctr.icActivity = icActivityOf(
+        std::min(achievedBps, memsys_.peakBandwidth(cfg.memFreqMhz)),
+        memsys_.peakBandwidth(cfg.memFreqMhz));
+    ctr.normVgpr = static_cast<double>(profile.resources.vgprPerWorkitem) /
+                   dev_.maxVgprPerWave;
+    ctr.normSgpr = static_cast<double>(profile.resources.sgprPerWave) /
+                   dev_.maxSgprPerWave;
+    ctr.valuInsts = aluWaveInsts;
+    ctr.vfetchInsts = waves * phase.fetchInstsPerItem;
+    ctr.vwriteInsts = waves * phase.writeInstsPerItem;
+    ctr.offChipBytes = out.offChipBytes;
+    ctr.validate();
+
+    return out;
+}
+
+KernelTiming
+TimingEngine::runIteration(const KernelProfile &profile, int iteration,
+                           const HardwareConfig &cfg) const
+{
+    return run(profile, profile.phase(iteration), cfg);
+}
+
+} // namespace harmonia

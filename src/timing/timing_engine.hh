@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The GPU timing engine.
+ *
+ * Maps (kernel profile, phase, hardware configuration) to execution
+ * time and a full performance-counter snapshot. The model reproduces
+ * the mechanisms the paper identifies as governing sensitivity to the
+ * three tunables (Section 3):
+ *
+ *  - compute time scales with active CUs x CU frequency, inflated by
+ *    branch-divergence serialization;
+ *  - memory time is bounded by the min of bus peak bandwidth, the
+ *    L2->MC clock-domain crossing (compute clock), and Little's-law
+ *    concurrency from occupancy x per-wave MLP;
+ *  - all traffic traverses the shared L2, whose hit rate degrades when
+ *    many active CUs thrash it;
+ *  - a fixed kernel-launch overhead makes very small kernels
+ *    insensitive to every tunable;
+ *  - compute and memory overlap fully only at high occupancy.
+ */
+
+#ifndef HARMONIA_TIMING_TIMING_ENGINE_HH
+#define HARMONIA_TIMING_TIMING_ENGINE_HH
+
+#include "arch/occupancy.hh"
+#include "counters/perf_counters.hh"
+#include "dvfs/tunables.hh"
+#include "memsys/memory_system.hh"
+#include "timing/cache_model.hh"
+#include "timing/kernel_profile.hh"
+
+namespace harmonia
+{
+
+/** Global timing-model coefficients. */
+struct TimingParams
+{
+    /** Fraction of peak wave-issue slots usable in practice. */
+    double issueEfficiency = 0.92;
+
+    /** Fixed launch/teardown overhead per kernel invocation (s). */
+    double launchOverheadSec = 12.0e-6;
+
+    /** Bytes accessed per lane per vector memory instruction. */
+    double bytesPerLane = 4.0;
+
+    /** Occupancy at which compute/memory overlap saturates. */
+    double overlapOccupancyKnee = 0.45;
+
+    /** Extra stall weight when the memory bus saturates. */
+    double busStallWeight = 0.55;
+
+    /** Extra stall weight when latency is exposed (low occupancy). */
+    double exposureStallWeight = 0.45;
+};
+
+/** Complete timing result of one kernel invocation. */
+struct KernelTiming
+{
+    double execTime = 0.0;       ///< Total wall time (s), incl. launch.
+    double computeTime = 0.0;    ///< Vector-ALU issue time (s).
+    double l2Time = 0.0;         ///< L2 service time (s).
+    double memTime = 0.0;        ///< Off-chip transfer time (s).
+    double launchOverhead = 0.0; ///< Fixed overhead (s).
+    double busyTime = 0.0;       ///< execTime - launchOverhead.
+
+    OccupancyInfo occupancy;     ///< Concurrency achieved.
+    double l2HitRate = 0.0;      ///< Effective L2 hit rate [0, 1].
+    double requestedBytes = 0.0; ///< Bytes requested of the L2.
+    double offChipBytes = 0.0;   ///< Bytes that went off chip.
+    BandwidthResult bandwidth;   ///< Off-chip bandwidth resolution.
+
+    CounterSet counters;         ///< Kernel-boundary counter snapshot.
+};
+
+/**
+ * Deterministic analytic timing engine. Stateless and const: safe to
+ * share across governors, oracle search, and benchmarks.
+ */
+class TimingEngine
+{
+  public:
+    TimingEngine(const GcnDeviceConfig &dev, CacheModel cache,
+                 MemorySystem memsys, TimingParams params);
+
+    /** Engine with default cache/memory/timing parameters. */
+    explicit TimingEngine(const GcnDeviceConfig &dev);
+
+    const GcnDeviceConfig &device() const { return dev_; }
+    const ConfigSpace &configSpace() const { return space_; }
+    const CacheModel &cacheModel() const { return cache_; }
+    const MemorySystem &memorySystem() const { return memsys_; }
+    const TimingParams &params() const { return params_; }
+
+    /**
+     * Execute one kernel invocation.
+     *
+     * @param profile Static kernel description.
+     * @param phase Dynamic behaviour for this invocation.
+     * @param cfg Hardware configuration; must lie on the lattice.
+     */
+    KernelTiming run(const KernelProfile &profile,
+                     const KernelPhase &phase,
+                     const HardwareConfig &cfg) const;
+
+    /** Convenience: run iteration @p iteration of @p profile. */
+    KernelTiming runIteration(const KernelProfile &profile, int iteration,
+                              const HardwareConfig &cfg) const;
+
+  private:
+    GcnDeviceConfig dev_;
+    ConfigSpace space_;
+    CacheModel cache_;
+    MemorySystem memsys_;
+    TimingParams params_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_TIMING_TIMING_ENGINE_HH

@@ -1,0 +1,36 @@
+#include "app.hh"
+
+#include "common/error.hh"
+
+namespace harmonia
+{
+
+const KernelProfile &
+Application::kernel(const std::string &kernelName) const
+{
+    for (const auto &k : kernels) {
+        if (k.name == kernelName)
+            return k;
+    }
+    fatal("Application '", name, "' has no kernel named '", kernelName,
+          "'");
+}
+
+void
+Application::validate() const
+{
+    fatalIf(name.empty(), "Application: empty name");
+    fatalIf(kernels.empty(), "Application '", name, "': no kernels");
+    fatalIf(iterations <= 0, "Application '", name,
+            "': iterations must be positive");
+    for (const auto &k : kernels) {
+        fatalIf(k.app != name, "Application '", name, "': kernel '",
+                k.name, "' claims app '", k.app, "'");
+        fatalIf(k.name.empty(), "Application '", name,
+                "': kernel with empty name");
+        // Force phase evaluation of the first iteration to validate.
+        (void)k.phase(0);
+    }
+}
+
+} // namespace harmonia

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * BPT (B+Tree searches, Daga & Nutter IA3'12).
+ *
+ * Signature (Section 7.1, Figure 10/13): pointer-chasing lookups with
+ * heavy cache thrashing and memory divergence at 32 active CUs.
+ * Lowering the number of active CUs via power gating *improves*
+ * performance (+11% in the paper) by reducing interference in the
+ * shared L2 — Harmonia's largest ED^2 win (~36%).
+ */
+
+#include "workloads/suite.hh"
+
+namespace harmonia
+{
+
+Application
+makeBpt()
+{
+    Application app;
+    app.name = "BPT";
+    app.iterations = 8;
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "FindK";
+        k.resources.vgprPerWorkitem = 40;
+        k.resources.sgprPerWave = 32;
+        k.resources.workgroupSize = 128;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 512.0 * 1024;
+        p.aluInstsPerItem = 28.0;  // key comparisons per level
+        p.fetchInstsPerItem = 8.0; // one node per tree level
+        p.writeInstsPerItem = 0.2;
+        p.branchDivergence = 0.30;
+        p.coalescing = 0.2;        // divergent node pointers
+        p.l2HitBase = 0.55;        // hot upper levels cache well...
+        p.l2FootprintPerCuBytes = 28.0 * 1024; // ...until CUs thrash
+        p.rowHitFraction = 0.3;
+        p.mlpPerWave = 3.0;
+        p.streamEfficiency = 0.65;
+        app.kernels.push_back(std::move(k));
+    }
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "FindRangeK";
+        k.resources.vgprPerWorkitem = 44;
+        k.resources.sgprPerWave = 34;
+        k.resources.workgroupSize = 128;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 256.0 * 1024;
+        p.aluInstsPerItem = 34.0;
+        p.fetchInstsPerItem = 10.0; // range scan touches siblings
+        p.writeInstsPerItem = 0.5;
+        p.branchDivergence = 0.35;
+        p.coalescing = 0.22;
+        p.l2HitBase = 0.5;
+        p.l2FootprintPerCuBytes = 30.0 * 1024;
+        p.rowHitFraction = 0.3;
+        p.mlpPerWave = 3.0;
+        p.streamEfficiency = 0.65;
+        app.kernels.push_back(std::move(k));
+    }
+
+    app.validate();
+    return app;
+}
+
+} // namespace harmonia

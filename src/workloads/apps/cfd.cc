@@ -1,0 +1,90 @@
+/**
+ * @file
+ * CFD (Rodinia): unstructured-grid Euler solver.
+ *
+ * Signature (Section 7.1): the flux kernel's indirect neighbor
+ * accesses pollute the L2 at full CU count; Harmonia recovers ~3%
+ * performance by reducing active CUs. ComputeFlux is also occupancy
+ * limited by its large register footprint. Long iterative run (the
+ * solver sweeps many time steps), good for FG convergence.
+ */
+
+#include "workloads/suite.hh"
+
+namespace harmonia
+{
+
+Application
+makeCfd()
+{
+    Application app;
+    app.name = "CFD";
+    app.iterations = 20;
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "ComputeFlux";
+        k.resources.vgprPerWorkitem = 60; // occupancy limited: 4 waves
+        k.resources.sgprPerWave = 40;
+        k.resources.workgroupSize = 128;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 512.0 * 1024;
+        p.aluInstsPerItem = 75.0;
+        p.fetchInstsPerItem = 5.0; // neighbor gathers
+        p.writeInstsPerItem = 1.0;
+        p.branchDivergence = 0.20;
+        p.coalescing = 0.6;
+        p.l2HitBase = 0.5;
+        p.l2FootprintPerCuBytes = 27.0 * 1024; // mild thrashing
+        p.rowHitFraction = 0.5;
+        p.mlpPerWave = 4.0;
+        p.streamEfficiency = 0.75;
+        app.kernels.push_back(std::move(k));
+    }
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "ComputeStepFactor";
+        k.resources.vgprPerWorkitem = 28;
+        k.resources.sgprPerWave = 24;
+        k.resources.workgroupSize = 256;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 512.0 * 1024;
+        p.aluInstsPerItem = 20.0;
+        p.fetchInstsPerItem = 2.0;
+        p.writeInstsPerItem = 0.5;
+        p.branchDivergence = 0.05;
+        p.coalescing = 0.8;
+        p.l2HitBase = 0.4;
+        p.l2FootprintPerCuBytes = 10.0 * 1024;
+        p.mlpPerWave = 4.0;
+        app.kernels.push_back(std::move(k));
+    }
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "TimeStep";
+        k.resources.vgprPerWorkitem = 20;
+        k.resources.sgprPerWave = 18;
+        k.resources.workgroupSize = 256;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 256.0 * 1024;
+        p.aluInstsPerItem = 10.0;
+        p.fetchInstsPerItem = 1.5;
+        p.writeInstsPerItem = 1.0;
+        p.branchDivergence = 0.0;
+        p.coalescing = 0.9;
+        p.l2HitBase = 0.3;
+        p.l2FootprintPerCuBytes = 6.0 * 1024;
+        p.mlpPerWave = 4.0;
+        app.kernels.push_back(std::move(k));
+    }
+
+    app.validate();
+    return app;
+}
+
+} // namespace harmonia

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * CoMD (exascale molecular-dynamics proxy).
+ *
+ * Signature (Sections 3.5 and 7.1): EAM_Force_1 is compute-heavy with
+ * phases less sensitive to memory bandwidth, so Harmonia can reduce
+ * the memory bus frequency "just enough" without exposing latency.
+ * AdvanceVelocity has 100% kernel occupancy (VGPRs are not limiting),
+ * giving high memory-level parallelism and high bandwidth sensitivity
+ * (Figure 7). AdvancePosition is a light streaming update.
+ */
+
+#include "workloads/suite.hh"
+
+namespace harmonia
+{
+
+Application
+makeComd()
+{
+    Application app;
+    app.name = "CoMD";
+    app.iterations = 10;
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "EAM_Force_1";
+        k.resources.vgprPerWorkitem = 40;
+        k.resources.sgprPerWave = 36;
+        k.resources.workgroupSize = 128;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 512.0 * 1024;
+        p.aluInstsPerItem = 260.0; // interpolation + force math
+        p.fetchInstsPerItem = 3.0;
+        p.writeInstsPerItem = 1.0;
+        p.branchDivergence = 0.12; // neighbor-list tail effects
+        p.coalescing = 0.8;
+        p.l2HitBase = 0.45;
+        p.l2FootprintPerCuBytes = 14.0 * 1024;
+        p.mlpPerWave = 2.5;
+        app.kernels.push_back(std::move(k));
+    }
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "AdvanceVelocity";
+        k.resources.vgprPerWorkitem = 24; // not limiting: 100% occupancy
+        k.resources.sgprPerWave = 20;
+        k.resources.workgroupSize = 256;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 512.0 * 1024;
+        p.aluInstsPerItem = 18.0;
+        p.fetchInstsPerItem = 4.0;  // positions, velocities, forces
+        p.writeInstsPerItem = 2.0;
+        p.branchDivergence = 0.0;
+        p.coalescing = 0.9;
+        p.l2HitBase = 0.12;
+        p.l2FootprintPerCuBytes = 6.0 * 1024;
+        p.mlpPerWave = 6.0;         // deep MLP from full occupancy
+        p.streamEfficiency = 0.88;
+        app.kernels.push_back(std::move(k));
+    }
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "AdvancePosition";
+        k.resources.vgprPerWorkitem = 20;
+        k.resources.sgprPerWave = 18;
+        k.resources.workgroupSize = 256;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 512.0 * 1024;
+        p.aluInstsPerItem = 12.0;
+        p.fetchInstsPerItem = 3.0;
+        p.writeInstsPerItem = 3.0;
+        p.branchDivergence = 0.0;
+        p.coalescing = 0.9;
+        p.l2HitBase = 0.15;
+        p.l2FootprintPerCuBytes = 6.0 * 1024;
+        p.mlpPerWave = 5.0;
+        app.kernels.push_back(std::move(k));
+    }
+
+    app.validate();
+    return app;
+}
+
+} // namespace harmonia

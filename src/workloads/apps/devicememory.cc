@@ -1,0 +1,50 @@
+/**
+ * @file
+ * DeviceMemory (SHOC): the memory-limit stress benchmark.
+ *
+ * Signature (Sections 3.2 and 3.5, Figures 3b/9): performance
+ * saturates once hardware ops/byte reaches ~4x the minimum
+ * configuration (the balance knee); very poor L2 hit rate keeps the
+ * L2->MC clock-domain crossing on the critical path, so the kernel
+ * stays compute-frequency sensitive at low compute clocks despite
+ * being memory bound. Full occupancy and deep MLP.
+ */
+
+#include "workloads/suite.hh"
+
+namespace harmonia
+{
+
+Application
+makeDeviceMemory()
+{
+    Application app;
+    app.name = "DeviceMemory";
+    app.iterations = 8;
+
+    KernelProfile k;
+    k.app = app.name;
+    k.name = "ReadWrite";
+    k.resources.vgprPerWorkitem = 16; // full occupancy
+    k.resources.sgprPerWave = 16;
+    k.resources.workgroupSize = 256;
+
+    KernelPhase &p = k.basePhase;
+    p.workItems = 4.0 * 1024 * 1024;
+    p.aluInstsPerItem = 60.0;  // address math; knee at ~4x min ops/byte
+    p.fetchInstsPerItem = 4.0;
+    p.writeInstsPerItem = 1.0;
+    p.branchDivergence = 0.0;
+    p.coalescing = 1.0;        // fully coalesced streaming
+    p.l2HitBase = 0.05;        // streams straight through the L2
+    p.l2FootprintPerCuBytes = 4.0 * 1024;
+    p.rowHitFraction = 0.8;
+    p.mlpPerWave = 6.0;
+    p.streamEfficiency = 0.9;
+
+    app.kernels.push_back(std::move(k));
+    app.validate();
+    return app;
+}
+
+} // namespace harmonia

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Graph500: breadth-first search with strongly time-varying phases.
+ *
+ * Signature (Section 7.2, Figures 14-16): the ops/byte demand swings
+ * from 0.64 to bursts of 264 as the BFS frontier grows and collapses
+ * over eight iterations; branch divergence is significant, so compute
+ * sensitivity stays high ~95% of the time (Harmonia pins the CU
+ * frequency at maximum) while bandwidth sensitivity alternates between
+ * medium and low, making the memory bus dither between states.
+ */
+
+#include <algorithm>
+
+#include "workloads/suite.hh"
+
+namespace harmonia
+{
+
+namespace
+{
+
+/** Frontier-size profile over the 8 BFS levels (fraction of peak).
+ * The paper's BottomStepUp iterations span 0.9 to 5.6 seconds — a
+ * ~6x swing — which this profile mirrors. */
+constexpr double kFrontierScale[8] = {0.25, 0.60, 1.00, 0.90,
+                                      0.65, 0.40, 0.25, 0.16};
+
+/** ALU work per item per level: dense levels do bitmap math (high
+ * ops/byte bursts), sparse levels chase edges (low ops/byte). */
+constexpr double kAluPerItem[8] = {350.0, 220.0, 130.0, 120.0,
+                                   140.0, 190.0, 260.0, 350.0};
+
+/** Memory reads per item per level. */
+constexpr double kFetchPerItem[8] = {2.0, 2.5, 3.0, 3.0,
+                                     3.0, 2.5, 2.0, 2.0};
+
+int
+levelOf(int iteration)
+{
+    return iteration % 8;
+}
+
+} // namespace
+
+Application
+makeGraph500()
+{
+    Application app;
+    app.name = "Graph500";
+    app.iterations = 8; // Figure 14 shows eight successive iterations
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "TopDownStep";
+        k.resources.vgprPerWorkitem = 36;
+        k.resources.sgprPerWave = 30;
+        k.resources.workgroupSize = 256;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 1024.0 * 1024;
+        p.aluInstsPerItem = 140.0;
+        p.fetchInstsPerItem = 2.5;
+        p.writeInstsPerItem = 1.0;
+        p.branchDivergence = 0.45;
+        p.divergenceSerialization = 1.6;
+        p.coalescing = 0.6;
+        p.l2HitBase = 0.4;
+        p.l2FootprintPerCuBytes = 16.0 * 1024;
+        p.rowHitFraction = 0.4;
+        p.mlpPerWave = 4.0;
+        p.streamEfficiency = 0.65;
+        k.phaseFn = [](const KernelPhase &base, int iter) {
+            KernelPhase p2 = base;
+            p2.workItems = std::max(
+                1024.0, base.workItems * kFrontierScale[levelOf(iter)]);
+            return p2;
+        };
+        app.kernels.push_back(std::move(k));
+    }
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "BottomStepUp";
+        k.resources.vgprPerWorkitem = 36;
+        k.resources.sgprPerWave = 32;
+        k.resources.workgroupSize = 256;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 2048.0 * 1024;
+        p.aluInstsPerItem = 90.0;
+        p.fetchInstsPerItem = 5.0;
+        p.writeInstsPerItem = 1.0;
+        p.branchDivergence = 0.50;
+        p.divergenceSerialization = 1.6;
+        p.coalescing = 0.7;
+        p.l2HitBase = 0.5;
+        p.l2FootprintPerCuBytes = 14.0 * 1024;
+        p.rowHitFraction = 0.4;
+        p.mlpPerWave = 4.0;
+        p.streamEfficiency = 0.65;
+        k.phaseFn = [](const KernelPhase &base, int iter) {
+            const int level = levelOf(iter);
+            KernelPhase p2 = base;
+            p2.workItems = std::max(
+                1024.0, base.workItems * kFrontierScale[level]);
+            p2.aluInstsPerItem = kAluPerItem[level];
+            p2.fetchInstsPerItem = kFetchPerItem[level];
+            return p2;
+        };
+        app.kernels.push_back(std::move(k));
+    }
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "BitmapConstruct";
+        k.resources.vgprPerWorkitem = 20;
+        k.resources.sgprPerWave = 20;
+        k.resources.workgroupSize = 256;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 32.0 * 1024;
+        p.aluInstsPerItem = 15.0;
+        p.fetchInstsPerItem = 2.0;
+        p.writeInstsPerItem = 2.0;
+        p.branchDivergence = 0.1;
+        p.coalescing = 0.8;
+        p.l2HitBase = 0.3;
+        p.l2FootprintPerCuBytes = 8.0 * 1024;
+        p.mlpPerWave = 5.0;
+        app.kernels.push_back(std::move(k));
+    }
+
+    app.validate();
+    return app;
+}
+
+} // namespace harmonia

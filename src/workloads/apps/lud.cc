@@ -1,0 +1,132 @@
+/**
+ * @file
+ * LUD (Rodinia): dense LU matrix decomposition.
+ *
+ * Signature (Figure 3c): compute-bound at high memory bandwidth, with
+ * the best balance point around 15x the minimum hardware ops/byte.
+ * Three kernels per step — a small divergent diagonal factorization, a
+ * medium perimeter update, and a large internal update that dominates.
+ * Work shrinks as the factorization proceeds (trailing submatrix),
+ * which we express through the iteration phase functions.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "workloads/suite.hh"
+
+namespace harmonia
+{
+
+namespace
+{
+
+/** Trailing-submatrix shrink factor for iteration i of n. */
+double
+ludShrink(int iteration, int total)
+{
+    const double frac =
+        1.0 - static_cast<double>(iteration) / (total + 1);
+    return std::max(0.15, std::pow(frac, 1.5));
+}
+
+} // namespace
+
+Application
+makeLud()
+{
+    Application app;
+    app.name = "LUD";
+    app.iterations = 12;
+    const int totalIters = app.iterations;
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "Diagonal";
+        k.resources.vgprPerWorkitem = 44;
+        k.resources.sgprPerWave = 32;
+        k.resources.ldsPerWorkgroupBytes = 8 * 1024;
+        k.resources.workgroupSize = 64;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 64.0 * 1024;
+        p.aluInstsPerItem = 150.0;
+        p.fetchInstsPerItem = 2.0;
+        p.writeInstsPerItem = 1.0;
+        p.branchDivergence = 0.40; // triangular loop bounds
+        p.divergenceSerialization = 1.2;
+        p.coalescing = 0.8;
+        p.l2HitBase = 0.6;
+        p.l2FootprintPerCuBytes = 8.0 * 1024;
+        p.mlpPerWave = 2.0;
+        k.phaseFn = [totalIters](const KernelPhase &base, int iter) {
+            KernelPhase p2 = base;
+            p2.workItems =
+                std::max(64.0, base.workItems * ludShrink(iter,
+                                                          totalIters));
+            return p2;
+        };
+        app.kernels.push_back(std::move(k));
+    }
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "Perimeter";
+        k.resources.vgprPerWorkitem = 36;
+        k.resources.sgprPerWave = 28;
+        k.resources.ldsPerWorkgroupBytes = 8 * 1024;
+        k.resources.workgroupSize = 128;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 256.0 * 1024;
+        p.aluInstsPerItem = 110.0;
+        p.fetchInstsPerItem = 2.5;
+        p.writeInstsPerItem = 1.0;
+        p.branchDivergence = 0.25;
+        p.coalescing = 0.85;
+        p.l2HitBase = 0.55;
+        p.l2FootprintPerCuBytes = 12.0 * 1024;
+        p.mlpPerWave = 2.5;
+        k.phaseFn = [totalIters](const KernelPhase &base, int iter) {
+            KernelPhase p2 = base;
+            p2.workItems =
+                std::max(128.0, base.workItems * ludShrink(iter,
+                                                           totalIters));
+            return p2;
+        };
+        app.kernels.push_back(std::move(k));
+    }
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "Internal";
+        k.resources.vgprPerWorkitem = 28; // high occupancy (blocked GEMM)
+        k.resources.sgprPerWave = 24;
+        k.resources.ldsPerWorkgroupBytes = 8 * 1024;
+        k.resources.workgroupSize = 256;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 1024.0 * 1024;
+        p.aluInstsPerItem = 120.0; // ops/byte ~ 11: knee near 15x min
+        p.fetchInstsPerItem = 2.0;
+        p.writeInstsPerItem = 0.5;
+        p.branchDivergence = 0.05;
+        p.coalescing = 0.9;
+        p.l2HitBase = 0.5;         // blocked reuse through the LDS/L2
+        p.l2FootprintPerCuBytes = 16.0 * 1024;
+        p.mlpPerWave = 3.0;
+        k.phaseFn = [totalIters](const KernelPhase &base, int iter) {
+            KernelPhase p2 = base;
+            p2.workItems =
+                std::max(256.0, base.workItems * ludShrink(iter,
+                                                           totalIters));
+            return p2;
+        };
+        app.kernels.push_back(std::move(k));
+    }
+
+    app.validate();
+    return app;
+}
+
+} // namespace harmonia

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * MaxFlops (SHOC): the compute-limit stress benchmark.
+ *
+ * Signature (Section 3.2, Figure 3a): performance scales linearly with
+ * compute throughput at any memory configuration; essentially no
+ * memory traffic, so the lowest memory bandwidth costs nothing and is
+ * the most energy-efficient. Full occupancy, no divergence.
+ */
+
+#include "workloads/suite.hh"
+
+namespace harmonia
+{
+
+Application
+makeMaxFlops()
+{
+    Application app;
+    app.name = "MaxFlops";
+    app.iterations = 8;
+
+    KernelProfile k;
+    k.app = app.name;
+    k.name = "MaxFlops";
+    k.resources.vgprPerWorkitem = 24; // 10 waves/SIMD: full occupancy
+    k.resources.sgprPerWave = 16;
+    k.resources.ldsPerWorkgroupBytes = 0;
+    k.resources.workgroupSize = 256;
+
+    KernelPhase &p = k.basePhase;
+    p.workItems = 2.0 * 1024 * 1024;
+    p.aluInstsPerItem = 400.0;    // dense FMA chains
+    p.fetchInstsPerItem = 0.05;   // one initial load per unrolled block
+    p.writeInstsPerItem = 0.01;   // single result store
+    p.branchDivergence = 0.0;
+    p.coalescing = 1.0;
+    p.l2HitBase = 0.8;            // the few accesses hit
+    p.l2FootprintPerCuBytes = 2.0 * 1024;
+    p.rowHitFraction = 0.9;
+    p.mlpPerWave = 1.0;
+    p.streamEfficiency = 0.9;
+
+    app.kernels.push_back(std::move(k));
+    app.validate();
+    return app;
+}
+
+} // namespace harmonia

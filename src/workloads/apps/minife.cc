@@ -1,0 +1,87 @@
+/**
+ * @file
+ * miniFE (finite-element proxy): conjugate-gradient solve dominated by
+ * a sparse matrix-vector product plus two streaming vector kernels.
+ * MatVec has irregular column gathers (partial coalescing); Dot and
+ * Waxpby are bandwidth-bound streams with deep MLP.
+ */
+
+#include "workloads/suite.hh"
+
+namespace harmonia
+{
+
+Application
+makeMiniFe()
+{
+    Application app;
+    app.name = "miniFE";
+    app.iterations = 15;
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "MatVec";
+        k.resources.vgprPerWorkitem = 32;
+        k.resources.sgprPerWave = 28;
+        k.resources.workgroupSize = 256;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 1024.0 * 1024;
+        p.aluInstsPerItem = 16.0;
+        p.fetchInstsPerItem = 5.0; // row ptr, cols, vals, x gathers
+        p.writeInstsPerItem = 0.5;
+        p.branchDivergence = 0.15; // row-length imbalance
+        p.coalescing = 0.5;
+        p.l2HitBase = 0.35;
+        p.l2FootprintPerCuBytes = 20.0 * 1024;
+        p.rowHitFraction = 0.5;
+        p.mlpPerWave = 5.0;
+        p.streamEfficiency = 0.75;
+        app.kernels.push_back(std::move(k));
+    }
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "Dot";
+        k.resources.vgprPerWorkitem = 16;
+        k.resources.sgprPerWave = 16;
+        k.resources.workgroupSize = 256;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 1024.0 * 1024;
+        p.aluInstsPerItem = 8.0;
+        p.fetchInstsPerItem = 2.0;
+        p.writeInstsPerItem = 0.01;
+        p.branchDivergence = 0.0;
+        p.coalescing = 1.0;
+        p.l2HitBase = 0.1;
+        p.l2FootprintPerCuBytes = 4.0 * 1024;
+        p.mlpPerWave = 6.0;
+        app.kernels.push_back(std::move(k));
+    }
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "Waxpby";
+        k.resources.vgprPerWorkitem = 16;
+        k.resources.sgprPerWave = 16;
+        k.resources.workgroupSize = 256;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 1024.0 * 1024;
+        p.aluInstsPerItem = 6.0;
+        p.fetchInstsPerItem = 2.0;
+        p.writeInstsPerItem = 1.0;
+        p.branchDivergence = 0.0;
+        p.coalescing = 1.0;
+        p.l2HitBase = 0.05;
+        p.l2FootprintPerCuBytes = 4.0 * 1024;
+        p.mlpPerWave = 6.0;
+        app.kernels.push_back(std::move(k));
+    }
+
+    app.validate();
+    return app;
+}
+
+} // namespace harmonia

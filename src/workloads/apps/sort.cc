@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Sort (SHOC): radix sort.
+ *
+ * Signature (Sections 3.5 and 7.1, Figures 7/8): BottomScan uses 66
+ * VGPRs per work-item, limiting occupancy to 3 waves/SIMD (30%). The
+ * resulting shallow memory-level parallelism makes it *insensitive* to
+ * memory bus frequency (Harmonia drops the bus to 475 MHz for a ~12%
+ * card-power saving with no performance loss), while its >2M dynamic
+ * instructions with serialization from load imbalance keep it highly
+ * compute-frequency sensitive despite only 6% branch divergence.
+ */
+
+#include "workloads/suite.hh"
+
+namespace harmonia
+{
+
+Application
+makeSort()
+{
+    Application app;
+    app.name = "Sort";
+    app.iterations = 10;
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "BottomScan";
+        k.resources.vgprPerWorkitem = 66; // -> 3 waves/SIMD, 30% occ.
+        k.resources.sgprPerWave = 40;
+        k.resources.ldsPerWorkgroupBytes = 16 * 1024;
+        k.resources.workgroupSize = 256;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 1024.0 * 1024;
+        p.aluInstsPerItem = 135.0; // > 2M wave instructions total
+        p.fetchInstsPerItem = 1.2;
+        p.writeInstsPerItem = 0.6;
+        p.branchDivergence = 0.06;
+        p.divergenceSerialization = 2.0; // digit-bucket imbalance
+        p.coalescing = 0.9;
+        p.l2HitBase = 0.5;
+        p.l2FootprintPerCuBytes = 8.0 * 1024;
+        p.rowHitFraction = 0.6;
+        p.mlpPerWave = 0.8; // shallow MLP from low occupancy
+        p.streamEfficiency = 0.8;
+        app.kernels.push_back(std::move(k));
+    }
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "TopScan";
+        k.resources.vgprPerWorkitem = 32;
+        k.resources.sgprPerWave = 24;
+        k.resources.ldsPerWorkgroupBytes = 8 * 1024;
+        k.resources.workgroupSize = 256;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 32.0 * 1024; // single-workgroup-style scan
+        p.aluInstsPerItem = 30.0;
+        p.fetchInstsPerItem = 2.0;
+        p.writeInstsPerItem = 1.0;
+        p.branchDivergence = 0.15;
+        p.coalescing = 1.0;
+        p.l2HitBase = 0.6;
+        p.l2FootprintPerCuBytes = 2.0 * 1024;
+        p.mlpPerWave = 2.0;
+        app.kernels.push_back(std::move(k));
+    }
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "Reduce";
+        k.resources.vgprPerWorkitem = 20;
+        k.resources.sgprPerWave = 18;
+        k.resources.workgroupSize = 256;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 512.0 * 1024;
+        p.aluInstsPerItem = 10.0;
+        p.fetchInstsPerItem = 2.0;
+        p.writeInstsPerItem = 0.3;
+        p.branchDivergence = 0.05;
+        p.coalescing = 1.0;
+        p.l2HitBase = 0.1;
+        p.l2FootprintPerCuBytes = 4.0 * 1024;
+        p.mlpPerWave = 6.0;
+        app.kernels.push_back(std::move(k));
+    }
+
+    app.validate();
+    return app;
+}
+
+} // namespace harmonia

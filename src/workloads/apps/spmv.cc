@@ -1,0 +1,50 @@
+/**
+ * @file
+ * SPMV (SHOC): sparse matrix-vector multiply (CSR scalar kernel).
+ *
+ * Signature (Section 7.2, Figure 18): irregular column gathers with
+ * poor coalescing and moderate L2 pollution. A kernel where CG
+ * prediction alone leaves savings on the table or overshoots — the
+ * paper calls out LUD and SPMV as the cases where the FG loop's
+ * performance feedback is crucial.
+ */
+
+#include "workloads/suite.hh"
+
+namespace harmonia
+{
+
+Application
+makeSpmv()
+{
+    Application app;
+    app.name = "SPMV";
+    app.iterations = 12;
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "CsrScalar";
+        k.resources.vgprPerWorkitem = 30;
+        k.resources.sgprPerWave = 26;
+        k.resources.workgroupSize = 128;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 1024.0 * 1024;
+        p.aluInstsPerItem = 14.0;
+        p.fetchInstsPerItem = 6.0; // row ptrs, cols, vals, x gathers
+        p.writeInstsPerItem = 0.3;
+        p.branchDivergence = 0.25; // row-length variance
+        p.coalescing = 0.35;
+        p.l2HitBase = 0.42;
+        p.l2FootprintPerCuBytes = 22.0 * 1024;
+        p.rowHitFraction = 0.45;
+        p.mlpPerWave = 5.0;
+        p.streamEfficiency = 0.7;
+        app.kernels.push_back(std::move(k));
+    }
+
+    app.validate();
+    return app;
+}
+
+} // namespace harmonia

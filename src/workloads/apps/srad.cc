@@ -1,0 +1,111 @@
+/**
+ * @file
+ * SRAD (Rodinia): speckle-reducing anisotropic diffusion.
+ *
+ * Signature (Section 3.5, Figure 8): the Prepare kernel has ~75%
+ * branch divergence but only 8 ALU instructions, so despite the
+ * divergence it is dominated by launch overhead and shows almost no
+ * compute-frequency sensitivity — divergence alone does not imply
+ * sensitivity. The two diffusion kernels are medium streaming
+ * stencils; Reduce is a small tree reduction.
+ */
+
+#include "workloads/suite.hh"
+
+namespace harmonia
+{
+
+Application
+makeSrad()
+{
+    Application app;
+    app.name = "SRAD";
+    app.iterations = 16;
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "Prepare";
+        k.resources.vgprPerWorkitem = 12;
+        k.resources.sgprPerWave = 12;
+        k.resources.workgroupSize = 256;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 16.0 * 1024; // tiny kernel
+        p.aluInstsPerItem = 8.0;   // the paper's "only 8 ALU" example
+        p.fetchInstsPerItem = 1.0;
+        p.writeInstsPerItem = 1.0;
+        p.branchDivergence = 0.75; // boundary-condition masking
+        p.divergenceSerialization = 1.2;
+        p.coalescing = 0.9;
+        p.l2HitBase = 0.5;
+        p.l2FootprintPerCuBytes = 2.0 * 1024;
+        p.mlpPerWave = 2.0;
+        app.kernels.push_back(std::move(k));
+    }
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "Reduce";
+        k.resources.vgprPerWorkitem = 16;
+        k.resources.sgprPerWave = 16;
+        k.resources.ldsPerWorkgroupBytes = 4 * 1024;
+        k.resources.workgroupSize = 256;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 64.0 * 1024;
+        p.aluInstsPerItem = 12.0;
+        p.fetchInstsPerItem = 2.0;
+        p.writeInstsPerItem = 0.1;
+        p.branchDivergence = 0.30; // tree-reduction lane retirement
+        p.coalescing = 1.0;
+        p.l2HitBase = 0.3;
+        p.l2FootprintPerCuBytes = 4.0 * 1024;
+        p.mlpPerWave = 4.0;
+        app.kernels.push_back(std::move(k));
+    }
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "Srad1";
+        k.resources.vgprPerWorkitem = 28;
+        k.resources.sgprPerWave = 24;
+        k.resources.workgroupSize = 256;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 512.0 * 1024;
+        p.aluInstsPerItem = 40.0;
+        p.fetchInstsPerItem = 4.0; // 4-neighbor stencil
+        p.writeInstsPerItem = 1.0;
+        p.branchDivergence = 0.10;
+        p.coalescing = 0.85;
+        p.l2HitBase = 0.4;
+        p.l2FootprintPerCuBytes = 10.0 * 1024;
+        p.mlpPerWave = 4.0;
+        app.kernels.push_back(std::move(k));
+    }
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "Srad2";
+        k.resources.vgprPerWorkitem = 26;
+        k.resources.sgprPerWave = 22;
+        k.resources.workgroupSize = 256;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 512.0 * 1024;
+        p.aluInstsPerItem = 35.0;
+        p.fetchInstsPerItem = 4.0;
+        p.writeInstsPerItem = 1.0;
+        p.branchDivergence = 0.08;
+        p.coalescing = 0.85;
+        p.l2HitBase = 0.4;
+        p.l2FootprintPerCuBytes = 10.0 * 1024;
+        p.mlpPerWave = 4.0;
+        app.kernels.push_back(std::move(k));
+    }
+
+    app.validate();
+    return app;
+}
+
+} // namespace harmonia

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Stencil (SHOC): 2D 9-point stencil sweep.
+ *
+ * Signature (Section 7.1, Figure 12): the paper's largest card-power
+ * saving (~19%). Moderate compute per point with high streaming
+ * bandwidth demand means the balance point uses far fewer than 32 CUs
+ * — Harmonia power gates CUs (the big saving) and trims the memory
+ * bus to what the remaining compute can consume.
+ */
+
+#include "workloads/suite.hh"
+
+namespace harmonia
+{
+
+Application
+makeStencil()
+{
+    Application app;
+    app.name = "Stencil";
+    app.iterations = 12;
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "Stencil9";
+        k.resources.vgprPerWorkitem = 25; // full occupancy
+        k.resources.sgprPerWave = 20;
+        k.resources.workgroupSize = 256;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 2.0 * 1024 * 1024;
+        p.aluInstsPerItem = 12.0;  // few FLOPs per point: streaming
+        p.fetchInstsPerItem = 4.0; // halo reads beyond the LDS tile
+        p.writeInstsPerItem = 1.0;
+        p.branchDivergence = 0.04; // boundary rows
+        p.coalescing = 0.95;
+        p.l2HitBase = 0.5;         // row reuse across workgroups
+        p.l2FootprintPerCuBytes = 8.0 * 1024;
+        p.rowHitFraction = 0.85;
+        p.mlpPerWave = 5.0;
+        p.streamEfficiency = 0.88;
+        app.kernels.push_back(std::move(k));
+    }
+
+    app.validate();
+    return app;
+}
+
+} // namespace harmonia

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Streamcluster (Rodinia): online clustering.
+ *
+ * Signature (Section 7.1, Figure 13): its bandwidth sensitivity sits
+ * just below the HIGH bin boundary — the "edge effect of sensitivity
+ * binning". Coarse-grain tuning alone therefore under-provisions the
+ * memory bus and loses up to ~27% performance; the feedback-driven FG
+ * loop recovers it to a ~3.6% loss. The kernel is tuned so memory time
+ * is ~0.86x of compute time at the maximum configuration, which lands
+ * the measured bandwidth sensitivity near 0.69.
+ */
+
+#include "workloads/suite.hh"
+
+namespace harmonia
+{
+
+Application
+makeStreamcluster()
+{
+    Application app;
+    app.name = "Streamcluster";
+    app.iterations = 14;
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "PGain";
+        k.resources.vgprPerWorkitem = 24;
+        k.resources.sgprPerWave = 22;
+        k.resources.workgroupSize = 256;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 1024.0 * 1024;
+        p.aluInstsPerItem = 300.0; // distance computations
+        p.fetchInstsPerItem = 5.0;
+        p.writeInstsPerItem = 0.5;
+        p.branchDivergence = 0.10;
+        p.coalescing = 0.8;
+        p.l2HitBase = 0.2;
+        p.l2FootprintPerCuBytes = 6.0 * 1024;
+        p.rowHitFraction = 0.65;
+        p.mlpPerWave = 6.0;
+        p.streamEfficiency = 0.55; // strided centroids cap the bus
+        app.kernels.push_back(std::move(k));
+    }
+
+    {
+        KernelProfile k;
+        k.app = app.name;
+        k.name = "CenterShift";
+        k.resources.vgprPerWorkitem = 20;
+        k.resources.sgprPerWave = 18;
+        k.resources.workgroupSize = 256;
+        KernelPhase &p = k.basePhase;
+        p.workItems = 128.0 * 1024;
+        p.aluInstsPerItem = 18.0;
+        p.fetchInstsPerItem = 3.0;
+        p.writeInstsPerItem = 1.0;
+        p.branchDivergence = 0.15;
+        p.coalescing = 0.9;
+        p.l2HitBase = 0.3;
+        p.l2FootprintPerCuBytes = 6.0 * 1024;
+        p.mlpPerWave = 5.0;
+        app.kernels.push_back(std::move(k));
+    }
+
+    app.validate();
+    return app;
+}
+
+} // namespace harmonia

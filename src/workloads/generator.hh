@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Random synthetic kernel generator.
+ *
+ * Produces well-formed kernels spanning the whole behaviour space
+ * (compute bound to memory bound, any occupancy, any divergence) for
+ * property-based tests and robustness sweeps of the governors. All
+ * randomness flows through an explicit Rng, so every generated kernel
+ * is reproducible from a seed.
+ */
+
+#ifndef HARMONIA_WORKLOADS_GENERATOR_HH
+#define HARMONIA_WORKLOADS_GENERATOR_HH
+
+#include "common/rng.hh"
+#include "timing/kernel_profile.hh"
+#include "workloads/app.hh"
+
+namespace harmonia
+{
+
+/** Bounds for generated kernels. */
+struct GeneratorConfig
+{
+    double minWorkItems = 16.0 * 1024;
+    double maxWorkItems = 4.0 * 1024 * 1024;
+    double maxAluPerItem = 400.0;
+    double maxFetchPerItem = 10.0;
+    double maxWritePerItem = 4.0;
+    double maxDivergence = 0.8;
+    int maxVgpr = 128;
+    int maxSgpr = 64;
+};
+
+/**
+ * Generates random kernels and applications.
+ */
+class WorkloadGenerator
+{
+  public:
+    explicit WorkloadGenerator(uint64_t seed,
+                               GeneratorConfig config = {});
+
+    /** One random, validated kernel named @p app . @p name. */
+    KernelProfile randomKernel(const std::string &app,
+                               const std::string &name);
+
+    /** A random application with @p kernelCount kernels. */
+    Application randomApp(const std::string &name, int kernelCount,
+                          int iterations);
+
+  private:
+    Rng rng_;
+    GeneratorConfig config_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_WORKLOADS_GENERATOR_HH

@@ -1,0 +1,41 @@
+#include "suite.hh"
+
+#include "common/error.hh"
+
+namespace harmonia
+{
+
+std::vector<Application>
+standardSuite()
+{
+    return {
+        makeComd(),     makeXsbench(),      makeMiniFe(),
+        makeGraph500(), makeBpt(),          makeCfd(),
+        makeLud(),      makeSrad(),         makeStreamcluster(),
+        makeStencil(),  makeSort(),         makeSpmv(),
+        makeMaxFlops(), makeDeviceMemory(),
+    };
+}
+
+std::vector<Application>
+suiteWithoutStress()
+{
+    std::vector<Application> out;
+    for (auto &app : standardSuite()) {
+        if (app.name != "MaxFlops" && app.name != "DeviceMemory")
+            out.push_back(std::move(app));
+    }
+    return out;
+}
+
+Application
+appByName(const std::string &name)
+{
+    for (auto &app : standardSuite()) {
+        if (app.name == name)
+            return app;
+    }
+    fatal("appByName: no application named '", name, "'");
+}
+
+} // namespace harmonia

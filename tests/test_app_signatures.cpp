@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Per-application signature tests: each application in the suite must
+ * exhibit the behaviour the paper documents for its real counterpart,
+ * measured end-to-end on the device model (not just asserted on the
+ * profile parameters).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sensitivity.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+const GpuDevice &
+device()
+{
+    static GpuDevice dev;
+    return dev;
+}
+
+SensitivityVector
+sens(const std::string &app, const std::string &kernel)
+{
+    return measureSensitivities(device(),
+                                appByName(app).kernel(kernel), 0);
+}
+
+} // namespace
+
+TEST(AppSignature, MaxFlopsPerfScalesTo26xMinConfig)
+{
+    // Figure 3a: normalized performance reaches ~27x.
+    const KernelProfile k = makeMaxFlops().kernels.front();
+    const double tMin =
+        device().run(k, 0, device().space().minConfig()).time();
+    const double tMax =
+        device().run(k, 0, device().space().maxConfig()).time();
+    EXPECT_NEAR(tMin / tMax, 26.7, 1.5);
+}
+
+TEST(AppSignature, DeviceMemoryBalanceKneeNearFourX)
+{
+    // Figure 3b: performance saturates at normalized hardware
+    // ops/byte ~4 on the max-memory curve.
+    const KernelProfile k = makeDeviceMemory().kernels.front();
+    const ConfigSpace &space = device().space();
+    double bestPerf = 0.0;
+    for (const auto &cfg : space.allConfigs()) {
+        if (cfg.memFreqMhz != 1375)
+            continue;
+        bestPerf =
+            std::max(bestPerf, 1.0 / device().run(k, 0, cfg).time());
+    }
+    // Find the smallest normalized ops/byte reaching 95% of best.
+    double kneeOb = 1e9;
+    for (const auto &cfg : space.allConfigs()) {
+        if (cfg.memFreqMhz != 1375)
+            continue;
+        const double perf = 1.0 / device().run(k, 0, cfg).time();
+        if (perf >= 0.95 * bestPerf)
+            kneeOb = std::min(kneeOb,
+                              space.normalizedOpsPerByte(cfg));
+    }
+    EXPECT_GT(kneeOb, 2.0);
+    EXPECT_LT(kneeOb, 6.5);
+}
+
+TEST(AppSignature, ComdEamForceIsComputeBoundAdvanceVelocityIsNot)
+{
+    const SensitivityVector eam = sens("CoMD", "EAM_Force_1");
+    const SensitivityVector vel = sens("CoMD", "AdvanceVelocity");
+    EXPECT_GT(eam.compute(), 0.7);
+    EXPECT_LT(eam.memBandwidth, 0.2);
+    EXPECT_GT(vel.memBandwidth, 0.7);
+    EXPECT_LT(vel.compute(), 0.3);
+}
+
+TEST(AppSignature, XsbenchGainsFromCuGating)
+{
+    // Section 7.1: lowering active CUs improves XSBench performance.
+    const KernelProfile k = appByName("XSBench").kernel("LookupMacroXS");
+    const double t32 = device().run(k, 0, {32, 1000, 1375}).time();
+    const double t20 = device().run(k, 0, {20, 1000, 1375}).time();
+    EXPECT_LT(t20, t32);
+}
+
+TEST(AppSignature, CfdComputeFluxMildThrashRelief)
+{
+    const KernelProfile k = appByName("CFD").kernel("ComputeFlux");
+    const double t32 = device().run(k, 0, {32, 1000, 1375}).time();
+    const double t24 = device().run(k, 0, {24, 1000, 1375}).time();
+    // Mild effect: fewer CUs must not cost more than ~3%.
+    EXPECT_LT(t24, t32 * 1.03);
+}
+
+TEST(AppSignature, SortBottomScanToleratesMinimumMemoryFrequency)
+{
+    // Section 7.1: memory bus down to 475 MHz without hurting
+    // performance (low occupancy -> shallow MLP).
+    const KernelProfile k = appByName("Sort").kernel("BottomScan");
+    const double tHi = device().run(k, 0, {32, 1000, 1375}).time();
+    const double tLo = device().run(k, 0, {32, 1000, 475}).time();
+    EXPECT_LT(tLo / tHi, 1.10);
+}
+
+TEST(AppSignature, StencilToleratesCuGating)
+{
+    // Stencil is the big power-saving case: CU count can fall well
+    // below 32 without performance loss.
+    const KernelProfile k = appByName("Stencil").kernel("Stencil9");
+    const double t32 = device().run(k, 0, {32, 1000, 1375}).time();
+    const double t16 = device().run(k, 0, {16, 1000, 1375}).time();
+    EXPECT_LT(t16 / t32, 1.05);
+}
+
+TEST(AppSignature, StreamclusterPgainNarrowlyMissesHighBin)
+{
+    // Section 7.1: the CG-only outlier comes from the bandwidth
+    // sensitivity landing just below the HIGH boundary (0.70).
+    const SensitivityVector s = sens("Streamcluster", "PGain");
+    EXPECT_GT(s.memBandwidth, 0.5);
+    EXPECT_LE(s.memBandwidth, 0.70);
+    EXPECT_EQ(binOf(s.memBandwidth), SensitivityBin::Med);
+}
+
+TEST(AppSignature, Graph500ComputeSensitivityHighAcrossLevels)
+{
+    // Section 7.2: compute sensitivity is high ~95% of the time.
+    const KernelProfile k =
+        appByName("Graph500").kernel("BottomStepUp");
+    int high = 0;
+    for (int iter = 0; iter < 8; ++iter) {
+        const SensitivityVector s =
+            measureSensitivities(device(), k, iter);
+        high += s.compute() > 0.6;
+    }
+    EXPECT_GE(high, 6);
+}
+
+TEST(AppSignature, Graph500BandwidthDemandVariesAcrossLevels)
+{
+    // The per-level bandwidth *demand* (icActivity, what the online
+    // predictor keys on) must swing enough across BFS levels to make
+    // the memory-frequency bin dither, per Figures 15/16.
+    const KernelProfile k =
+        appByName("Graph500").kernel("BottomStepUp");
+    double lo = 1e9;
+    double hi = 0.0;
+    for (int iter = 0; iter < 8; ++iter) {
+        const double icAct =
+            device()
+                .run(k, iter, device().space().maxConfig())
+                .timing.counters.icActivity;
+        lo = std::min(lo, icAct);
+        hi = std::max(hi, icAct);
+    }
+    EXPECT_GT(hi, 1.5 * lo);
+}
+
+TEST(AppSignature, MiniFeStreamsAreBandwidthBound)
+{
+    EXPECT_GT(sens("miniFE", "Dot").memBandwidth, 0.5);
+    EXPECT_GT(sens("miniFE", "Waxpby").memBandwidth, 0.5);
+    EXPECT_GT(sens("miniFE", "MatVec").memBandwidth, 0.7);
+}
+
+TEST(AppSignature, SpmvIsIrregularMemoryBound)
+{
+    const SensitivityVector s = sens("SPMV", "CsrScalar");
+    EXPECT_GT(s.memBandwidth, 0.8);
+    EXPECT_LT(s.compute(), 0.3);
+}
+
+TEST(AppSignature, LudInternalDominatesAndIsComputeBound)
+{
+    const Application app = appByName("LUD");
+    const double tDiag =
+        device().run(app.kernel("Diagonal"), 0,
+                     device().space().maxConfig()).time();
+    const double tInt =
+        device().run(app.kernel("Internal"), 0,
+                     device().space().maxConfig()).time();
+    EXPECT_GT(tInt, tDiag);
+    EXPECT_GT(sens("LUD", "Internal").compute(), 0.7);
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the PowerTune-style baseline governor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "core/baseline_governor.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+KernelSample
+sampleAt(const HardwareConfig &cfg, double watts)
+{
+    KernelSample s;
+    s.kernelId = "a.k";
+    s.config = cfg;
+    s.execTime = 1e-3;
+    s.cardEnergy = watts * s.execTime;
+    return s;
+}
+
+} // namespace
+
+TEST(Baseline, AlwaysBoostWithHeadroom)
+{
+    // Section 7: "the baseline power management always runs at the
+    // boost frequency of 1 GHz for all applications".
+    const ConfigSpace space(hd7970());
+    BaselineGovernor governor(space);
+    const KernelProfile k = makeComd().kernels.front();
+    for (int iter = 0; iter < 5; ++iter) {
+        const HardwareConfig cfg = governor.decide(k, iter);
+        EXPECT_EQ(cfg, space.maxConfig());
+        governor.observe(sampleAt(cfg, 200.0));
+    }
+}
+
+TEST(Baseline, StepsDpmDownWhenOverBudget)
+{
+    const ConfigSpace space(hd7970());
+    BaselineGovernor governor(space, 150.0); // tight TDP
+    const KernelProfile k = makeComd().kernels.front();
+    HardwareConfig cfg = governor.decide(k, 0);
+    for (int iter = 0; iter < 6; ++iter) {
+        governor.observe(sampleAt(cfg, 220.0));
+        cfg = governor.decide(k, iter + 1);
+    }
+    EXPECT_LT(governor.currentFreqMhz(), 1000);
+    // Memory and CU count are never managed by the baseline.
+    EXPECT_EQ(cfg.memFreqMhz, 1375);
+    EXPECT_EQ(cfg.cuCount, 32);
+}
+
+TEST(Baseline, RecoversWhenHeadroomReturns)
+{
+    const ConfigSpace space(hd7970());
+    BaselineGovernor governor(space, 150.0);
+    const KernelProfile k = makeComd().kernels.front();
+    HardwareConfig cfg = governor.decide(k, 0);
+    for (int iter = 0; iter < 4; ++iter) {
+        governor.observe(sampleAt(cfg, 220.0));
+        cfg = governor.decide(k, iter);
+    }
+    EXPECT_LT(governor.currentFreqMhz(), 1000);
+    for (int iter = 0; iter < 12; ++iter) {
+        governor.observe(sampleAt(cfg, 80.0));
+        cfg = governor.decide(k, iter);
+    }
+    EXPECT_EQ(governor.currentFreqMhz(), 1000);
+}
+
+TEST(Baseline, ResetRestoresBoost)
+{
+    const ConfigSpace space(hd7970());
+    BaselineGovernor governor(space, 100.0);
+    const KernelProfile k = makeComd().kernels.front();
+    const HardwareConfig cfg = governor.decide(k, 0);
+    governor.observe(sampleAt(cfg, 300.0));
+    governor.observe(sampleAt(governor.decide(k, 1), 300.0));
+    EXPECT_LT(governor.currentFreqMhz(), 1000);
+    governor.reset();
+    EXPECT_EQ(governor.decide(k, 0), space.maxConfig());
+}
+
+TEST(Baseline, NameAndValidation)
+{
+    const ConfigSpace space(hd7970());
+    EXPECT_EQ(BaselineGovernor(space).name(), "Baseline");
+    EXPECT_THROW(BaselineGovernor(space, 0.0), ConfigError);
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the shared-L2 interference (thrashing) model.
+ */
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+
+#include "common/error.hh"
+#include "timing/cache_model.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+KernelPhase
+phaseWithFootprint(double perCuBytes, double baseHit)
+{
+    KernelPhase p;
+    p.l2FootprintPerCuBytes = perCuBytes;
+    p.l2HitBase = baseHit;
+    return p;
+}
+
+} // namespace
+
+TEST(CacheModel, NoThrashWhenFootprintFits)
+{
+    const CacheModel cache(hd7970());
+    // 768 KB L2; 16 KB x 32 CUs = 512 KB fits.
+    const KernelPhase p = phaseWithFootprint(16.0 * 1024, 0.6);
+    EXPECT_DOUBLE_EQ(cache.hitRate(p, 32), 0.6);
+    EXPECT_DOUBLE_EQ(cache.hitRate(p, 4), 0.6);
+}
+
+TEST(CacheModel, HitRateCollapsesBeyondCapacity)
+{
+    const CacheModel cache(hd7970());
+    const KernelPhase p = phaseWithFootprint(48.0 * 1024, 0.6);
+    // 48 KB x 32 = 1536 KB = 2x the 768 KB L2.
+    const double at32 = cache.hitRate(p, 32);
+    const double at16 = cache.hitRate(p, 16); // exactly fits
+    EXPECT_LT(at32, 0.6);
+    EXPECT_DOUBLE_EQ(at16, 0.6);
+    // ratio^1.35 with ratio 2.
+    EXPECT_NEAR(at32, 0.6 / std::pow(2.0, 1.35), 1e-12);
+}
+
+TEST(CacheModel, HitRateMonotoneNonIncreasingInCuCount)
+{
+    const CacheModel cache(hd7970());
+    const KernelPhase p = phaseWithFootprint(40.0 * 1024, 0.7);
+    double prev = 1.0;
+    for (int cu = 4; cu <= 32; cu += 4) {
+        const double hit = cache.hitRate(p, cu);
+        EXPECT_LE(hit, prev + 1e-12);
+        EXPECT_GE(hit, 0.0);
+        prev = hit;
+    }
+}
+
+TEST(CacheModel, ZeroFootprintKeepsBaseHit)
+{
+    const CacheModel cache(hd7970());
+    const KernelPhase p = phaseWithFootprint(0.0, 0.42);
+    EXPECT_DOUBLE_EQ(cache.hitRate(p, 32), 0.42);
+}
+
+TEST(CacheModel, L2BandwidthScalesWithComputeClock)
+{
+    const CacheModel cache(hd7970());
+    EXPECT_NEAR(cache.l2Bandwidth(1000.0),
+                cache.params().l2BytesPerCycle * 1e9, 1.0);
+    EXPECT_NEAR(cache.l2Bandwidth(500.0),
+                cache.l2Bandwidth(1000.0) / 2.0, 1.0);
+}
+
+TEST(CacheModel, Validation)
+{
+    CacheModelParams params;
+    params.thrashExponent = 0.0;
+    EXPECT_THROW(CacheModel(hd7970(), params), ConfigError);
+    params = CacheModelParams{};
+    params.l2BytesPerCycle = -1.0;
+    EXPECT_THROW(CacheModel(hd7970(), params), ConfigError);
+
+    const CacheModel cache(hd7970());
+    EXPECT_THROW(cache.hitRate(KernelPhase{}, 0), ConfigError);
+    EXPECT_THROW(cache.l2Bandwidth(0.0), ConfigError);
+}

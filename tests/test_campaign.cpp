@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the evaluation-campaign driver on a reduced suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "core/campaign.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+const GpuDevice &
+device()
+{
+    static GpuDevice dev;
+    return dev;
+}
+
+Campaign &
+smallCampaign()
+{
+    static Campaign campaign = [] {
+        CampaignOptions options;
+        options.includeOracle = true;
+        options.includeFreqOnly = true;
+        Campaign c(device(),
+                   {makeComd(), makeSort(), makeStencil(),
+                    makeMaxFlops()},
+                   options);
+        c.run();
+        return c;
+    }();
+    return campaign;
+}
+
+} // namespace
+
+TEST(Campaign, SchemesIncludeRequestedOnes)
+{
+    const auto schemes = smallCampaign().schemes();
+    EXPECT_EQ(schemes.size(), 5u);
+    EXPECT_EQ(schemes.front(), Scheme::Baseline);
+}
+
+TEST(Campaign, BaselineNormalizedIsOne)
+{
+    for (const auto &app : smallCampaign().appNames()) {
+        for (CampaignMetric m :
+             {CampaignMetric::Ed2, CampaignMetric::Energy,
+              CampaignMetric::Power, CampaignMetric::Time}) {
+            EXPECT_NEAR(
+                smallCampaign().normalized(Scheme::Baseline, app, m),
+                1.0, 1e-12);
+        }
+    }
+}
+
+TEST(Campaign, AppNamesPreserveSuiteOrder)
+{
+    const auto names = smallCampaign().appNames();
+    ASSERT_EQ(names.size(), 4u);
+    EXPECT_EQ(names[0], "CoMD");
+    EXPECT_EQ(names[3], "MaxFlops");
+}
+
+TEST(Campaign, OracleIsBestOnEd2)
+{
+    // The per-iteration exhaustive oracle must beat (or match) every
+    // online scheme on every application.
+    for (const auto &app : smallCampaign().appNames()) {
+        const double oracle = smallCampaign().normalized(
+            Scheme::Oracle, app, CampaignMetric::Ed2);
+        for (Scheme s : {Scheme::Baseline, Scheme::CgOnly,
+                         Scheme::Harmonia, Scheme::FreqOnly}) {
+            EXPECT_LE(oracle,
+                      smallCampaign().normalized(
+                          s, app, CampaignMetric::Ed2) *
+                          1.02)
+                << app << " vs " << schemeName(s);
+        }
+    }
+}
+
+TEST(Campaign, HarmoniaImprovesGeomeanEd2)
+{
+    const double hm = smallCampaign().geomeanNormalized(
+        Scheme::Harmonia, CampaignMetric::Ed2);
+    EXPECT_LT(hm, 1.0);
+}
+
+TEST(Campaign, GeomeanExcludingStressDropsMaxFlops)
+{
+    const double all = smallCampaign().geomeanNormalized(
+        Scheme::Harmonia, CampaignMetric::Ed2, false);
+    const double noStress = smallCampaign().geomeanNormalized(
+        Scheme::Harmonia, CampaignMetric::Ed2, true);
+    EXPECT_NE(all, noStress);
+}
+
+TEST(Campaign, TrainingAndPredictorAccessible)
+{
+    EXPECT_GT(smallCampaign().training().samples.size(), 50u);
+    EXPECT_GT(smallCampaign().training().bandwidthFit.correlation, 0.7);
+    // Predictor callable.
+    CounterSet c;
+    c.memUnitBusy = 90.0;
+    c.icActivity = 0.9;
+    EXPECT_GE(smallCampaign().predictor().predictBandwidth(c), 0.0);
+}
+
+TEST(Campaign, ErrorsBeforeRunAndOnUnknownApp)
+{
+    Campaign fresh(device(), {makeMaxFlops()});
+    EXPECT_THROW(fresh.result(Scheme::Baseline, "MaxFlops"),
+                 ConfigError);
+    EXPECT_THROW(
+        smallCampaign().result(Scheme::Baseline, "NotThere"),
+        ConfigError);
+    EXPECT_THROW(Campaign(device(), {}), ConfigError);
+}
+
+TEST(SchemeName, AllNamed)
+{
+    EXPECT_STREQ(schemeName(Scheme::Baseline), "Baseline");
+    EXPECT_STREQ(schemeName(Scheme::CgOnly), "CG");
+    EXPECT_STREQ(schemeName(Scheme::Harmonia), "FG+CG");
+    EXPECT_STREQ(schemeName(Scheme::Oracle), "Oracle");
+    EXPECT_STREQ(schemeName(Scheme::FreqOnly), "FreqOnly");
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Unit tests for the clock-domain descriptors and the L2->MC
+ * crossing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/clock_domain.hh"
+#include "common/error.hh"
+
+using namespace harmonia;
+
+TEST(ClockDomain, PeriodIsInverseFrequency)
+{
+    const ClockDomain domain{"compute", 1000.0};
+    EXPECT_NEAR(domain.period(), 1e-9, 1e-15);
+}
+
+TEST(DomainCrossing, BandwidthScalesWithComputeClock)
+{
+    const DomainCrossing crossing(320.0);
+    EXPECT_NEAR(crossing.maxBandwidth(1000.0), 320e9, 1.0);
+    EXPECT_NEAR(crossing.maxBandwidth(300.0), 96e9, 1.0);
+    EXPECT_DOUBLE_EQ(crossing.bytesPerComputeCycle(), 320.0);
+}
+
+TEST(DomainCrossing, BindsBelowPeakMemoryBandwidthAtLowClocks)
+{
+    // The Figure 9 premise: at 300 MHz the crossing (96 GB/s) is well
+    // below the 264 GB/s bus peak; at 1 GHz it is comfortably above.
+    const DomainCrossing crossing(320.0);
+    EXPECT_LT(crossing.maxBandwidth(300.0), 264e9);
+    EXPECT_GT(crossing.maxBandwidth(1000.0), 264e9);
+}
+
+TEST(DomainCrossing, RejectsBadArguments)
+{
+    EXPECT_THROW(DomainCrossing(0.0), ConfigError);
+    EXPECT_THROW(DomainCrossing(-1.0), ConfigError);
+    const DomainCrossing crossing(64.0);
+    EXPECT_THROW(crossing.maxBandwidth(0.0), ConfigError);
+    EXPECT_THROW(crossing.maxBandwidth(-5.0), ConfigError);
+}

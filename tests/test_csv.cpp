@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the CSV writer.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.hh"
+#include "common/error.hh"
+
+using namespace harmonia;
+
+TEST(Csv, WritesHeaderImmediately)
+{
+    std::ostringstream os;
+    CsvWriter csv(os, {"a", "b"});
+    EXPECT_EQ(os.str(), "a,b\n");
+}
+
+TEST(Csv, WritesRows)
+{
+    std::ostringstream os;
+    {
+        CsvWriter csv(os, {"name", "x"});
+        csv.row().field("foo").field(1.5);
+        csv.row().field("bar").field(static_cast<long long>(7));
+    }
+    EXPECT_EQ(os.str(), "name,x\nfoo,1.5\nbar,7\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters)
+{
+    std::ostringstream os;
+    {
+        CsvWriter csv(os, {"a"});
+        csv.row().field(std::string("x,y"));
+        csv.row().field(std::string("he said \"hi\""));
+    }
+    EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Csv, RejectsEmptyHeader)
+{
+    std::ostringstream os;
+    EXPECT_THROW(CsvWriter(os, {}), ConfigError);
+}
+
+TEST(Csv, FieldBeforeRowPanics)
+{
+    std::ostringstream os;
+    CsvWriter csv(os, {"a"});
+    EXPECT_THROW(csv.field(std::string("x")), InternalError);
+}
+
+TEST(Csv, TooManyFieldsPanics)
+{
+    std::ostringstream os;
+    CsvWriter csv(os, {"a"});
+    csv.row().field(std::string("1"));
+    EXPECT_THROW(csv.field(std::string("2")), InternalError);
+}
+
+TEST(Csv, IncompleteRowDetectedOnFinish)
+{
+    std::ostringstream os;
+    CsvWriter csv(os, {"a", "b"});
+    csv.row().field(std::string("only"));
+    EXPECT_THROW(csv.finish(), InternalError);
+}
+
+TEST(Csv, DestructorFlushesCompleteRow)
+{
+    std::ostringstream os;
+    {
+        CsvWriter csv(os, {"a"});
+        csv.row().field(std::string("v"));
+    }
+    EXPECT_EQ(os.str(), "a\nv\n");
+}

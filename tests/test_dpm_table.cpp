@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the DVFS operating-point table (paper Table 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "dvfs/dpm_table.hh"
+
+using namespace harmonia;
+
+TEST(DpmTable, PaperTable1Values)
+{
+    const DpmTable dpm = hd7970ComputeDpm();
+    EXPECT_EQ(dpm.state("DPM0").freqMhz, 300);
+    EXPECT_DOUBLE_EQ(dpm.state("DPM0").voltage, 0.85);
+    EXPECT_EQ(dpm.state("DPM1").freqMhz, 500);
+    EXPECT_DOUBLE_EQ(dpm.state("DPM1").voltage, 0.95);
+    EXPECT_EQ(dpm.state("DPM2").freqMhz, 925);
+    EXPECT_DOUBLE_EQ(dpm.state("DPM2").voltage, 1.17);
+    // The 1 GHz / 1.19 V boost state (Section 2.3).
+    EXPECT_EQ(dpm.state("Boost").freqMhz, 1000);
+    EXPECT_DOUBLE_EQ(dpm.state("Boost").voltage, 1.19);
+}
+
+TEST(DpmTable, RangeEndpoints)
+{
+    const DpmTable dpm = hd7970ComputeDpm();
+    EXPECT_EQ(dpm.minFreqMhz(), 300);
+    EXPECT_EQ(dpm.maxFreqMhz(), 1000);
+}
+
+TEST(DpmTable, VoltageAtFusedPointsIsExact)
+{
+    const DpmTable dpm = hd7970ComputeDpm();
+    EXPECT_DOUBLE_EQ(dpm.voltageFor(300.0), 0.85);
+    EXPECT_DOUBLE_EQ(dpm.voltageFor(500.0), 0.95);
+    EXPECT_DOUBLE_EQ(dpm.voltageFor(925.0), 1.17);
+    EXPECT_DOUBLE_EQ(dpm.voltageFor(1000.0), 1.19);
+}
+
+TEST(DpmTable, InterpolationIsLinearBetweenPoints)
+{
+    const DpmTable dpm = hd7970ComputeDpm();
+    EXPECT_NEAR(dpm.voltageFor(400.0), 0.90, 1e-12);
+    // 700 MHz sits (700-500)/(925-500) between DPM1 and DPM2.
+    EXPECT_NEAR(dpm.voltageFor(700.0),
+                0.95 + 200.0 / 425.0 * 0.22, 1e-12);
+}
+
+TEST(DpmTable, VoltageMonotoneInFrequency)
+{
+    const DpmTable dpm = hd7970ComputeDpm();
+    double prev = 0.0;
+    for (int f = 300; f <= 1000; f += 100) {
+        const double v = dpm.voltageFor(f);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(DpmTable, OutOfRangeFrequencyThrows)
+{
+    const DpmTable dpm = hd7970ComputeDpm();
+    EXPECT_THROW(dpm.voltageFor(200.0), ConfigError);
+    EXPECT_THROW(dpm.voltageFor(1100.0), ConfigError);
+}
+
+TEST(DpmTable, UnknownStateNameThrows)
+{
+    EXPECT_THROW(hd7970ComputeDpm().state("DPM9"), ConfigError);
+}
+
+TEST(DpmTable, ConstructionValidation)
+{
+    EXPECT_THROW(DpmTable({{"only", 100, 1.0}}), ConfigError);
+    EXPECT_THROW(
+        DpmTable({{"a", 200, 1.0}, {"b", 100, 1.1}}), ConfigError);
+    EXPECT_THROW(
+        DpmTable({{"a", 100, 1.1}, {"b", 200, 1.0}}), ConfigError);
+    EXPECT_THROW(
+        DpmTable({{"a", 100, 0.0}, {"b", 200, 1.0}}), ConfigError);
+}

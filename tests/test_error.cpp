@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Unit tests for the error-reporting primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+
+using namespace harmonia;
+
+TEST(Error, FatalThrowsConfigError)
+{
+    EXPECT_THROW(fatal("bad input"), ConfigError);
+}
+
+TEST(Error, PanicThrowsInternalError)
+{
+    EXPECT_THROW(panic("bug"), InternalError);
+}
+
+TEST(Error, BothDeriveFromSimError)
+{
+    EXPECT_THROW(fatal("x"), SimError);
+    EXPECT_THROW(panic("x"), SimError);
+}
+
+TEST(Error, MessageConcatenatesFragments)
+{
+    try {
+        fatal("value ", 42, " exceeds limit ", 3.5);
+        FAIL() << "fatal did not throw";
+    } catch (const ConfigError &e) {
+        EXPECT_STREQ(e.what(), "value 42 exceeds limit 3.5");
+    }
+}
+
+TEST(Error, FatalIfOnlyThrowsWhenTrue)
+{
+    EXPECT_NO_THROW(fatalIf(false, "nope"));
+    EXPECT_THROW(fatalIf(true, "yes"), ConfigError);
+}
+
+TEST(Error, PanicIfOnlyThrowsWhenTrue)
+{
+    EXPECT_NO_THROW(panicIf(false, "nope"));
+    EXPECT_THROW(panicIf(true, "yes"), InternalError);
+}
+
+TEST(Error, ConfigErrorIsNotInternalError)
+{
+    try {
+        fatal("user error");
+    } catch (const InternalError &) {
+        FAIL() << "ConfigError caught as InternalError";
+    } catch (const ConfigError &) {
+        SUCCEED();
+    }
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the GCN device description, anchored to the HD7970
+ * numbers the paper quotes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/gcn_config.hh"
+#include "common/error.hh"
+
+using namespace harmonia;
+
+TEST(GcnConfig, Hd7970PeakFlopsIs4096GFLOPS)
+{
+    const GcnDeviceConfig dev = hd7970();
+    // Section 2.2: 32 CUs x 4 SIMD x 16 PEs x 2 (FMA) x 1 GHz.
+    EXPECT_NEAR(dev.peakFlops(32, 1000.0), 4096e9, 1e6);
+}
+
+TEST(GcnConfig, Hd7970PeakBandwidth)
+{
+    const GcnDeviceConfig dev = hd7970();
+    // Section 3.1: 264 GB/s at 1375 MHz, 90 GB/s at 475 MHz.
+    EXPECT_NEAR(dev.peakMemBandwidth(1375.0), 264e9, 1e9);
+    EXPECT_NEAR(dev.peakMemBandwidth(475.0), 91.2e9, 0.5e9);
+}
+
+TEST(GcnConfig, BusWidthIs384Bits)
+{
+    const GcnDeviceConfig dev = hd7970();
+    EXPECT_DOUBLE_EQ(dev.memBusBytes(), 48.0);
+}
+
+TEST(GcnConfig, MemoryStepIsAbout30GBs)
+{
+    const GcnDeviceConfig dev = hd7970();
+    const double step = dev.peakMemBandwidth(625.0) -
+                        dev.peakMemBandwidth(475.0);
+    EXPECT_NEAR(step, 28.8e9, 0.1e9); // the paper rounds to 30 GB/s
+}
+
+TEST(GcnConfig, TotalLanesScalesWithCuCount)
+{
+    const GcnDeviceConfig dev = hd7970();
+    EXPECT_EQ(dev.totalLanes(32), 2048);
+    EXPECT_EQ(dev.totalLanes(4), 256);
+}
+
+TEST(GcnConfig, WaveInstRateIsOnePerCuPerCycle)
+{
+    const GcnDeviceConfig dev = hd7970();
+    EXPECT_NEAR(dev.peakWaveInstRate(32, 1000.0), 32.0e9, 1.0);
+    EXPECT_NEAR(dev.peakWaveInstRate(4, 300.0), 1.2e9, 1.0);
+}
+
+TEST(GcnConfig, DefaultValidates)
+{
+    EXPECT_NO_THROW(hd7970().validate());
+}
+
+TEST(GcnConfig, ValidationCatchesBadCuRange)
+{
+    GcnDeviceConfig dev = hd7970();
+    dev.cuCountMin = 5; // not divisible by step from numCus
+    EXPECT_THROW(dev.validate(), ConfigError);
+}
+
+TEST(GcnConfig, ValidationCatchesInconsistentWavefront)
+{
+    GcnDeviceConfig dev = hd7970();
+    dev.wavefrontSize = 32;
+    EXPECT_THROW(dev.validate(), ConfigError);
+}
+
+TEST(GcnConfig, ValidationCatchesBadFreqLattice)
+{
+    GcnDeviceConfig dev = hd7970();
+    dev.computeFreqStepMhz = 130;
+    EXPECT_THROW(dev.validate(), ConfigError);
+    dev = hd7970();
+    dev.memFreqMaxMhz = 1400;
+    EXPECT_THROW(dev.validate(), ConfigError);
+}

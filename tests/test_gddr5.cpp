@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the GDDR5 timing and power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "memsys/gddr5.hh"
+
+using namespace harmonia;
+
+TEST(Gddr5, UnloadedLatencyDecreasesWithFrequency)
+{
+    const Gddr5Model model;
+    const double slow = model.unloadedLatency(475.0);
+    const double fast = model.unloadedLatency(1375.0);
+    EXPECT_GT(slow, fast);
+    // Core latency is the floor.
+    EXPECT_GT(fast, 100e-9);
+    EXPECT_LT(slow, 500e-9);
+}
+
+TEST(Gddr5, LoadedLatencyGrowsWithUtilization)
+{
+    const Gddr5Model model;
+    const double idle = model.loadedLatency(925.0, 0.0);
+    const double mid = model.loadedLatency(925.0, 0.5);
+    const double hot = model.loadedLatency(925.0, 0.95);
+    EXPECT_DOUBLE_EQ(idle, model.unloadedLatency(925.0));
+    EXPECT_GT(mid, idle);
+    EXPECT_GT(hot, mid);
+}
+
+TEST(Gddr5, LoadedLatencyClampsNearSaturation)
+{
+    const Gddr5Model model;
+    EXPECT_DOUBLE_EQ(model.loadedLatency(925.0, 1.0),
+                     model.loadedLatency(925.0, 2.0));
+}
+
+TEST(Gddr5, BackgroundPowerScalesWithFrequency)
+{
+    const Gddr5Model model;
+    const auto lo = model.power(475.0, 0.0, 1.0);
+    const auto hi = model.power(1375.0, 0.0, 1.0);
+    EXPECT_GT(hi.background, lo.background);
+    EXPECT_GT(hi.phy, lo.phy);
+    // Idle: no traffic-proportional components.
+    EXPECT_DOUBLE_EQ(lo.activatePrecharge, 0.0);
+    EXPECT_DOUBLE_EQ(lo.readWrite, 0.0);
+    EXPECT_DOUBLE_EQ(lo.termination, 0.0);
+}
+
+TEST(Gddr5, TrafficComponentsScaleWithBytes)
+{
+    const Gddr5Model model;
+    const auto one = model.power(1375.0, 100e9, 0.7);
+    const auto two = model.power(1375.0, 200e9, 0.7);
+    EXPECT_NEAR(two.readWrite, 2.0 * one.readWrite, 1e-9);
+    EXPECT_NEAR(two.termination, 2.0 * one.termination, 1e-9);
+    EXPECT_NEAR(two.activatePrecharge, 2.0 * one.activatePrecharge,
+                1e-9);
+}
+
+TEST(Gddr5, LowerRowHitMeansMoreActivatePower)
+{
+    const Gddr5Model model;
+    const auto streaming = model.power(1375.0, 100e9, 0.9);
+    const auto random = model.power(1375.0, 100e9, 0.2);
+    EXPECT_GT(random.activatePrecharge, streaming.activatePrecharge);
+}
+
+TEST(Gddr5, PerBytEnergyRisesAtLowFrequency)
+{
+    // Section 2.4: lowering bus frequency can increase read/write and
+    // termination energy due to longer intervals between accesses.
+    const Gddr5Model model;
+    const auto lo = model.power(475.0, 50e9, 0.7);
+    const auto hi = model.power(1375.0, 50e9, 0.7);
+    EXPECT_GT(lo.readWrite, hi.readWrite);
+    EXPECT_GT(lo.termination, hi.termination);
+}
+
+TEST(Gddr5, TotalSumsComponents)
+{
+    const Gddr5Model model;
+    const MemPowerBreakdown p = model.power(925.0, 80e9, 0.5);
+    EXPECT_NEAR(p.total(),
+                p.background + p.activatePrecharge + p.readWrite +
+                    p.termination + p.phy,
+                1e-12);
+    EXPECT_GT(p.total(), 0.0);
+}
+
+TEST(Gddr5, RejectsInvalidArguments)
+{
+    const Gddr5Model model;
+    EXPECT_THROW(model.unloadedLatency(0.0), ConfigError);
+    EXPECT_THROW(model.loadedLatency(925.0, -0.1), ConfigError);
+    EXPECT_THROW(model.power(925.0, -1.0, 0.5), ConfigError);
+    EXPECT_THROW(model.power(925.0, 1.0, 1.5), ConfigError);
+    EXPECT_THROW(model.power(0.0, 1.0, 0.5), ConfigError);
+}
+
+TEST(Gddr5, ConstructionValidatesParams)
+{
+    Gddr5TimingParams timing;
+    timing.queueSensitivity = 1.0;
+    EXPECT_THROW(Gddr5Model(timing, Gddr5PowerParams{}), ConfigError);
+    timing = Gddr5TimingParams{};
+    timing.coreLatencyNs = 0.0;
+    EXPECT_THROW(Gddr5Model(timing, Gddr5PowerParams{}), ConfigError);
+}

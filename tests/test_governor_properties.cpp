@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Property tests for the governors under randomized workloads: on any
+ * well-formed application, every governor must produce lattice-valid
+ * configurations, never crash, and keep performance regressions
+ * bounded — the safety contract a runtime power manager must honor on
+ * workloads it has never seen.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/baseline_governor.hh"
+#include "core/campaign.hh"
+#include "core/harmonia_governor.hh"
+#include "core/runtime.hh"
+#include "core/training.hh"
+#include "workloads/generator.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+const GpuDevice &
+device()
+{
+    static GpuDevice dev;
+    return dev;
+}
+
+/** Predictor trained once on the standard suite; the random apps are
+ * out-of-distribution for it, which is the point. */
+const SensitivityPredictor &
+predictor()
+{
+    static SensitivityPredictor p =
+        trainPredictors(device(), standardSuite()).predictor();
+    return p;
+}
+
+} // namespace
+
+class GovernorRandomApps : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(GovernorRandomApps, HarmoniaIsSafeOnUnseenWorkloads)
+{
+    WorkloadGenerator gen(GetParam());
+    const Application app = gen.randomApp("rand", 3, 12);
+
+    Runtime runtime(device());
+    BaselineGovernor baseline(device().space());
+    HarmoniaGovernor harmonia(device().space(), predictor());
+
+    const AppRunResult base = runtime.run(app, baseline);
+    const AppRunResult hm = runtime.run(app, harmonia);
+
+    // Every decided configuration lies on the lattice.
+    for (const auto &t : hm.trace)
+        ASSERT_TRUE(device().space().valid(t.config));
+
+    // Bounded regression: the FG feedback loop must keep even
+    // mispredicted workloads within 30% of baseline wall time.
+    EXPECT_LT(hm.totalTime, base.totalTime * 1.30)
+        << "seed " << GetParam();
+
+    // Sanity: energies positive and consistent.
+    EXPECT_GT(hm.cardEnergy, 0.0);
+    EXPECT_GT(hm.gpuEnergy, 0.0);
+    EXPECT_LT(hm.gpuEnergy + hm.memEnergy, hm.cardEnergy);
+}
+
+TEST_P(GovernorRandomApps, CgOnlyNeverLeavesTheLattice)
+{
+    WorkloadGenerator gen(GetParam() + 1000);
+    const Application app = gen.randomApp("rand", 2, 8);
+    HarmoniaOptions options;
+    options.enableFg = false;
+    HarmoniaGovernor governor(device().space(), predictor(), options);
+    const AppRunResult run = Runtime(device()).run(app, governor);
+    for (const auto &t : run.trace)
+        ASSERT_TRUE(device().space().valid(t.config));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GovernorRandomApps,
+                         ::testing::Range<uint64_t>(2000, 2012));
+
+TEST(GovernorProperties, HarmoniaNeverWorseThanBaselineOnAveragePower)
+{
+    // Across the standard suite, Harmonia must not *raise* power.
+    Runtime runtime(device());
+    for (const auto &app : standardSuite()) {
+        BaselineGovernor baseline(device().space());
+        HarmoniaGovernor harmonia(device().space(), predictor());
+        const AppRunResult base = runtime.run(app, baseline);
+        const AppRunResult hm = runtime.run(app, harmonia);
+        EXPECT_LE(hm.averagePower(), base.averagePower() * 1.005)
+            << app.name;
+    }
+}
+
+TEST(GovernorProperties, HarmoniaIsIdempotentAcrossRepeatedRuns)
+{
+    Runtime runtime(device());
+    const Application app = appByName("Sort");
+    HarmoniaGovernor governor(device().space(), predictor());
+    const AppRunResult a = runtime.run(app, governor);
+    const AppRunResult b = runtime.run(app, governor);
+    EXPECT_DOUBLE_EQ(a.totalTime, b.totalTime);
+    EXPECT_DOUBLE_EQ(a.cardEnergy, b.cardEnergy);
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the GpuDevice facade: energy accounting and the
+ * consistency of the combined timing + power results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/gpu_device.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+const GpuDevice &
+device()
+{
+    static GpuDevice dev;
+    return dev;
+}
+
+} // namespace
+
+TEST(GpuDevice, EnergyEqualsAveragePowerTimesTime)
+{
+    const KernelProfile k = makeComd().kernels.front();
+    const KernelResult r =
+        device().run(k, 0, device().space().maxConfig());
+    EXPECT_NEAR(r.cardEnergy, r.power.total() * r.time(),
+                1e-6 * r.cardEnergy);
+}
+
+TEST(GpuDevice, EnergyDecomposesIntoGpuMemOther)
+{
+    const KernelProfile k = makeDeviceMemory().kernels.front();
+    const KernelResult r =
+        device().run(k, 0, device().space().maxConfig());
+    EXPECT_GT(r.gpuEnergy, 0.0);
+    EXPECT_GT(r.memEnergy, 0.0);
+    EXPECT_LT(r.gpuEnergy + r.memEnergy, r.cardEnergy);
+    const double other = r.cardEnergy - r.gpuEnergy - r.memEnergy;
+    EXPECT_NEAR(other, r.power.other * r.time(), 1e-6 * r.cardEnergy);
+}
+
+TEST(GpuDevice, EdAndEd2Definitions)
+{
+    const KernelProfile k = makeComd().kernels.front();
+    const KernelResult r =
+        device().run(k, 0, device().space().maxConfig());
+    EXPECT_DOUBLE_EQ(r.ed(), r.cardEnergy * r.time());
+    EXPECT_DOUBLE_EQ(r.ed2(), r.cardEnergy * r.time() * r.time());
+}
+
+TEST(GpuDevice, LowerFrequencyLowersPower)
+{
+    const KernelProfile k = makeComd().kernels.front();
+    const double pHi =
+        device().run(k, 0, {32, 1000, 1375}).power.total();
+    const double pLo =
+        device().run(k, 0, {32, 500, 1375}).power.total();
+    EXPECT_LT(pLo, pHi);
+}
+
+TEST(GpuDevice, FewerCusLowerPower)
+{
+    const KernelProfile k = makeDeviceMemory().kernels.front();
+    const double p32 =
+        device().run(k, 0, {32, 1000, 1375}).power.total();
+    const double p8 =
+        device().run(k, 0, {8, 1000, 1375}).power.total();
+    EXPECT_LT(p8, p32);
+}
+
+TEST(GpuDevice, LowerMemFrequencyLowersPower)
+{
+    const KernelProfile k = makeMaxFlops().kernels.front();
+    const double pHi =
+        device().run(k, 0, {32, 1000, 1375}).power.total();
+    const double pLo =
+        device().run(k, 0, {32, 1000, 475}).power.total();
+    EXPECT_LT(pLo, pHi);
+}
+
+TEST(GpuDevice, RunByIterationMatchesExplicitPhase)
+{
+    const KernelProfile k = appByName("Graph500").kernel("BottomStepUp");
+    const HardwareConfig cfg = device().space().maxConfig();
+    const KernelResult a = device().run(k, 3, cfg);
+    const KernelResult b = device().run(k, k.phase(3), cfg);
+    EXPECT_DOUBLE_EQ(a.time(), b.time());
+    EXPECT_DOUBLE_EQ(a.cardEnergy, b.cardEnergy);
+}
+
+TEST(GpuDevice, PowerBreakdownComponentsNonNegative)
+{
+    for (const auto &app : standardSuite()) {
+        for (const auto &k : app.kernels) {
+            const KernelResult r =
+                device().run(k, 0, {16, 700, 925});
+            EXPECT_GE(r.power.gpu.cuDynamic, 0.0);
+            EXPECT_GE(r.power.gpu.uncoreDynamic, 0.0);
+            EXPECT_GE(r.power.gpu.leakage, 0.0);
+            EXPECT_GE(r.power.mem.total(), 0.0);
+            EXPECT_GE(r.power.other, 0.0);
+        }
+    }
+}
+
+TEST(GpuDevice, CardPowerWithinPlausibleEnvelope)
+{
+    // Total card power must stay within a sane envelope for a 250 W
+    // TDP part across the whole suite and configuration extremes.
+    for (const auto &app : standardSuite()) {
+        for (const auto &k : app.kernels) {
+            for (const HardwareConfig cfg :
+                 {HardwareConfig{32, 1000, 1375},
+                  HardwareConfig{4, 300, 475}}) {
+                const double p = device().run(k, 0, cfg).power.total();
+                EXPECT_GT(p, 10.0) << k.id() << " @ " << cfg.str();
+                EXPECT_LT(p, 260.0) << k.id() << " @ " << cfg.str();
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the GPU chip power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "power/gpu_power.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+GpuPowerModel
+model()
+{
+    return GpuPowerModel(hd7970());
+}
+
+} // namespace
+
+TEST(GpuPower, VoltageComesFromDpmTable)
+{
+    const GpuPowerModel m = model();
+    EXPECT_DOUBLE_EQ(m.voltage(1000.0), 1.19);
+    EXPECT_DOUBLE_EQ(m.voltage(300.0), 0.85);
+}
+
+TEST(GpuPower, DynamicPowerScalesWithVSquaredF)
+{
+    const GpuPowerModel m = model();
+    const auto hi = m.power({32, 1000, 1375}, 100.0, 1.0);
+    const auto lo = m.power({32, 300, 1375}, 100.0, 1.0);
+    const double vRatio = 0.85 / 1.19;
+    const double expected = vRatio * vRatio * 0.3;
+    EXPECT_NEAR(lo.cuDynamic / hi.cuDynamic, expected, 1e-9);
+    EXPECT_NEAR(lo.uncoreDynamic / hi.uncoreDynamic, expected, 1e-9);
+}
+
+TEST(GpuPower, PowerGatingScalesCuComponents)
+{
+    const GpuPowerModel m = model();
+    const auto all = m.power({32, 1000, 1375}, 100.0, 0.5);
+    const auto quarter = m.power({8, 1000, 1375}, 100.0, 0.5);
+    EXPECT_NEAR(quarter.cuDynamic / all.cuDynamic, 0.25, 1e-9);
+    // Gated CUs leak nothing; the uncore leak floor remains.
+    EXPECT_LT(quarter.leakage, all.leakage);
+    EXPECT_GT(quarter.leakage, 0.0);
+    // Uncore dynamic power is independent of CU count.
+    EXPECT_DOUBLE_EQ(quarter.uncoreDynamic, all.uncoreDynamic);
+}
+
+TEST(GpuPower, ActivityRaisesPowerAboveFloor)
+{
+    const GpuPowerModel m = model();
+    const auto idle = m.power({32, 1000, 1375}, 0.0, 0.0);
+    const auto busy = m.power({32, 1000, 1375}, 100.0, 1.0);
+    EXPECT_GT(busy.total(), idle.total());
+    // The clock-tree floor keeps idle dynamic power non-zero.
+    EXPECT_GT(idle.cuDynamic, 0.0);
+    EXPECT_NEAR(idle.cuDynamic / busy.cuDynamic,
+                m.params().activityFloor, 1e-9);
+}
+
+TEST(GpuPower, IdlePowerEqualsZeroActivity)
+{
+    const GpuPowerModel m = model();
+    const HardwareConfig cfg{16, 700, 925};
+    EXPECT_DOUBLE_EQ(m.idlePower(cfg).total(),
+                     m.power(cfg, 0.0, 0.0).total());
+}
+
+TEST(GpuPower, LeakageFallsWithVoltage)
+{
+    const GpuPowerModel m = model();
+    const auto hi = m.power({32, 1000, 1375}, 50.0, 0.5);
+    const auto lo = m.power({32, 300, 1375}, 50.0, 0.5);
+    const double vr = 0.85 / 1.19;
+    EXPECT_NEAR(lo.leakage / hi.leakage, vr * vr, 1e-9);
+}
+
+TEST(GpuPower, MaxPowerIsPlausibleForHd7970)
+{
+    // Fully busy chip at boost should land in the 100-200 W band the
+    // paper's measurements imply for GPUPwr.
+    const GpuPowerModel m = model();
+    const double p = m.power({32, 1000, 1375}, 100.0, 1.0).total();
+    EXPECT_GT(p, 100.0);
+    EXPECT_LT(p, 220.0);
+}
+
+TEST(GpuPower, TotalSumsComponents)
+{
+    const auto p = model().power({20, 800, 925}, 60.0, 0.4);
+    EXPECT_DOUBLE_EQ(p.total(),
+                     p.cuDynamic + p.uncoreDynamic + p.leakage);
+}
+
+TEST(GpuPower, RejectsBadInputs)
+{
+    const GpuPowerModel m = model();
+    EXPECT_THROW(m.power({32, 1000, 1375}, -1.0, 0.5), ConfigError);
+    EXPECT_THROW(m.power({32, 1000, 1375}, 101.0, 0.5), ConfigError);
+    EXPECT_THROW(m.power({32, 1000, 1375}, 50.0, 1.5), ConfigError);
+    GpuPowerParams params;
+    params.activityFloor = 1.5;
+    EXPECT_THROW(
+        GpuPowerModel(hd7970(), hd7970ComputeDpm(), params),
+        ConfigError);
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * End-to-end integration tests: the full pipeline (train predictors,
+ * run the suite under every scheme) must reproduce the paper's
+ * headline orderings — Harmonia improves ED^2 over the baseline with
+ * near-zero performance loss, CG-only is worse than FG+CG, and the
+ * oracle bounds everything.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+Campaign &
+fullCampaign()
+{
+    static GpuDevice device;
+    static Campaign campaign = [] {
+        CampaignOptions options;
+        options.includeOracle = true;
+        options.includeFreqOnly = true;
+        Campaign c(device, standardSuite(), options);
+        c.run();
+        return c;
+    }();
+    return campaign;
+}
+
+double
+geo(Scheme s, CampaignMetric m, bool noStress = false)
+{
+    return fullCampaign().geomeanNormalized(s, m, noStress);
+}
+
+} // namespace
+
+TEST(Integration, HarmoniaImprovesEd2Meaningfully)
+{
+    // Paper: ~12% average ED^2 improvement. Shape target: >= 8%.
+    const double improvement = 1.0 - geo(Scheme::Harmonia,
+                                         CampaignMetric::Ed2);
+    EXPECT_GT(improvement, 0.08);
+    EXPECT_LT(improvement, 0.40);
+}
+
+TEST(Integration, HarmoniaBeatsCgOnlyOnEd2)
+{
+    EXPECT_LT(geo(Scheme::Harmonia, CampaignMetric::Ed2),
+              geo(Scheme::CgOnly, CampaignMetric::Ed2));
+}
+
+TEST(Integration, HarmoniaPerformanceLossIsNegligible)
+{
+    // Paper: 0.36% average loss. Shape target: < 1.5% geomean.
+    const double timeRatio =
+        geo(Scheme::Harmonia, CampaignMetric::Time, true);
+    EXPECT_LT(timeRatio, 1.015);
+}
+
+TEST(Integration, CgOnlyLosesMorePerformanceThanHarmonia)
+{
+    // Paper: CG-only loses ~2.2% on average (no feedback loop).
+    EXPECT_GT(geo(Scheme::CgOnly, CampaignMetric::Time, true),
+              geo(Scheme::Harmonia, CampaignMetric::Time, true));
+}
+
+TEST(Integration, OracleBoundsAllSchemesOnGeomeanEd2)
+{
+    const double oracle = geo(Scheme::Oracle, CampaignMetric::Ed2);
+    for (Scheme s : {Scheme::Baseline, Scheme::CgOnly,
+                     Scheme::Harmonia, Scheme::FreqOnly})
+        EXPECT_LE(oracle, geo(s, CampaignMetric::Ed2) + 1e-9);
+}
+
+TEST(Integration, FreqOnlyAblationIsMuchWeaker)
+{
+    // Paper Section 7.2: compute DVFS alone gains only ~3% ED^2.
+    const double freqOnly =
+        1.0 - geo(Scheme::FreqOnly, CampaignMetric::Ed2);
+    const double full =
+        1.0 - geo(Scheme::Harmonia, CampaignMetric::Ed2);
+    EXPECT_LT(freqOnly, 0.5 * full);
+}
+
+TEST(Integration, HarmoniaSavesPower)
+{
+    // Paper: ~12% average card-power saving.
+    const double saving =
+        1.0 - geo(Scheme::Harmonia, CampaignMetric::Power, true);
+    EXPECT_GT(saving, 0.08);
+}
+
+TEST(Integration, BptSeesThePaperPerformanceGain)
+{
+    // Paper: BPT gains ~11% performance from CU power gating.
+    const double speedup =
+        1.0 / fullCampaign().normalized(Scheme::Harmonia, "BPT",
+                                        CampaignMetric::Time) -
+        1.0;
+    EXPECT_GT(speedup, 0.03);
+}
+
+TEST(Integration, StressBenchmarksRetainFullPerformance)
+{
+    for (const char *app : {"MaxFlops", "DeviceMemory"}) {
+        const double ratio = fullCampaign().normalized(
+            Scheme::Harmonia, app, CampaignMetric::Time);
+        EXPECT_LT(ratio, 1.02) << app;
+    }
+}
+
+TEST(Integration, NoApplicationCollapsesUnderHarmonia)
+{
+    // Worst-case guardrail: no app may lose more than 15% wall time.
+    for (const auto &app : fullCampaign().appNames()) {
+        const double ratio = fullCampaign().normalized(
+            Scheme::Harmonia, app, CampaignMetric::Time);
+        EXPECT_LT(ratio, 1.15) << app;
+    }
+}
+
+TEST(Integration, EveryTracedConfigIsOnTheLattice)
+{
+    static GpuDevice device;
+    const ConfigSpace space(hd7970());
+    for (Scheme s : fullCampaign().schemes()) {
+        for (const auto &app : fullCampaign().appNames()) {
+            for (const auto &t : fullCampaign().result(s, app).trace)
+                ASSERT_TRUE(space.valid(t.config))
+                    << schemeName(s) << "/" << app;
+        }
+    }
+}
+
+TEST(Integration, CampaignIsDeterministic)
+{
+    static GpuDevice device;
+    CampaignOptions options;
+    options.includeOracle = false;
+    Campaign a(device, {makeSort(), makeStencil()}, options);
+    a.run();
+    Campaign b(device, {makeSort(), makeStencil()}, options);
+    b.run();
+    for (const auto &app : a.appNames()) {
+        EXPECT_DOUBLE_EQ(
+            a.metric(Scheme::Harmonia, app, CampaignMetric::Ed2),
+            b.metric(Scheme::Harmonia, app, CampaignMetric::Ed2));
+    }
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit and property tests for the QR least-squares solver and the
+ * regression fit wrapper.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "linalg/correlation.hh"
+#include "linalg/least_squares.hh"
+
+using namespace harmonia;
+
+TEST(LeastSquares, SolvesExactSquareSystem)
+{
+    const Matrix a = Matrix::fromRows({{2.0, 0.0}, {0.0, 4.0}});
+    const Vector x = solveLeastSquares(a, {6.0, 8.0});
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LeastSquares, OverdeterminedConsistentSystem)
+{
+    // y = 1 + 2x sampled at x = 0..3 exactly.
+    const Matrix a = Matrix::fromRows({{1.0, 0.0},
+                                       {1.0, 1.0},
+                                       {1.0, 2.0},
+                                       {1.0, 3.0}});
+    const Vector x = solveLeastSquares(a, {1.0, 3.0, 5.0, 7.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-10);
+    EXPECT_NEAR(x[1], 2.0, 1e-10);
+}
+
+TEST(LeastSquares, MinimizesResidualForInconsistentSystem)
+{
+    const Matrix a =
+        Matrix::fromRows({{1.0}, {1.0}, {1.0}, {1.0}});
+    // LS solution of constant fit = mean of targets.
+    const Vector x = solveLeastSquares(a, {1.0, 2.0, 3.0, 6.0});
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+}
+
+TEST(LeastSquares, RejectsUnderdetermined)
+{
+    const Matrix a(1, 2);
+    EXPECT_THROW(solveLeastSquares(a, {1.0}), ConfigError);
+}
+
+TEST(LeastSquares, RejectsRankDeficient)
+{
+    const Matrix a = Matrix::fromRows(
+        {{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}});
+    EXPECT_THROW(solveLeastSquares(a, {1.0, 2.0, 3.0}), ConfigError);
+}
+
+TEST(LeastSquares, RejectsSizeMismatch)
+{
+    const Matrix a(3, 2);
+    EXPECT_THROW(solveLeastSquares(a, {1.0, 2.0}), ConfigError);
+}
+
+TEST(RegressionFit, RecoversKnownCoefficients)
+{
+    // y = 0.5 - 1.5 x0 + 2.5 x1 with no noise.
+    Rng rng(3);
+    const size_t n = 60;
+    Matrix x(n, 2);
+    Vector y(n);
+    for (size_t i = 0; i < n; ++i) {
+        x(i, 0) = rng.uniform(-2.0, 2.0);
+        x(i, 1) = rng.uniform(-2.0, 2.0);
+        y[i] = 0.5 - 1.5 * x(i, 0) + 2.5 * x(i, 1);
+    }
+    const RegressionFit fit = fitLinearRegression(x, y);
+    ASSERT_EQ(fit.coeffs.size(), 3u);
+    EXPECT_NEAR(fit.coeffs[0], 0.5, 1e-9);
+    EXPECT_NEAR(fit.coeffs[1], -1.5, 1e-9);
+    EXPECT_NEAR(fit.coeffs[2], 2.5, 1e-9);
+    EXPECT_NEAR(fit.rSquared, 1.0, 1e-9);
+    EXPECT_NEAR(fit.correlation, 1.0, 1e-9);
+    EXPECT_NEAR(fit.residualNorm, 0.0, 1e-7);
+}
+
+TEST(RegressionFit, HandlesNoise)
+{
+    Rng rng(7);
+    const size_t n = 500;
+    Matrix x(n, 1);
+    Vector y(n);
+    for (size_t i = 0; i < n; ++i) {
+        x(i, 0) = rng.uniform(0.0, 10.0);
+        y[i] = 3.0 + 2.0 * x(i, 0) + rng.gaussian(0.0, 0.5);
+    }
+    const RegressionFit fit = fitLinearRegression(x, y);
+    EXPECT_NEAR(fit.coeffs[0], 3.0, 0.15);
+    EXPECT_NEAR(fit.coeffs[1], 2.0, 0.03);
+    EXPECT_GT(fit.correlation, 0.99);
+}
+
+TEST(RegressionFit, PredictAppliesIntercept)
+{
+    Matrix x = Matrix::fromRows({{0.0}, {1.0}, {2.0}, {3.0}});
+    const RegressionFit fit =
+        fitLinearRegression(x, {1.0, 3.0, 5.0, 7.0});
+    EXPECT_NEAR(fit.predict({10.0}), 21.0, 1e-9);
+    EXPECT_THROW(fit.predict({1.0, 2.0}), ConfigError);
+}
+
+TEST(RegressionFit, WithoutIntercept)
+{
+    Matrix x = Matrix::fromRows({{1.0}, {2.0}, {3.0}});
+    const RegressionFit fit =
+        fitLinearRegression(x, {2.0, 4.0, 6.0}, false);
+    ASSERT_EQ(fit.coeffs.size(), 1u);
+    EXPECT_NEAR(fit.coeffs[0], 2.0, 1e-10);
+    EXPECT_NEAR(fit.predict({5.0}), 10.0, 1e-9);
+}
+
+TEST(Correlation, PearsonKnownValues)
+{
+    EXPECT_NEAR(pearson({1.0, 2.0, 3.0}, {2.0, 4.0, 6.0}), 1.0, 1e-12);
+    EXPECT_NEAR(pearson({1.0, 2.0, 3.0}, {3.0, 2.0, 1.0}), -1.0, 1e-12);
+    EXPECT_NEAR(pearson({1.0, 2.0, 1.0, 2.0}, {5.0, 5.0, 5.0, 5.0}),
+                0.0, 1e-12);
+}
+
+TEST(Correlation, ErrorsAndEdgeCases)
+{
+    EXPECT_THROW(pearson({1.0}, {1.0, 2.0}), ConfigError);
+    EXPECT_THROW(pearson({}, {}), ConfigError);
+    EXPECT_THROW(meanAbsoluteError({}, {}), ConfigError);
+}
+
+TEST(Correlation, ErrorMetrics)
+{
+    EXPECT_DOUBLE_EQ(meanAbsoluteError({1.0, 2.0}, {2.0, 0.0}), 1.5);
+    EXPECT_DOUBLE_EQ(rmsError({3.0, 0.0}, {0.0, 4.0}), 3.5355339059327378);
+}
+
+TEST(Correlation, StandardizeZeroMeanUnitVar)
+{
+    Vector v = {1.0, 2.0, 3.0, 4.0};
+    standardize(v);
+    double m = 0.0;
+    double var = 0.0;
+    for (double x : v)
+        m += x;
+    m /= v.size();
+    for (double x : v)
+        var += (x - m) * (x - m);
+    var /= v.size();
+    EXPECT_NEAR(m, 0.0, 1e-12);
+    EXPECT_NEAR(var, 1.0, 1e-12);
+
+    Vector constant = {5.0, 5.0};
+    standardize(constant);
+    EXPECT_DOUBLE_EQ(constant[0], 0.0);
+}
+
+TEST(Correlation, ColumnCorrelations)
+{
+    const Matrix x = Matrix::fromRows(
+        {{1.0, 4.0}, {2.0, 3.0}, {3.0, 2.0}, {4.0, 1.0}});
+    const Vector y = {1.0, 2.0, 3.0, 4.0};
+    const Vector c = columnCorrelations(x, y);
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_NEAR(c[0], 1.0, 1e-12);
+    EXPECT_NEAR(c[1], -1.0, 1e-12);
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit tests for the leveled logger.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+class LogTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        Logger::instance().setStream(&stream_);
+        Logger::instance().setLevel(LogLevel::Debug);
+    }
+
+    void TearDown() override
+    {
+        Logger::instance().setStream(nullptr);
+        Logger::instance().setLevel(LogLevel::Warn);
+    }
+
+    std::ostringstream stream_;
+};
+
+} // namespace
+
+TEST_F(LogTest, EmitsFormattedLine)
+{
+    logInfo("engine", "value=", 7);
+    EXPECT_EQ(stream_.str(), "[INFO ] engine: value=7\n");
+}
+
+TEST_F(LogTest, LevelFiltersLowerSeverity)
+{
+    Logger::instance().setLevel(LogLevel::Error);
+    logDebug("x", "hidden");
+    logInfo("x", "hidden");
+    logWarn("x", "hidden");
+    EXPECT_TRUE(stream_.str().empty());
+    logError("x", "shown");
+    EXPECT_NE(stream_.str().find("shown"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything)
+{
+    Logger::instance().setLevel(LogLevel::Off);
+    logError("x", "hidden");
+    EXPECT_TRUE(stream_.str().empty());
+}
+
+TEST_F(LogTest, EnabledReflectsLevel)
+{
+    Logger::instance().setLevel(LogLevel::Warn);
+    EXPECT_FALSE(Logger::instance().enabled(LogLevel::Debug));
+    EXPECT_TRUE(Logger::instance().enabled(LogLevel::Warn));
+    EXPECT_TRUE(Logger::instance().enabled(LogLevel::Error));
+}
+
+TEST(LogLevelName, AllLevelsNamed)
+{
+    EXPECT_STREQ(logLevelName(LogLevel::Debug), "DEBUG");
+    EXPECT_STREQ(logLevelName(LogLevel::Info), "INFO ");
+    EXPECT_STREQ(logLevelName(LogLevel::Warn), "WARN ");
+    EXPECT_STREQ(logLevelName(LogLevel::Error), "ERROR");
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the dense matrix/vector helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "linalg/matrix.hh"
+
+using namespace harmonia;
+
+TEST(Matrix, ConstructionAndFill)
+{
+    Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    for (size_t r = 0; r < 2; ++r)
+        for (size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(m.at(r, c), 1.5);
+}
+
+TEST(Matrix, FromRowsValidatesShape)
+{
+    const Matrix m = Matrix::fromRows({{1.0, 2.0}, {3.0, 4.0}});
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+    EXPECT_THROW(Matrix::fromRows({{1.0}, {1.0, 2.0}}), ConfigError);
+    EXPECT_THROW(Matrix::fromRows({}), ConfigError);
+}
+
+TEST(Matrix, IdentityMultiplicationIsIdentityOp)
+{
+    const Matrix a = Matrix::fromRows({{1.0, 2.0}, {3.0, 4.0}});
+    const Matrix i = Matrix::identity(2);
+    EXPECT_DOUBLE_EQ(a.multiply(i).maxAbsDiff(a), 0.0);
+    EXPECT_DOUBLE_EQ(i.multiply(a).maxAbsDiff(a), 0.0);
+}
+
+TEST(Matrix, MultiplyMatchesHandComputation)
+{
+    const Matrix a = Matrix::fromRows({{1.0, 2.0}, {3.0, 4.0}});
+    const Matrix b = Matrix::fromRows({{5.0, 6.0}, {7.0, 8.0}});
+    const Matrix c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c.at(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyVector)
+{
+    const Matrix a = Matrix::fromRows({{1.0, 2.0}, {3.0, 4.0}});
+    const Vector y = a.multiply(Vector{1.0, 1.0});
+    ASSERT_EQ(y.size(), 2u);
+    EXPECT_DOUBLE_EQ(y[0], 3.0);
+    EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, DimensionMismatchThrows)
+{
+    const Matrix a(2, 3);
+    const Matrix b(2, 3);
+    EXPECT_THROW(a.multiply(b), ConfigError);
+    EXPECT_THROW(a.multiply(Vector{1.0, 2.0}), ConfigError);
+}
+
+TEST(Matrix, TransposeRoundTrips)
+{
+    const Matrix a = Matrix::fromRows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+    const Matrix t = a.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t.at(2, 1), 6.0);
+    EXPECT_DOUBLE_EQ(t.transposed().maxAbsDiff(a), 0.0);
+}
+
+TEST(Matrix, RowAndColExtraction)
+{
+    const Matrix a = Matrix::fromRows({{1.0, 2.0}, {3.0, 4.0}});
+    EXPECT_EQ(a.rowVec(1), (Vector{3.0, 4.0}));
+    EXPECT_EQ(a.colVec(0), (Vector{1.0, 3.0}));
+    EXPECT_THROW(a.rowVec(2), ConfigError);
+    EXPECT_THROW(a.colVec(2), ConfigError);
+}
+
+TEST(Matrix, CheckedAccessThrowsOutOfRange)
+{
+    Matrix m(2, 2);
+    EXPECT_THROW(m.at(2, 0), ConfigError);
+    EXPECT_THROW(m.at(0, 2), ConfigError);
+}
+
+TEST(VectorOps, DotAndNorm)
+{
+    EXPECT_DOUBLE_EQ(dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+    EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+    EXPECT_THROW(dot({1.0}, {1.0, 2.0}), ConfigError);
+}
+
+TEST(VectorOps, Axpy)
+{
+    const Vector y = axpy({1.0, 2.0}, 2.0, {3.0, 4.0});
+    EXPECT_EQ(y, (Vector{7.0, 10.0}));
+    EXPECT_THROW(axpy({1.0}, 1.0, {1.0, 2.0}), ConfigError);
+}

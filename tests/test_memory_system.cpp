@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the aggregate memory system: peak/effective
+ * bandwidth, limiter identification, and the clock-crossing cap.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "memsys/memory_system.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+MemorySystem
+system320()
+{
+    return MemorySystem(hd7970(), Gddr5Model(), 320.0);
+}
+
+MemDemand
+deepDemand()
+{
+    MemDemand d;
+    d.outstandingRequests = 6000.0;
+    d.streamEfficiency = 1.0;
+    return d;
+}
+
+} // namespace
+
+TEST(MemorySystem, PeakBandwidthMatchesDevice)
+{
+    const MemorySystem ms = system320();
+    EXPECT_NEAR(ms.peakBandwidth(1375.0), 264e9, 1e9);
+    EXPECT_NEAR(ms.peakBandwidth(475.0), 91.2e9, 0.5e9);
+}
+
+TEST(MemorySystem, DeepConcurrencyIsBusLimited)
+{
+    const MemorySystem ms = system320();
+    const BandwidthResult r =
+        ms.resolveBandwidth(1375.0, 1000.0, deepDemand());
+    EXPECT_EQ(r.limiter, BandwidthLimiter::BusPeak);
+    EXPECT_NEAR(r.effectiveBps, 264e9, 2e9);
+}
+
+TEST(MemorySystem, LowComputeClockIsCrossingLimited)
+{
+    // Figure 9: at 300 MHz the 320 B/cycle crossing caps off-chip
+    // bandwidth at 96 GB/s even with 264 GB/s of bus.
+    const MemorySystem ms = system320();
+    const BandwidthResult r =
+        ms.resolveBandwidth(1375.0, 300.0, deepDemand());
+    EXPECT_EQ(r.limiter, BandwidthLimiter::Crossing);
+    EXPECT_NEAR(r.effectiveBps, 96e9, 1e9);
+}
+
+TEST(MemorySystem, ShallowConcurrencyIsMlpLimited)
+{
+    const MemorySystem ms = system320();
+    MemDemand d = deepDemand();
+    d.outstandingRequests = 100.0;
+    const BandwidthResult r = ms.resolveBandwidth(1375.0, 1000.0, d);
+    EXPECT_EQ(r.limiter, BandwidthLimiter::Concurrency);
+    // Little's law: ~100 * 64B / latency.
+    EXPECT_NEAR(r.effectiveBps, 100.0 * 64.0 / r.latency,
+                0.02 * r.effectiveBps);
+    EXPECT_LT(r.effectiveBps, 100e9);
+}
+
+TEST(MemorySystem, ZeroDemandYieldsZeroBandwidth)
+{
+    const MemorySystem ms = system320();
+    MemDemand d;
+    d.outstandingRequests = 0.0;
+    const BandwidthResult r = ms.resolveBandwidth(925.0, 700.0, d);
+    EXPECT_DOUBLE_EQ(r.effectiveBps, 0.0);
+    EXPECT_GT(r.latency, 0.0);
+}
+
+TEST(MemorySystem, StreamEfficiencyCapsBelowPeak)
+{
+    const MemorySystem ms = system320();
+    MemDemand d = deepDemand();
+    d.streamEfficiency = 0.5;
+    const BandwidthResult r = ms.resolveBandwidth(1375.0, 1000.0, d);
+    EXPECT_NEAR(r.effectiveBps, 132e9, 2e9);
+}
+
+TEST(MemorySystem, EffectiveBandwidthMonotoneInMemFrequency)
+{
+    const MemorySystem ms = system320();
+    double prev = 0.0;
+    for (int f = 475; f <= 1375; f += 150) {
+        const BandwidthResult r =
+            ms.resolveBandwidth(f, 1000.0, deepDemand());
+        EXPECT_GE(r.effectiveBps, prev);
+        prev = r.effectiveBps;
+    }
+}
+
+TEST(MemorySystem, EffectiveBandwidthMonotoneInComputeFrequency)
+{
+    const MemorySystem ms = system320();
+    double prev = 0.0;
+    for (int f = 300; f <= 1000; f += 100) {
+        const BandwidthResult r =
+            ms.resolveBandwidth(1375.0, f, deepDemand());
+        EXPECT_GE(r.effectiveBps, prev - 1.0);
+        prev = r.effectiveBps;
+    }
+}
+
+TEST(MemorySystem, PowerDelegatesToGddr5)
+{
+    const MemorySystem ms = system320();
+    const MemPowerBreakdown p = ms.power(925.0, 100e9, 0.7);
+    EXPECT_GT(p.total(), 0.0);
+    EXPECT_GT(p.readWrite, 0.0);
+}
+
+TEST(MemorySystem, RejectsInvalidDemand)
+{
+    const MemorySystem ms = system320();
+    MemDemand d = deepDemand();
+    d.streamEfficiency = 0.0;
+    EXPECT_THROW(ms.resolveBandwidth(925.0, 700.0, d), ConfigError);
+    d = deepDemand();
+    d.outstandingRequests = -1.0;
+    EXPECT_THROW(ms.resolveBandwidth(925.0, 700.0, d), ConfigError);
+    d = deepDemand();
+    d.requestBytes = 0.0;
+    EXPECT_THROW(ms.resolveBandwidth(925.0, 700.0, d), ConfigError);
+    EXPECT_THROW(ms.peakBandwidth(-1.0), ConfigError);
+}
+
+TEST(BandwidthLimiterName, AllNamed)
+{
+    EXPECT_STREQ(bandwidthLimiterName(BandwidthLimiter::BusPeak),
+                 "bus-peak");
+    EXPECT_STREQ(bandwidthLimiterName(BandwidthLimiter::Crossing),
+                 "clock-crossing");
+    EXPECT_STREQ(bandwidthLimiterName(BandwidthLimiter::Concurrency),
+                 "concurrency");
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tests for the energy-efficiency metric helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "metrics/energy_metrics.hh"
+
+using namespace harmonia;
+
+TEST(RunMetrics, Definitions)
+{
+    RunMetrics m;
+    m.timeSec = 2.0;
+    m.energyJoules = 10.0;
+    EXPECT_DOUBLE_EQ(m.ed(), 20.0);
+    EXPECT_DOUBLE_EQ(m.ed2(), 40.0);
+    EXPECT_DOUBLE_EQ(m.power(), 5.0);
+    EXPECT_DOUBLE_EQ(RunMetrics{}.power(), 0.0);
+}
+
+TEST(Improvement, FractionOfBaseline)
+{
+    EXPECT_NEAR(improvementOver(100.0, 88.0), 0.12, 1e-12);
+    EXPECT_DOUBLE_EQ(improvementOver(100.0, 100.0), 0.0);
+    EXPECT_NEAR(improvementOver(100.0, 110.0), -0.1, 1e-12);
+    EXPECT_THROW(improvementOver(0.0, 1.0), ConfigError);
+}
+
+TEST(Speedup, PositiveMeansFaster)
+{
+    EXPECT_DOUBLE_EQ(speedupOver(2.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(speedupOver(1.0, 2.0), -0.5);
+    EXPECT_THROW(speedupOver(1.0, 0.0), ConfigError);
+    EXPECT_THROW(speedupOver(0.0, 1.0), ConfigError);
+}
+
+TEST(GeomeanImprovement, MatchesGeomeanOfRatios)
+{
+    // Ratios 0.5 and 2.0 -> geomean 1.0 -> improvement 0.
+    EXPECT_NEAR(geomeanImprovement({10.0, 10.0}, {5.0, 20.0}), 0.0,
+                1e-12);
+    // Uniform 20% improvement.
+    EXPECT_NEAR(geomeanImprovement({10.0, 5.0}, {8.0, 4.0}), 0.2,
+                1e-12);
+}
+
+TEST(GeomeanImprovement, Validation)
+{
+    EXPECT_THROW(geomeanImprovement({1.0}, {1.0, 2.0}), ConfigError);
+    EXPECT_THROW(geomeanImprovement({0.0}, {1.0}), ConfigError);
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Global model invariants, swept across the full configuration
+ * lattice for every kernel in the suite (~450 configs x 30+ kernels).
+ * These are the guarantees the governors rely on implicitly: valid
+ * counters everywhere, physically sane power, consistent energy
+ * accounting, and the documented monotonicities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/gpu_device.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+const GpuDevice &
+device()
+{
+    static GpuDevice dev;
+    return dev;
+}
+
+std::vector<KernelProfile>
+allKernels()
+{
+    std::vector<KernelProfile> out;
+    for (const auto &app : standardSuite())
+        for (const auto &k : app.kernels)
+            out.push_back(k);
+    return out;
+}
+
+} // namespace
+
+/** One parameterized instance per application. */
+class FullLatticeSweep
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(FullLatticeSweep, InvariantsHoldAtEveryConfiguration)
+{
+    const Application app = appByName(GetParam());
+    for (const auto &kernel : app.kernels) {
+        for (const auto &cfg : device().space().allConfigs()) {
+            const KernelResult r = device().run(kernel, 0, cfg);
+            // Time and energy are positive and consistent.
+            ASSERT_GT(r.time(), 0.0) << kernel.id() << cfg.str();
+            ASSERT_GT(r.cardEnergy, 0.0);
+            ASSERT_NEAR(r.cardEnergy, r.power.total() * r.time(),
+                        1e-6 * r.cardEnergy);
+            // Counters validate everywhere.
+            ASSERT_NO_THROW(r.timing.counters.validate())
+                << kernel.id() << " @ " << cfg.str();
+            // Power stays within the physical envelope of the card.
+            ASSERT_GT(r.power.total(), 5.0);
+            ASSERT_LT(r.power.total(), 300.0);
+            // Effective bandwidth never exceeds the bus peak.
+            ASSERT_LE(r.timing.bandwidth.effectiveBps,
+                      device().config().peakMemBandwidth(
+                          cfg.memFreqMhz) *
+                          (1.0 + 1e-9));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, FullLatticeSweep,
+    ::testing::Values("CoMD", "XSBench", "miniFE", "Graph500", "BPT",
+                      "CFD", "LUD", "SRAD", "Streamcluster", "Stencil",
+                      "Sort", "SPMV", "MaxFlops", "DeviceMemory"));
+
+TEST(ModelProperties, PowerMonotoneInComputeFrequency)
+{
+    // At fixed CU count and memory frequency, raising the compute
+    // clock (and its fused voltage) never lowers card power.
+    for (const auto &kernel : allKernels()) {
+        double prev = 0.0;
+        for (int f :
+             device().space().values(Tunable::ComputeFreq)) {
+            const double p =
+                device().run(kernel, 0, {32, f, 1375}).power.total();
+            ASSERT_GE(p, prev - 1e-9) << kernel.id() << " @ " << f;
+            prev = p;
+        }
+    }
+}
+
+TEST(ModelProperties, PowerMonotoneInCuCount)
+{
+    for (const auto &kernel : allKernels()) {
+        double prev = 0.0;
+        for (int cu : device().space().values(Tunable::CuCount)) {
+            const double p =
+                device().run(kernel, 0, {cu, 1000, 1375}).power.total();
+            ASSERT_GE(p, prev - 1e-9) << kernel.id() << " @ " << cu;
+            prev = p;
+        }
+    }
+}
+
+TEST(ModelProperties, EnergyPerWorkBoundedAcrossLattice)
+{
+    // Energy per wave-instruction stays within two orders of
+    // magnitude across the lattice for any kernel — no configuration
+    // produces absurd energy accounting.
+    for (const auto &kernel : allKernels()) {
+        double lo = 1e300;
+        double hi = 0.0;
+        for (const auto &cfg : device().space().allConfigs()) {
+            const KernelResult r = device().run(kernel, 0, cfg);
+            const double work =
+                std::max(1.0, r.timing.counters.valuInsts +
+                                  r.timing.counters.vfetchInsts);
+            const double epw = r.cardEnergy / work;
+            lo = std::min(lo, epw);
+            hi = std::max(hi, epw);
+        }
+        ASSERT_LT(hi / lo, 100.0) << kernel.id();
+    }
+}
+
+TEST(ModelProperties, ExecTimeDecreasesFromMinToMaxConfig)
+{
+    for (const auto &kernel : allKernels()) {
+        const double tMin =
+            device()
+                .run(kernel, 0, device().space().minConfig())
+                .time();
+        const double tMax =
+            device()
+                .run(kernel, 0, device().space().maxConfig())
+                .time();
+        ASSERT_LE(tMax, tMin * (1.0 + 1e-9)) << kernel.id();
+    }
+}
+
+TEST(ModelProperties, OccupancyIndependentOfConfiguration)
+{
+    // Occupancy is a static property of the kernel's resources.
+    for (const auto &kernel : allKernels()) {
+        const auto occA =
+            device().run(kernel, 0, {4, 300, 475}).timing.occupancy;
+        const auto occB =
+            device().run(kernel, 0, {32, 1000, 1375}).timing.occupancy;
+        ASSERT_EQ(occA.wavesPerSimd, occB.wavesPerSimd) << kernel.id();
+        ASSERT_EQ(occA.limiter, occB.limiter) << kernel.id();
+    }
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit and property tests for the occupancy calculator, including the
+ * paper's Sort.BottomScan example (66 VGPRs -> 30% occupancy).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/occupancy.hh"
+#include "common/error.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+KernelResources
+baseResources()
+{
+    KernelResources r;
+    r.vgprPerWorkitem = 24;
+    r.sgprPerWave = 24;
+    r.ldsPerWorkgroupBytes = 0;
+    r.workgroupSize = 256;
+    return r;
+}
+
+} // namespace
+
+TEST(Occupancy, FullOccupancyWithLightResources)
+{
+    const OccupancyInfo occ = computeOccupancy(hd7970(), baseResources());
+    EXPECT_EQ(occ.wavesPerSimd, 10);
+    EXPECT_EQ(occ.wavesPerCu, 40);
+    EXPECT_DOUBLE_EQ(occ.occupancy, 1.0);
+    EXPECT_EQ(occ.limiter, OccupancyLimiter::WaveSlots);
+}
+
+TEST(Occupancy, PaperBottomScanVgprExample)
+{
+    // Section 3.5: 66 VGPRs > 25% of 256, so only 3 waves/SIMD
+    // (12 per CU) instead of 10 -> 30% occupancy.
+    KernelResources r = baseResources();
+    r.vgprPerWorkitem = 66;
+    const OccupancyInfo occ = computeOccupancy(hd7970(), r);
+    EXPECT_EQ(occ.wavesPerSimd, 3);
+    EXPECT_EQ(occ.wavesPerCu, 12);
+    EXPECT_DOUBLE_EQ(occ.occupancy, 0.3);
+    EXPECT_EQ(occ.limiter, OccupancyLimiter::Vgpr);
+}
+
+TEST(Occupancy, SgprLimit)
+{
+    KernelResources r = baseResources();
+    r.sgprPerWave = 100; // 512/100 = 5 waves/SIMD
+    const OccupancyInfo occ = computeOccupancy(hd7970(), r);
+    EXPECT_EQ(occ.wavesPerSimd, 5);
+    EXPECT_EQ(occ.limiter, OccupancyLimiter::Sgpr);
+}
+
+TEST(Occupancy, LdsLimit)
+{
+    KernelResources r = baseResources();
+    r.ldsPerWorkgroupBytes = 32 * 1024; // 2 workgroups x 4 waves = 8
+    const OccupancyInfo occ = computeOccupancy(hd7970(), r);
+    EXPECT_EQ(occ.workgroupsPerCu, 2);
+    EXPECT_EQ(occ.wavesPerCu, 8);
+    EXPECT_EQ(occ.limiter, OccupancyLimiter::Lds);
+}
+
+TEST(Occupancy, WorkgroupRounding)
+{
+    KernelResources r = baseResources();
+    r.vgprPerWorkitem = 86; // floor(256/86)=2 waves/SIMD -> 8 per CU
+    r.workgroupSize = 192;  // 3 waves per workgroup -> 2 wg = 6 waves
+    const OccupancyInfo occ = computeOccupancy(hd7970(), r);
+    EXPECT_EQ(occ.workgroupsPerCu, 2);
+    EXPECT_EQ(occ.wavesPerCu, 6);
+}
+
+TEST(Occupancy, ValidationRejectsOversizedDemands)
+{
+    KernelResources r = baseResources();
+    r.vgprPerWorkitem = 300;
+    EXPECT_THROW(computeOccupancy(hd7970(), r), ConfigError);
+    r = baseResources();
+    r.sgprPerWave = 200;
+    EXPECT_THROW(computeOccupancy(hd7970(), r), ConfigError);
+    r = baseResources();
+    r.ldsPerWorkgroupBytes = 128 * 1024;
+    EXPECT_THROW(computeOccupancy(hd7970(), r), ConfigError);
+    r = baseResources();
+    r.workgroupSize = 0;
+    EXPECT_THROW(computeOccupancy(hd7970(), r), ConfigError);
+}
+
+TEST(OccupancyLimiterName, AllNamed)
+{
+    EXPECT_STREQ(occupancyLimiterName(OccupancyLimiter::WaveSlots),
+                 "wave-slots");
+    EXPECT_STREQ(occupancyLimiterName(OccupancyLimiter::Vgpr), "VGPR");
+    EXPECT_STREQ(occupancyLimiterName(OccupancyLimiter::Sgpr), "SGPR");
+    EXPECT_STREQ(occupancyLimiterName(OccupancyLimiter::Lds), "LDS");
+    EXPECT_STREQ(occupancyLimiterName(OccupancyLimiter::Workgroup),
+                 "workgroup");
+}
+
+/** Property: occupancy is in (0, 1] and monotone non-increasing as
+ * VGPR demand grows. */
+class OccupancyVgprSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(OccupancyVgprSweep, BoundedAndConsistent)
+{
+    KernelResources r = baseResources();
+    r.vgprPerWorkitem = GetParam();
+    const OccupancyInfo occ = computeOccupancy(hd7970(), r);
+    EXPECT_GT(occ.occupancy, 0.0);
+    EXPECT_LE(occ.occupancy, 1.0);
+    EXPECT_EQ(occ.wavesPerSimd, 256 / GetParam() > 10
+                                    ? 10
+                                    : 256 / GetParam());
+
+    if (GetParam() + 8 <= 256) {
+        KernelResources heavier = r;
+        heavier.vgprPerWorkitem = GetParam() + 8;
+        const OccupancyInfo occ2 = computeOccupancy(hd7970(), heavier);
+        EXPECT_LE(occ2.occupancy, occ.occupancy);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(VgprValues, OccupancyVgprSweep,
+                         ::testing::Values(8, 16, 25, 26, 32, 48, 64,
+                                           66, 85, 86, 128, 200, 256));

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the exhaustive-search oracle governor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/oracle.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+const GpuDevice &
+device()
+{
+    static GpuDevice dev;
+    return dev;
+}
+
+} // namespace
+
+TEST(Oracle, BestConfigBeatsEveryOtherConfig)
+{
+    const KernelProfile k = appByName("CFD").kernel("ComputeFlux");
+    const HardwareConfig best =
+        bestConfigFor(device(), k, 0, OracleObjective::MinEd2);
+    const double bestEd2 = device().run(k, 0, best).ed2();
+    for (const auto &cfg : device().space().allConfigs()) {
+        EXPECT_LE(bestEd2,
+                  device().run(k, 0, cfg).ed2() * (1.0 + 1e-9));
+    }
+}
+
+TEST(Oracle, ObjectivesOrderAsExpected)
+{
+    const KernelProfile k = makeDeviceMemory().kernels.front();
+    const HardwareConfig perfCfg =
+        bestConfigFor(device(), k, 0, OracleObjective::MaxPerf);
+    const HardwareConfig energyCfg =
+        bestConfigFor(device(), k, 0, OracleObjective::MinEnergy);
+    const HardwareConfig ed2Cfg =
+        bestConfigFor(device(), k, 0, OracleObjective::MinEd2);
+
+    const KernelResult perfRun = device().run(k, 0, perfCfg);
+    const KernelResult energyRun = device().run(k, 0, energyCfg);
+    const KernelResult ed2Run = device().run(k, 0, ed2Cfg);
+
+    EXPECT_LE(perfRun.time(), energyRun.time());
+    EXPECT_LE(perfRun.time(), ed2Run.time() * (1.0 + 1e-9));
+    EXPECT_LE(energyRun.cardEnergy, perfRun.cardEnergy);
+    EXPECT_LE(energyRun.cardEnergy,
+              ed2Run.cardEnergy * (1.0 + 1e-9));
+    EXPECT_LE(ed2Run.ed2(), perfRun.ed2() * (1.0 + 1e-9));
+    EXPECT_LE(ed2Run.ed2(), energyRun.ed2() * (1.0 + 1e-9));
+}
+
+TEST(Oracle, MaxPerfTieBreaksTowardTheBigConfig)
+{
+    // For a compute-bound kernel every memory configuration ties on
+    // performance; the naive performance-first policy keeps max.
+    const KernelProfile k = makeMaxFlops().kernels.front();
+    const HardwareConfig cfg =
+        bestConfigFor(device(), k, 0, OracleObjective::MaxPerf);
+    EXPECT_EQ(cfg, device().space().maxConfig());
+}
+
+TEST(Oracle, GovernorCachesPerIterationSearches)
+{
+    OracleGovernor governor(device());
+    const KernelProfile k = makeComd().kernels.front();
+    const HardwareConfig a = governor.decide(k, 0);
+    EXPECT_EQ(governor.searches(), 1u);
+    const HardwareConfig b = governor.decide(k, 0);
+    EXPECT_EQ(governor.searches(), 1u);
+    EXPECT_EQ(a, b);
+    governor.decide(k, 1);
+    EXPECT_EQ(governor.searches(), 2u);
+    governor.reset();
+    governor.decide(k, 0);
+    EXPECT_EQ(governor.searches(), 3u);
+}
+
+TEST(Oracle, NameIncludesObjective)
+{
+    EXPECT_EQ(OracleGovernor(device()).name(), "Oracle(min-ED2)");
+    EXPECT_EQ(
+        OracleGovernor(device(), OracleObjective::MinEnergy).name(),
+        "Oracle(min-energy)");
+}
+
+TEST(Oracle, ObjectiveNames)
+{
+    EXPECT_STREQ(oracleObjectiveName(OracleObjective::MinEd2),
+                 "min-ED2");
+    EXPECT_STREQ(oracleObjectiveName(OracleObjective::MinEnergy),
+                 "min-energy");
+    EXPECT_STREQ(oracleObjectiveName(OracleObjective::MaxPerf),
+                 "max-performance");
+    EXPECT_STREQ(oracleObjectiveName(OracleObjective::MinEd), "min-ED");
+}

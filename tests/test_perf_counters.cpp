@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the Table 2 counter set and derived metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "counters/perf_counters.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+CounterSet
+sample()
+{
+    CounterSet c;
+    c.valuBusy = 80.0;
+    c.valuUtilization = 90.0;
+    c.memUnitBusy = 40.0;
+    c.memUnitStalled = 10.0;
+    c.writeUnitStalled = 5.0;
+    c.l2CacheHit = 50.0;
+    c.icActivity = 0.6;
+    c.normVgpr = 0.25;
+    c.normSgpr = 0.3;
+    c.valuInsts = 1e6;
+    c.vfetchInsts = 2e5;
+    c.vwriteInsts = 1e5;
+    c.offChipBytes = 1e8;
+    return c;
+}
+
+} // namespace
+
+TEST(CounterSet, CtoMIsBoundedShare)
+{
+    CounterSet c = sample();
+    // aluShare = 80*90/100 = 72; share = 72/(72+40)*100.
+    EXPECT_NEAR(c.computeToMemIntensity(), 100.0 * 72.0 / 112.0, 1e-9);
+
+    c.memUnitBusy = 0.0;
+    c.valuBusy = 100.0;
+    c.valuUtilization = 100.0;
+    EXPECT_NEAR(c.computeToMemIntensity(), 100.0, 1e-9);
+
+    c.valuBusy = 0.0;
+    EXPECT_DOUBLE_EQ(c.computeToMemIntensity(), 0.0);
+}
+
+TEST(CounterSet, CtoMMonotoneInAluShare)
+{
+    CounterSet c = sample();
+    const double base = c.computeToMemIntensity();
+    c.valuBusy = 95.0;
+    EXPECT_GT(c.computeToMemIntensity(), base);
+}
+
+TEST(CounterSet, BandwidthFeatureOrderMatchesTable3)
+{
+    const CounterSet c = sample();
+    const auto f = c.bandwidthFeatures();
+    ASSERT_EQ(f.size(), bandwidthFeatureNames().size());
+    EXPECT_DOUBLE_EQ(f[0], c.valuUtilization);
+    EXPECT_DOUBLE_EQ(f[1], c.writeUnitStalled);
+    EXPECT_DOUBLE_EQ(f[2], c.memUnitBusy);
+    EXPECT_DOUBLE_EQ(f[3], c.memUnitStalled);
+    EXPECT_DOUBLE_EQ(f[4], c.icActivity);
+    EXPECT_DOUBLE_EQ(f[5], c.normVgpr);
+    EXPECT_DOUBLE_EQ(f[6], c.normSgpr);
+}
+
+TEST(CounterSet, ComputeFeatureOrder)
+{
+    const CounterSet c = sample();
+    const auto f = c.computeFeatures();
+    ASSERT_EQ(f.size(), computeFeatureNames().size());
+    EXPECT_DOUBLE_EQ(f[0], c.computeToMemIntensity());
+    EXPECT_DOUBLE_EQ(f[1], c.normVgpr);
+    EXPECT_DOUBLE_EQ(f[2], c.normSgpr);
+    EXPECT_DOUBLE_EQ(f[3], c.valuBusy);
+    EXPECT_DOUBLE_EQ(f[4], c.icActivity);
+}
+
+TEST(CounterSet, ValidateAcceptsSaneValues)
+{
+    EXPECT_NO_THROW(sample().validate());
+}
+
+TEST(CounterSet, ValidateRejectsOutOfRange)
+{
+    CounterSet c = sample();
+    c.valuBusy = 101.0;
+    EXPECT_THROW(c.validate(), InternalError);
+    c = sample();
+    c.icActivity = 1.5;
+    EXPECT_THROW(c.validate(), InternalError);
+    c = sample();
+    c.normVgpr = -0.1;
+    EXPECT_THROW(c.validate(), InternalError);
+    c = sample();
+    c.valuInsts = -1.0;
+    EXPECT_THROW(c.validate(), InternalError);
+}
+
+TEST(IcActivity, RatioOfAchievedToPeak)
+{
+    // Equations (1)-(2).
+    EXPECT_DOUBLE_EQ(icActivityOf(132e9, 264e9), 0.5);
+    EXPECT_DOUBLE_EQ(icActivityOf(300e9, 264e9), 1.0); // capped
+    EXPECT_DOUBLE_EQ(icActivityOf(0.0, 264e9), 0.0);
+    EXPECT_THROW(icActivityOf(1.0, 0.0), ConfigError);
+    EXPECT_THROW(icActivityOf(-1.0, 264e9), ConfigError);
+}
+
+TEST(AverageCounters, ElementWiseMean)
+{
+    CounterSet a = sample();
+    CounterSet b = sample();
+    b.valuBusy = 40.0;
+    b.icActivity = 0.2;
+    b.valuInsts = 3e6;
+    const CounterSet avg = averageCounters({a, b});
+    EXPECT_DOUBLE_EQ(avg.valuBusy, 60.0);
+    EXPECT_DOUBLE_EQ(avg.icActivity, 0.4);
+    EXPECT_DOUBLE_EQ(avg.valuInsts, 2e6);
+    EXPECT_DOUBLE_EQ(avg.memUnitBusy, a.memUnitBusy);
+}
+
+TEST(AverageCounters, RejectsEmpty)
+{
+    EXPECT_THROW(averageCounters({}), ConfigError);
+}
+
+TEST(FeatureNames, StableAndDistinct)
+{
+    const auto &bw = bandwidthFeatureNames();
+    EXPECT_EQ(bw.size(), 7u);
+    EXPECT_EQ(bw[4], "icActivity");
+    const auto &comp = computeFeatureNames();
+    EXPECT_EQ(comp.size(), 5u);
+    EXPECT_EQ(comp[0], "C-to-M Intensity");
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the TDP-envelope enforcement decorator.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "core/baseline_governor.hh"
+#include "core/power_cap.hh"
+#include "core/runtime.hh"
+#include "sim/gpu_device.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+const GpuDevice &
+device()
+{
+    static GpuDevice dev;
+    return dev;
+}
+
+PowerCapGovernor
+cappedBaseline(double capWatts)
+{
+    return PowerCapGovernor(
+        device().space(),
+        std::make_unique<BaselineGovernor>(device().space()),
+        capWatts);
+}
+
+} // namespace
+
+TEST(PowerCap, GenerousCapChangesNothing)
+{
+    PowerCapGovernor governor = cappedBaseline(400.0);
+    const AppRunResult run =
+        Runtime(device()).run(makeComd(), governor);
+    EXPECT_EQ(governor.deratingSteps(), 0);
+    for (const auto &t : run.trace)
+        EXPECT_EQ(t.config, device().space().maxConfig());
+}
+
+TEST(PowerCap, TightCapIsEnforced)
+{
+    const double cap = 140.0;
+    PowerCapGovernor governor = cappedBaseline(cap);
+    const AppRunResult run =
+        Runtime(device()).run(makeMaxFlops(), governor);
+    // The tail of the run must respect the budget (the first
+    // iterations are spent detecting the overage).
+    const auto &last = run.trace.back();
+    EXPECT_LT(last.result.power.total(), cap * 1.1);
+    EXPECT_GT(governor.deratingSteps(), 0);
+}
+
+TEST(PowerCap, DeratesFrequencyBeforeCuCount)
+{
+    PowerCapGovernor governor = cappedBaseline(150.0);
+    Runtime(device()).run(makeMaxFlops(), governor);
+    const Application mfApp = makeMaxFlops();
+    const KernelProfile &k = mfApp.kernels.front();
+    const HardwareConfig cfg = governor.decide(k, 99);
+    if (governor.deratingSteps() <= 7) {
+        EXPECT_EQ(cfg.cuCount, 32);
+        EXPECT_LT(cfg.computeFreqMhz, 1000);
+    } else {
+        EXPECT_EQ(cfg.computeFreqMhz, 300);
+        EXPECT_LT(cfg.cuCount, 32);
+    }
+}
+
+TEST(PowerCap, RelaxesWhenHeadroomReturns)
+{
+    PowerCapGovernor governor = cappedBaseline(160.0);
+    Runtime runtime(device());
+    runtime.run(makeMaxFlops(), governor); // forces derating
+    // Note: Runtime::run resets the governor first, so drive samples
+    // manually to test relaxation.
+    const Application mfApp = makeMaxFlops();
+    const KernelProfile &k = mfApp.kernels.front();
+    governor.reset();
+    // Push it over budget.
+    for (int i = 0; i < 5; ++i) {
+        KernelSample s;
+        s.kernelId = k.id();
+        s.config = governor.decide(k, i);
+        s.execTime = 1e-3;
+        s.cardEnergy = 0.220; // 220 W
+        governor.observe(s);
+    }
+    const int derated = governor.deratingSteps();
+    EXPECT_GT(derated, 0);
+    // Now feed it cool samples.
+    for (int i = 0; i < 10; ++i) {
+        KernelSample s;
+        s.kernelId = k.id();
+        s.config = governor.decide(k, i);
+        s.execTime = 1e-3;
+        s.cardEnergy = 0.080; // 80 W
+        governor.observe(s);
+    }
+    EXPECT_LT(governor.deratingSteps(), derated);
+}
+
+TEST(PowerCap, NameAndValidation)
+{
+    EXPECT_EQ(cappedBaseline(200.0).name(), "Baseline+cap");
+    EXPECT_THROW(cappedBaseline(0.0), ConfigError);
+    EXPECT_THROW(PowerCapGovernor(device().space(), nullptr, 100.0),
+                 ConfigError);
+}
+
+TEST(PowerCap, ResetClearsDerating)
+{
+    PowerCapGovernor governor = cappedBaseline(120.0);
+    Runtime(device()).run(makeMaxFlops(), governor);
+    governor.reset();
+    EXPECT_EQ(governor.deratingSteps(), 0);
+    EXPECT_DOUBLE_EQ(governor.averagePower(), 0.0);
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the linear sensitivity predictors (paper Table 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "core/predictor.hh"
+
+using namespace harmonia;
+
+TEST(LinearModel, EvaluateIsAffineAndClamped)
+{
+    LinearSensitivityModel m;
+    m.intercept = 0.1;
+    m.coeffs = {0.5, -0.2};
+    EXPECT_NEAR(m.evaluate({1.0, 1.0}), 0.4, 1e-12);
+    EXPECT_DOUBLE_EQ(m.evaluate({10.0, 0.0}), 1.0);  // clamped high
+    EXPECT_DOUBLE_EQ(m.evaluate({0.0, 10.0}), 0.0);  // clamped low
+}
+
+TEST(LinearModel, RejectsWrongFeatureCount)
+{
+    LinearSensitivityModel m;
+    m.coeffs = {1.0, 2.0};
+    EXPECT_THROW(m.evaluate({1.0}), ConfigError);
+}
+
+TEST(Predictor, PaperTable3Coefficients)
+{
+    const SensitivityPredictor p = SensitivityPredictor::paperTable3();
+    const LinearSensitivityModel &bw = p.bandwidthModel();
+    EXPECT_DOUBLE_EQ(bw.intercept, -0.42);
+    ASSERT_EQ(bw.coeffs.size(), 7u);
+    EXPECT_DOUBLE_EQ(bw.coeffs[0], 0.003);  // VALUUtilization
+    EXPECT_DOUBLE_EQ(bw.coeffs[1], 0.011);  // WriteUnitStalled
+    EXPECT_DOUBLE_EQ(bw.coeffs[2], 0.01);   // MemUnitBusy
+    EXPECT_DOUBLE_EQ(bw.coeffs[3], -0.004); // MemUnitStalled
+    EXPECT_DOUBLE_EQ(bw.coeffs[4], 1.003);  // icActivity
+    EXPECT_DOUBLE_EQ(bw.coeffs[5], 1.158);  // NormVGPR
+    EXPECT_DOUBLE_EQ(bw.coeffs[6], -0.731); // NormSGPR
+
+    const LinearSensitivityModel &comp = p.computeModel();
+    EXPECT_DOUBLE_EQ(comp.intercept, 0.06);
+    ASSERT_EQ(comp.coeffs.size(), 5u);
+    EXPECT_DOUBLE_EQ(comp.coeffs[0], 0.007); // C-to-M Intensity
+    EXPECT_DOUBLE_EQ(comp.coeffs[1], 0.452); // NormVGPR
+    EXPECT_DOUBLE_EQ(comp.coeffs[2], 0.024); // NormSGPR
+    EXPECT_DOUBLE_EQ(comp.coeffs[3], 0.0);   // VALUBusy (extension)
+    EXPECT_DOUBLE_EQ(comp.coeffs[4], 0.0);   // icActivity (extension)
+}
+
+TEST(Predictor, PaperModelSeparatesExtremes)
+{
+    const SensitivityPredictor p = SensitivityPredictor::paperTable3();
+
+    CounterSet memBound;
+    memBound.valuBusy = 10.0;
+    memBound.valuUtilization = 100.0;
+    memBound.memUnitBusy = 95.0;
+    memBound.memUnitStalled = 40.0;
+    memBound.icActivity = 0.9;
+    memBound.normVgpr = 0.1;
+    memBound.normSgpr = 0.2;
+
+    CounterSet computeBound;
+    computeBound.valuBusy = 98.0;
+    computeBound.valuUtilization = 100.0;
+    computeBound.memUnitBusy = 2.0;
+    computeBound.icActivity = 0.01;
+    computeBound.normVgpr = 0.1;
+    computeBound.normSgpr = 0.2;
+
+    EXPECT_GT(p.predictBandwidth(memBound),
+              p.predictBandwidth(computeBound));
+    EXPECT_GT(p.predictCompute(computeBound),
+              p.predictCompute(memBound));
+}
+
+TEST(Predictor, PredictionsAreInUnitRange)
+{
+    const SensitivityPredictor p = SensitivityPredictor::paperTable3();
+    CounterSet extreme;
+    extreme.valuBusy = 100.0;
+    extreme.valuUtilization = 100.0;
+    extreme.memUnitBusy = 100.0;
+    extreme.memUnitStalled = 100.0;
+    extreme.writeUnitStalled = 100.0;
+    extreme.icActivity = 1.0;
+    extreme.normVgpr = 1.0;
+    extreme.normSgpr = 1.0;
+    for (const CounterSet &c : {CounterSet{}, extreme}) {
+        const double bw = p.predictBandwidth(c);
+        const double comp = p.predictCompute(c);
+        EXPECT_GE(bw, 0.0);
+        EXPECT_LE(bw, 1.0);
+        EXPECT_GE(comp, 0.0);
+        EXPECT_LE(comp, 1.0);
+    }
+}
+
+TEST(Predictor, PredictBinsUsesBothModels)
+{
+    const SensitivityPredictor p = SensitivityPredictor::paperTable3();
+    CounterSet c;
+    c.icActivity = 0.95;
+    c.memUnitBusy = 95.0;
+    c.normVgpr = 0.2;
+    const SensitivityBins bins = p.predictBins(c);
+    EXPECT_EQ(bins.bandwidth, SensitivityBin::High);
+    EXPECT_EQ(bins.compute, SensitivityBin::Low);
+}
+
+TEST(Predictor, ConstructorValidatesCoefficientCounts)
+{
+    LinearSensitivityModel bw;
+    bw.coeffs = {1.0}; // wrong size
+    LinearSensitivityModel comp;
+    comp.coeffs = {1.0, 2.0, 3.0, 4.0, 5.0};
+    EXPECT_THROW(SensitivityPredictor(bw, comp), ConfigError);
+
+    bw.coeffs = {1, 2, 3, 4, 5, 6, 7};
+    comp.coeffs = {1.0};
+    EXPECT_THROW(SensitivityPredictor(bw, comp), ConfigError);
+}

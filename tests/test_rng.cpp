@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit and property tests for the deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+
+using namespace harmonia;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(1234);
+    Rng b(1234);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int differing = 0;
+    for (int i = 0; i < 16; ++i)
+        differing += a.next() != b.next();
+    EXPECT_GT(differing, 12);
+}
+
+TEST(Rng, UniformIsInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.uniform(2.0, 1.0), ConfigError);
+    EXPECT_THROW(rng.uniformInt(5, 4), ConfigError);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(11);
+    bool sawLo = false;
+    bool sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int64_t v = rng.uniformInt(0, 7);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 7);
+        sawLo = sawLo || v == 0;
+        sawHi = sawHi || v == 7;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformMeanIsCentered)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMomentsAreSane)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScalesMeanAndStddev)
+{
+    Rng rng(19);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng rng(23);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, LogNormalMedianIsApproximatelyRight)
+{
+    Rng rng(29);
+    std::vector<double> samples;
+    for (int i = 0; i < 20001; ++i)
+        samples.push_back(rng.logNormal(4.0, 0.5));
+    std::sort(samples.begin(), samples.end());
+    EXPECT_NEAR(samples[samples.size() / 2], 4.0, 0.15);
+    for (double s : samples)
+        EXPECT_GT(s, 0.0);
+}
+
+TEST(Rng, LogNormalRejectsNonPositiveMedian)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.logNormal(0.0, 1.0), ConfigError);
+}
+
+/** Property sweep: determinism holds for many seeds. */
+class RngSeedTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RngSeedTest, Reproducible)
+{
+    Rng a(GetParam());
+    Rng b(GetParam());
+    for (int i = 0; i < 32; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST_P(RngSeedTest, UniformStaysInRange)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 256; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedTest,
+                         ::testing::Values(0ull, 1ull, 42ull,
+                                           0xdeadbeefull,
+                                           0xffffffffffffffffull,
+                                           987654321ull));

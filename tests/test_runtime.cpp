@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the application runtime (the measurement loop).
+ */
+
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/baseline_governor.hh"
+#include "common/error.hh"
+#include "core/runtime.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+const GpuDevice &
+device()
+{
+    static GpuDevice dev;
+    return dev;
+}
+
+} // namespace
+
+TEST(Runtime, TraceCoversEveryInvocation)
+{
+    const Application app = makeComd(); // 3 kernels x 10 iterations
+    BaselineGovernor governor(device().space());
+    const AppRunResult run = Runtime(device()).run(app, governor);
+    EXPECT_EQ(run.trace.size(), 30u);
+    EXPECT_EQ(run.appName, "CoMD");
+    EXPECT_EQ(run.governorName, "Baseline");
+    // Trace order: kernels in order within each iteration.
+    EXPECT_EQ(run.trace[0].kernelId, "CoMD.EAM_Force_1");
+    EXPECT_EQ(run.trace[1].kernelId, "CoMD.AdvanceVelocity");
+    EXPECT_EQ(run.trace[3].iteration, 1);
+}
+
+TEST(Runtime, TotalsMatchTraceSums)
+{
+    const Application app = makeSort();
+    BaselineGovernor governor(device().space());
+    const AppRunResult run = Runtime(device()).run(app, governor);
+    double time = 0.0;
+    double energy = 0.0;
+    for (const auto &t : run.trace) {
+        time += t.result.time();
+        energy += t.result.cardEnergy;
+    }
+    EXPECT_NEAR(run.totalTime, time, 1e-12);
+    EXPECT_NEAR(run.cardEnergy, energy, 1e-12);
+    EXPECT_GT(run.gpuEnergy, 0.0);
+    EXPECT_GT(run.memEnergy, 0.0);
+    EXPECT_LT(run.gpuEnergy + run.memEnergy, run.cardEnergy);
+}
+
+TEST(Runtime, ResidencyTotalsEqualRunTime)
+{
+    const Application app = makeStencil();
+    BaselineGovernor governor(device().space());
+    const AppRunResult run = Runtime(device()).run(app, governor);
+    for (Tunable t : kAllTunables)
+        EXPECT_NEAR(run.residency(t).total(), run.totalTime, 1e-12);
+    // Baseline never leaves the max configuration.
+    EXPECT_DOUBLE_EQ(run.cuResidency.fraction(32.0), 1.0);
+    EXPECT_DOUBLE_EQ(run.freqResidency.fraction(1000.0), 1.0);
+    EXPECT_DOUBLE_EQ(run.memResidency.fraction(1375.0), 1.0);
+}
+
+TEST(Runtime, MetricDefinitions)
+{
+    const Application app = makeMaxFlops();
+    BaselineGovernor governor(device().space());
+    const AppRunResult run = Runtime(device()).run(app, governor);
+    EXPECT_DOUBLE_EQ(run.ed(), run.cardEnergy * run.totalTime);
+    EXPECT_DOUBLE_EQ(run.ed2(),
+                     run.cardEnergy * run.totalTime * run.totalTime);
+    EXPECT_NEAR(run.averagePower(), run.cardEnergy / run.totalTime,
+                1e-12);
+}
+
+TEST(Runtime, GovernorIsResetBetweenRuns)
+{
+    // A second run must reproduce the first exactly (the governor's
+    // state is cleared by the runtime).
+    const Application app = makeCfd();
+    BaselineGovernor governor(device().space(), 150.0);
+    Runtime runtime(device());
+    const AppRunResult a = runtime.run(app, governor);
+    const AppRunResult b = runtime.run(app, governor);
+    EXPECT_DOUBLE_EQ(a.totalTime, b.totalTime);
+    EXPECT_DOUBLE_EQ(a.cardEnergy, b.cardEnergy);
+}
+
+TEST(Runtime, RejectsInvalidApplication)
+{
+    Application bad;
+    bad.name = "bad";
+    BaselineGovernor governor(device().space());
+    EXPECT_THROW(Runtime(device()).run(bad, governor), ConfigError);
+}
+
+TEST(Runtime, TraceCsvExport)
+{
+    const Application app = makeMaxFlops();
+    BaselineGovernor governor(device().space());
+    const AppRunResult run = Runtime(device()).run(app, governor);
+    std::ostringstream os;
+    run.writeTraceCsv(os);
+    const std::string csv = os.str();
+    // Header + one row per invocation.
+    EXPECT_EQ(static_cast<size_t>(
+                  std::count(csv.begin(), csv.end(), '\n')),
+              run.trace.size() + 1);
+    EXPECT_NE(csv.find("MaxFlops.MaxFlops"), std::string::npos);
+    EXPECT_NE(csv.find("kernel,iteration,cuCount"), std::string::npos);
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the kernel-boundary sample history.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "counters/sampler.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+KernelSample
+makeSample(const std::string &id, int iteration)
+{
+    KernelSample s;
+    s.kernelId = id;
+    s.iteration = iteration;
+    s.execTime = 1e-3 * (iteration + 1);
+    s.cardEnergy = 0.1;
+    return s;
+}
+
+} // namespace
+
+TEST(KernelHistory, EmptyLookups)
+{
+    const KernelHistory h;
+    EXPECT_FALSE(h.last("a.k").has_value());
+    EXPECT_FALSE(h.previous("a.k").has_value());
+    EXPECT_EQ(h.count("a.k"), 0u);
+    EXPECT_TRUE(h.samples("a.k").empty());
+    EXPECT_TRUE(h.kernels().empty());
+}
+
+TEST(KernelHistory, LastAndPrevious)
+{
+    KernelHistory h;
+    h.record(makeSample("a.k", 0));
+    EXPECT_TRUE(h.last("a.k").has_value());
+    EXPECT_FALSE(h.previous("a.k").has_value());
+    h.record(makeSample("a.k", 1));
+    EXPECT_EQ(h.last("a.k")->iteration, 1);
+    EXPECT_EQ(h.previous("a.k")->iteration, 0);
+}
+
+TEST(KernelHistory, CapacityEvictsOldest)
+{
+    KernelHistory h(3);
+    for (int i = 0; i < 5; ++i)
+        h.record(makeSample("a.k", i));
+    EXPECT_EQ(h.count("a.k"), 3u);
+    const auto samples = h.samples("a.k");
+    ASSERT_EQ(samples.size(), 3u);
+    EXPECT_EQ(samples.front().iteration, 2);
+    EXPECT_EQ(samples.back().iteration, 4);
+}
+
+TEST(KernelHistory, KernelsAreIndependent)
+{
+    KernelHistory h;
+    h.record(makeSample("a.k1", 0));
+    h.record(makeSample("a.k2", 7));
+    EXPECT_EQ(h.last("a.k1")->iteration, 0);
+    EXPECT_EQ(h.last("a.k2")->iteration, 7);
+    EXPECT_EQ(h.kernels().size(), 2u);
+}
+
+TEST(KernelHistory, ClearRemovesEverything)
+{
+    KernelHistory h;
+    h.record(makeSample("a.k", 0));
+    h.clear();
+    EXPECT_EQ(h.count("a.k"), 0u);
+}
+
+TEST(KernelHistory, Validation)
+{
+    EXPECT_THROW(KernelHistory(1), ConfigError);
+    KernelHistory h;
+    KernelSample bad = makeSample("", 0);
+    EXPECT_THROW(h.record(bad), ConfigError);
+    bad = makeSample("a.k", 0);
+    bad.execTime = -1.0;
+    EXPECT_THROW(h.record(bad), ConfigError);
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for sensitivity measurement and binning (paper Section 4.1,
+ * Section 5.2's bin boundaries).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sensitivity.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+const GpuDevice &
+device()
+{
+    static GpuDevice dev;
+    return dev;
+}
+
+} // namespace
+
+TEST(SensitivityBins, BoundariesMatchPaper)
+{
+    // <30% LOW, 30-70% MED, >70% HIGH.
+    EXPECT_EQ(binOf(0.0), SensitivityBin::Low);
+    EXPECT_EQ(binOf(0.29), SensitivityBin::Low);
+    EXPECT_EQ(binOf(0.30), SensitivityBin::Med);
+    EXPECT_EQ(binOf(0.50), SensitivityBin::Med);
+    EXPECT_EQ(binOf(0.70), SensitivityBin::Med);
+    EXPECT_EQ(binOf(0.71), SensitivityBin::High);
+    EXPECT_EQ(binOf(1.0), SensitivityBin::High);
+}
+
+TEST(SensitivityBins, ClampsOutOfRange)
+{
+    EXPECT_EQ(binOf(-0.5), SensitivityBin::Low);
+    EXPECT_EQ(binOf(2.0), SensitivityBin::High);
+}
+
+TEST(SensitivityBins, Names)
+{
+    EXPECT_STREQ(sensitivityBinName(SensitivityBin::Low), "LOW");
+    EXPECT_STREQ(sensitivityBinName(SensitivityBin::Med), "MED");
+    EXPECT_STREQ(sensitivityBinName(SensitivityBin::High), "HIGH");
+}
+
+TEST(SensitivityVector, ComputeAggregatesCuAndFreq)
+{
+    SensitivityVector v;
+    v.cuCount = 0.8;
+    v.computeFreq = 0.4;
+    EXPECT_DOUBLE_EQ(v.compute(), 0.6);
+}
+
+TEST(Sensitivity, MaxFlopsIsComputeSensitiveOnly)
+{
+    const KernelProfile k = makeMaxFlops().kernels.front();
+    const SensitivityVector s = measureSensitivities(device(), k, 0);
+    EXPECT_GT(s.compute(), 0.9);
+    EXPECT_LT(s.memBandwidth, 0.05);
+}
+
+TEST(Sensitivity, DeviceMemoryIsBandwidthSensitive)
+{
+    const KernelProfile k = makeDeviceMemory().kernels.front();
+    const SensitivityVector s = measureSensitivities(device(), k, 0);
+    EXPECT_GT(s.memBandwidth, 0.9);
+    EXPECT_LT(s.cuCount, 0.3);
+}
+
+TEST(Sensitivity, TinyKernelInsensitiveToEverything)
+{
+    const KernelProfile k = appByName("SRAD").kernel("Prepare");
+    const SensitivityVector s = measureSensitivities(device(), k, 0);
+    EXPECT_LT(s.compute(), 0.1);
+    EXPECT_LT(s.memBandwidth, 0.1);
+}
+
+TEST(Sensitivity, CacheThrashingYieldsNegativeCuSensitivity)
+{
+    // Reducing CUs *helps* BPT -> negative measured CU sensitivity.
+    const KernelProfile k = appByName("BPT").kernel("FindK");
+    const double cu = measureTunableSensitivity(device(), k, 0,
+                                                Tunable::CuCount);
+    EXPECT_LT(cu, 0.05);
+}
+
+TEST(Sensitivity, PerfectScalingGivesSensitivityNearOne)
+{
+    const KernelProfile k = makeMaxFlops().kernels.front();
+    const double freq = measureTunableSensitivity(
+        device(), k, 0, Tunable::ComputeFreq);
+    EXPECT_NEAR(freq, 1.0, 0.1);
+}
+
+TEST(Sensitivity, LocalMeasurementAtMinConfigProbesUpward)
+{
+    const KernelProfile k = makeMaxFlops().kernels.front();
+    const HardwareConfig minCfg = device().space().minConfig();
+    const double s = measureTunableSensitivityAt(
+        device(), k, 0, Tunable::ComputeFreq, minCfg);
+    // Still compute-sensitive when measured upward from the floor.
+    EXPECT_GT(s, 0.8);
+}
+
+TEST(Sensitivity, LocalAndGlobalAgreeAtMaxConfig)
+{
+    const KernelProfile k = makeDeviceMemory().kernels.front();
+    const HardwareConfig maxCfg = device().space().maxConfig();
+    const SensitivityVector local =
+        measureSensitivitiesAt(device(), k, 0, maxCfg);
+    const SensitivityVector global =
+        measureSensitivities(device(), k, 0);
+    // Different probe distances, same qualitative ordering.
+    EXPECT_GT(local.memBandwidth, 0.7);
+    EXPECT_GT(global.memBandwidth, 0.7);
+}
+
+TEST(Sensitivity, CrossingMakesMemBoundKernelFreqSensitiveAtLowClock)
+{
+    // Figure 9: local compute-frequency sensitivity of DeviceMemory
+    // rises as the compute clock falls.
+    const KernelProfile k = makeDeviceMemory().kernels.front();
+    HardwareConfig low = device().space().maxConfig();
+    low.computeFreqMhz = 400;
+    const double sLow = measureTunableSensitivityAt(
+        device(), k, 0, Tunable::ComputeFreq, low);
+    const double sHigh = measureTunableSensitivityAt(
+        device(), k, 0, Tunable::ComputeFreq,
+        device().space().maxConfig());
+    EXPECT_GT(sLow, sHigh);
+    EXPECT_GT(sLow, 0.8);
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the future-system extensions: the stacked-memory device
+ * variant (the paper's Section 9 future work) and memory-interface
+ * voltage scaling (the Section 3.3/7.2 "would be greater" remark).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/harmonia_governor.hh"
+#include "core/sensitivity.hh"
+#include "sim/stacked_device.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+
+TEST(StackedDevice, ConfigValidatesAndDoublesBandwidth)
+{
+    const GcnDeviceConfig cfg = stackedMemoryConfig();
+    EXPECT_NO_THROW(cfg.validate());
+    // 550 MHz x 512 B x 2 = 563 GB/s, ~2x the GDDR5 card.
+    EXPECT_NEAR(cfg.peakMemBandwidth(cfg.memFreqMaxMhz), 563.2e9,
+                1e9);
+    EXPECT_GT(cfg.peakMemBandwidth(cfg.memFreqMaxMhz),
+              2.0 * hd7970().peakMemBandwidth(1375.0));
+}
+
+TEST(StackedDevice, LatticeHasEightMemoryPoints)
+{
+    const GpuDevice device = makeStackedDevice();
+    EXPECT_EQ(device.space().values(Tunable::MemFreq).size(), 8u);
+    EXPECT_EQ(device.space().size(), 8u * 8u * 8u);
+}
+
+TEST(StackedDevice, RunsTheWholeSuiteUnchanged)
+{
+    const GpuDevice device = makeStackedDevice();
+    const HardwareConfig maxCfg = device.space().maxConfig();
+    for (const auto &app : standardSuite()) {
+        for (const auto &k : app.kernels) {
+            const KernelResult r = device.run(k, 0, maxCfg);
+            ASSERT_GT(r.time(), 0.0);
+            ASSERT_NO_THROW(r.timing.counters.validate());
+        }
+    }
+}
+
+TEST(StackedDevice, LowerPerBitEnergyThanGddr5)
+{
+    // Same traffic, far less interface power on package.
+    const Gddr5Model gddr5;
+    const Gddr5Model hbm(stackedMemoryTimingParams(),
+                         stackedMemoryPowerParams());
+    const double traffic = 200e9;
+    const double pG = gddr5.power(1375.0, traffic, 0.7).total();
+    const double pH = hbm.power(550.0, traffic, 0.7).total();
+    EXPECT_LT(pH, 0.75 * pG);
+}
+
+TEST(StackedDevice, MemoryBoundKernelsSpeedUpOnTheStack)
+{
+    const GpuDevice gddr5;
+    const GpuDevice stacked = makeStackedDevice();
+    const KernelProfile k = makeDeviceMemory().kernels.front();
+    const double tG =
+        gddr5.run(k, 0, gddr5.space().maxConfig()).time();
+    const double tS =
+        stacked.run(k, 0, stacked.space().maxConfig()).time();
+    EXPECT_LT(tS, tG);
+}
+
+TEST(StackedDevice, SensitivityMeasurementIsLatticeGeneric)
+{
+    const GpuDevice device = makeStackedDevice();
+    const KernelProfile k = makeMaxFlops().kernels.front();
+    const SensitivityVector s = measureSensitivities(device, k, 0);
+    EXPECT_GT(s.compute(), 0.8);
+    EXPECT_LT(s.memBandwidth, 0.1);
+}
+
+TEST(StackedDevice, OptionsHelperProducesValidTargets)
+{
+    const GpuDevice device = makeStackedDevice();
+    const HarmoniaOptions options =
+        harmoniaOptionsFor(device.space());
+    // Constructing the governor validates every bin target against
+    // the lattice.
+    EXPECT_NO_THROW(HarmoniaGovernor(
+        device.space(), SensitivityPredictor::paperTable3(), options));
+    EXPECT_EQ(options.cuTargets[2], 32);
+    EXPECT_EQ(options.memTargets[2], 550);
+    EXPECT_LT(options.memTargets[0], options.memTargets[1]);
+}
+
+TEST(OptionsHelper, ReproducesHd7970Defaults)
+{
+    const ConfigSpace space(hd7970());
+    const HarmoniaOptions derived = harmoniaOptionsFor(space);
+    const HarmoniaOptions defaults;
+    EXPECT_EQ(derived.cuTargets, defaults.cuTargets);
+    EXPECT_EQ(derived.freqTargets, defaults.freqTargets);
+    EXPECT_EQ(derived.memTargets, defaults.memTargets);
+}
+
+TEST(MemVoltageScaling, ReducesInterfacePowerAtLowFrequency)
+{
+    Gddr5PowerParams scaled;
+    scaled.voltageScaling = true;
+    const Gddr5Model fixedModel;
+    const Gddr5Model scaledModel(Gddr5TimingParams{}, scaled);
+
+    // At the reference frequency both agree; at low frequency the
+    // scaled interface is cheaper.
+    EXPECT_NEAR(scaledModel.power(1375.0, 50e9, 0.7).total(),
+                fixedModel.power(1375.0, 50e9, 0.7).total(), 1e-9);
+    EXPECT_LT(scaledModel.power(475.0, 50e9, 0.7).total(),
+              fixedModel.power(475.0, 50e9, 0.7).total());
+}
+
+TEST(MemVoltageScaling, VoltageFractionIsLinearInFrequency)
+{
+    Gddr5PowerParams p;
+    p.voltageScaling = true;
+    EXPECT_DOUBLE_EQ(p.voltageFraction(1375.0), 1.0);
+    EXPECT_NEAR(p.voltageFraction(0.0), p.minVoltageFraction, 1e-12);
+    Gddr5PowerParams fixed;
+    EXPECT_DOUBLE_EQ(fixed.voltageFraction(475.0), 1.0);
+}

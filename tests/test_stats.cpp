@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit and property tests for the streaming statistics helpers.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+using namespace harmonia;
+
+TEST(RunningStats, EmptyIsZeroed)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, MeanAndVarianceMatchClosedForm)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsBulk)
+{
+    Rng rng(5);
+    RunningStats bulk, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.gaussian(3.0, 2.0);
+        bulk.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), bulk.count());
+    EXPECT_NEAR(a.mean(), bulk.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), bulk.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), bulk.min());
+    EXPECT_DOUBLE_EQ(a.max(), bulk.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity)
+{
+    RunningStats a;
+    a.add(1.0);
+    a.add(2.0);
+    RunningStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    RunningStats b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningStats, ResetClears)
+{
+    RunningStats s;
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Geomean, MatchesClosedForm)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(Geomean, RejectsEmptyAndNonPositive)
+{
+    EXPECT_THROW(geomean({}), ConfigError);
+    EXPECT_THROW(geomean({1.0, 0.0}), ConfigError);
+    EXPECT_THROW(geomean({1.0, -2.0}), ConfigError);
+}
+
+TEST(Geomean, NeverExceedsArithmeticMean)
+{
+    Rng rng(31);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<double> v;
+        for (int i = 0; i < 10; ++i)
+            v.push_back(rng.uniform(0.1, 10.0));
+        EXPECT_LE(geomean(v), mean(v) + 1e-12);
+    }
+}
+
+TEST(Mean, Basic)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_THROW(mean({}), ConfigError);
+}
+
+TEST(Median, OddAndEven)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+    EXPECT_THROW(median({}), ConfigError);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_EQ(h.bins(), 5u);
+    h.add(1.0);   // bin 0
+    h.add(3.0);   // bin 1
+    h.add(9.99);  // bin 4
+    h.add(-5.0);  // clamps to bin 0
+    h.add(42.0);  // clamps to bin 4
+    EXPECT_DOUBLE_EQ(h.binWeight(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.binWeight(1), 1.0);
+    EXPECT_DOUBLE_EQ(h.binWeight(4), 2.0);
+    EXPECT_DOUBLE_EQ(h.totalWeight(), 5.0);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+}
+
+TEST(Histogram, Edges)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.binLow(4), 8.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(4), 10.0);
+    EXPECT_THROW(h.binWeight(5), ConfigError);
+}
+
+TEST(Histogram, RejectsBadConstruction)
+{
+    EXPECT_THROW(Histogram(0.0, 10.0, 0), ConfigError);
+    EXPECT_THROW(Histogram(5.0, 5.0, 3), ConfigError);
+    EXPECT_THROW(Histogram(5.0, 1.0, 3), ConfigError);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Histogram h(0.0, 4.0, 2);
+    h.add(1.0, 3.0);
+    h.add(3.0, 1.0);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+}
+
+TEST(Residency, FractionsSumToOne)
+{
+    Residency r;
+    r.add(300.0, 1.0);
+    r.add(500.0, 2.0);
+    r.add(300.0, 1.0);
+    EXPECT_DOUBLE_EQ(r.total(), 4.0);
+    EXPECT_DOUBLE_EQ(r.fraction(300.0), 0.5);
+    EXPECT_DOUBLE_EQ(r.fraction(500.0), 0.5);
+    EXPECT_DOUBLE_EQ(r.fraction(999.0), 0.0);
+    const auto states = r.states();
+    ASSERT_EQ(states.size(), 2u);
+    EXPECT_DOUBLE_EQ(states[0], 300.0);
+    EXPECT_DOUBLE_EQ(states[1], 500.0);
+}
+
+TEST(Residency, EmptyIsSafe)
+{
+    Residency r;
+    EXPECT_DOUBLE_EQ(r.total(), 0.0);
+    EXPECT_DOUBLE_EQ(r.fraction(1.0), 0.0);
+    EXPECT_TRUE(r.states().empty());
+}

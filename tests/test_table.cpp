@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the ASCII table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "common/table.hh"
+
+using namespace harmonia;
+
+TEST(FormatNum, FixedPrecision)
+{
+    EXPECT_EQ(formatNum(3.14159, 2), "3.14");
+    EXPECT_EQ(formatNum(1.0, 0), "1");
+    EXPECT_EQ(formatNum(-0.5, 1), "-0.5");
+}
+
+TEST(FormatPct, ScalesFraction)
+{
+    EXPECT_EQ(formatPct(0.123, 1), "12.3%");
+    EXPECT_EQ(formatPct(1.0, 0), "100%");
+    EXPECT_EQ(formatPct(-0.05, 1), "-5.0%");
+}
+
+TEST(TextTable, RejectsEmptyHeader)
+{
+    EXPECT_THROW(TextTable({}), ConfigError);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t({"name", "value"});
+    t.row().cell("x").num(1.5, 1);
+    t.row().cell("long-name").numInt(42);
+    const std::string out = t.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    EXPECT_NE(out.find("1.5"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    // All lines equal width up to trailing content alignment: header
+    // and separator must be present.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, TitlePrinted)
+{
+    TextTable t({"a"});
+    t.row().cell("1");
+    const std::string out = t.str("My Title");
+    EXPECT_EQ(out.find("My Title"), 0u);
+}
+
+TEST(TextTable, CellBeforeRowPanics)
+{
+    TextTable t({"a"});
+    EXPECT_THROW(t.cell("x"), InternalError);
+}
+
+TEST(TextTable, TooManyCellsPanics)
+{
+    TextTable t({"a", "b"});
+    t.row().cell("1").cell("2");
+    EXPECT_THROW(t.cell("3"), InternalError);
+}
+
+TEST(TextTable, ShortRowsRenderBlank)
+{
+    TextTable t({"a", "b"});
+    t.row().cell("only");
+    EXPECT_NO_THROW(t.str());
+}
+
+TEST(TextTable, CountsRowsAndCols)
+{
+    TextTable t({"a", "b", "c"});
+    EXPECT_EQ(t.cols(), 3u);
+    EXPECT_EQ(t.rows(), 0u);
+    t.row().cell("x");
+    t.row();
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, PctCell)
+{
+    TextTable t({"p"});
+    t.row().pct(0.5, 0);
+    EXPECT_NE(t.str().find("50%"), std::string::npos);
+}

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Unit and property tests for the timing engine — the mechanisms of
+ * paper Section 3 must emerge from the model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "timing/timing_engine.hh"
+#include "workloads/generator.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+const TimingEngine &
+engine()
+{
+    static TimingEngine e{hd7970()};
+    return e;
+}
+
+KernelProfile
+computeBoundKernel()
+{
+    KernelProfile k;
+    k.app = "test";
+    k.name = "compute";
+    k.resources.vgprPerWorkitem = 24;
+    k.basePhase.workItems = 1 << 20;
+    k.basePhase.aluInstsPerItem = 300.0;
+    k.basePhase.fetchInstsPerItem = 0.05;
+    k.basePhase.writeInstsPerItem = 0.01;
+    k.basePhase.l2HitBase = 0.8;
+    k.basePhase.l2FootprintPerCuBytes = 1024.0;
+    return k;
+}
+
+KernelProfile
+memoryBoundKernel()
+{
+    KernelProfile k;
+    k.app = "test";
+    k.name = "memory";
+    k.resources.vgprPerWorkitem = 16;
+    k.basePhase.workItems = 1 << 21;
+    k.basePhase.aluInstsPerItem = 5.0;
+    k.basePhase.fetchInstsPerItem = 4.0;
+    k.basePhase.writeInstsPerItem = 1.0;
+    k.basePhase.l2HitBase = 0.05;
+    k.basePhase.mlpPerWave = 6.0;
+    k.basePhase.streamEfficiency = 0.9;
+    return k;
+}
+
+} // namespace
+
+TEST(TimingEngine, ComputeBoundScalesWithComputeThroughput)
+{
+    const KernelProfile k = computeBoundKernel();
+    const double tMax =
+        engine().runIteration(k, 0, {32, 1000, 1375}).execTime;
+    const double tHalfCu =
+        engine().runIteration(k, 0, {16, 1000, 1375}).execTime;
+    const double tHalfFreq =
+        engine().runIteration(k, 0, {32, 500, 1375}).execTime;
+    // The fixed launch overhead slightly dilutes the scaling.
+    EXPECT_NEAR(tHalfCu / tMax, 2.0, 0.1);
+    EXPECT_NEAR(tHalfFreq / tMax, 2.0, 0.1);
+}
+
+TEST(TimingEngine, ComputeBoundInsensitiveToMemoryFrequency)
+{
+    const KernelProfile k = computeBoundKernel();
+    const double tHi =
+        engine().runIteration(k, 0, {32, 1000, 1375}).execTime;
+    const double tLo =
+        engine().runIteration(k, 0, {32, 1000, 475}).execTime;
+    EXPECT_NEAR(tLo / tHi, 1.0, 0.02);
+}
+
+TEST(TimingEngine, MemoryBoundScalesWithBusFrequency)
+{
+    const KernelProfile k = memoryBoundKernel();
+    const double tHi =
+        engine().runIteration(k, 0, {32, 1000, 1375}).execTime;
+    const double tLo =
+        engine().runIteration(k, 0, {32, 1000, 475}).execTime;
+    // Bus peak ratio is 264/91.2 ~ 2.9.
+    EXPECT_GT(tLo / tHi, 2.2);
+}
+
+TEST(TimingEngine, MemoryBoundSaturatesWithCompute)
+{
+    const KernelProfile k = memoryBoundKernel();
+    const double tFull =
+        engine().runIteration(k, 0, {32, 1000, 1375}).execTime;
+    const double tHalf =
+        engine().runIteration(k, 0, {16, 1000, 1375}).execTime;
+    // Far past the balance knee: halving CUs costs almost nothing.
+    EXPECT_NEAR(tHalf / tFull, 1.0, 0.05);
+}
+
+TEST(TimingEngine, MemoryBoundSensitiveToLowComputeClock)
+{
+    // The Figure 9 crossing effect.
+    const KernelProfile k = memoryBoundKernel();
+    const double t1000 =
+        engine().runIteration(k, 0, {32, 1000, 1375}).execTime;
+    const double t300 =
+        engine().runIteration(k, 0, {32, 300, 1375}).execTime;
+    EXPECT_GT(t300 / t1000, 1.5);
+}
+
+TEST(TimingEngine, LaunchOverheadDominatesTinyKernels)
+{
+    KernelProfile k = computeBoundKernel();
+    k.basePhase.workItems = 1024.0;
+    k.basePhase.aluInstsPerItem = 8.0;
+    const double tMax =
+        engine().runIteration(k, 0, {32, 1000, 1375}).execTime;
+    const double tMin =
+        engine().runIteration(k, 0, {4, 300, 475}).execTime;
+    // Both dominated by the fixed launch overhead.
+    EXPECT_LT(tMin / tMax, 1.25);
+    EXPECT_GT(tMax, engine().params().launchOverheadSec);
+}
+
+TEST(TimingEngine, DivergenceSerializesAndLowersUtilization)
+{
+    KernelProfile k = computeBoundKernel();
+    const KernelTiming base =
+        engine().runIteration(k, 0, {32, 1000, 1375});
+    k.basePhase.branchDivergence = 0.5;
+    k.basePhase.divergenceSerialization = 1.0;
+    const KernelTiming div =
+        engine().runIteration(k, 0, {32, 1000, 1375});
+    EXPECT_NEAR(div.computeTime / base.computeTime, 1.5, 0.01);
+    EXPECT_DOUBLE_EQ(div.counters.valuUtilization, 50.0);
+    EXPECT_DOUBLE_EQ(base.counters.valuUtilization, 100.0);
+}
+
+TEST(TimingEngine, PoorCoalescingInflatesTraffic)
+{
+    KernelProfile k = memoryBoundKernel();
+    const KernelTiming good =
+        engine().runIteration(k, 0, {32, 1000, 1375});
+    k.basePhase.coalescing = 0.25;
+    const KernelTiming bad =
+        engine().runIteration(k, 0, {32, 1000, 1375});
+    EXPECT_NEAR(bad.requestedBytes / good.requestedBytes, 4.0, 0.01);
+    EXPECT_GT(bad.execTime, good.execTime);
+}
+
+TEST(TimingEngine, LowOccupancyLimitsEffectiveBandwidth)
+{
+    KernelProfile k = memoryBoundKernel();
+    k.basePhase.mlpPerWave = 0.5;
+    k.resources.vgprPerWorkitem = 66; // 30% occupancy
+    const KernelTiming t =
+        engine().runIteration(k, 0, {32, 1000, 1375});
+    EXPECT_EQ(t.bandwidth.limiter, BandwidthLimiter::Concurrency);
+    EXPECT_LT(t.bandwidth.effectiveBps, 150e9);
+}
+
+TEST(TimingEngine, CountersAreInternallyConsistent)
+{
+    for (const auto &app : standardSuite()) {
+        for (const auto &k : app.kernels) {
+            const KernelTiming t =
+                engine().runIteration(k, 0, {32, 1000, 1375});
+            EXPECT_NO_THROW(t.counters.validate());
+            EXPECT_GT(t.execTime, 0.0);
+            EXPECT_GE(t.execTime, t.busyTime);
+            EXPECT_LE(t.offChipBytes, t.requestedBytes + 1e-6);
+            EXPECT_DOUBLE_EQ(t.counters.offChipBytes, t.offChipBytes);
+        }
+    }
+}
+
+TEST(TimingEngine, Deterministic)
+{
+    const KernelProfile k = memoryBoundKernel();
+    const KernelTiming a =
+        engine().runIteration(k, 3, {16, 700, 925});
+    const KernelTiming b =
+        engine().runIteration(k, 3, {16, 700, 925});
+    EXPECT_DOUBLE_EQ(a.execTime, b.execTime);
+    EXPECT_DOUBLE_EQ(a.counters.valuBusy, b.counters.valuBusy);
+}
+
+TEST(TimingEngine, RejectsInvalidConfig)
+{
+    const KernelProfile k = computeBoundKernel();
+    EXPECT_THROW(engine().runIteration(k, 0, {32, 950, 1375}),
+                 ConfigError);
+}
+
+TEST(TimingEngine, ConstructorValidatesParams)
+{
+    TimingParams p;
+    p.issueEfficiency = 0.0;
+    EXPECT_THROW(TimingEngine(hd7970(), CacheModel(hd7970()),
+                              MemorySystem(hd7970(), Gddr5Model()), p),
+                 ConfigError);
+    p = TimingParams{};
+    p.launchOverheadSec = -1.0;
+    EXPECT_THROW(TimingEngine(hd7970(), CacheModel(hd7970()),
+                              MemorySystem(hd7970(), Gddr5Model()), p),
+                 ConfigError);
+}
+
+/**
+ * Property sweep over random kernels: execution time is positive,
+ * monotone non-increasing when memory or compute frequency rises, and
+ * counters always validate.
+ */
+class TimingEngineRandomKernels
+    : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(TimingEngineRandomKernels, InvariantsHold)
+{
+    WorkloadGenerator gen(GetParam());
+    const KernelProfile k = gen.randomKernel("prop", "k");
+    const ConfigSpace space(hd7970());
+
+    double prevMem = 1e300;
+    for (int memF : space.values(Tunable::MemFreq)) {
+        const KernelTiming t =
+            engine().runIteration(k, 0, {32, 1000, memF});
+        ASSERT_GT(t.execTime, 0.0);
+        ASSERT_NO_THROW(t.counters.validate());
+        // Higher memory frequency never hurts.
+        ASSERT_LE(t.execTime, prevMem * (1.0 + 1e-9));
+        prevMem = t.execTime;
+    }
+
+    double prevFreq = 1e300;
+    for (int f : space.values(Tunable::ComputeFreq)) {
+        const KernelTiming t =
+            engine().runIteration(k, 0, {32, f, 1375});
+        // Higher compute frequency never hurts.
+        ASSERT_LE(t.execTime, prevFreq * (1.0 + 1e-9));
+        prevFreq = t.execTime;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimingEngineRandomKernels,
+                         ::testing::Range<uint64_t>(1, 21));

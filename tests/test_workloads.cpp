@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the 14-application workload suite: structural validity
+ * and the paper-documented per-application signatures.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "sim/gpu_device.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+
+TEST(Suite, Has14Applications)
+{
+    const auto suite = standardSuite();
+    EXPECT_EQ(suite.size(), 14u);
+    std::set<std::string> names;
+    size_t kernels = 0;
+    for (const auto &app : suite) {
+        EXPECT_NO_THROW(app.validate());
+        names.insert(app.name);
+        kernels += app.kernels.size();
+    }
+    EXPECT_EQ(names.size(), 14u);
+    // The paper trains on 25 kernels; our suite carries a comparable
+    // population.
+    EXPECT_GE(kernels, 25u);
+}
+
+TEST(Suite, KernelIdsAreUnique)
+{
+    std::set<std::string> ids;
+    for (const auto &app : standardSuite()) {
+        for (const auto &k : app.kernels)
+            EXPECT_TRUE(ids.insert(k.id()).second)
+                << "duplicate kernel id " << k.id();
+    }
+}
+
+TEST(Suite, SuiteWithoutStressDropsExactlyTwo)
+{
+    const auto reduced = suiteWithoutStress();
+    EXPECT_EQ(reduced.size(), 12u);
+    for (const auto &app : reduced) {
+        EXPECT_NE(app.name, "MaxFlops");
+        EXPECT_NE(app.name, "DeviceMemory");
+    }
+}
+
+TEST(Suite, AppByNameFindsAndThrows)
+{
+    EXPECT_EQ(appByName("CoMD").name, "CoMD");
+    EXPECT_THROW(appByName("NotAnApp"), ConfigError);
+}
+
+TEST(Suite, ApplicationKernelLookup)
+{
+    const Application app = makeComd();
+    EXPECT_EQ(app.kernel("AdvanceVelocity").name, "AdvanceVelocity");
+    EXPECT_THROW(app.kernel("Nope"), ConfigError);
+}
+
+TEST(Suite, BottomScanHas30PercentOccupancy)
+{
+    // The paper's flagship occupancy example (Section 3.5).
+    const KernelProfile k = appByName("Sort").kernel("BottomScan");
+    EXPECT_EQ(k.resources.vgprPerWorkitem, 66);
+    const OccupancyInfo occ = computeOccupancy(hd7970(), k.resources);
+    EXPECT_DOUBLE_EQ(occ.occupancy, 0.3);
+}
+
+TEST(Suite, AdvanceVelocityHasFullOccupancy)
+{
+    const KernelProfile k = appByName("CoMD").kernel("AdvanceVelocity");
+    const OccupancyInfo occ = computeOccupancy(hd7970(), k.resources);
+    EXPECT_DOUBLE_EQ(occ.occupancy, 1.0);
+}
+
+TEST(Suite, SradPrepareIsTinyAndDivergent)
+{
+    // Section 3.5 / Figure 8: ~75% divergence, 8 ALU instructions.
+    const KernelPhase p = appByName("SRAD").kernel("Prepare").phase(0);
+    EXPECT_DOUBLE_EQ(p.aluInstsPerItem, 8.0);
+    EXPECT_NEAR(p.branchDivergence, 0.75, 1e-12);
+}
+
+TEST(Suite, BottomScanExceedsTwoMillionInstructions)
+{
+    // Section 3.5: over 2M dynamic instructions with ~6% divergence.
+    const KernelPhase p = appByName("Sort").kernel("BottomScan").phase(0);
+    const double waveInsts = p.workItems / 64.0 * p.aluInstsPerItem;
+    EXPECT_GT(waveInsts, 2e6);
+    EXPECT_NEAR(p.branchDivergence, 0.06, 1e-12);
+}
+
+TEST(Suite, Graph500WorkVariesAcrossIterations)
+{
+    // Figure 14: instruction totals vary strongly across the 8 levels.
+    const KernelProfile k = appByName("Graph500").kernel("BottomStepUp");
+    double lo = 1e300;
+    double hi = 0.0;
+    for (int iter = 0; iter < 8; ++iter) {
+        const KernelPhase p = k.phase(iter);
+        const double insts = p.workItems * p.aluInstsPerItem;
+        lo = std::min(lo, insts);
+        hi = std::max(hi, insts);
+    }
+    EXPECT_GT(hi / lo, 2.0);
+}
+
+TEST(Suite, XsbenchRunsTwoIterations)
+{
+    // Section 7.2: XSBench executes only 2 iterations per kernel.
+    EXPECT_EQ(appByName("XSBench").iterations, 2);
+}
+
+TEST(Suite, BptBenefitsFromFewerCus)
+{
+    // Section 7.1: power gating CUs relieves L2 thrashing and
+    // *improves* performance for BPT.
+    GpuDevice device;
+    const KernelProfile k = appByName("BPT").kernel("FindK");
+    const double t32 = device.run(k, 0, {32, 1000, 1375}).time();
+    const double t16 = device.run(k, 0, {16, 1000, 1375}).time();
+    EXPECT_LT(t16, t32);
+}
+
+TEST(Suite, MaxFlopsIsComputeBoundAndDeviceMemoryIsNot)
+{
+    GpuDevice device;
+    const KernelResult mf = device.run(
+        makeMaxFlops().kernels.front(), 0, {32, 1000, 1375});
+    const KernelResult dm = device.run(
+        makeDeviceMemory().kernels.front(), 0, {32, 1000, 1375});
+    EXPECT_GT(mf.timing.counters.valuBusy, 90.0);
+    EXPECT_LT(mf.timing.counters.icActivity, 0.05);
+    EXPECT_GT(dm.timing.counters.memUnitBusy, 90.0);
+    EXPECT_GT(dm.timing.counters.icActivity, 0.7);
+}
+
+TEST(Application, ValidationCatchesStructureErrors)
+{
+    Application app;
+    app.name = "x";
+    EXPECT_THROW(app.validate(), ConfigError); // no kernels
+
+    KernelProfile k;
+    k.app = "wrong";
+    k.name = "k";
+    app.kernels.push_back(k);
+    EXPECT_THROW(app.validate(), ConfigError); // app mismatch
+
+    app.kernels.front().app = "x";
+    app.iterations = 0;
+    EXPECT_THROW(app.validate(), ConfigError);
+    app.iterations = 3;
+    EXPECT_NO_THROW(app.validate());
+}
