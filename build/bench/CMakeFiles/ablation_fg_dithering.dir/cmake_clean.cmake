@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fg_dithering.dir/ablation_fg_dithering.cpp.o"
+  "CMakeFiles/ablation_fg_dithering.dir/ablation_fg_dithering.cpp.o.d"
+  "ablation_fg_dithering"
+  "ablation_fg_dithering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fg_dithering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_fg_dithering.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_freq_only.dir/ablation_freq_only.cpp.o"
+  "CMakeFiles/ablation_freq_only.dir/ablation_freq_only.cpp.o.d"
+  "ablation_freq_only"
+  "ablation_freq_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_freq_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mem_voltage.dir/ext_mem_voltage.cpp.o"
+  "CMakeFiles/ext_mem_voltage.dir/ext_mem_voltage.cpp.o.d"
+  "ext_mem_voltage"
+  "ext_mem_voltage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mem_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

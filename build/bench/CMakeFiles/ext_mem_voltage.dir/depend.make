@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_mem_voltage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_stacked_memory.dir/ext_stacked_memory.cpp.o"
+  "CMakeFiles/ext_stacked_memory.dir/ext_stacked_memory.cpp.o.d"
+  "ext_stacked_memory"
+  "ext_stacked_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_stacked_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tdp_envelope.dir/ext_tdp_envelope.cpp.o"
+  "CMakeFiles/ext_tdp_envelope.dir/ext_tdp_envelope.cpp.o.d"
+  "ext_tdp_envelope"
+  "ext_tdp_envelope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tdp_envelope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_tdp_envelope.
+# This may be replaced when dependencies are built.

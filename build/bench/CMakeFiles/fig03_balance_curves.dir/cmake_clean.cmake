@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_balance_curves.dir/fig03_balance_curves.cpp.o"
+  "CMakeFiles/fig03_balance_curves.dir/fig03_balance_curves.cpp.o.d"
+  "fig03_balance_curves"
+  "fig03_balance_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_balance_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

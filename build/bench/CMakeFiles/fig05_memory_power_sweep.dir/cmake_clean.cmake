@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_memory_power_sweep.dir/fig05_memory_power_sweep.cpp.o"
+  "CMakeFiles/fig05_memory_power_sweep.dir/fig05_memory_power_sweep.cpp.o.d"
+  "fig05_memory_power_sweep"
+  "fig05_memory_power_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_memory_power_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_occupancy_bw_sensitivity.dir/fig07_occupancy_bw_sensitivity.cpp.o"
+  "CMakeFiles/fig07_occupancy_bw_sensitivity.dir/fig07_occupancy_bw_sensitivity.cpp.o.d"
+  "fig07_occupancy_bw_sensitivity"
+  "fig07_occupancy_bw_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_occupancy_bw_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_occupancy_bw_sensitivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_divergence_freq_sensitivity.dir/fig08_divergence_freq_sensitivity.cpp.o"
+  "CMakeFiles/fig08_divergence_freq_sensitivity.dir/fig08_divergence_freq_sensitivity.cpp.o.d"
+  "fig08_divergence_freq_sensitivity"
+  "fig08_divergence_freq_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_divergence_freq_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

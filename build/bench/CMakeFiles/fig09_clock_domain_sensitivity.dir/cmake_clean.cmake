@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_clock_domain_sensitivity.dir/fig09_clock_domain_sensitivity.cpp.o"
+  "CMakeFiles/fig09_clock_domain_sensitivity.dir/fig09_clock_domain_sensitivity.cpp.o.d"
+  "fig09_clock_domain_sensitivity"
+  "fig09_clock_domain_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_clock_domain_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

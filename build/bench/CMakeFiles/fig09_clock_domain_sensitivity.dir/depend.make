@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_clock_domain_sensitivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ed2.dir/fig10_ed2.cpp.o"
+  "CMakeFiles/fig10_ed2.dir/fig10_ed2.cpp.o.d"
+  "fig10_ed2"
+  "fig10_ed2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ed2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

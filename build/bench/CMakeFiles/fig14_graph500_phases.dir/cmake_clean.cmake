@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_graph500_phases.dir/fig14_graph500_phases.cpp.o"
+  "CMakeFiles/fig14_graph500_phases.dir/fig14_graph500_phases.cpp.o.d"
+  "fig14_graph500_phases"
+  "fig14_graph500_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_graph500_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_membus_residency.dir/fig15_membus_residency.cpp.o"
+  "CMakeFiles/fig15_membus_residency.dir/fig15_membus_residency.cpp.o.d"
+  "fig15_membus_residency"
+  "fig15_membus_residency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_membus_residency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

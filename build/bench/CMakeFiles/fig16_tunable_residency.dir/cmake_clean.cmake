@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_tunable_residency.dir/fig16_tunable_residency.cpp.o"
+  "CMakeFiles/fig16_tunable_residency.dir/fig16_tunable_residency.cpp.o.d"
+  "fig16_tunable_residency"
+  "fig16_tunable_residency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_tunable_residency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

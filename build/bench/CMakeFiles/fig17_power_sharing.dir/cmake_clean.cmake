@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_power_sharing.dir/fig17_power_sharing.cpp.o"
+  "CMakeFiles/fig17_power_sharing.dir/fig17_power_sharing.cpp.o.d"
+  "fig17_power_sharing"
+  "fig17_power_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_power_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

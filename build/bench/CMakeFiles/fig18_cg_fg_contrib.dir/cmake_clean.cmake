@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_cg_fg_contrib.dir/fig18_cg_fg_contrib.cpp.o"
+  "CMakeFiles/fig18_cg_fg_contrib.dir/fig18_cg_fg_contrib.cpp.o.d"
+  "fig18_cg_fg_contrib"
+  "fig18_cg_fg_contrib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_cg_fg_contrib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmonia_bench_util.dir/common/bench_util.cc.o"
+  "CMakeFiles/harmonia_bench_util.dir/common/bench_util.cc.o.d"
+  "libharmonia_bench_util.a"
+  "libharmonia_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmonia_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_engine.cpp" "bench/CMakeFiles/micro_engine.dir/micro_engine.cpp.o" "gcc" "bench/CMakeFiles/micro_engine.dir/micro_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/harmonia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/harmonia_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/harmonia_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/harmonia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/harmonia_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/harmonia_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/harmonia_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/counters/CMakeFiles/harmonia_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/harmonia_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/harmonia_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/harmonia_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

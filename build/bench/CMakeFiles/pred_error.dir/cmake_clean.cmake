@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pred_error.dir/pred_error.cpp.o"
+  "CMakeFiles/pred_error.dir/pred_error.cpp.o.d"
+  "pred_error"
+  "pred_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pred_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

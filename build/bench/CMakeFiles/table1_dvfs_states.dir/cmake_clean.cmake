@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_dvfs_states.dir/table1_dvfs_states.cpp.o"
+  "CMakeFiles/table1_dvfs_states.dir/table1_dvfs_states.cpp.o.d"
+  "table1_dvfs_states"
+  "table1_dvfs_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dvfs_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

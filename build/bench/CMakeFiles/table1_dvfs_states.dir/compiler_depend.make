@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_dvfs_states.
+# This may be replaced when dependencies are built.

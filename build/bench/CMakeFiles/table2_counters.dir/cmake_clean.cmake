@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_counters.dir/table2_counters.cpp.o"
+  "CMakeFiles/table2_counters.dir/table2_counters.cpp.o.d"
+  "table2_counters"
+  "table2_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_train_predictors.dir/table3_train_predictors.cpp.o"
+  "CMakeFiles/table3_train_predictors.dir/table3_train_predictors.cpp.o.d"
+  "table3_train_predictors"
+  "table3_train_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_train_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

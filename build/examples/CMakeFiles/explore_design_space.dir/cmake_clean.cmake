@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_design_space.dir/explore_design_space.cpp.o"
+  "CMakeFiles/explore_design_space.dir/explore_design_space.cpp.o.d"
+  "explore_design_space"
+  "explore_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_campaign.dir/hpc_campaign.cpp.o"
+  "CMakeFiles/hpc_campaign.dir/hpc_campaign.cpp.o.d"
+  "hpc_campaign"
+  "hpc_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

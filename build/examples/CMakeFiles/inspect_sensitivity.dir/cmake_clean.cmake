@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_sensitivity.dir/inspect_sensitivity.cpp.o"
+  "CMakeFiles/inspect_sensitivity.dir/inspect_sensitivity.cpp.o.d"
+  "inspect_sensitivity"
+  "inspect_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

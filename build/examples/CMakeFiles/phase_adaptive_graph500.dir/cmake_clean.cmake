@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_adaptive_graph500.dir/phase_adaptive_graph500.cpp.o"
+  "CMakeFiles/phase_adaptive_graph500.dir/phase_adaptive_graph500.cpp.o.d"
+  "phase_adaptive_graph500"
+  "phase_adaptive_graph500.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_adaptive_graph500.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("linalg")
+subdirs("arch")
+subdirs("dvfs")
+subdirs("memsys")
+subdirs("counters")
+subdirs("timing")
+subdirs("power")
+subdirs("sim")
+subdirs("workloads")
+subdirs("core")
+subdirs("metrics")

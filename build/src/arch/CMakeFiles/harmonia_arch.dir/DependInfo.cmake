@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/clock_domain.cc" "src/arch/CMakeFiles/harmonia_arch.dir/clock_domain.cc.o" "gcc" "src/arch/CMakeFiles/harmonia_arch.dir/clock_domain.cc.o.d"
+  "/root/repo/src/arch/gcn_config.cc" "src/arch/CMakeFiles/harmonia_arch.dir/gcn_config.cc.o" "gcc" "src/arch/CMakeFiles/harmonia_arch.dir/gcn_config.cc.o.d"
+  "/root/repo/src/arch/occupancy.cc" "src/arch/CMakeFiles/harmonia_arch.dir/occupancy.cc.o" "gcc" "src/arch/CMakeFiles/harmonia_arch.dir/occupancy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harmonia_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmonia_arch.dir/clock_domain.cc.o"
+  "CMakeFiles/harmonia_arch.dir/clock_domain.cc.o.d"
+  "CMakeFiles/harmonia_arch.dir/gcn_config.cc.o"
+  "CMakeFiles/harmonia_arch.dir/gcn_config.cc.o.d"
+  "CMakeFiles/harmonia_arch.dir/occupancy.cc.o"
+  "CMakeFiles/harmonia_arch.dir/occupancy.cc.o.d"
+  "libharmonia_arch.a"
+  "libharmonia_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmonia_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmonia_common.dir/csv.cc.o"
+  "CMakeFiles/harmonia_common.dir/csv.cc.o.d"
+  "CMakeFiles/harmonia_common.dir/log.cc.o"
+  "CMakeFiles/harmonia_common.dir/log.cc.o.d"
+  "CMakeFiles/harmonia_common.dir/rng.cc.o"
+  "CMakeFiles/harmonia_common.dir/rng.cc.o.d"
+  "CMakeFiles/harmonia_common.dir/stats.cc.o"
+  "CMakeFiles/harmonia_common.dir/stats.cc.o.d"
+  "CMakeFiles/harmonia_common.dir/table.cc.o"
+  "CMakeFiles/harmonia_common.dir/table.cc.o.d"
+  "libharmonia_common.a"
+  "libharmonia_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmonia_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline_governor.cc" "src/core/CMakeFiles/harmonia_core.dir/baseline_governor.cc.o" "gcc" "src/core/CMakeFiles/harmonia_core.dir/baseline_governor.cc.o.d"
+  "/root/repo/src/core/campaign.cc" "src/core/CMakeFiles/harmonia_core.dir/campaign.cc.o" "gcc" "src/core/CMakeFiles/harmonia_core.dir/campaign.cc.o.d"
+  "/root/repo/src/core/harmonia_governor.cc" "src/core/CMakeFiles/harmonia_core.dir/harmonia_governor.cc.o" "gcc" "src/core/CMakeFiles/harmonia_core.dir/harmonia_governor.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/core/CMakeFiles/harmonia_core.dir/oracle.cc.o" "gcc" "src/core/CMakeFiles/harmonia_core.dir/oracle.cc.o.d"
+  "/root/repo/src/core/power_cap.cc" "src/core/CMakeFiles/harmonia_core.dir/power_cap.cc.o" "gcc" "src/core/CMakeFiles/harmonia_core.dir/power_cap.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/core/CMakeFiles/harmonia_core.dir/predictor.cc.o" "gcc" "src/core/CMakeFiles/harmonia_core.dir/predictor.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/harmonia_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/harmonia_core.dir/runtime.cc.o.d"
+  "/root/repo/src/core/sensitivity.cc" "src/core/CMakeFiles/harmonia_core.dir/sensitivity.cc.o" "gcc" "src/core/CMakeFiles/harmonia_core.dir/sensitivity.cc.o.d"
+  "/root/repo/src/core/training.cc" "src/core/CMakeFiles/harmonia_core.dir/training.cc.o" "gcc" "src/core/CMakeFiles/harmonia_core.dir/training.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harmonia_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/harmonia_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/harmonia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/harmonia_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/counters/CMakeFiles/harmonia_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/harmonia_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/harmonia_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/harmonia_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/harmonia_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/harmonia_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

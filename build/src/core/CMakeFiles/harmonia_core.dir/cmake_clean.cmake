@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmonia_core.dir/baseline_governor.cc.o"
+  "CMakeFiles/harmonia_core.dir/baseline_governor.cc.o.d"
+  "CMakeFiles/harmonia_core.dir/campaign.cc.o"
+  "CMakeFiles/harmonia_core.dir/campaign.cc.o.d"
+  "CMakeFiles/harmonia_core.dir/harmonia_governor.cc.o"
+  "CMakeFiles/harmonia_core.dir/harmonia_governor.cc.o.d"
+  "CMakeFiles/harmonia_core.dir/oracle.cc.o"
+  "CMakeFiles/harmonia_core.dir/oracle.cc.o.d"
+  "CMakeFiles/harmonia_core.dir/power_cap.cc.o"
+  "CMakeFiles/harmonia_core.dir/power_cap.cc.o.d"
+  "CMakeFiles/harmonia_core.dir/predictor.cc.o"
+  "CMakeFiles/harmonia_core.dir/predictor.cc.o.d"
+  "CMakeFiles/harmonia_core.dir/runtime.cc.o"
+  "CMakeFiles/harmonia_core.dir/runtime.cc.o.d"
+  "CMakeFiles/harmonia_core.dir/sensitivity.cc.o"
+  "CMakeFiles/harmonia_core.dir/sensitivity.cc.o.d"
+  "CMakeFiles/harmonia_core.dir/training.cc.o"
+  "CMakeFiles/harmonia_core.dir/training.cc.o.d"
+  "libharmonia_core.a"
+  "libharmonia_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmonia_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

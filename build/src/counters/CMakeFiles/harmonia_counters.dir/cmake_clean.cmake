@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmonia_counters.dir/perf_counters.cc.o"
+  "CMakeFiles/harmonia_counters.dir/perf_counters.cc.o.d"
+  "CMakeFiles/harmonia_counters.dir/sampler.cc.o"
+  "CMakeFiles/harmonia_counters.dir/sampler.cc.o.d"
+  "libharmonia_counters.a"
+  "libharmonia_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmonia_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dvfs/dpm_table.cc" "src/dvfs/CMakeFiles/harmonia_dvfs.dir/dpm_table.cc.o" "gcc" "src/dvfs/CMakeFiles/harmonia_dvfs.dir/dpm_table.cc.o.d"
+  "/root/repo/src/dvfs/tunables.cc" "src/dvfs/CMakeFiles/harmonia_dvfs.dir/tunables.cc.o" "gcc" "src/dvfs/CMakeFiles/harmonia_dvfs.dir/tunables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harmonia_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/harmonia_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmonia_dvfs.dir/dpm_table.cc.o"
+  "CMakeFiles/harmonia_dvfs.dir/dpm_table.cc.o.d"
+  "CMakeFiles/harmonia_dvfs.dir/tunables.cc.o"
+  "CMakeFiles/harmonia_dvfs.dir/tunables.cc.o.d"
+  "libharmonia_dvfs.a"
+  "libharmonia_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmonia_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmonia_linalg.dir/correlation.cc.o"
+  "CMakeFiles/harmonia_linalg.dir/correlation.cc.o.d"
+  "CMakeFiles/harmonia_linalg.dir/least_squares.cc.o"
+  "CMakeFiles/harmonia_linalg.dir/least_squares.cc.o.d"
+  "CMakeFiles/harmonia_linalg.dir/matrix.cc.o"
+  "CMakeFiles/harmonia_linalg.dir/matrix.cc.o.d"
+  "libharmonia_linalg.a"
+  "libharmonia_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmonia_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsys/gddr5.cc" "src/memsys/CMakeFiles/harmonia_memsys.dir/gddr5.cc.o" "gcc" "src/memsys/CMakeFiles/harmonia_memsys.dir/gddr5.cc.o.d"
+  "/root/repo/src/memsys/memory_system.cc" "src/memsys/CMakeFiles/harmonia_memsys.dir/memory_system.cc.o" "gcc" "src/memsys/CMakeFiles/harmonia_memsys.dir/memory_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harmonia_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/harmonia_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmonia_memsys.dir/gddr5.cc.o"
+  "CMakeFiles/harmonia_memsys.dir/gddr5.cc.o.d"
+  "CMakeFiles/harmonia_memsys.dir/memory_system.cc.o"
+  "CMakeFiles/harmonia_memsys.dir/memory_system.cc.o.d"
+  "libharmonia_memsys.a"
+  "libharmonia_memsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmonia_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libharmonia_memsys.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmonia_metrics.dir/energy_metrics.cc.o"
+  "CMakeFiles/harmonia_metrics.dir/energy_metrics.cc.o.d"
+  "libharmonia_metrics.a"
+  "libharmonia_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmonia_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

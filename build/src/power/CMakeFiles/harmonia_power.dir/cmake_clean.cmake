@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmonia_power.dir/board_power.cc.o"
+  "CMakeFiles/harmonia_power.dir/board_power.cc.o.d"
+  "CMakeFiles/harmonia_power.dir/daq.cc.o"
+  "CMakeFiles/harmonia_power.dir/daq.cc.o.d"
+  "CMakeFiles/harmonia_power.dir/gpu_power.cc.o"
+  "CMakeFiles/harmonia_power.dir/gpu_power.cc.o.d"
+  "libharmonia_power.a"
+  "libharmonia_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmonia_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

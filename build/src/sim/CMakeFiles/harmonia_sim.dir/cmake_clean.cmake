@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmonia_sim.dir/gpu_device.cc.o"
+  "CMakeFiles/harmonia_sim.dir/gpu_device.cc.o.d"
+  "CMakeFiles/harmonia_sim.dir/stacked_device.cc.o"
+  "CMakeFiles/harmonia_sim.dir/stacked_device.cc.o.d"
+  "libharmonia_sim.a"
+  "libharmonia_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmonia_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for harmonia_sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/cache_model.cc" "src/timing/CMakeFiles/harmonia_timing.dir/cache_model.cc.o" "gcc" "src/timing/CMakeFiles/harmonia_timing.dir/cache_model.cc.o.d"
+  "/root/repo/src/timing/kernel_profile.cc" "src/timing/CMakeFiles/harmonia_timing.dir/kernel_profile.cc.o" "gcc" "src/timing/CMakeFiles/harmonia_timing.dir/kernel_profile.cc.o.d"
+  "/root/repo/src/timing/timing_engine.cc" "src/timing/CMakeFiles/harmonia_timing.dir/timing_engine.cc.o" "gcc" "src/timing/CMakeFiles/harmonia_timing.dir/timing_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harmonia_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/harmonia_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/harmonia_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/harmonia_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/counters/CMakeFiles/harmonia_counters.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

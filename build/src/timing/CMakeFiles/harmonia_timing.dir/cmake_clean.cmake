@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmonia_timing.dir/cache_model.cc.o"
+  "CMakeFiles/harmonia_timing.dir/cache_model.cc.o.d"
+  "CMakeFiles/harmonia_timing.dir/kernel_profile.cc.o"
+  "CMakeFiles/harmonia_timing.dir/kernel_profile.cc.o.d"
+  "CMakeFiles/harmonia_timing.dir/timing_engine.cc.o"
+  "CMakeFiles/harmonia_timing.dir/timing_engine.cc.o.d"
+  "libharmonia_timing.a"
+  "libharmonia_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmonia_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

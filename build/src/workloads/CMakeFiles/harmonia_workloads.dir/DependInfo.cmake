@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/app.cc" "src/workloads/CMakeFiles/harmonia_workloads.dir/app.cc.o" "gcc" "src/workloads/CMakeFiles/harmonia_workloads.dir/app.cc.o.d"
+  "/root/repo/src/workloads/apps/bpt.cc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/bpt.cc.o" "gcc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/bpt.cc.o.d"
+  "/root/repo/src/workloads/apps/cfd.cc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/cfd.cc.o" "gcc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/cfd.cc.o.d"
+  "/root/repo/src/workloads/apps/comd.cc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/comd.cc.o" "gcc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/comd.cc.o.d"
+  "/root/repo/src/workloads/apps/devicememory.cc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/devicememory.cc.o" "gcc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/devicememory.cc.o.d"
+  "/root/repo/src/workloads/apps/graph500.cc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/graph500.cc.o" "gcc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/graph500.cc.o.d"
+  "/root/repo/src/workloads/apps/lud.cc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/lud.cc.o" "gcc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/lud.cc.o.d"
+  "/root/repo/src/workloads/apps/maxflops.cc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/maxflops.cc.o" "gcc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/maxflops.cc.o.d"
+  "/root/repo/src/workloads/apps/minife.cc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/minife.cc.o" "gcc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/minife.cc.o.d"
+  "/root/repo/src/workloads/apps/sort.cc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/sort.cc.o" "gcc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/sort.cc.o.d"
+  "/root/repo/src/workloads/apps/spmv.cc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/spmv.cc.o" "gcc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/spmv.cc.o.d"
+  "/root/repo/src/workloads/apps/srad.cc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/srad.cc.o" "gcc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/srad.cc.o.d"
+  "/root/repo/src/workloads/apps/stencil.cc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/stencil.cc.o" "gcc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/stencil.cc.o.d"
+  "/root/repo/src/workloads/apps/streamcluster.cc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/streamcluster.cc.o" "gcc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/streamcluster.cc.o.d"
+  "/root/repo/src/workloads/apps/xsbench.cc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/xsbench.cc.o" "gcc" "src/workloads/CMakeFiles/harmonia_workloads.dir/apps/xsbench.cc.o.d"
+  "/root/repo/src/workloads/generator.cc" "src/workloads/CMakeFiles/harmonia_workloads.dir/generator.cc.o" "gcc" "src/workloads/CMakeFiles/harmonia_workloads.dir/generator.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/workloads/CMakeFiles/harmonia_workloads.dir/suite.cc.o" "gcc" "src/workloads/CMakeFiles/harmonia_workloads.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harmonia_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/harmonia_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/harmonia_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/counters/CMakeFiles/harmonia_counters.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/harmonia_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/harmonia_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_signatures.dir/test_app_signatures.cpp.o"
+  "CMakeFiles/test_app_signatures.dir/test_app_signatures.cpp.o.d"
+  "test_app_signatures"
+  "test_app_signatures.pdb"
+  "test_app_signatures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_board_power.dir/test_board_power.cpp.o"
+  "CMakeFiles/test_board_power.dir/test_board_power.cpp.o.d"
+  "test_board_power"
+  "test_board_power.pdb"
+  "test_board_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_board_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clock_domain.dir/test_clock_domain.cpp.o"
+  "CMakeFiles/test_clock_domain.dir/test_clock_domain.cpp.o.d"
+  "test_clock_domain"
+  "test_clock_domain.pdb"
+  "test_clock_domain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clock_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

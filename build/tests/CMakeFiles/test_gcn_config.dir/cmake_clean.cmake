@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gcn_config.dir/test_gcn_config.cpp.o"
+  "CMakeFiles/test_gcn_config.dir/test_gcn_config.cpp.o.d"
+  "test_gcn_config"
+  "test_gcn_config.pdb"
+  "test_gcn_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gcn_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

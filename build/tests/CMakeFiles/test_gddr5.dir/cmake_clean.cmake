@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gddr5.dir/test_gddr5.cpp.o"
+  "CMakeFiles/test_gddr5.dir/test_gddr5.cpp.o.d"
+  "test_gddr5"
+  "test_gddr5.pdb"
+  "test_gddr5[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gddr5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_governor_properties.dir/test_governor_properties.cpp.o"
+  "CMakeFiles/test_governor_properties.dir/test_governor_properties.cpp.o.d"
+  "test_governor_properties"
+  "test_governor_properties.pdb"
+  "test_governor_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_governor_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_power.dir/test_gpu_power.cpp.o"
+  "CMakeFiles/test_gpu_power.dir/test_gpu_power.cpp.o.d"
+  "test_gpu_power"
+  "test_gpu_power.pdb"
+  "test_gpu_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

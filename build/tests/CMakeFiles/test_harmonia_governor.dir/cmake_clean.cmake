@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harmonia_governor.dir/test_harmonia_governor.cpp.o"
+  "CMakeFiles/test_harmonia_governor.dir/test_harmonia_governor.cpp.o.d"
+  "test_harmonia_governor"
+  "test_harmonia_governor.pdb"
+  "test_harmonia_governor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harmonia_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

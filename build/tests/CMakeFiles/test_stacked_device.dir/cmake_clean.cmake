@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stacked_device.dir/test_stacked_device.cpp.o"
+  "CMakeFiles/test_stacked_device.dir/test_stacked_device.cpp.o.d"
+  "test_stacked_device"
+  "test_stacked_device.pdb"
+  "test_stacked_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stacked_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing_engine.dir/test_timing_engine.cpp.o"
+  "CMakeFiles/test_timing_engine.dir/test_timing_engine.cpp.o.d"
+  "test_timing_engine"
+  "test_timing_engine.pdb"
+  "test_timing_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
