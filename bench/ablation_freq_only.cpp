@@ -17,14 +17,15 @@ using namespace harmonia;
 using namespace harmonia::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Ablation: compute-DVFS-only (Section 7.2)",
            "Harmonia restricted to the CU frequency knob vs the full "
            "coordinated scheme.");
 
     GpuDevice device;
-    Campaign campaign = runStandardCampaign(device);
+    Campaign campaign = runStandardCampaign(device, opt.jobs);
 
     TextTable table({"app", "FreqOnly ED2", "Harmonia ED2",
                      "FreqOnly perf", "Harmonia perf"});

@@ -1,11 +1,37 @@
 #include "bench_util.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <string>
 
 namespace harmonia::bench
 {
+
+BenchOptions
+parseBenchArgs(int argc, char **argv)
+{
+    BenchOptions opt;
+    if (const char *env = std::getenv("HARMONIA_JOBS")) {
+        const int v = std::atoi(env);
+        if (v > 0)
+            opt.jobs = v;
+    }
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            const int v = std::atoi(argv[++i]);
+            if (v > 0)
+                opt.jobs = v;
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            const int v = std::atoi(arg.c_str() + 7);
+            if (v > 0)
+                opt.jobs = v;
+        }
+    }
+    return opt;
+}
 
 void
 banner(const std::string &exhibit, const std::string &caption)
@@ -29,13 +55,22 @@ emit(const TextTable &table, const std::string &title,
 }
 
 Campaign
-runStandardCampaign(const GpuDevice &device)
+runStandardCampaign(const GpuDevice &device, int jobs)
 {
     CampaignOptions options;
     options.includeOracle = true;
     options.includeFreqOnly = true;
+    options.jobs = jobs;
     Campaign campaign(device, standardSuite(), options);
+
+    const auto start = std::chrono::steady_clock::now();
     campaign.run();
+    const auto end = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    std::cout << "campaign wall-clock: " << ms << " ms (jobs=" << jobs
+              << ", " << campaign.appNames().size() << " apps x "
+              << campaign.schemes().size() << " schemes)\n\n";
     return campaign;
 }
 

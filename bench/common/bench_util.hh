@@ -5,6 +5,10 @@
  * Every binary regenerates the rows/series of one exhibit from the
  * paper and prints them as an ASCII table (plus an optional CSV file
  * when HARMONIA_BENCH_CSV_DIR is set in the environment).
+ *
+ * All binaries accept `--jobs N` (default: the HARMONIA_JOBS
+ * environment variable, else 1) to run their campaign/sweep work on N
+ * worker threads; results are bit-identical for any N.
  */
 
 #ifndef HARMONIA_BENCH_BENCH_UTIL_HH
@@ -20,6 +24,19 @@
 namespace harmonia::bench
 {
 
+/** Options shared by all bench binaries. */
+struct BenchOptions
+{
+    int jobs = 1; ///< Worker threads for campaigns/sweeps.
+};
+
+/**
+ * Parse the shared bench flags: `--jobs N` (also `--jobs=N`). The
+ * HARMONIA_JOBS environment variable supplies the default. Unknown
+ * arguments are ignored so binaries keep their own positional args.
+ */
+BenchOptions parseBenchArgs(int argc, char **argv);
+
 /** Print the standard exhibit banner. */
 void banner(const std::string &exhibit, const std::string &caption);
 
@@ -32,11 +49,11 @@ void emit(const TextTable &table, const std::string &title,
 
 /**
  * Build and run the standard campaign (full suite, all schemes
- * including the oracle and the compute-DVFS-only ablation). Shared by
- * the Figures 10-13 and 17-18 benches; cheap enough (<1 s) to rerun
- * per binary.
+ * including the oracle and the compute-DVFS-only ablation) on
+ * @p jobs worker threads, printing the campaign wall-clock. Shared by
+ * the Figures 10-13 and 17-18 benches.
  */
-Campaign runStandardCampaign(const GpuDevice &device);
+Campaign runStandardCampaign(const GpuDevice &device, int jobs = 1);
 
 } // namespace harmonia::bench
 

@@ -18,13 +18,14 @@ using namespace harmonia;
 using namespace harmonia::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Figure 10", "ED^2 improvement over the baseline power "
                         "management, per application.");
 
     GpuDevice device;
-    Campaign campaign = runStandardCampaign(device);
+    Campaign campaign = runStandardCampaign(device, opt.jobs);
 
     TextTable table({"app", "CG", "FG+CG (Harmonia)", "Oracle"});
     auto imp = [&](Scheme s, const std::string &app) {

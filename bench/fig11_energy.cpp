@@ -15,13 +15,14 @@ using namespace harmonia;
 using namespace harmonia::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Figure 11",
            "Energy improvement over the baseline, per application.");
 
     GpuDevice device;
-    Campaign campaign = runStandardCampaign(device);
+    Campaign campaign = runStandardCampaign(device, opt.jobs);
 
     TextTable table({"app", "CG", "FG+CG (Harmonia)", "Oracle"});
     auto imp = [&](Scheme s, const std::string &app) {

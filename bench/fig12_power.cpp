@@ -15,14 +15,15 @@ using namespace harmonia;
 using namespace harmonia::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Figure 12",
            "Average card-power saving over the baseline, per "
            "application.");
 
     GpuDevice device;
-    Campaign campaign = runStandardCampaign(device);
+    Campaign campaign = runStandardCampaign(device, opt.jobs);
 
     TextTable table({"app", "CG", "FG+CG (Harmonia)", "Oracle"});
     std::string maxApp;

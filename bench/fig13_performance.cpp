@@ -17,13 +17,14 @@ using namespace harmonia;
 using namespace harmonia::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Figure 13",
            "Performance change vs the baseline (positive = faster).");
 
     GpuDevice device;
-    Campaign campaign = runStandardCampaign(device);
+    Campaign campaign = runStandardCampaign(device, opt.jobs);
 
     TextTable table({"app", "CG", "FG+CG (Harmonia)", "Oracle"});
     auto speed = [&](Scheme s, const std::string &app) {

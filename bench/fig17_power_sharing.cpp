@@ -16,14 +16,15 @@ using namespace harmonia;
 using namespace harmonia::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Figure 17",
            "GPU vs memory power, baseline and Harmonia, normalized to "
            "each application's baseline GPU+memory power.");
 
     GpuDevice device;
-    Campaign campaign = runStandardCampaign(device);
+    Campaign campaign = runStandardCampaign(device, opt.jobs);
 
     TextTable table({"app", "base GPU", "base Mem", "HM GPU", "HM Mem",
                      "GPU share of saving"});

@@ -15,14 +15,15 @@ using namespace harmonia;
 using namespace harmonia::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchOptions opt = parseBenchArgs(argc, argv);
     banner("Figure 18",
            "Relative contributions of CG vs FG tuning to the ED^2 "
            "gain.");
 
     GpuDevice device;
-    Campaign campaign = runStandardCampaign(device);
+    Campaign campaign = runStandardCampaign(device, opt.jobs);
 
     TextTable table({"app", "CG gain", "FG+CG gain", "FG contribution"});
     for (const auto &app : campaign.appNames()) {

@@ -5,11 +5,14 @@
  * best configuration under each objective, and where Harmonia's
  * online decision lands relative to the exhaustive optimum.
  *
- * Usage: explore_design_space [AppName [KernelName]]
+ * Usage: explore_design_space [AppName [KernelName]] [--jobs N]
  */
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "common/table.hh"
 #include "core/harmonia_governor.hh"
@@ -23,34 +26,51 @@ using namespace harmonia;
 int
 main(int argc, char **argv)
 {
-    const std::string appName = argc > 1 ? argv[1] : "CoMD";
+    std::vector<std::string> positional;
+    SweepOptions sweepOpt;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            sweepOpt.jobs = std::max(1, std::atoi(argv[++i]));
+        else
+            positional.push_back(argv[i]);
+    }
+    const std::string appName =
+        !positional.empty() ? positional[0] : "CoMD";
     GpuDevice device;
     const Application app = appByName(appName);
-    const KernelProfile &kernel =
-        argc > 2 ? app.kernel(argv[2]) : app.kernels.front();
+    const KernelProfile &kernel = positional.size() > 1
+        ? app.kernel(positional[1])
+        : app.kernels.front();
 
-    std::cout << "Exploring " << device.space().size()
-              << " configurations for " << kernel.id() << "\n\n";
+    // The sweep engine owns the canonical enumeration and evaluates
+    // all 448 points in parallel; every analysis below reads from its
+    // memoized result vector.
+    ConfigSweep sweep(device, sweepOpt);
+    std::cout << "Exploring " << sweep.configs().size()
+              << " configurations for " << kernel.id() << " (jobs="
+              << sweepOpt.jobs << ")\n\n";
+
+    const ConfigSpace &space = device.space();
+    const auto &results = sweep.evaluate(kernel, 0);
+    const auto &configs = sweep.configs();
+    const KernelResult &maxRun =
+        results[sweep.indexOf(space.maxConfig())];
 
     // Balance summary: best perf and best ED^2 per memory config.
-    const ConfigSpace &space = device.space();
     TextTable curve({"memFreq (MHz)", "best time (us)",
                      "best-ED2 config", "best-ED2 vs max-config"});
-    const KernelResult maxRun =
-        device.run(kernel, 0, space.maxConfig());
     for (int memF : space.values(Tunable::MemFreq)) {
         double bestTime = 1e300;
         double bestEd2 = 1e300;
         HardwareConfig bestEd2Cfg = space.maxConfig();
-        for (int cu : space.values(Tunable::CuCount)) {
-            for (int f : space.values(Tunable::ComputeFreq)) {
-                const KernelResult r =
-                    device.run(kernel, 0, {cu, f, memF});
-                bestTime = std::min(bestTime, r.time());
-                if (r.ed2() < bestEd2) {
-                    bestEd2 = r.ed2();
-                    bestEd2Cfg = {cu, f, memF};
-                }
+        for (size_t i = 0; i < configs.size(); ++i) {
+            if (configs[i].memFreqMhz != memF)
+                continue;
+            const KernelResult &r = results[i];
+            bestTime = std::min(bestTime, r.time());
+            if (r.ed2() < bestEd2) {
+                bestEd2 = r.ed2();
+                bestEd2Cfg = configs[i];
             }
         }
         curve.row()
@@ -61,15 +81,15 @@ main(int argc, char **argv)
     }
     curve.print(std::cout, "Per-memory-configuration optima");
 
-    // Objective winners.
+    // Objective winners (served from the sweep's memo cache).
     TextTable winners({"objective", "config", "time (us)",
                        "energy (mJ)", "ED2 vs max-config"});
     for (OracleObjective obj :
          {OracleObjective::MaxPerf, OracleObjective::MinEd2,
           OracleObjective::MinEd, OracleObjective::MinEnergy}) {
         const HardwareConfig cfg =
-            bestConfigFor(device, kernel, 0, obj);
-        const KernelResult r = device.run(kernel, 0, cfg);
+            bestConfigFor(sweep, kernel, 0, obj);
+        const KernelResult r = sweep.at(kernel, 0, cfg);
         winners.row()
             .cell(oracleObjectiveName(obj))
             .cell(cfg.str())

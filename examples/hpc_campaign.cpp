@@ -4,9 +4,11 @@
  * Baseline, CG-only, Harmonia (FG+CG), and the ED^2 oracle — the data
  * behind the paper's Figures 10-13 in one run.
  *
- * Usage: hpc_campaign [--no-oracle]
+ * Usage: hpc_campaign [--no-oracle] [--jobs N]
  */
 
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 
@@ -23,11 +25,19 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--no-oracle") == 0)
             options.includeOracle = false;
+        else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            options.jobs = std::max(1, std::atoi(argv[++i]));
     }
 
     GpuDevice device;
     Campaign campaign(device, standardSuite(), options);
+    const auto start = std::chrono::steady_clock::now();
     campaign.run();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    std::cout << "campaign wall-clock: " << ms
+              << " ms (jobs=" << options.jobs << ")\n\n";
 
     TextTable table({"app", "CG ED2", "HM ED2", "Oracle ED2", "CG perf",
                      "HM perf", "HM power", "HM energy"});

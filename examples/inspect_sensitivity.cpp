@@ -5,9 +5,11 @@
  * the resulting bins; then dump the per-iteration Harmonia trace for
  * one application to show the control loop's decisions.
  *
- * Usage: inspect_sensitivity [AppName]
+ * Usage: inspect_sensitivity [AppName] [--jobs N]
  */
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
@@ -23,12 +25,27 @@ using namespace harmonia;
 int
 main(int argc, char **argv)
 {
-    const std::string target = argc > 1 ? argv[1] : "CoMD";
+    std::string target = "CoMD";
+    int jobs = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            jobs = std::max(1, std::atoi(argv[++i]));
+        else
+            target = argv[i];
+    }
 
     GpuDevice device;
     const auto suite = standardSuite();
-    const TrainingResult training = trainPredictors(device, suite);
+    TrainingOptions trainingOpt;
+    trainingOpt.jobs = jobs;
+    const TrainingResult training =
+        trainPredictors(device, suite, trainingOpt);
     const SensitivityPredictor predictor = training.predictor();
+
+    // Ground-truth sweep (Section 4.1) across the whole suite,
+    // measured in parallel; order matches the suite iteration below.
+    const auto groundTruth =
+        measureSuiteSensitivities(device, suite, 1, jobs);
 
     std::cout << "bandwidth fit corr=" << training.bandwidthFit.correlation
               << " mae=" << training.bandwidthMae
@@ -38,10 +55,11 @@ main(int argc, char **argv)
     TextTable table({"kernel", "meas.comp", "meas.bw", "pred.comp",
                      "pred.bw", "bins", "CtoM", "icAct", "VALUBusy",
                      "MemBusy", "occ%"});
+    size_t point = 0;
     for (const auto &app : suite) {
         for (const auto &kernel : app.kernels) {
             const SensitivityVector meas =
-                measureSensitivities(device, kernel, 0);
+                groundTruth[point++].sensitivity;
             const auto res =
                 device.run(kernel, 0, device.space().maxConfig());
             const CounterSet &c = res.timing.counters;

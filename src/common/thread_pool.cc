@@ -1,0 +1,145 @@
+#include "thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace harmonia
+{
+
+/**
+ * One parallelFor invocation. Lives in a shared_ptr so that workers
+ * waking up after the caller already returned can still inspect it
+ * safely (they will find no chunks left and go back to sleep).
+ */
+struct ThreadPool::ForJob
+{
+    std::function<void(size_t)> body;
+    size_t count = 0;
+    size_t chunk = 1;
+
+    std::atomic<size_t> next{0};   ///< First unclaimed index.
+    std::atomic<bool> failed{false};
+
+    std::mutex mutex;
+    std::condition_variable doneCv;
+    int active = 0;                ///< Threads inside runChunks.
+    std::exception_ptr error;      ///< First exception thrown by body.
+};
+
+ThreadPool::ThreadPool(int numThreads)
+    : numThreads_(std::max(1, numThreads))
+{
+    // numThreads counts the calling thread; the serial pool spawns
+    // nothing at all.
+    workers_.reserve(static_cast<size_t>(numThreads_ - 1));
+    for (int i = 0; i < numThreads_ - 1; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wakeCv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+int
+ThreadPool::defaultThreads()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void
+ThreadPool::runChunks(ForJob &job)
+{
+    {
+        std::lock_guard<std::mutex> lock(job.mutex);
+        ++job.active;
+    }
+    for (;;) {
+        const size_t begin = job.next.fetch_add(job.chunk);
+        if (begin >= job.count || job.failed.load())
+            break;
+        const size_t end = std::min(begin + job.chunk, job.count);
+        try {
+            for (size_t i = begin; i < end; ++i)
+                job.body(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(job.mutex);
+            if (!job.error)
+                job.error = std::current_exception();
+            job.failed.store(true);
+            break;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(job.mutex);
+        --job.active;
+    }
+    job.doneCv.notify_all();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wakeCv_.wait(lock, [&] {
+            return stop_ || (job_ && generation_ != seen);
+        });
+        if (stop_)
+            return;
+        seen = generation_;
+        auto job = job_;
+        lock.unlock();
+        runChunks(*job);
+        lock.lock();
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t count, size_t chunk,
+                        const std::function<void(size_t)> &body)
+{
+    if (count == 0)
+        return;
+
+    if (workers_.empty()) {
+        // Serial fallback: ascending order on the calling thread,
+        // exceptions propagate directly.
+        for (size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    auto job = std::make_shared<ForJob>();
+    job->body = body;
+    job->count = count;
+    job->chunk = chunk > 0
+        ? chunk
+        : std::max<size_t>(
+              1, count / (static_cast<size_t>(numThreads_) * 8));
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = job;
+        ++generation_;
+    }
+    wakeCv_.notify_all();
+
+    // The caller works too; when it runs dry every index is claimed.
+    runChunks(*job);
+
+    std::unique_lock<std::mutex> lock(job->mutex);
+    job->doneCv.wait(lock, [&] { return job->active == 0; });
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+} // namespace harmonia

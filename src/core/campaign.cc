@@ -2,6 +2,7 @@
 
 #include "common/error.hh"
 #include "common/stats.hh"
+#include "common/thread_pool.hh"
 
 namespace harmonia
 {
@@ -67,18 +68,40 @@ Campaign::makeGovernor(Scheme scheme) const
 void
 Campaign::run()
 {
+    TrainingOptions trainingOpts = options_.training;
+    if (trainingOpts.jobs <= 1)
+        trainingOpts.jobs = options_.jobs;
     training_ = std::make_unique<TrainingResult>(
-        trainPredictors(device_, suite_, options_.training));
+        trainPredictors(device_, suite_, trainingOpts));
     predictor_ =
         std::make_unique<SensitivityPredictor>(training_->predictor());
 
-    Runtime runtime(device_);
-    for (Scheme scheme : schemes()) {
-        auto governor = makeGovernor(scheme);
-        for (const auto &app : suite_) {
-            results_[scheme].emplace(app.name,
-                                     runtime.run(app, *governor));
-        }
+    // One cell per (scheme, application), evaluated in parallel. A
+    // fresh governor per cell is equivalent to the serial loop (which
+    // reset() the shared governor before every application), and each
+    // cell writes only its own slot, so the results are bit-identical
+    // to a serial run.
+    struct Cell
+    {
+        Scheme scheme;
+        const Application *app;
+    };
+    std::vector<Cell> cells;
+    for (Scheme scheme : schemes())
+        for (const auto &app : suite_)
+            cells.push_back({scheme, &app});
+
+    std::vector<AppRunResult> runs(cells.size());
+    ThreadPool pool(options_.jobs);
+    pool.parallelFor(cells.size(), 1, [&](size_t i) {
+        auto governor = makeGovernor(cells[i].scheme);
+        Runtime runtime(device_);
+        runs[i] = runtime.run(*cells[i].app, *governor);
+    });
+
+    for (size_t i = 0; i < cells.size(); ++i) {
+        results_[cells[i].scheme].emplace(cells[i].app->name,
+                                          std::move(runs[i]));
     }
     ran_ = true;
 }

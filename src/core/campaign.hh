@@ -55,6 +55,16 @@ struct CampaignOptions
     bool includeFreqOnly = false;
     TrainingOptions training;
     HarmoniaOptions harmonia;
+
+    /**
+     * Worker threads (1 = serial). The campaign parallelizes across
+     * its (scheme, application) cells — every cell runs a fresh
+     * governor against the const device model, so cells are
+     * independent and results are bit-identical for any job count
+     * (tests/test_sweep_determinism.cpp). Unless training.jobs was
+     * set explicitly, training inherits this value too.
+     */
+    int jobs = 1;
 };
 
 /**

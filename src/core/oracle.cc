@@ -37,20 +37,22 @@ objectiveScore(const KernelResult &result, OracleObjective objective)
 } // namespace
 
 HardwareConfig
-bestConfigFor(const GpuDevice &device, const KernelProfile &profile,
+bestConfigFor(const ConfigSweep &sweep, const KernelProfile &profile,
               int iteration, OracleObjective objective)
 {
-    const KernelPhase phase = profile.phase(iteration);
+    const auto &results = sweep.evaluate(profile, iteration);
+    const auto &configs = sweep.configs();
+
     double best = std::numeric_limits<double>::infinity();
-    HardwareConfig bestCfg = device.space().maxConfig();
+    HardwareConfig bestCfg = sweep.device().space().maxConfig();
     // Near-ties on pure performance resolve toward the *maximum*
     // configuration: a performance-first policy has no reason to give
     // up any hardware resource, which is exactly the naive baseline
     // the paper's Figure 6 contrasts ED^2 against.
     const bool preferBig = objective == OracleObjective::MaxPerf;
-    for (const auto &cfg : device.space().allConfigs()) {
-        const KernelResult result = device.run(profile, phase, cfg);
-        const double s = objectiveScore(result, objective);
+    for (size_t i = 0; i < configs.size(); ++i) {
+        const HardwareConfig &cfg = configs[i];
+        const double s = objectiveScore(results[i], objective);
         const bool better =
             preferBig ? s < best * (1.0 - 1e-6) : s < best;
         if (better) {
@@ -71,9 +73,18 @@ bestConfigFor(const GpuDevice &device, const KernelProfile &profile,
     return bestCfg;
 }
 
+HardwareConfig
+bestConfigFor(const GpuDevice &device, const KernelProfile &profile,
+              int iteration, OracleObjective objective)
+{
+    ConfigSweep sweep(device);
+    return bestConfigFor(sweep, profile, iteration, objective);
+}
+
 OracleGovernor::OracleGovernor(const GpuDevice &device,
-                               OracleObjective objective)
-    : device_(device), objective_(objective)
+                               OracleObjective objective,
+                               SweepOptions sweep)
+    : sweep_(device, sweep), objective_(objective)
 {
 }
 
@@ -99,7 +110,7 @@ OracleGovernor::decide(const KernelProfile &profile, int iteration)
         return it->second;
     ++searches_;
     const HardwareConfig best =
-        bestConfigFor(device_, profile, iteration, objective_);
+        bestConfigFor(sweep_, profile, iteration, objective_);
     cache_.emplace(key, best);
     return best;
 }

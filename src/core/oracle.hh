@@ -7,6 +7,12 @@
  * the same oracle by exhaustive online profiling and notes it is
  * impractical to deploy; here it serves as the upper bound Harmonia is
  * compared against (Harmonia lands within ~3% on average).
+ *
+ * The exhaustive replay runs on the ConfigSweep engine: the search
+ * parallelizes across configurations (SweepOptions::jobs) and repeated
+ * searches of the same invocation are served from the sweep's memo
+ * cache. The argmax reduction always walks the canonical enumeration
+ * order, so parallel and serial searches pick bit-identical configs.
  */
 
 #ifndef HARMONIA_CORE_ORACLE_HH
@@ -16,6 +22,7 @@
 #include <string>
 
 #include "core/governor.hh"
+#include "core/sweep.hh"
 #include "sim/gpu_device.hh"
 
 namespace harmonia
@@ -41,10 +48,12 @@ class OracleGovernor : public Governor
      * @param device The device model to profile against (the oracle
      *        gets to "replay" each iteration on every configuration).
      * @param objective The optimization target.
+     * @param sweep Sweep options (jobs = parallel search width).
      */
     explicit OracleGovernor(const GpuDevice &device,
                             OracleObjective objective =
-                                OracleObjective::MinEd2);
+                                OracleObjective::MinEd2,
+                            SweepOptions sweep = {});
 
     std::string name() const override;
 
@@ -58,19 +67,32 @@ class OracleGovernor : public Governor
     /** Number of exhaustive searches performed (for tests). */
     size_t searches() const { return searches_; }
 
+    /** The sweep engine backing the searches (for cache stats). */
+    const ConfigSweep &sweep() const { return sweep_; }
+
   private:
     double score(const KernelResult &result) const;
 
-    const GpuDevice &device_;
+    ConfigSweep sweep_;
     OracleObjective objective_;
     std::map<std::string, HardwareConfig> cache_;
     size_t searches_ = 0;
 };
 
 /**
- * Standalone exhaustive search: best configuration of @p device for
- * one kernel invocation under an objective. Used by the oracle and by
- * the Figure 6 metric-tradeoff analysis.
+ * Standalone exhaustive search on an existing sweep engine: best
+ * configuration for one kernel invocation under an objective. The
+ * reduction is a serial walk of sweep.configs() order, so the result
+ * does not depend on the sweep's thread count.
+ */
+HardwareConfig bestConfigFor(const ConfigSweep &sweep,
+                             const KernelProfile &profile, int iteration,
+                             OracleObjective objective);
+
+/**
+ * Convenience overload building a throwaway serial sweep. Used by the
+ * oracle-adjacent analyses (Figure 6 metric tradeoffs) that only need
+ * one search per invocation.
  */
 HardwareConfig bestConfigFor(const GpuDevice &device,
                              const KernelProfile &profile, int iteration,

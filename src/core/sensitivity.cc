@@ -29,6 +29,43 @@ binOf(double sensitivity)
     return SensitivityBin::High;
 }
 
+namespace
+{
+
+/** Shared normalization of the two-point finite difference. */
+double
+normalizedSensitivity(double tMax, double tRed,
+                      const HardwareConfig &maxCfg,
+                      const HardwareConfig &reduced, Tunable tunable)
+{
+    panicIf(tMax <= 0.0 || tRed <= 0.0,
+            "measureTunableSensitivity: non-positive execution time");
+    const double xRatio = static_cast<double>(maxCfg.get(tunable)) /
+                          static_cast<double>(reduced.get(tunable));
+    return (tRed / tMax - 1.0) / (xRatio - 1.0);
+}
+
+} // namespace
+
+HardwareConfig
+sensitivityReducedConfig(const ConfigSpace &space, Tunable tunable)
+{
+    // Reduce the tunable to roughly half its maximum, snapped up to
+    // the lattice. Lattice-generic so device variants measure the
+    // same way.
+    HardwareConfig reduced = space.maxConfig();
+    const int maxV = space.maxValue(tunable);
+    const int minV = space.minValue(tunable);
+    const int step = space.step(tunable);
+    const int target = maxV / 2;
+    int snapped =
+        minV + (std::max(0, target - minV) + step - 1) / step * step;
+    snapped = std::clamp(snapped, minV, maxV - step);
+    reduced.set(tunable, snapped);
+    space.validate(reduced);
+    return reduced;
+}
+
 double
 measureTunableSensitivity(const GpuDevice &device,
                           const KernelProfile &profile, int iteration,
@@ -36,33 +73,29 @@ measureTunableSensitivity(const GpuDevice &device,
 {
     const ConfigSpace &space = device.space();
     const HardwareConfig maxCfg = space.maxConfig();
-
-    // Reduce the tunable to roughly half its maximum, snapped up to
-    // the lattice (on the HD7970: 16 CUs, 500 MHz core, 775 MHz
-    // memory). Lattice-generic so device variants measure the same
-    // way.
-    HardwareConfig reduced = maxCfg;
-    {
-        const int maxV = space.maxValue(tunable);
-        const int minV = space.minValue(tunable);
-        const int step = space.step(tunable);
-        const int target = maxV / 2;
-        int snapped =
-            minV + (std::max(0, target - minV) + step - 1) / step * step;
-        snapped = std::clamp(snapped, minV, maxV - step);
-        reduced.set(tunable, snapped);
-    }
-    space.validate(reduced);
+    const HardwareConfig reduced =
+        sensitivityReducedConfig(space, tunable);
 
     const KernelPhase phase = profile.phase(iteration);
     const double tMax = device.run(profile, phase, maxCfg).time();
     const double tRed = device.run(profile, phase, reduced).time();
-    panicIf(tMax <= 0.0 || tRed <= 0.0,
-            "measureTunableSensitivity: non-positive execution time");
+    return normalizedSensitivity(tMax, tRed, maxCfg, reduced, tunable);
+}
 
-    const double xRatio = static_cast<double>(maxCfg.get(tunable)) /
-                          static_cast<double>(reduced.get(tunable));
-    return (tRed / tMax - 1.0) / (xRatio - 1.0);
+double
+measureTunableSensitivity(const ConfigSweep &sweep,
+                          const KernelProfile &profile, int iteration,
+                          Tunable tunable)
+{
+    const ConfigSpace &space = sweep.device().space();
+    const HardwareConfig maxCfg = space.maxConfig();
+    const HardwareConfig reduced =
+        sensitivityReducedConfig(space, tunable);
+
+    const auto &results = sweep.evaluate(profile, iteration);
+    const double tMax = results[sweep.indexOf(maxCfg)].time();
+    const double tRed = results[sweep.indexOf(reduced)].time();
+    return normalizedSensitivity(tMax, tRed, maxCfg, reduced, tunable);
 }
 
 double
@@ -120,6 +153,55 @@ measureSensitivities(const GpuDevice &device, const KernelProfile &profile,
     out.memBandwidth = measureTunableSensitivity(device, profile,
                                                  iteration,
                                                  Tunable::MemFreq);
+    return out;
+}
+
+SensitivityVector
+measureSensitivities(const ConfigSweep &sweep,
+                     const KernelProfile &profile, int iteration)
+{
+    SensitivityVector out;
+    out.cuCount = measureTunableSensitivity(sweep, profile, iteration,
+                                            Tunable::CuCount);
+    out.computeFreq = measureTunableSensitivity(sweep, profile,
+                                                iteration,
+                                                Tunable::ComputeFreq);
+    out.memBandwidth = measureTunableSensitivity(sweep, profile,
+                                                 iteration,
+                                                 Tunable::MemFreq);
+    return out;
+}
+
+std::vector<SuiteSensitivityPoint>
+measureSuiteSensitivities(const GpuDevice &device,
+                          const std::vector<Application> &suite,
+                          int iterationsPerKernel, int jobs)
+{
+    panicIf(iterationsPerKernel <= 0,
+            "measureSuiteSensitivities: iterationsPerKernel must be > 0");
+
+    struct Task
+    {
+        const KernelProfile *kernel;
+        int iteration;
+    };
+    std::vector<Task> tasks;
+    for (const auto &app : suite) {
+        const int iters = std::min(app.iterations, iterationsPerKernel);
+        for (const auto &kernel : app.kernels)
+            for (int iter = 0; iter < iters; ++iter)
+                tasks.push_back({&kernel, iter});
+    }
+
+    // Slot-per-task output: identical vectors for any thread count.
+    std::vector<SuiteSensitivityPoint> out(tasks.size());
+    ThreadPool pool(jobs);
+    pool.parallelFor(tasks.size(), 1, [&](size_t i) {
+        out[i].kernelId = tasks[i].kernel->id();
+        out[i].iteration = tasks[i].iteration;
+        out[i].sensitivity = measureSensitivities(
+            device, *tasks[i].kernel, tasks[i].iteration);
+    });
     return out;
 }
 

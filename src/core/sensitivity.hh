@@ -16,7 +16,12 @@
 #ifndef HARMONIA_CORE_SENSITIVITY_HH
 #define HARMONIA_CORE_SENSITIVITY_HH
 
+#include <string>
+#include <vector>
+
+#include "core/sweep.hh"
 #include "sim/gpu_device.hh"
+#include "workloads/app.hh"
 
 namespace harmonia
 {
@@ -79,6 +84,52 @@ double measureTunableSensitivity(const GpuDevice &device,
 SensitivityVector measureSensitivities(const GpuDevice &device,
                                        const KernelProfile &profile,
                                        int iteration);
+
+/**
+ * The reduced operating point measureTunableSensitivity() compares
+ * against: @p tunable snapped up to roughly half its maximum (on the
+ * HD7970: 16 CUs, 500 MHz core, 775 MHz memory) with everything else
+ * at maximum. Exposed so sweep-backed measurement uses the exact same
+ * lattice point as the direct path.
+ */
+HardwareConfig sensitivityReducedConfig(const ConfigSpace &space,
+                                        Tunable tunable);
+
+/**
+ * Sweep-backed ground-truth measurement: identical arithmetic to the
+ * device overloads, but both operating points are read from the
+ * sweep's memoized 448-point evaluation, so the measurement shares
+ * cache (and parallelism) with any oracle search of the same
+ * invocation and is bit-identical to the serial direct path.
+ */
+double measureTunableSensitivity(const ConfigSweep &sweep,
+                                 const KernelProfile &profile,
+                                 int iteration, Tunable tunable);
+
+/** All three sensitivities via the sweep engine. */
+SensitivityVector measureSensitivities(const ConfigSweep &sweep,
+                                       const KernelProfile &profile,
+                                       int iteration);
+
+/** Ground truth for one (kernel, iteration) of a suite sweep. */
+struct SuiteSensitivityPoint
+{
+    std::string kernelId;
+    int iteration = 0;
+    SensitivityVector sensitivity;
+};
+
+/**
+ * Section 4.1 ground-truth sweep over a whole suite: sensitivities of
+ * every (kernel, iteration) pair with iteration < min(app.iterations,
+ * @p iterationsPerKernel), in deterministic suite order, measured in
+ * parallel across @p jobs workers. Serial and parallel runs return
+ * bit-identical vectors.
+ */
+std::vector<SuiteSensitivityPoint>
+measureSuiteSensitivities(const GpuDevice &device,
+                          const std::vector<Application> &suite,
+                          int iterationsPerKernel, int jobs = 1);
 
 /**
  * Local sensitivity around an arbitrary operating point: the tunable

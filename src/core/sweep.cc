@@ -1,0 +1,119 @@
+#include "sweep.hh"
+
+#include "common/error.hh"
+
+namespace harmonia
+{
+
+namespace
+{
+
+uint64_t
+splitmix64Once(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::string
+cacheKey(const KernelProfile &profile, int iteration)
+{
+    return profile.id() + "#" + std::to_string(iteration);
+}
+
+} // namespace
+
+Rng
+sweepSubstream(uint64_t baseSeed, uint64_t taskIndex)
+{
+    // Mix the task index through splitmix64 before xor-ing it into the
+    // base seed so that consecutive indices land in unrelated streams
+    // (adjacent raw seeds would share most of their splitmix
+    // trajectory).
+    return Rng(baseSeed ^ splitmix64Once(taskIndex));
+}
+
+ConfigSweep::ConfigSweep(const GpuDevice &device, SweepOptions options)
+    : device_(device), options_(options),
+      configs_(device.space().allConfigs()),
+      pool_(std::make_shared<ThreadPool>(options.jobs))
+{
+    fatalIf(configs_.empty(), "ConfigSweep: empty configuration space");
+}
+
+size_t
+ConfigSweep::indexOf(const HardwareConfig &cfg) const
+{
+    return device_.space().indexOf(cfg);
+}
+
+const std::vector<KernelResult> &
+ConfigSweep::evaluate(const KernelProfile &profile, int iteration) const
+{
+    const std::string key = cacheKey(profile, iteration);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            ++hits_;
+            return *it->second;
+        }
+    }
+
+    // Compute outside the lock: a concurrent evaluate() of another
+    // key must not serialize on this one. Each index writes only its
+    // own slot, so the result is independent of scheduling.
+    const KernelPhase phase = profile.phase(iteration);
+    auto results =
+        std::make_unique<std::vector<KernelResult>>(configs_.size());
+    pool_->parallelFor(configs_.size(), 16, [&](size_t i) {
+        (*results)[i] = device_.run(profile, phase, configs_[i]);
+    });
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = cache_.emplace(key, std::move(results));
+    if (inserted)
+        ++misses_;
+    else
+        ++hits_; // Raced with an identical evaluate(); theirs won.
+    return *it->second;
+}
+
+const KernelResult &
+ConfigSweep::at(const KernelProfile &profile, int iteration,
+                const HardwareConfig &cfg) const
+{
+    return evaluate(profile, iteration)[indexOf(cfg)];
+}
+
+size_t
+ConfigSweep::cacheHits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+size_t
+ConfigSweep::cacheMisses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+size_t
+ConfigSweep::cacheEntries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+}
+
+void
+ConfigSweep::clearCache()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+}
+
+} // namespace harmonia

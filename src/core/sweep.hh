@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Parallel design-space sweep engine.
+ *
+ * Every paper artifact replays kernels across the 8x8x7 = 448-point
+ * tunable space: the ED^2 oracle (Section 6), the sensitivity
+ * ground-truth sweeps (Section 4.1), predictor training, and the
+ * Figure 10-18 campaign. ConfigSweep owns that enumeration in exactly
+ * one place (the canonical mem-major order of
+ * ConfigSpace::allConfigs()) and evaluates a kernel invocation at
+ * every point with a ThreadPool, memoizing the 448-result vector per
+ * (app, kernel, iteration) so repeated searches — the oracle visits
+ * each invocation once per scheme, benches rerun figures — hit the
+ * cache instead of the timing model.
+ *
+ * Determinism: the device model is const and purely functional, each
+ * configuration's result is written to its own pre-assigned slot, and
+ * any randomness a sweep consumer needs must come from
+ * sweepSubstream(seed, taskIndex), whose stream depends only on the
+ * task index — never on which worker ran the task or in what order.
+ * Parallel sweeps are therefore bit-identical to serial ones
+ * (tests/test_sweep_determinism.cpp).
+ */
+
+#ifndef HARMONIA_CORE_SWEEP_HH
+#define HARMONIA_CORE_SWEEP_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "sim/gpu_device.hh"
+
+namespace harmonia
+{
+
+/** Options shared by all sweep-driven layers. */
+struct SweepOptions
+{
+    /** Worker threads (incl. the caller); 1 = strictly serial. */
+    int jobs = 1;
+
+    /** Base seed for per-task RNG substreams. */
+    uint64_t rngSeed = 0x4841524d4f4e4941ull; // "HARMONIA"
+};
+
+/**
+ * Deterministic per-task RNG substream: the generator for task
+ * @p taskIndex depends only on (@p baseSeed, @p taskIndex). Tasks may
+ * be executed by any worker in any order and still draw identical
+ * variates, which is what keeps randomized workloads reproducible
+ * under parallel sweeps. Streams are decorrelated by running the
+ * task index through an extra splitmix64 round before seeding.
+ */
+Rng sweepSubstream(uint64_t baseSeed, uint64_t taskIndex);
+
+/**
+ * The design-space sweep engine: canonical enumeration + parallel,
+ * memoized evaluation of one kernel invocation across all 448
+ * configurations.
+ */
+class ConfigSweep
+{
+  public:
+    explicit ConfigSweep(const GpuDevice &device,
+                         SweepOptions options = {});
+
+    const GpuDevice &device() const { return device_; }
+    const SweepOptions &options() const { return options_; }
+
+    /**
+     * The canonical enumeration of the design space (mem-major, 448
+     * points on the HD7970 lattice). Index i of every evaluate()
+     * result corresponds to configs()[i].
+     */
+    const std::vector<HardwareConfig> &configs() const
+    {
+        return configs_;
+    }
+
+    /** Position of @p cfg in configs(); @throws when off-lattice. */
+    size_t indexOf(const HardwareConfig &cfg) const;
+
+    /**
+     * Evaluate @p profile's iteration @p iteration at every
+     * configuration, in parallel, memoized by (kernel id, iteration).
+     * The returned reference stays valid for the sweep's lifetime.
+     */
+    const std::vector<KernelResult> &evaluate(const KernelProfile &profile,
+                                              int iteration) const;
+
+    /** One cached/computed result by configuration. */
+    const KernelResult &at(const KernelProfile &profile, int iteration,
+                           const HardwareConfig &cfg) const;
+
+    /** RNG substream for task @p taskIndex under options().rngSeed. */
+    Rng rngFor(uint64_t taskIndex) const
+    {
+        return sweepSubstream(options_.rngSeed, taskIndex);
+    }
+
+    /** The pool driving this sweep (shared with cooperating layers). */
+    ThreadPool &pool() const { return *pool_; }
+
+    /** Cache statistics (evaluate() calls served from memo / computed). */
+    size_t cacheHits() const;
+    size_t cacheMisses() const;
+    size_t cacheEntries() const;
+
+    /** Drop all memoized results (statistics are kept). */
+    void clearCache();
+
+  private:
+    const GpuDevice &device_;
+    SweepOptions options_;
+    std::vector<HardwareConfig> configs_;
+    std::shared_ptr<ThreadPool> pool_;
+
+    mutable std::mutex mutex_;
+    mutable std::map<std::string,
+                     std::unique_ptr<std::vector<KernelResult>>>
+        cache_;
+    mutable size_t hits_ = 0;
+    mutable size_t misses_ = 0;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_CORE_SWEEP_HH

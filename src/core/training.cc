@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hh"
+#include "common/thread_pool.hh"
 #include "linalg/correlation.hh"
 
 namespace harmonia
@@ -65,52 +66,68 @@ collectTrainingSamples(const GpuDevice &device,
     const auto configs =
         sampleConfigs(device.space(), options.configsPerKernel);
 
-    std::vector<TrainingSample> samples;
+    // One task per (kernel, iteration), flattened in the serial
+    // visiting order; each task produces its samples into its own
+    // slot, so the concatenation below is bit-identical for any
+    // number of workers.
+    struct Task
+    {
+        const KernelProfile *kernel;
+        int iteration;
+    };
+    std::vector<Task> tasks;
     for (const auto &app : suite) {
         const int iters =
             std::min(app.iterations, options.iterationsPerKernel);
-        for (const auto &kernel : app.kernels) {
-            for (int iter = 0; iter < iters; ++iter) {
-                auto emit = [&](const CounterSet &counters,
-                                const SensitivityVector &sens) {
-                    TrainingSample s;
-                    s.kernelId = kernel.id();
-                    s.iteration = iter;
-                    s.counters = counters;
-                    s.bandwidthSens =
-                        std::clamp(sens.memBandwidth, 0.0, 1.0);
-                    s.computeSens =
-                        std::clamp(sens.compute(), 0.0, 1.0);
-                    samples.push_back(std::move(s));
-                };
-                if (options.averageAcrossConfigs) {
-                    // The paper's Section 4.2 reduction: average the
-                    // counters across configurations, pair them with
-                    // the max-configuration sensitivities.
-                    std::vector<CounterSet> counterSets;
-                    counterSets.reserve(configs.size());
-                    for (const auto &cfg : configs) {
-                        counterSets.push_back(
-                            device.run(kernel, iter, cfg)
-                                .timing.counters);
-                    }
-                    emit(averageCounters(counterSets),
-                         measureSensitivities(device, kernel, iter));
-                } else {
-                    // One sample per configuration: counters observed
-                    // at config C paired with the *local* sensitivity
-                    // around C (Section 4.1 computes sensitivity for
-                    // each hardware configuration).
-                    for (const auto &cfg : configs) {
-                        emit(device.run(kernel, iter, cfg)
-                                 .timing.counters,
-                             measureSensitivitiesAt(device, kernel,
-                                                    iter, cfg));
-                    }
-                }
+        for (const auto &kernel : app.kernels)
+            for (int iter = 0; iter < iters; ++iter)
+                tasks.push_back({&kernel, iter});
+    }
+
+    std::vector<std::vector<TrainingSample>> parts(tasks.size());
+    ThreadPool pool(options.jobs);
+    pool.parallelFor(tasks.size(), 1, [&](size_t t) {
+        const KernelProfile &kernel = *tasks[t].kernel;
+        const int iter = tasks[t].iteration;
+        auto emit = [&](const CounterSet &counters,
+                        const SensitivityVector &sens) {
+            TrainingSample s;
+            s.kernelId = kernel.id();
+            s.iteration = iter;
+            s.counters = counters;
+            s.bandwidthSens = std::clamp(sens.memBandwidth, 0.0, 1.0);
+            s.computeSens = std::clamp(sens.compute(), 0.0, 1.0);
+            parts[t].push_back(std::move(s));
+        };
+        if (options.averageAcrossConfigs) {
+            // The paper's Section 4.2 reduction: average the
+            // counters across configurations, pair them with
+            // the max-configuration sensitivities.
+            std::vector<CounterSet> counterSets;
+            counterSets.reserve(configs.size());
+            for (const auto &cfg : configs) {
+                counterSets.push_back(
+                    device.run(kernel, iter, cfg).timing.counters);
+            }
+            emit(averageCounters(counterSets),
+                 measureSensitivities(device, kernel, iter));
+        } else {
+            // One sample per configuration: counters observed
+            // at config C paired with the *local* sensitivity
+            // around C (Section 4.1 computes sensitivity for
+            // each hardware configuration).
+            for (const auto &cfg : configs) {
+                emit(device.run(kernel, iter, cfg).timing.counters,
+                     measureSensitivitiesAt(device, kernel, iter,
+                                            cfg));
             }
         }
-    }
+    });
+
+    std::vector<TrainingSample> samples;
+    for (auto &part : parts)
+        for (auto &s : part)
+            samples.push_back(std::move(s));
     return samples;
 }
 

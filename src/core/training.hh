@@ -57,6 +57,14 @@ struct TrainingOptions
      * kernel last ran at.
      */
     bool averageAcrossConfigs = false;
+
+    /**
+     * Worker threads for sample collection (1 = serial). Collection
+     * parallelizes across (kernel, iteration) tasks whose samples are
+     * reassembled in the serial order, so the training set — and
+     * therefore the fitted predictor — is bit-identical for any value.
+     */
+    int jobs = 1;
 };
 
 /** Output of the training pipeline. */

@@ -181,6 +181,24 @@ ConfigSpace::allConfigs() const
 }
 
 size_t
+ConfigSpace::indexOf(const HardwareConfig &cfg) const
+{
+    validate(cfg);
+    auto ord = [&](Tunable t) {
+        return static_cast<size_t>((cfg.get(t) - minValue(t)) / step(t));
+    };
+    auto count = [&](Tunable t) {
+        return static_cast<size_t>((maxValue(t) - minValue(t)) / step(t)) +
+               1;
+    };
+    // Must mirror the loop nesting of allConfigs(): mem, cu, freq.
+    return (ord(Tunable::MemFreq) * count(Tunable::CuCount) +
+            ord(Tunable::CuCount)) *
+               count(Tunable::ComputeFreq) +
+           ord(Tunable::ComputeFreq);
+}
+
+size_t
 ConfigSpace::size() const
 {
     return values(Tunable::CuCount).size() *

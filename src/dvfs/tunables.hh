@@ -108,6 +108,13 @@ class ConfigSpace
     size_t size() const;
 
     /**
+     * Position of @p cfg in the canonical allConfigs() enumeration
+     * (mem-major), computed arithmetically so sweep layers can index
+     * result vectors without searching. @throws when off-lattice.
+     */
+    size_t indexOf(const HardwareConfig &cfg) const;
+
+    /**
      * Hardware ops/byte delivered by @p cfg: peak FLOP/s divided by
      * peak memory bandwidth (Section 3.1).
      */

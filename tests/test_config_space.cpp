@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hh"
+#include "core/sweep.hh"
 #include "dvfs/tunables.hh"
 
 using namespace harmonia;
@@ -26,6 +27,33 @@ TEST(ConfigSpace, SizeIsApproximately450)
     // Section 3.1: 8 CU counts x 8 compute freqs x 7 memory freqs.
     EXPECT_EQ(space().size(), 448u);
     EXPECT_EQ(space().allConfigs().size(), 448u);
+}
+
+TEST(ConfigSpace, IndexOfRoundTripsOverAll448Configs)
+{
+    // The canonical enumeration order is load-bearing: oracle,
+    // sensitivity, and the sweep engine all address results by it.
+    const ConfigSpace s = space();
+    const auto all = s.allConfigs();
+    ASSERT_EQ(all.size(), 448u);
+    for (size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(s.indexOf(all[i]), i) << all[i].str();
+    EXPECT_THROW(s.indexOf({33, 1000, 1375}), ConfigError);
+}
+
+TEST(ConfigSpace, SweepEnumerationMatchesCanonicalOrder)
+{
+    // The sweep layer is the single owner of design-space enumeration;
+    // it must expose exactly the 448 lattice points in space order.
+    const GpuDevice device;
+    const ConfigSweep sweep(device, {});
+    const auto canonical = device.space().allConfigs();
+    ASSERT_EQ(sweep.configs().size(), 448u);
+    ASSERT_EQ(sweep.configs().size(), canonical.size());
+    for (size_t i = 0; i < canonical.size(); ++i) {
+        EXPECT_EQ(sweep.configs()[i], canonical[i]);
+        EXPECT_EQ(sweep.indexOf(canonical[i]), i);
+    }
 }
 
 TEST(ConfigSpace, MinAndMaxConfigs)

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Determinism harness for the parallel sweep engine.
+ *
+ * Parallelizing the RNG-seeded model is only safe if results are
+ * provably bit-identical to the serial path. These property tests pin
+ * that down for every layer ported onto the sweep engine: oracle
+ * search, sensitivity ground truth, training, and the full campaign,
+ * each compared across 1, 2, and 8 worker threads with exact
+ * (bitwise) double equality. Also covers the sweep memo cache's hit
+ * accounting and the per-task RNG substream scheme.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/campaign.hh"
+#include "core/oracle.hh"
+#include "core/sensitivity.hh"
+#include "core/sweep.hh"
+#include "core/training.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+const GpuDevice &
+device()
+{
+    static GpuDevice dev;
+    return dev;
+}
+
+/** Small seeded app subset; iterations trimmed to bound test cost. */
+std::vector<Application>
+miniSuite()
+{
+    std::vector<Application> suite = {makeComd(), makeBpt(),
+                                      makeGraph500(), makeSpmv()};
+    for (auto &app : suite)
+        app.iterations = std::min(app.iterations, 3);
+    return suite;
+}
+
+Campaign
+runCampaign(int jobs)
+{
+    CampaignOptions options;
+    options.includeOracle = true;
+    options.includeFreqOnly = true;
+    options.jobs = jobs;
+    Campaign campaign(device(), miniSuite(), options);
+    campaign.run();
+    return campaign;
+}
+
+constexpr int kJobVariants[] = {2, 8};
+
+} // namespace
+
+TEST(SweepDeterminism, OracleSearchIsThreadCountInvariant)
+{
+    const auto suite = miniSuite();
+    ConfigSweep serial(device(), {.jobs = 1});
+    for (int jobs : kJobVariants) {
+        ConfigSweep parallel(device(), {.jobs = jobs});
+        for (const auto &app : suite) {
+            for (const auto &kernel : app.kernels) {
+                for (OracleObjective obj :
+                     {OracleObjective::MinEd2, OracleObjective::MaxPerf,
+                      OracleObjective::MinEnergy}) {
+                    EXPECT_EQ(bestConfigFor(serial, kernel, 0, obj),
+                              bestConfigFor(parallel, kernel, 0, obj))
+                        << kernel.id() << " jobs=" << jobs;
+                }
+            }
+        }
+    }
+}
+
+TEST(SweepDeterminism, SweepEvaluationBitIdenticalToDirectRuns)
+{
+    const auto suite = miniSuite();
+    const KernelProfile &kernel = suite.front().kernels.front();
+    ConfigSweep sweep(device(), {.jobs = 8});
+    const auto &results = sweep.evaluate(kernel, 0);
+    const auto &configs = sweep.configs();
+    ASSERT_EQ(results.size(), configs.size());
+    const KernelPhase phase = kernel.phase(0);
+    for (size_t i = 0; i < configs.size(); i += 17) {
+        const KernelResult direct =
+            device().run(kernel, phase, configs[i]);
+        EXPECT_EQ(results[i].time(), direct.time());
+        EXPECT_EQ(results[i].cardEnergy, direct.cardEnergy);
+        EXPECT_EQ(results[i].ed2(), direct.ed2());
+    }
+}
+
+TEST(SweepDeterminism, SensitivitiesMatchDirectPathExactly)
+{
+    const auto suite = miniSuite();
+    for (int jobs : {1, 2, 8}) {
+        ConfigSweep sweep(device(), {.jobs = jobs});
+        for (const auto &app : suite) {
+            const KernelProfile &kernel = app.kernels.front();
+            const SensitivityVector direct =
+                measureSensitivities(device(), kernel, 0);
+            const SensitivityVector viaSweep =
+                measureSensitivities(sweep, kernel, 0);
+            EXPECT_EQ(direct.cuCount, viaSweep.cuCount);
+            EXPECT_EQ(direct.computeFreq, viaSweep.computeFreq);
+            EXPECT_EQ(direct.memBandwidth, viaSweep.memBandwidth);
+        }
+    }
+}
+
+TEST(SweepDeterminism, SuiteSensitivitySweepIsThreadCountInvariant)
+{
+    const auto suite = miniSuite();
+    const auto serial = measureSuiteSensitivities(device(), suite, 2, 1);
+    ASSERT_FALSE(serial.empty());
+    for (int jobs : kJobVariants) {
+        const auto parallel =
+            measureSuiteSensitivities(device(), suite, 2, jobs);
+        ASSERT_EQ(serial.size(), parallel.size());
+        for (size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(serial[i].kernelId, parallel[i].kernelId);
+            EXPECT_EQ(serial[i].iteration, parallel[i].iteration);
+            EXPECT_EQ(serial[i].sensitivity.cuCount,
+                      parallel[i].sensitivity.cuCount);
+            EXPECT_EQ(serial[i].sensitivity.computeFreq,
+                      parallel[i].sensitivity.computeFreq);
+            EXPECT_EQ(serial[i].sensitivity.memBandwidth,
+                      parallel[i].sensitivity.memBandwidth);
+        }
+    }
+}
+
+TEST(SweepDeterminism, TrainingSetIsThreadCountInvariant)
+{
+    const auto suite = miniSuite();
+    TrainingOptions serialOpt;
+    serialOpt.iterationsPerKernel = 2;
+    const auto serial =
+        collectTrainingSamples(device(), suite, serialOpt);
+    ASSERT_GE(serial.size(), 10u);
+    for (int jobs : kJobVariants) {
+        TrainingOptions opt = serialOpt;
+        opt.jobs = jobs;
+        const auto parallel = collectTrainingSamples(device(), suite, opt);
+        ASSERT_EQ(serial.size(), parallel.size());
+        for (size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(serial[i].kernelId, parallel[i].kernelId);
+            EXPECT_EQ(serial[i].iteration, parallel[i].iteration);
+            EXPECT_EQ(serial[i].bandwidthSens, parallel[i].bandwidthSens);
+            EXPECT_EQ(serial[i].computeSens, parallel[i].computeSens);
+        }
+    }
+}
+
+TEST(SweepDeterminism, CampaignMetricsAreThreadCountInvariant)
+{
+    const Campaign serial = runCampaign(1);
+    for (int jobs : kJobVariants) {
+        const Campaign parallel = runCampaign(jobs);
+        for (Scheme scheme : serial.schemes()) {
+            for (const auto &app : serial.appNames()) {
+                for (CampaignMetric metric :
+                     {CampaignMetric::Ed2, CampaignMetric::Energy,
+                      CampaignMetric::Power, CampaignMetric::Time}) {
+                    // Bitwise equality: parallel evaluation must not
+                    // perturb a single ULP anywhere.
+                    EXPECT_EQ(serial.metric(scheme, app, metric),
+                              parallel.metric(scheme, app, metric))
+                        << schemeName(scheme) << "/" << app
+                        << " jobs=" << jobs;
+                }
+                // Oracle picks, residencies and traces feed figures
+                // 14-16; spot-check the trace configs too.
+                const AppRunResult &a = serial.result(scheme, app);
+                const AppRunResult &b = parallel.result(scheme, app);
+                ASSERT_EQ(a.trace.size(), b.trace.size());
+                for (size_t i = 0; i < a.trace.size(); i += 7)
+                    EXPECT_EQ(a.trace[i].config, b.trace[i].config);
+            }
+        }
+    }
+}
+
+TEST(SweepDeterminism, CacheHitAccountingOnRepeatedRuns)
+{
+    const auto suite = miniSuite();
+    const KernelProfile &kernel = suite.front().kernels.front();
+    ConfigSweep sweep(device(), {.jobs = 4});
+    EXPECT_EQ(sweep.cacheHits(), 0u);
+    EXPECT_EQ(sweep.cacheMisses(), 0u);
+
+    sweep.evaluate(kernel, 0);
+    EXPECT_EQ(sweep.cacheMisses(), 1u);
+    EXPECT_EQ(sweep.cacheHits(), 0u);
+    EXPECT_EQ(sweep.cacheEntries(), 1u);
+
+    // Repeated run: served from the memo, hit count reported.
+    sweep.evaluate(kernel, 0);
+    sweep.evaluate(kernel, 0);
+    EXPECT_EQ(sweep.cacheMisses(), 1u);
+    EXPECT_EQ(sweep.cacheHits(), 2u);
+
+    // A different invocation is a fresh miss.
+    sweep.evaluate(kernel, 1);
+    EXPECT_EQ(sweep.cacheMisses(), 2u);
+    EXPECT_EQ(sweep.cacheEntries(), 2u);
+
+    sweep.clearCache();
+    EXPECT_EQ(sweep.cacheEntries(), 0u);
+    EXPECT_EQ(sweep.cacheMisses(), 2u); // Statistics survive clears.
+
+    // The oracle's repeated searches of one invocation hit its sweep
+    // cache through the governor-level memo as well.
+    OracleGovernor oracle(device());
+    oracle.decide(kernel, 0);
+    oracle.decide(kernel, 0);
+    EXPECT_EQ(oracle.searches(), 1u);
+    EXPECT_EQ(oracle.sweep().cacheMisses(), 1u);
+}
+
+TEST(SweepDeterminism, RngSubstreamsAreIndexDeterministic)
+{
+    // Same (seed, index) -> identical stream, regardless of creation
+    // order; different indices -> decorrelated streams.
+    Rng a = sweepSubstream(42, 7);
+    Rng c = sweepSubstream(42, 8);
+    Rng b = sweepSubstream(42, 7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    Rng a2 = sweepSubstream(42, 7);
+    bool differs = false;
+    for (int i = 0; i < 100; ++i)
+        differs = differs || (a2.next() != c.next());
+    EXPECT_TRUE(differs);
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the fixed-size worker pool behind the sweep engine:
+ * lifecycle, exact index coverage, serial fallback, oversubscription,
+ * and exception propagation out of tasks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+using namespace harmonia;
+
+TEST(ThreadPool, StartAndStopIdle)
+{
+    // Pools of several sizes construct and destruct without running
+    // anything; destruction joins all workers.
+    for (int n : {1, 2, 4, 8}) {
+        ThreadPool pool(n);
+        EXPECT_EQ(pool.numThreads(), n);
+    }
+}
+
+TEST(ThreadPool, ClampsNonPositiveThreadCounts)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.numThreads(), 1);
+    ThreadPool negative(-3);
+    EXPECT_EQ(negative.numThreads(), 1);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    constexpr size_t kCount = 10000;
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallelFor(kCount, 7, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < kCount; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, AutoChunkCoversEverything)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(hits.size(), 0, [&](size_t i) { hits[i]++; });
+    for (size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, MoreTasksThanThreads)
+{
+    // Far more chunks than workers: everything still runs exactly
+    // once and the sum comes out right.
+    ThreadPool pool(2);
+    constexpr size_t kCount = 5000;
+    std::vector<long long> out(kCount, 0);
+    pool.parallelFor(kCount, 1, [&](size_t i) {
+        out[i] = static_cast<long long>(i) * 2;
+    });
+    long long sum = std::accumulate(out.begin(), out.end(), 0ll);
+    EXPECT_EQ(sum, static_cast<long long>(kCount) * (kCount - 1));
+}
+
+TEST(ThreadPool, SerialFallbackRunsInlineInOrder)
+{
+    ThreadPool pool(1);
+    const auto caller = std::this_thread::get_id();
+    std::vector<size_t> order;
+    pool.parallelFor(100, 8, [&](size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+    });
+    ASSERT_EQ(order.size(), 100u);
+    for (size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ZeroCountIsANoop)
+{
+    ThreadPool pool(4);
+    bool called = false;
+    pool.parallelFor(0, 1, [&](size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromTask)
+{
+    ThreadPool pool(4);
+    auto boom = [](size_t i) {
+        if (i == 37)
+            throw std::runtime_error("task 37 failed");
+    };
+    EXPECT_THROW(pool.parallelFor(100, 3, boom), std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromSerialFallback)
+{
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.parallelFor(10, 1,
+                                  [](size_t i) {
+                                      if (i == 5)
+                                          throw std::logic_error("five");
+                                  }),
+                 std::logic_error);
+}
+
+TEST(ThreadPool, UsableAfterTaskException)
+{
+    ThreadPool pool(3);
+    EXPECT_THROW(pool.parallelFor(
+                     50, 1, [](size_t) { throw std::runtime_error("x"); }),
+                 std::runtime_error);
+    // The pool survives a failed loop and runs the next one fully.
+    std::vector<std::atomic<int>> hits(200);
+    pool.parallelFor(hits.size(), 4, [&](size_t i) { hits[i]++; });
+    for (size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, BackToBackLoopsReuseWorkers)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<int> count{0};
+        pool.parallelFor(123, 5, [&](size_t) { count.fetch_add(1); });
+        ASSERT_EQ(count.load(), 123);
+    }
+}
+
+TEST(ThreadPool, DefaultThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1);
+}
