@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+#
+# Static-analysis and sanitizer driver for the Harmonia model library.
+#
+# Stages (each in its own build tree, so they never poison the main
+# ./build directory):
+#
+#   warnings   strict -Wall -Wextra -Wshadow -Werror build of
+#              everything (src, tests, bench, tools, examples)
+#   tidy       clang-tidy with the repo .clang-tidy profile
+#              (skipped with a notice when clang-tidy is absent)
+#   asan       ASan+UBSan Debug build; tier-1 ctest suite plus the
+#              fig10_ed2 benchmark harness with --jobs 4
+#   tsan       TSan build; the thread-pool and sweep-determinism
+#              tests, which exercise every lock in the library
+#   model      check_model: the 11-invariant physics check across
+#              every (app x 448-config) point of the suite
+#
+# Usage:
+#   scripts/run_static_analysis.sh            # all stages
+#   scripts/run_static_analysis.sh asan tsan  # just these stages
+#
+# Exits non-zero on the first failing stage.
+
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+STAGES=("$@")
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(warnings tidy asan tsan model)
+FAILED=0
+
+note() { printf '\n=== %s ===\n' "$*"; }
+
+want() {
+    local stage
+    for stage in "${STAGES[@]}"; do
+        [ "$stage" = "$1" ] && return 0
+    done
+    return 1
+}
+
+configure_and_build() { # <dir> <cmake-args...>
+    local dir="$1"; shift
+    cmake -S . -B "$dir" "$@" > "$dir.configure.log" 2>&1 || {
+        echo "configure failed; see $dir.configure.log"; return 1; }
+    cmake --build "$dir" -j "$JOBS" 2>&1 | tail -n 20
+}
+
+if want warnings; then
+    note "strict warnings-as-errors build"
+    configure_and_build build-werror \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DHARMONIA_WERROR=ON || FAILED=1
+fi
+
+if want tidy; then
+    note "clang-tidy"
+    if command -v clang-tidy > /dev/null 2>&1; then
+        # Needs a compile database; reuse (or create) the strict tree.
+        cmake -S . -B build-werror -DHARMONIA_WERROR=ON \
+            -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+            > build-werror.configure.log 2>&1 || FAILED=1
+        find src tools bench -name '*.cc' -o -name '*.cpp' \
+            | xargs clang-tidy -p build-werror --quiet || FAILED=1
+    else
+        echo "clang-tidy not installed; skipping (profile: .clang-tidy)"
+    fi
+fi
+
+if want asan; then
+    note "ASan + UBSan (Debug, checks active)"
+    configure_and_build build-asan \
+        -DCMAKE_BUILD_TYPE=Debug \
+        -DHARMONIA_ASAN=ON -DHARMONIA_UBSAN=ON || FAILED=1
+    if [ "$FAILED" -eq 0 ]; then
+        (cd build-asan && ctest -L tier1 -j "$JOBS" --output-on-failure \
+            | tail -n 5) || FAILED=1
+        ./build-asan/bench/fig10_ed2 --jobs 4 > /dev/null || FAILED=1
+    fi
+fi
+
+if want tsan; then
+    note "TSan (thread pool + sweep determinism)"
+    configure_and_build build-tsan \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DHARMONIA_TSAN=ON || FAILED=1
+    if [ "$FAILED" -eq 0 ]; then
+        ./build-tsan/tests/test_thread_pool > /dev/null || FAILED=1
+        ./build-tsan/tests/test_sweep_determinism > /dev/null || FAILED=1
+        echo "TSan runs clean"
+    fi
+fi
+
+if want model; then
+    note "model invariants (check_model)"
+    configure_and_build build-werror \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DHARMONIA_WERROR=ON || FAILED=1
+    if [ "$FAILED" -eq 0 ]; then
+        ./build-werror/tools/check_model --jobs "$JOBS" | tail -n 3 \
+            || FAILED=1
+    fi
+fi
+
+if [ "$FAILED" -ne 0 ]; then
+    note "FAILED"
+    exit 1
+fi
+note "all requested stages passed"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hh"
 #include "common/error.hh"
 
 namespace harmonia
@@ -99,6 +100,11 @@ computeOccupancy(const GcnDeviceConfig &dev, const KernelResources &res)
     info.occupancy = static_cast<double>(info.wavesPerSimd) /
                      static_cast<double>(dev.maxWavesPerSimd);
     info.limiter = limiter;
+
+    HARMONIA_CHECK(info.wavesPerSimd >= 1 &&
+                       info.wavesPerSimd <= dev.maxWavesPerSimd,
+                   "wavesPerSimd outside the architectural slots");
+    HARMONIA_CHECK_RANGE(info.occupancy, 0.0, 1.0);
     return info;
 }
 

@@ -1,0 +1,514 @@
+#include "invariants.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hh"
+#include "core/sensitivity.hh"
+
+namespace harmonia
+{
+
+std::string
+Diagnostic::str() const
+{
+    std::ostringstream oss;
+    oss << "[" << invariantId << "] " << app << "." << kernel << "#"
+        << iteration << " @ " << config.str() << ": " << message
+        << " (observed=" << observed << ", expected=" << expected << ")";
+    return oss.str();
+}
+
+Invariant::Invariant(std::string id, std::string description, CheckFn fn)
+    : id_(std::move(id)), description_(std::move(description)),
+      fn_(std::move(fn))
+{
+}
+
+void
+Invariant::check(const InvariantContext &ctx,
+                 std::vector<Diagnostic> &out) const
+{
+    fn_(ctx, out);
+}
+
+namespace
+{
+
+void
+report(std::vector<Diagnostic> &out, const InvariantContext &ctx,
+       const std::string &id, const HardwareConfig &cfg, double observed,
+       double expected, const std::string &message)
+{
+    Diagnostic d;
+    d.invariantId = id;
+    d.app = ctx.profile.app;
+    d.kernel = ctx.profile.name;
+    d.iteration = ctx.iteration;
+    d.config = cfg;
+    d.observed = observed;
+    d.expected = expected;
+    d.message = message;
+    out.push_back(std::move(d));
+}
+
+/** a <= b within relative tolerance. */
+bool
+leq(double a, double b, double relTol)
+{
+    return a <= b + relTol * std::max(std::abs(a), std::abs(b));
+}
+
+/** a == b within relative tolerance. */
+bool
+approxEq(double a, double b, double relTol)
+{
+    return std::abs(a - b) <=
+           relTol * std::max({std::abs(a), std::abs(b), 1e-30});
+}
+
+// ---- finite-outputs ---------------------------------------------------
+
+void
+checkFiniteOutputs(const InvariantContext &ctx,
+                   std::vector<Diagnostic> &out)
+{
+    for (size_t i = 0; i < ctx.results.size(); ++i) {
+        const KernelResult &r = ctx.results[i];
+        const KernelTiming &t = r.timing;
+        const CounterSet &c = t.counters;
+        // (name, value, mustBeNonNegative)
+        const struct { const char *name; double v; bool nonneg; } fields[] = {
+            {"timing.execTime", t.execTime, true},
+            {"timing.computeTime", t.computeTime, true},
+            {"timing.l2Time", t.l2Time, true},
+            {"timing.memTime", t.memTime, true},
+            {"timing.launchOverhead", t.launchOverhead, true},
+            {"timing.busyTime", t.busyTime, true},
+            {"timing.l2HitRate", t.l2HitRate, true},
+            {"timing.requestedBytes", t.requestedBytes, true},
+            {"timing.offChipBytes", t.offChipBytes, true},
+            {"timing.bandwidth.effectiveBps", t.bandwidth.effectiveBps,
+             true},
+            {"timing.bandwidth.latency", t.bandwidth.latency, true},
+            {"power.gpu.cuDynamic", r.power.gpu.cuDynamic, true},
+            {"power.gpu.uncoreDynamic", r.power.gpu.uncoreDynamic, true},
+            {"power.gpu.leakage", r.power.gpu.leakage, true},
+            {"power.mem.background", r.power.mem.background, true},
+            {"power.mem.activatePrecharge",
+             r.power.mem.activatePrecharge, true},
+            {"power.mem.readWrite", r.power.mem.readWrite, true},
+            {"power.mem.termination", r.power.mem.termination, true},
+            {"power.mem.phy", r.power.mem.phy, true},
+            {"power.other", r.power.other, true},
+            {"cardEnergy", r.cardEnergy, true},
+            {"gpuEnergy", r.gpuEnergy, true},
+            {"memEnergy", r.memEnergy, true},
+            {"counters.valuBusy", c.valuBusy, true},
+            {"counters.valuUtilization", c.valuUtilization, true},
+            {"counters.memUnitBusy", c.memUnitBusy, true},
+            {"counters.memUnitStalled", c.memUnitStalled, true},
+            {"counters.writeUnitStalled", c.writeUnitStalled, true},
+            {"counters.l2CacheHit", c.l2CacheHit, true},
+            {"counters.icActivity", c.icActivity, true},
+            {"counters.normVgpr", c.normVgpr, true},
+            {"counters.normSgpr", c.normSgpr, true},
+            {"counters.valuInsts", c.valuInsts, true},
+            {"counters.vfetchInsts", c.vfetchInsts, true},
+            {"counters.vwriteInsts", c.vwriteInsts, true},
+            {"counters.offChipBytes", c.offChipBytes, true},
+        };
+        for (const auto &f : fields) {
+            if (!std::isfinite(f.v))
+                report(out, ctx, "finite-outputs", ctx.configs[i], f.v,
+                       0.0, std::string(f.name) + " is not finite");
+            else if (f.nonneg && f.v < 0.0)
+                report(out, ctx, "finite-outputs", ctx.configs[i], f.v,
+                       0.0, std::string(f.name) + " is negative");
+        }
+    }
+}
+
+// ---- counter-ranges ---------------------------------------------------
+
+void
+checkCounterRanges(const InvariantContext &ctx,
+                   std::vector<Diagnostic> &out)
+{
+    const double eps = ctx.relTol * 100.0;
+    for (size_t i = 0; i < ctx.results.size(); ++i) {
+        const CounterSet &c = ctx.results[i].timing.counters;
+        const struct { const char *name; double v; double hi; } ranged[] = {
+            {"valuBusy", c.valuBusy, 100.0},
+            {"valuUtilization", c.valuUtilization, 100.0},
+            {"memUnitBusy", c.memUnitBusy, 100.0},
+            {"memUnitStalled", c.memUnitStalled, 100.0},
+            {"writeUnitStalled", c.writeUnitStalled, 100.0},
+            {"l2CacheHit", c.l2CacheHit, 100.0},
+            {"icActivity", c.icActivity, 1.0},
+            {"normVgpr", c.normVgpr, 1.0},
+            {"normSgpr", c.normSgpr, 1.0},
+        };
+        for (const auto &f : ranged) {
+            if (!(f.v >= -eps && f.v <= f.hi + eps))
+                report(out, ctx, "counter-ranges", ctx.configs[i], f.v,
+                       f.hi,
+                       std::string("counter ") + f.name + " outside [0, " +
+                           (f.hi == 100.0 ? "100" : "1") + "]");
+        }
+        const double hit = ctx.results[i].timing.l2HitRate;
+        if (!(hit >= -eps && hit <= 1.0 + eps))
+            report(out, ctx, "counter-ranges", ctx.configs[i], hit, 1.0,
+                   "l2HitRate outside [0, 1]");
+    }
+}
+
+// ---- time-decomposition ----------------------------------------------
+
+void
+checkTimeDecomposition(const InvariantContext &ctx,
+                       std::vector<Diagnostic> &out)
+{
+    for (size_t i = 0; i < ctx.results.size(); ++i) {
+        const KernelTiming &t = ctx.results[i].timing;
+        if (!approxEq(t.execTime, t.busyTime + t.launchOverhead,
+                      ctx.relTol))
+            report(out, ctx, "time-decomposition", ctx.configs[i],
+                   t.execTime, t.busyTime + t.launchOverhead,
+                   "execTime != busyTime + launchOverhead");
+        const double longest =
+            std::max({t.computeTime, t.l2Time, t.memTime});
+        const double sum = t.computeTime + t.l2Time + t.memTime;
+        if (!leq(longest, t.busyTime, ctx.relTol))
+            report(out, ctx, "time-decomposition", ctx.configs[i],
+                   t.busyTime, longest,
+                   "busyTime below the longest pipeline component");
+        if (!leq(t.busyTime, sum, ctx.relTol))
+            report(out, ctx, "time-decomposition", ctx.configs[i],
+                   t.busyTime, sum,
+                   "busyTime above the sum of pipeline components");
+    }
+}
+
+// ---- runtime monotonicity --------------------------------------------
+
+void
+checkRuntimeMonotone(const InvariantContext &ctx,
+                     std::vector<Diagnostic> &out, Tunable tunable,
+                     const std::string &id)
+{
+    const ConfigSpace &space = ctx.device.space();
+    for (size_t i = 0; i < ctx.results.size(); ++i) {
+        const HardwareConfig &cfg = ctx.configs[i];
+        if (cfg.get(tunable) >= space.maxValue(tunable))
+            continue;
+        const HardwareConfig up = space.stepped(cfg, tunable, 1);
+        const size_t j = space.indexOf(up);
+        const double tHere = ctx.results[i].timing.execTime;
+        const double tUp = ctx.results[j].timing.execTime;
+        if (!leq(tUp, tHere, ctx.relTol))
+            report(out, ctx, id, cfg, tUp, tHere,
+                   std::string("raising ") + tunableName(tunable) +
+                       " from " + std::to_string(cfg.get(tunable)) +
+                       " to " + std::to_string(up.get(tunable)) +
+                       " increased execTime");
+    }
+}
+
+// ---- power monotonicity (model-level, fixed activity) -----------------
+
+void
+checkPowerMonotone(const InvariantContext &ctx,
+                   std::vector<Diagnostic> &out, Tunable tunable,
+                   const std::string &id)
+{
+    const ConfigSpace &space = ctx.device.space();
+    const GpuPowerModel &power = ctx.device.gpuPower();
+    for (size_t i = 0; i < ctx.configs.size(); ++i) {
+        const HardwareConfig &cfg = ctx.configs[i];
+        if (cfg.get(tunable) >= space.maxValue(tunable))
+            continue;
+        const HardwareConfig up = space.stepped(cfg, tunable, 1);
+        const double busyHere = power.power(cfg, 100.0, 1.0).total();
+        const double busyUp = power.power(up, 100.0, 1.0).total();
+        if (!leq(busyHere, busyUp, ctx.relTol))
+            report(out, ctx, id, cfg, busyUp, busyHere,
+                   std::string("busy chip power fell when raising ") +
+                       tunableName(tunable));
+        const double idleHere = power.idlePower(cfg).total();
+        const double idleUp = power.idlePower(up).total();
+        if (!leq(idleHere, idleUp, ctx.relTol))
+            report(out, ctx, id, cfg, idleUp, idleHere,
+                   std::string("idle chip power fell when raising ") +
+                       tunableName(tunable));
+    }
+}
+
+// ---- bandwidth-ceiling ------------------------------------------------
+
+void
+checkBandwidthCeiling(const InvariantContext &ctx,
+                      std::vector<Diagnostic> &out)
+{
+    const MemorySystem &memsys = ctx.device.engine().memorySystem();
+    for (size_t i = 0; i < ctx.results.size(); ++i) {
+        const HardwareConfig &cfg = ctx.configs[i];
+        const KernelTiming &t = ctx.results[i].timing;
+        const double busPeak = memsys.peakBandwidth(cfg.memFreqMhz);
+        const double crossing =
+            memsys.crossing().maxBandwidth(cfg.computeFreqMhz);
+        if (!leq(t.bandwidth.effectiveBps, busPeak, ctx.relTol))
+            report(out, ctx, "bandwidth-ceiling", cfg,
+                   t.bandwidth.effectiveBps, busPeak,
+                   "effective bandwidth above the GDDR5 bus peak");
+        if (!leq(t.bandwidth.effectiveBps, crossing, ctx.relTol))
+            report(out, ctx, "bandwidth-ceiling", cfg,
+                   t.bandwidth.effectiveBps, crossing,
+                   "effective bandwidth above the L2->MC "
+                   "clock-domain-crossing ceiling");
+        if (!leq(t.offChipBytes, t.requestedBytes, ctx.relTol))
+            report(out, ctx, "bandwidth-ceiling", cfg, t.offChipBytes,
+                   t.requestedBytes,
+                   "off-chip bytes exceed bytes requested of the L2");
+    }
+}
+
+// ---- occupancy-bounds -------------------------------------------------
+
+void
+checkOccupancyBounds(const InvariantContext &ctx,
+                     std::vector<Diagnostic> &out)
+{
+    const GcnDeviceConfig &dev = ctx.device.config();
+    const KernelResources &res = ctx.profile.resources;
+    for (size_t i = 0; i < ctx.results.size(); ++i) {
+        const OccupancyInfo &occ = ctx.results[i].timing.occupancy;
+        const HardwareConfig &cfg = ctx.configs[i];
+        if (occ.wavesPerSimd < 1 ||
+            occ.wavesPerSimd > dev.maxWavesPerSimd)
+            report(out, ctx, "occupancy-bounds", cfg, occ.wavesPerSimd,
+                   dev.maxWavesPerSimd,
+                   "wavesPerSimd outside [1, maxWavesPerSimd]");
+        if (!approxEq(occ.occupancy,
+                      static_cast<double>(occ.wavesPerSimd) /
+                          dev.maxWavesPerSimd,
+                      ctx.relTol) ||
+            occ.occupancy < 0.0 || occ.occupancy > 1.0)
+            report(out, ctx, "occupancy-bounds", cfg, occ.occupancy,
+                   static_cast<double>(occ.wavesPerSimd) /
+                       dev.maxWavesPerSimd,
+                   "occupancy fraction inconsistent with wavesPerSimd");
+        // A single workgroup is always resident even when it
+        // oversubscribes the per-SIMD register budget (the Workgroup
+        // limiter), so the register-file bounds apply otherwise.
+        if (occ.limiter != OccupancyLimiter::Workgroup) {
+            if (res.vgprPerWorkitem * occ.wavesPerSimd >
+                dev.maxVgprPerWave)
+                report(out, ctx, "occupancy-bounds", cfg,
+                       res.vgprPerWorkitem * occ.wavesPerSimd,
+                       dev.maxVgprPerWave,
+                       "VGPR demand of resident waves exceeds the "
+                       "register file");
+            if (res.sgprPerWave * occ.wavesPerSimd > dev.sgprPerSimd)
+                report(out, ctx, "occupancy-bounds", cfg,
+                       res.sgprPerWave * occ.wavesPerSimd,
+                       dev.sgprPerSimd,
+                       "SGPR demand of resident waves exceeds the "
+                       "register file");
+        }
+        if (res.ldsPerWorkgroupBytes > 0 &&
+            occ.workgroupsPerCu * res.ldsPerWorkgroupBytes >
+                dev.ldsPerCuBytes)
+            report(out, ctx, "occupancy-bounds", cfg,
+                   occ.workgroupsPerCu * res.ldsPerWorkgroupBytes,
+                   dev.ldsPerCuBytes,
+                   "LDS demand of resident workgroups exceeds the LDS");
+        // Occupancy is a function of (device, kernel resources) only;
+        // it must be identical at every lattice point.
+        const OccupancyInfo &ref = ctx.results[0].timing.occupancy;
+        if (occ.wavesPerSimd != ref.wavesPerSimd ||
+            occ.wavesPerCu != ref.wavesPerCu ||
+            occ.workgroupsPerCu != ref.workgroupsPerCu)
+            report(out, ctx, "occupancy-bounds", cfg, occ.wavesPerCu,
+                   ref.wavesPerCu,
+                   "occupancy varies across lattice points");
+    }
+}
+
+// ---- energy-consistency -----------------------------------------------
+
+void
+checkEnergyConsistency(const InvariantContext &ctx,
+                       std::vector<Diagnostic> &out)
+{
+    for (size_t i = 0; i < ctx.results.size(); ++i) {
+        const KernelResult &r = ctx.results[i];
+        const double t = r.timing.execTime;
+        if (!approxEq(r.cardEnergy, r.power.total() * t, ctx.relTol))
+            report(out, ctx, "energy-consistency", ctx.configs[i],
+                   r.cardEnergy, r.power.total() * t,
+                   "cardEnergy != average card power x execTime");
+        if (!approxEq(r.gpuEnergy, r.power.gpuTotal() * t, ctx.relTol))
+            report(out, ctx, "energy-consistency", ctx.configs[i],
+                   r.gpuEnergy, r.power.gpuTotal() * t,
+                   "gpuEnergy != average chip power x execTime");
+        if (!approxEq(r.memEnergy, r.power.memTotal() * t, ctx.relTol))
+            report(out, ctx, "energy-consistency", ctx.configs[i],
+                   r.memEnergy, r.power.memTotal() * t,
+                   "memEnergy != average memory power x execTime");
+        if (!approxEq(r.cardEnergy,
+                      r.gpuEnergy + r.memEnergy + r.power.other * t,
+                      ctx.relTol))
+            report(out, ctx, "energy-consistency", ctx.configs[i],
+                   r.cardEnergy,
+                   r.gpuEnergy + r.memEnergy + r.power.other * t,
+                   "cardEnergy != gpu + mem + other energy");
+    }
+}
+
+// ---- predictor-range --------------------------------------------------
+
+void
+checkPredictorRange(const InvariantContext &ctx,
+                    std::vector<Diagnostic> &out)
+{
+    for (size_t i = 0; i < ctx.results.size(); ++i) {
+        const CounterSet &c = ctx.results[i].timing.counters;
+        // Screen the feature vectors before invoking the predictor:
+        // in debug builds its own HARMONIA_CHECK_RANGE would panic on
+        // a poisoned feature, and the checker's job is to report a
+        // coordinates-bearing diagnostic instead of crashing.
+        bool featuresFinite = true;
+        for (const std::vector<double> &features :
+             {c.bandwidthFeatures(), c.computeFeatures()}) {
+            for (double f : features) {
+                if (!std::isfinite(f)) {
+                    report(out, ctx, "predictor-range", ctx.configs[i],
+                           f, 0.0,
+                           "predictor feature vector is not finite");
+                    featuresFinite = false;
+                    break;
+                }
+            }
+            if (!featuresFinite)
+                break;
+        }
+        if (!featuresFinite)
+            continue;
+        const double pb = ctx.predictor.predictBandwidth(c);
+        const double pc = ctx.predictor.predictCompute(c);
+        if (!std::isfinite(pb) || pb < 0.0 || pb > 1.0)
+            report(out, ctx, "predictor-range", ctx.configs[i], pb, 1.0,
+                   "bandwidth-sensitivity prediction outside [0, 1]");
+        if (!std::isfinite(pc) || pc < 0.0 || pc > 1.0)
+            report(out, ctx, "predictor-range", ctx.configs[i], pc, 1.0,
+                   "compute-sensitivity prediction outside [0, 1]");
+        if (!std::isfinite(pb) || !std::isfinite(pc))
+            continue; // Bin consistency is meaningless on NaN.
+        const SensitivityBins bins = ctx.predictor.predictBins(c);
+        if (bins.bandwidth != binOf(pb) || bins.compute != binOf(pc))
+            report(out, ctx, "predictor-range", ctx.configs[i],
+                   static_cast<double>(bins.bandwidth),
+                   static_cast<double>(binOf(pb)),
+                   "predicted bins inconsistent with the CG lattice "
+                   "thresholds");
+    }
+}
+
+} // namespace
+
+const std::vector<Invariant> &
+standardInvariants()
+{
+    static const std::vector<Invariant> catalog = {
+        {"finite-outputs",
+         "Every numeric model output is finite; times, powers, "
+         "energies, and traffic are non-negative.",
+         checkFiniteOutputs},
+        {"counter-ranges",
+         "Percent counters lie in [0, 100]; normalized counters and "
+         "rates lie in [0, 1].",
+         checkCounterRanges},
+        {"time-decomposition",
+         "execTime = busyTime + launchOverhead, with busyTime between "
+         "the longest pipeline component and the component sum.",
+         checkTimeDecomposition},
+        {"runtime-monotone-compute-freq",
+         "At fixed CU count and memory frequency, raising the compute "
+         "clock never increases runtime.",
+         [](const InvariantContext &ctx, std::vector<Diagnostic> &out) {
+             checkRuntimeMonotone(ctx, out, Tunable::ComputeFreq,
+                                  "runtime-monotone-compute-freq");
+         }},
+        {"runtime-monotone-mem-freq",
+         "At fixed compute configuration, raising the memory bus clock "
+         "never increases runtime.",
+         [](const InvariantContext &ctx, std::vector<Diagnostic> &out) {
+             checkRuntimeMonotone(ctx, out, Tunable::MemFreq,
+                                  "runtime-monotone-mem-freq");
+         }},
+        {"power-monotone-v2f",
+         "Chip power at fixed activity is non-decreasing in the "
+         "compute clock (V^2*f scaling).",
+         [](const InvariantContext &ctx, std::vector<Diagnostic> &out) {
+             checkPowerMonotone(ctx, out, Tunable::ComputeFreq,
+                                "power-monotone-v2f");
+         }},
+        {"power-monotone-cu-count",
+         "Chip power at fixed activity is non-decreasing in the number "
+         "of active (non-power-gated) CUs.",
+         [](const InvariantContext &ctx, std::vector<Diagnostic> &out) {
+             checkPowerMonotone(ctx, out, Tunable::CuCount,
+                                "power-monotone-cu-count");
+         }},
+        {"bandwidth-ceiling",
+         "Achieved off-chip bandwidth never exceeds the GDDR5 bus peak "
+         "or the L2->MC clock-domain-crossing ceiling.",
+         checkBandwidthCeiling},
+        {"occupancy-bounds",
+         "Occupancy respects wave slots and VGPR/SGPR/LDS capacities, "
+         "identically at every lattice point.",
+         checkOccupancyBounds},
+        {"energy-consistency",
+         "Reported energies equal reported average power x time; card "
+         "energy decomposes into chip + memory + other.",
+         checkEnergyConsistency},
+        {"predictor-range",
+         "Sensitivity predictions are finite, within [0, 1], and bin "
+         "consistently with the CG thresholds.",
+         checkPredictorRange},
+    };
+    return catalog;
+}
+
+const Invariant &
+findInvariant(const std::string &id)
+{
+    for (const Invariant &inv : standardInvariants())
+        if (inv.id() == id)
+            return inv;
+    fatal("findInvariant: unknown invariant id '", id,
+          "'; see check_model --list");
+}
+
+std::vector<Diagnostic>
+runInvariants(const InvariantContext &ctx)
+{
+    return runInvariants(ctx, standardInvariants());
+}
+
+std::vector<Diagnostic>
+runInvariants(const InvariantContext &ctx,
+              const std::vector<Invariant> &invariants)
+{
+    fatalIf(ctx.results.size() != ctx.configs.size(),
+            "runInvariants: ", ctx.results.size(), " results for ",
+            ctx.configs.size(), " configurations");
+    fatalIf(ctx.results.empty(), "runInvariants: empty sweep");
+    std::vector<Diagnostic> out;
+    for (const Invariant &inv : invariants)
+        inv.check(ctx, out);
+    return out;
+}
+
+} // namespace harmonia

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Hot-path assertion macros.
+ *
+ * The invariant checker (src/check/) sweeps the whole design space
+ * after the fact; these macros catch the same classes of violation at
+ * the moment they are produced, with the exact call site in the
+ * message. They follow the assert() model: active in debug builds
+ * (NDEBUG undefined) or when HARMONIA_FORCE_CHECKS is defined (the
+ * HARMONIA_FORCE_CHECKS CMake option, which the sanitizer presets in
+ * scripts/run_static_analysis.sh turn on), and compiled out entirely
+ * otherwise so release hot paths pay nothing.
+ *
+ * Failures raise InternalError via panic(): a tripped check is by
+ * definition a library bug, never a user error.
+ */
+
+#ifndef HARMONIA_COMMON_CHECK_HH
+#define HARMONIA_COMMON_CHECK_HH
+
+#include <cmath>
+
+#include "common/error.hh"
+
+#if defined(HARMONIA_FORCE_CHECKS) || !defined(NDEBUG)
+#define HARMONIA_CHECKS_ENABLED 1
+#else
+#define HARMONIA_CHECKS_ENABLED 0
+#endif
+
+#if HARMONIA_CHECKS_ENABLED
+
+/** panic() unless @p cond holds; extra arguments join the message. */
+#define HARMONIA_CHECK(cond, ...)                                       \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::harmonia::panic("HARMONIA_CHECK failed at ", __FILE__,    \
+                              ":", __LINE__, ": ", #cond,               \
+                              " -- " __VA_ARGS__);                      \
+    } while (0)
+
+/** panic() unless @p val is finite (neither NaN nor infinite). */
+#define HARMONIA_CHECK_FINITE(val)                                      \
+    do {                                                                \
+        const double harmoniaCheckV_ = (val);                           \
+        if (!std::isfinite(harmoniaCheckV_))                            \
+            ::harmonia::panic("HARMONIA_CHECK_FINITE failed at ",       \
+                              __FILE__, ":", __LINE__, ": ", #val,      \
+                              " = ", harmoniaCheckV_);                  \
+    } while (0)
+
+/** panic() unless @p val is finite and >= 0. */
+#define HARMONIA_CHECK_NONNEG(val)                                      \
+    do {                                                                \
+        const double harmoniaCheckV_ = (val);                           \
+        if (!std::isfinite(harmoniaCheckV_) || harmoniaCheckV_ < 0.0)   \
+            ::harmonia::panic("HARMONIA_CHECK_NONNEG failed at ",       \
+                              __FILE__, ":", __LINE__, ": ", #val,      \
+                              " = ", harmoniaCheckV_);                  \
+    } while (0)
+
+/** panic() unless @p val is finite and within [lo, hi]. */
+#define HARMONIA_CHECK_RANGE(val, lo, hi)                               \
+    do {                                                                \
+        const double harmoniaCheckV_ = (val);                           \
+        if (!std::isfinite(harmoniaCheckV_) || harmoniaCheckV_ < (lo) || \
+            harmoniaCheckV_ > (hi))                                     \
+            ::harmonia::panic("HARMONIA_CHECK_RANGE failed at ",        \
+                              __FILE__, ":", __LINE__, ": ", #val,      \
+                              " = ", harmoniaCheckV_, " outside [",     \
+                              (lo), ", ", (hi), "]");                   \
+    } while (0)
+
+#else // !HARMONIA_CHECKS_ENABLED
+
+#define HARMONIA_CHECK(cond, ...) ((void)0)
+#define HARMONIA_CHECK_FINITE(val) ((void)0)
+#define HARMONIA_CHECK_NONNEG(val) ((void)0)
+#define HARMONIA_CHECK_RANGE(val, lo, hi) ((void)0)
+
+#endif // HARMONIA_CHECKS_ENABLED
+
+#endif // HARMONIA_COMMON_CHECK_HH

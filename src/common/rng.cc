@@ -70,10 +70,14 @@ int64_t
 Rng::uniformInt(int64_t lo, int64_t hi)
 {
     fatalIf(lo > hi, "Rng::uniformInt: lo (", lo, ") > hi (", hi, ")");
-    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    // Width arithmetic in uint64_t: hi - lo overflows int64_t for
+    // ranges wider than half the domain (e.g. the full int64 range).
+    const uint64_t span =
+        static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
     if (span == 0) // full 64-bit range
         return static_cast<int64_t>(next());
-    return lo + static_cast<int64_t>(next() % span);
+    return static_cast<int64_t>(static_cast<uint64_t>(lo) +
+                                next() % span);
 }
 
 double

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hh"
 #include "common/error.hh"
 
 namespace harmonia
@@ -16,7 +17,11 @@ LinearSensitivityModel::evaluate(const std::vector<double> &features) const
     double acc = intercept;
     for (size_t i = 0; i < coeffs.size(); ++i)
         acc += coeffs[i] * features[i];
-    return std::clamp(acc, 0.0, 1.0);
+    // std::clamp passes NaN through, so a poisoned feature vector
+    // would otherwise leak a NaN prediction into the CG tuner.
+    const double result = std::clamp(acc, 0.0, 1.0);
+    HARMONIA_CHECK_RANGE(result, 0.0, 1.0);
+    return result;
 }
 
 SensitivityPredictor::SensitivityPredictor(LinearSensitivityModel bandwidth,

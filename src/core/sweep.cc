@@ -110,7 +110,7 @@ ConfigSweep::cacheEntries() const
 }
 
 void
-ConfigSweep::clearCache()
+ConfigSweep::clearCache() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     cache_.clear();

@@ -112,7 +112,7 @@ class ConfigSweep
     size_t cacheEntries() const;
 
     /** Drop all memoized results (statistics are kept). */
-    void clearCache();
+    void clearCache() const;
 
   private:
     const GpuDevice &device_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hh"
 #include "common/error.hh"
 #include "common/units.hh"
 
@@ -83,6 +84,12 @@ Gddr5Model::power(double memFreqMhz, double bytesPerSec,
     out.phy = (power_.phyIdleAtRef * fRatio +
                bytesPerSec * power_.phyEnergyPjPerByte * 1.0e-12) *
               vScale;
+
+    HARMONIA_CHECK_NONNEG(out.background);
+    HARMONIA_CHECK_NONNEG(out.activatePrecharge);
+    HARMONIA_CHECK_NONNEG(out.readWrite);
+    HARMONIA_CHECK_NONNEG(out.termination);
+    HARMONIA_CHECK_NONNEG(out.phy);
     return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hh"
 #include "common/error.hh"
 
 namespace harmonia
@@ -101,6 +102,11 @@ MemorySystem::resolveBandwidth(double memFreqMhz, double computeFreqMhz,
     } else {
         result.limiter = BandwidthLimiter::Concurrency;
     }
+
+    HARMONIA_CHECK_NONNEG(result.effectiveBps);
+    HARMONIA_CHECK(result.effectiveBps <= supplyCap * (1.0 + 1e-9),
+                   "bandwidth above the supply-path ceiling");
+    HARMONIA_CHECK(result.latency > 0.0, "non-positive loaded latency");
     return result;
 }
 

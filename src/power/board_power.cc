@@ -1,5 +1,6 @@
 #include "board_power.hh"
 
+#include "common/check.hh"
 #include "common/error.hh"
 
 namespace harmonia
@@ -23,6 +24,9 @@ BoardPowerModel::compose(const GpuPowerBreakdown &gpu,
     out.mem = mem;
     out.other = params_.fanWatts + params_.miscWatts +
                 params_.vrLossFraction * (gpu.total() + mem.total());
+
+    HARMONIA_CHECK_NONNEG(out.other);
+    HARMONIA_CHECK_FINITE(out.total());
     return out;
 }
 

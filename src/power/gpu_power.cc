@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hh"
 #include "common/error.hh"
 
 namespace harmonia
@@ -70,6 +71,10 @@ GpuPowerModel::power(const HardwareConfig &cfg, double valuBusyPct,
     // Power-gated CUs leak nothing; the uncore is never gated.
     out.leakage = leakScale * (params_.cuLeakAtRef * cuFraction +
                                params_.uncoreLeakAtRef);
+
+    HARMONIA_CHECK_NONNEG(out.cuDynamic);
+    HARMONIA_CHECK_NONNEG(out.uncoreDynamic);
+    HARMONIA_CHECK_NONNEG(out.leakage);
     return out;
 }
 

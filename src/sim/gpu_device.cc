@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.hh"
+
 namespace harmonia
 {
 
@@ -93,6 +95,11 @@ GpuDevice::run(const KernelProfile &profile, const KernelPhase &phase,
         blend(busyCard.mem.termination, idleCard.mem.termination);
     out.power.mem.phy = blend(busyCard.mem.phy, idleCard.mem.phy);
     out.power.other = blend(busyCard.other, idleCard.other);
+
+    HARMONIA_CHECK_NONNEG(out.cardEnergy);
+    HARMONIA_CHECK_NONNEG(out.gpuEnergy);
+    HARMONIA_CHECK_NONNEG(out.memEnergy);
+    HARMONIA_CHECK_FINITE(out.power.total());
     return out;
 }
 

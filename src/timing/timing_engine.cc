@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hh"
 #include "common/error.hh"
 #include "common/units.hh"
 
@@ -142,6 +143,12 @@ TimingEngine::run(const KernelProfile &profile, const KernelPhase &phase,
     ctr.offChipBytes = out.offChipBytes;
     ctr.validate();
 
+    HARMONIA_CHECK_FINITE(out.execTime);
+    HARMONIA_CHECK_NONNEG(out.busyTime);
+    HARMONIA_CHECK(out.execTime >= out.launchOverhead,
+                   "execTime below the fixed launch overhead");
+    HARMONIA_CHECK_RANGE(out.l2HitRate, 0.0, 1.0);
+    HARMONIA_CHECK_NONNEG(out.bandwidth.effectiveBps);
     return out;
 }
 

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the HARMONIA_CHECK(...) hot-path assertion macros.
+ *
+ * Defines HARMONIA_FORCE_CHECKS before the first include so the
+ * macros are active regardless of the build type (they compile to
+ * ((void)0) in NDEBUG builds otherwise).
+ */
+
+#define HARMONIA_FORCE_CHECKS
+#include "common/check.hh"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+static_assert(HARMONIA_CHECKS_ENABLED,
+              "HARMONIA_FORCE_CHECKS must enable the macros");
+
+/** Run @p fn, which must throw InternalError, and return the message. */
+template <typename Fn>
+std::string
+messageOf(Fn &&fn)
+{
+    try {
+        fn();
+    } catch (const InternalError &e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "expected InternalError";
+    return {};
+}
+
+TEST(CheckMacros, PassingChecksAreSilent)
+{
+    EXPECT_NO_THROW(HARMONIA_CHECK(1 + 1 == 2, "arithmetic"));
+    EXPECT_NO_THROW(HARMONIA_CHECK_FINITE(3.5));
+    EXPECT_NO_THROW(HARMONIA_CHECK_NONNEG(0.0));
+    EXPECT_NO_THROW(HARMONIA_CHECK_RANGE(0.0, 0.0, 1.0)); // lo edge.
+    EXPECT_NO_THROW(HARMONIA_CHECK_RANGE(1.0, 0.0, 1.0)); // hi edge.
+}
+
+TEST(CheckMacros, FailedCheckThrowsInternalError)
+{
+    EXPECT_THROW(HARMONIA_CHECK(2 < 1, "impossible ordering"),
+                 InternalError);
+}
+
+TEST(CheckMacros, MessageNamesConditionSiteAndContext)
+{
+    const std::string msg = messageOf(
+        [] { HARMONIA_CHECK(2 < 1, "impossible ordering"); });
+    EXPECT_NE(msg.find("HARMONIA_CHECK failed"), std::string::npos);
+    EXPECT_NE(msg.find("2 < 1"), std::string::npos);
+    EXPECT_NE(msg.find("impossible ordering"), std::string::npos);
+    EXPECT_NE(msg.find("test_check_macros.cpp"), std::string::npos);
+}
+
+TEST(CheckMacros, FiniteRejectsNanAndInf)
+{
+    EXPECT_THROW(
+        HARMONIA_CHECK_FINITE(std::numeric_limits<double>::quiet_NaN()),
+        InternalError);
+    EXPECT_THROW(
+        HARMONIA_CHECK_FINITE(std::numeric_limits<double>::infinity()),
+        InternalError);
+    EXPECT_THROW(
+        HARMONIA_CHECK_FINITE(-std::numeric_limits<double>::infinity()),
+        InternalError);
+}
+
+TEST(CheckMacros, NonNegRejectsNegativesAndNan)
+{
+    EXPECT_THROW(HARMONIA_CHECK_NONNEG(-1.0e-12), InternalError);
+    EXPECT_THROW(
+        HARMONIA_CHECK_NONNEG(std::numeric_limits<double>::quiet_NaN()),
+        InternalError);
+    EXPECT_NO_THROW(HARMONIA_CHECK_NONNEG(1.0e-12));
+}
+
+TEST(CheckMacros, RangeIsInclusiveAndRejectsNan)
+{
+    EXPECT_THROW(HARMONIA_CHECK_RANGE(1.001, 0.0, 1.0), InternalError);
+    EXPECT_THROW(HARMONIA_CHECK_RANGE(-0.001, 0.0, 1.0), InternalError);
+    EXPECT_THROW(
+        HARMONIA_CHECK_RANGE(std::numeric_limits<double>::quiet_NaN(),
+                             0.0, 1.0),
+        InternalError);
+    const std::string msg =
+        messageOf([] { HARMONIA_CHECK_RANGE(2.5, 0.0, 1.0); });
+    EXPECT_NE(msg.find("outside [0, 1]"), std::string::npos);
+}
+
+TEST(CheckMacros, ValueExpressionEvaluatedOnce)
+{
+    int evaluations = 0;
+    auto next = [&evaluations] { return double(++evaluations); };
+    HARMONIA_CHECK_NONNEG(next());
+    EXPECT_EQ(evaluations, 1);
+}
+
+} // namespace
