@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Sweep-throughput microbenchmark: naive per-config evaluation vs the
+ * factored lattice path, at 1 and 4 worker threads.
+ *
+ * Reports kernel-invocation lattices per second (one lattice = one
+ * (kernel, iteration) evaluated at all 448 configurations) and the
+ * per-config rate, prints the single-thread factored/naive speedup,
+ * and writes the measurements to BENCH_sweep.json (override with
+ * `--out PATH`; `--reps N` controls how many full-suite passes each
+ * variant runs, default 6).
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common/bench_util.hh"
+#include "core/sweep.hh"
+
+using namespace harmonia;
+using namespace harmonia::bench;
+
+namespace
+{
+
+struct Measurement
+{
+    std::string path; // "naive" | "factored"
+    int jobs = 1;
+    int reps = 1;
+    size_t lattices = 0;
+    size_t configs = 0;
+    double seconds = 0.0;
+
+    double latticesPerSec() const { return lattices / seconds; }
+    double configsPerSec() const { return configs / seconds; }
+};
+
+/**
+ * Evaluate every suite kernel at @p reps distinct iterations through
+ * a fresh sweep (distinct (kernel, iteration) keys, so every lattice
+ * is computed, never served from the memo).
+ */
+Measurement
+measure(const GpuDevice &device, bool factored, int jobs, int reps)
+{
+    SweepOptions opt;
+    opt.jobs = jobs;
+    opt.factored = factored;
+    const ConfigSweep sweep(device, opt);
+    const std::vector<Application> apps = standardSuite();
+
+    Measurement m;
+    m.path = factored ? "factored" : "naive";
+    m.jobs = jobs;
+    m.reps = reps;
+
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+        for (const Application &app : apps) {
+            for (const KernelProfile &k : app.kernels) {
+                sweep.evaluate(k, r);
+                ++m.lattices;
+            }
+        }
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    m.seconds = std::chrono::duration<double>(stop - start).count();
+    m.configs = m.lattices * sweep.configs().size();
+    return m;
+}
+
+void
+writeJson(const std::string &path, const std::vector<Measurement> &runs,
+          double speedup1)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "micro_sweep: cannot write " << path << "\n";
+        return;
+    }
+    out << "{\n"
+        << "  \"benchmark\": \"micro_sweep\",\n"
+        << "  \"configs_per_lattice\": 448,\n"
+        << "  \"single_thread_speedup\": " << speedup1 << ",\n"
+        << "  \"runs\": [\n";
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const Measurement &m = runs[i];
+        out << "    {\"path\": \"" << m.path << "\", \"jobs\": " << m.jobs
+            << ", \"reps\": " << m.reps
+            << ", \"lattices\": " << m.lattices
+            << ", \"seconds\": " << m.seconds
+            << ", \"lattices_per_sec\": " << m.latticesPerSec()
+            << ", \"configs_per_sec\": " << m.configsPerSec() << "}"
+            << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << path << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int reps = 6;
+    std::string outPath = "BENCH_sweep.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--reps" && i + 1 < argc)
+            reps = std::stoi(argv[++i]);
+        else if (arg.rfind("--reps=", 0) == 0)
+            reps = std::stoi(arg.substr(7));
+        else if (arg == "--out" && i + 1 < argc)
+            outPath = argv[++i];
+        else if (arg.rfind("--out=", 0) == 0)
+            outPath = arg.substr(6);
+    }
+
+    banner("micro_sweep",
+           "Design-space sweep throughput: naive per-config evaluation "
+           "vs the factored lattice path.");
+
+    GpuDevice device;
+    std::vector<Measurement> runs;
+    for (const int jobs : {1, 4}) {
+        for (const bool factored : {false, true}) {
+            // Warm-up pass so first-touch allocation and page faults
+            // don't land inside either variant's timed region.
+            measure(device, factored, jobs, 1);
+            runs.push_back(measure(device, factored, jobs, reps));
+        }
+    }
+
+    TextTable table({"path", "jobs", "lattices/s", "configs/s", "sec"});
+    for (const Measurement &m : runs) {
+        table.row()
+            .cell(m.path)
+            .cell(std::to_string(m.jobs))
+            .cell(formatNum(m.latticesPerSec(), 1))
+            .cell(formatNum(m.configsPerSec(), 0))
+            .cell(formatNum(m.seconds, 3));
+    }
+    emit(table, "Sweep throughput (448-config lattices)", "micro_sweep");
+
+    double naive1 = 0.0, factored1 = 0.0;
+    for (const Measurement &m : runs) {
+        if (m.jobs == 1 && m.path == "naive")
+            naive1 = m.latticesPerSec();
+        if (m.jobs == 1 && m.path == "factored")
+            factored1 = m.latticesPerSec();
+    }
+    const double speedup1 = naive1 > 0.0 ? factored1 / naive1 : 0.0;
+    std::cout << "\nsingle-thread factored speedup: "
+              << formatNum(speedup1, 2) << "x\n";
+
+    writeJson(outPath, runs, speedup1);
+    return 0;
+}

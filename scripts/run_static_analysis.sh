@@ -9,8 +9,9 @@
 #              everything (src, tests, bench, tools, examples)
 #   tidy       clang-tidy with the repo .clang-tidy profile
 #              (skipped with a notice when clang-tidy is absent)
-#   asan       ASan+UBSan Debug build; tier-1 ctest suite plus the
-#              fig10_ed2 benchmark harness with --jobs 4
+#   asan       ASan+UBSan Debug build; tier-1 ctest suite, the
+#              factored/naive equivalence suite, and the fig10_ed2
+#              benchmark harness with --jobs 4
 #   tsan       TSan build; the thread-pool and sweep-determinism
 #              tests, which exercise every lock in the library
 #   model      check_model: the 11-invariant physics check across
@@ -76,6 +77,10 @@ if want asan; then
     if [ "$FAILED" -eq 0 ]; then
         (cd build-asan && ctest -L tier1 -j "$JOBS" --output-on-failure \
             | tail -n 5) || FAILED=1
+        # The factored/naive bitwise-equivalence suite under the
+        # sanitizers: the factored path's batching and table reuse is
+        # exactly the kind of code ASan/UBSan exists for.
+        ./build-asan/tests/test_factored_engine > /dev/null || FAILED=1
         ./build-asan/bench/fig10_ed2 --jobs 4 > /dev/null || FAILED=1
     fi
 fi

@@ -17,12 +17,6 @@ splitmix64Once(uint64_t x)
     return x ^ (x >> 31);
 }
 
-std::string
-cacheKey(const KernelProfile &profile, int iteration)
-{
-    return profile.id() + "#" + std::to_string(iteration);
-}
-
 } // namespace
 
 Rng
@@ -41,6 +35,11 @@ ConfigSweep::ConfigSweep(const GpuDevice &device, SweepOptions options)
       pool_(std::make_shared<ThreadPool>(options.jobs))
 {
     fatalIf(configs_.empty(), "ConfigSweep: empty configuration space");
+    // Lattice membership is validated once here, for the whole
+    // enumeration, instead of once per (invocation, configuration)
+    // inside the evaluation loop.
+    for (const HardwareConfig &cfg : configs_)
+        device_.space().validate(cfg);
 }
 
 size_t
@@ -52,12 +51,15 @@ ConfigSweep::indexOf(const HardwareConfig &cfg) const
 const std::vector<KernelResult> &
 ConfigSweep::evaluate(const KernelProfile &profile, int iteration) const
 {
-    const std::string key = cacheKey(profile, iteration);
+    // Heterogeneous probe: hashes the id segments in place, so the
+    // hot path (repeated oracle/figure lookups) never allocates.
+    const detail::SweepKeyView view{profile.app, profile.name,
+                                    iteration};
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        auto it = cache_.find(key);
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        auto it = cache_.find(view);
         if (it != cache_.end()) {
-            ++hits_;
+            hits_.fetch_add(1, std::memory_order_relaxed);
             return *it->second;
         }
     }
@@ -68,16 +70,22 @@ ConfigSweep::evaluate(const KernelProfile &profile, int iteration) const
     const KernelPhase phase = profile.phase(iteration);
     auto results =
         std::make_unique<std::vector<KernelResult>>(configs_.size());
-    pool_->parallelFor(configs_.size(), 16, [&](size_t i) {
-        (*results)[i] = device_.run(profile, phase, configs_[i]);
-    });
+    if (options_.factored) {
+        device_.runLattice(profile, phase, configs_, results->data(),
+                           pool_.get());
+    } else {
+        pool_->parallelFor(configs_.size(), 16, [&](size_t i) {
+            (*results)[i] = device_.run(profile, phase, configs_[i]);
+        });
+    }
 
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto [it, inserted] = cache_.emplace(key, std::move(results));
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    auto [it, inserted] = cache_.emplace(
+        std::make_pair(profile.id(), iteration), std::move(results));
     if (inserted)
-        ++misses_;
+        misses_.fetch_add(1, std::memory_order_relaxed);
     else
-        ++hits_; // Raced with an identical evaluate(); theirs won.
+        hits_.fetch_add(1, std::memory_order_relaxed); // Raced; theirs won.
     return *it->second;
 }
 
@@ -91,28 +99,26 @@ ConfigSweep::at(const KernelProfile &profile, int iteration,
 size_t
 ConfigSweep::cacheHits() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return hits_;
+    return hits_.load(std::memory_order_relaxed);
 }
 
 size_t
 ConfigSweep::cacheMisses() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return misses_;
+    return misses_.load(std::memory_order_relaxed);
 }
 
 size_t
 ConfigSweep::cacheEntries() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     return cache_.size();
 }
 
 void
 ConfigSweep::clearCache() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::shared_mutex> lock(mutex_);
     cache_.clear();
 }
 

@@ -25,10 +25,14 @@
 #ifndef HARMONIA_CORE_SWEEP_HH
 #define HARMONIA_CORE_SWEEP_HH
 
+#include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hh"
@@ -46,7 +50,97 @@ struct SweepOptions
 
     /** Base seed for per-task RNG substreams. */
     uint64_t rngSeed = 0x4841524d4f4e4941ull; // "HARMONIA"
+
+    /**
+     * Evaluate sweeps through the factored lattice path
+     * (GpuDevice::runLattice): config-invariant and axis-separable
+     * work hoisted out of the 448-point loop. Bitwise identical to
+     * the naive per-config path; false forces the naive path (kept as
+     * the reference implementation).
+     */
+    bool factored = true;
 };
+
+namespace detail
+{
+
+/**
+ * Transparent hash/equality for the sweep memo key
+ * (kernel id string, iteration). Lookups hash the profile's app and
+ * name segments directly — byte-compatible with hashing the stored
+ * "App.Kernel" id — so a cache hit allocates nothing.
+ */
+struct SweepKeyView
+{
+    std::string_view app;
+    std::string_view name;
+    int iteration;
+};
+
+struct SweepKeyHash
+{
+    using is_transparent = void;
+
+    static size_t mix(size_t h, std::string_view s)
+    {
+        for (const char c : s)
+            h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+        return h;
+    }
+
+    static size_t finish(size_t h, int iteration)
+    {
+        h = mix(h, std::string_view("#"));
+        const auto it = static_cast<uint64_t>(iteration);
+        for (int shift = 0; shift < 64; shift += 8)
+            h = (h ^ ((it >> shift) & 0xff)) * 0x100000001b3ull;
+        return h;
+    }
+
+    size_t operator()(const std::pair<std::string, int> &key) const
+    {
+        return finish(mix(0xcbf29ce484222325ull, key.first),
+                      key.second);
+    }
+
+    size_t operator()(const SweepKeyView &key) const
+    {
+        size_t h = mix(0xcbf29ce484222325ull, key.app);
+        h = mix(h, std::string_view("."));
+        h = mix(h, key.name);
+        return finish(h, key.iteration);
+    }
+};
+
+struct SweepKeyEqual
+{
+    using is_transparent = void;
+
+    bool operator()(const std::pair<std::string, int> &a,
+                    const std::pair<std::string, int> &b) const
+    {
+        return a == b;
+    }
+
+    bool operator()(const SweepKeyView &a,
+                    const std::pair<std::string, int> &b) const
+    {
+        const std::string_view id = b.first;
+        return a.iteration == b.second &&
+               id.size() == a.app.size() + 1 + a.name.size() &&
+               id.substr(0, a.app.size()) == a.app &&
+               id[a.app.size()] == '.' &&
+               id.substr(a.app.size() + 1) == a.name;
+    }
+
+    bool operator()(const std::pair<std::string, int> &a,
+                    const SweepKeyView &b) const
+    {
+        return operator()(b, a);
+    }
+};
+
+} // namespace detail
 
 /**
  * Deterministic per-task RNG substream: the generator for task
@@ -120,12 +214,19 @@ class ConfigSweep
     std::vector<HardwareConfig> configs_;
     std::shared_ptr<ThreadPool> pool_;
 
-    mutable std::mutex mutex_;
-    mutable std::map<std::string,
-                     std::unique_ptr<std::vector<KernelResult>>>
+    // Reader-writer cache: concurrent evaluate() calls on memoized
+    // invocations take the shared lock only; the exclusive lock is
+    // held just to insert a freshly computed vector (values stay
+    // stable behind unique_ptr across rehashes). Hit/miss counters
+    // are atomics so shared-lock readers can bump them.
+    mutable std::shared_mutex mutex_;
+    mutable std::unordered_map<std::pair<std::string, int>,
+                               std::unique_ptr<std::vector<KernelResult>>,
+                               detail::SweepKeyHash,
+                               detail::SweepKeyEqual>
         cache_;
-    mutable size_t hits_ = 0;
-    mutable size_t misses_ = 0;
+    mutable std::atomic<size_t> hits_ = 0;
+    mutable std::atomic<size_t> misses_ = 0;
 };
 
 } // namespace harmonia

@@ -40,37 +40,66 @@ Gddr5Model::unloadedLatency(double memFreqMhz) const
 double
 Gddr5Model::loadedLatency(double memFreqMhz, double utilization) const
 {
+    return loadedLatencyFromBase(unloadedLatency(memFreqMhz),
+                                 utilization);
+}
+
+double
+Gddr5Model::loadedLatencyFromBase(double baseLatency,
+                                  double utilization) const
+{
     fatalIf(utilization < 0.0, "Gddr5Model: negative utilization");
     const double u = std::min(utilization, 0.98);
-    const double base = unloadedLatency(memFreqMhz);
     // M/D/1-flavored growth: latency rises smoothly toward the knee.
-    return base * (1.0 + timing_.queueSensitivity * u / (1.0 - u));
+    return baseLatency *
+           (1.0 + timing_.queueSensitivity * u / (1.0 - u));
 }
 
 MemPowerBreakdown
 Gddr5Model::power(double memFreqMhz, double bytesPerSec,
                   double rowHitFraction) const
 {
+    return powerFromFactors(factorsFor(memFreqMhz), bytesPerSec,
+                            rowHitFraction);
+}
+
+Gddr5PowerFactors
+Gddr5Model::factorsFor(double memFreqMhz) const
+{
     fatalIf(memFreqMhz <= 0.0, "Gddr5Model: frequency must be positive");
+
+    Gddr5PowerFactors out;
+    out.fRatio = memFreqMhz / power_.refFreqMhz;
+    // Per-byte energies grow as the bus slows (longer intervals
+    // between array accesses keep circuits active longer per bit).
+    out.lowFreqScale =
+        1.0 + power_.lowFreqEnergyPenalty * (1.0 / out.fRatio - 1.0);
+
+    // With (optional) interface voltage scaling, CMOS interface power
+    // falls with the square of the supply.
+    const double vf = power_.voltageFraction(memFreqMhz);
+    out.vScale = vf * vf;
+
+    out.background =
+        (power_.standbyFloor + power_.backgroundAtRef * out.fRatio) *
+        out.vScale;
+
+    HARMONIA_CHECK_NONNEG(out.background);
+    return out;
+}
+
+MemPowerBreakdown
+Gddr5Model::powerFromFactors(const Gddr5PowerFactors &factors,
+                             double bytesPerSec,
+                             double rowHitFraction) const
+{
     fatalIf(bytesPerSec < 0.0, "Gddr5Model: negative traffic");
     fatalIf(rowHitFraction < 0.0 || rowHitFraction > 1.0,
             "Gddr5Model: rowHitFraction must be in [0, 1], got ",
             rowHitFraction);
 
-    const double fRatio = memFreqMhz / power_.refFreqMhz;
-    // Per-byte energies grow as the bus slows (longer intervals
-    // between array accesses keep circuits active longer per bit).
-    const double lowFreqScale =
-        1.0 + power_.lowFreqEnergyPenalty * (1.0 / fRatio - 1.0);
-
-    // With (optional) interface voltage scaling, CMOS interface power
-    // falls with the square of the supply.
-    const double vf = power_.voltageFraction(memFreqMhz);
-    const double vScale = vf * vf;
-
     MemPowerBreakdown out;
-    out.background =
-        (power_.standbyFloor + power_.backgroundAtRef * fRatio) * vScale;
+    out.background = factors.background;
 
     const double missBytes = bytesPerSec * (1.0 - rowHitFraction);
     const double activationsPerSec = missBytes / power_.rowBufferBytes;
@@ -78,12 +107,12 @@ Gddr5Model::power(double memFreqMhz, double bytesPerSec,
         activationsPerSec * power_.activateEnergyNj * 1.0e-9;
 
     out.readWrite = bytesPerSec * power_.readWriteEnergyPjPerByte *
-                    1.0e-12 * lowFreqScale * vScale;
+                    1.0e-12 * factors.lowFreqScale * factors.vScale;
     out.termination = bytesPerSec * power_.terminationEnergyPjPerByte *
-                      1.0e-12 * lowFreqScale * vScale;
-    out.phy = (power_.phyIdleAtRef * fRatio +
+                      1.0e-12 * factors.lowFreqScale * factors.vScale;
+    out.phy = (power_.phyIdleAtRef * factors.fRatio +
                bytesPerSec * power_.phyEnergyPjPerByte * 1.0e-12) *
-              vScale;
+              factors.vScale;
 
     HARMONIA_CHECK_NONNEG(out.background);
     HARMONIA_CHECK_NONNEG(out.activatePrecharge);

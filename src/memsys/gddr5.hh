@@ -79,6 +79,23 @@ struct Gddr5PowerParams
     }
 };
 
+/**
+ * The bus-frequency-dependent factors of the GDDR5 power model.
+ * All of them are independent of the achieved traffic, so a
+ * design-space sweep can compute them once per memory frequency
+ * (7 values) instead of once per lattice point (448) and combine
+ * them with per-config traffic via powerFromFactors(). power() is
+ * factorsFor() + powerFromFactors(), which keeps the factored sweep
+ * path bitwise identical to the naive one.
+ */
+struct Gddr5PowerFactors
+{
+    double fRatio = 1.0;       ///< memFreq / refFreq.
+    double lowFreqScale = 1.0; ///< Per-byte energy inflation.
+    double vScale = 1.0;       ///< (V/Vnom)^2 interface scaling.
+    double background = 0.0;   ///< Complete background term (W).
+};
+
 /** Power breakdown of the memory subsystem (Watts). */
 struct MemPowerBreakdown
 {
@@ -139,6 +156,16 @@ class Gddr5Model
     double loadedLatency(double memFreqMhz, double utilization) const;
 
     /**
+     * loadedLatency() with the unloaded base latency already
+     * evaluated: loadedLatency(f, u) ==
+     * loadedLatencyFromBase(unloadedLatency(f), u), bitwise. The
+     * bandwidth fixed-point solve queries dozens of utilizations at
+     * one frequency and hoists the base out of its iteration.
+     */
+    double loadedLatencyFromBase(double baseLatency,
+                                 double utilization) const;
+
+    /**
      * Power breakdown when moving @p bytesPerSec of off-chip traffic
      * (reads + writes) with row-activation ratio implied by
      * @p rowHitFraction (fraction of bytes served from an open row).
@@ -149,6 +176,18 @@ class Gddr5Model
      */
     MemPowerBreakdown power(double memFreqMhz, double bytesPerSec,
                             double rowHitFraction) const;
+
+    /** Traffic-independent factors of power() at @p memFreqMhz. */
+    Gddr5PowerFactors factorsFor(double memFreqMhz) const;
+
+    /**
+     * Combine precomputed frequency factors with achieved traffic.
+     * power(f, b, r) == powerFromFactors(factorsFor(f), b, r),
+     * bitwise.
+     */
+    MemPowerBreakdown powerFromFactors(const Gddr5PowerFactors &factors,
+                                       double bytesPerSec,
+                                       double rowHitFraction) const;
 
   private:
     Gddr5TimingParams timing_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.hh"
 #include "common/error.hh"
@@ -40,8 +41,30 @@ BandwidthResult
 MemorySystem::resolveBandwidth(double memFreqMhz, double computeFreqMhz,
                                const MemDemand &demand) const
 {
-    fatalIf(demand.outstandingRequests < 0.0,
-            "MemorySystem: negative outstanding requests");
+    return resolveWithCrossingCap(memFreqMhz, demand,
+                                  crossing_.maxBandwidth(computeFreqMhz));
+}
+
+BandwidthResult
+MemorySystem::resolveWithCrossingCap(double memFreqMhz,
+                                     const MemDemand &demand,
+                                     double crossingCapBps) const
+{
+    BandwidthResult result;
+    resolveLanesWithCrossingCap(memFreqMhz, demand, 1,
+                                &demand.outstandingRequests,
+                                &crossingCapBps, &result);
+    return result;
+}
+
+void
+MemorySystem::resolveLanesWithCrossingCap(double memFreqMhz,
+                                          const MemDemand &demand,
+                                          size_t lanes,
+                                          const double *outstanding,
+                                          const double *crossingCaps,
+                                          BandwidthResult *out) const
+{
     fatalIf(demand.requestBytes <= 0.0,
             "MemorySystem: request size must be positive");
     fatalIf(demand.streamEfficiency <= 0.0 ||
@@ -49,65 +72,189 @@ MemorySystem::resolveBandwidth(double memFreqMhz, double computeFreqMhz,
             "MemorySystem: streamEfficiency must be in (0, 1], got ",
             demand.streamEfficiency);
 
-    const double busPeak =
-        peakBandwidth(memFreqMhz) * demand.streamEfficiency;
-    const double crossingCap = crossing_.maxBandwidth(computeFreqMhz);
-
-    BandwidthResult result;
-    if (demand.outstandingRequests == 0.0) {
-        result.effectiveBps = 0.0;
-        result.latency = gddr5_.unloadedLatency(memFreqMhz);
-        result.limiter = BandwidthLimiter::Concurrency;
-        return result;
-    }
+    // Everything that depends only on the memory frequency is shared
+    // by all lanes: peak bus bandwidth, the stream-limited ceiling,
+    // the unloaded base latency, and the queueing-knee sensitivity.
+    const double peak = peakBandwidth(memFreqMhz);
+    const double busPeak = peak * demand.streamEfficiency;
+    const double unloaded = gddr5_.unloadedLatency(memFreqMhz);
+    const double qs = gddr5_.timing().queueSensitivity;
 
     // Little's-law bandwidth at a hypothetical achieved bandwidth bw:
     // loaded latency rises with bus utilization, so g is decreasing.
-    const double peak = peakBandwidth(memFreqMhz);
-    auto mlpBwAt = [&](double bw) {
-        const double utilization = std::min(bw / peak, 0.95);
-        const double latency =
-            gddr5_.loadedLatency(memFreqMhz, utilization);
-        return demand.outstandingRequests * demand.requestBytes /
-               latency;
+    // The utilization is clamped to 0.95, below the 0.98 clamp inside
+    // loadedLatencyFromBase(), so the inlined latency expression here
+    // is bitwise identical to calling it.
+    auto mlpBwAt = [&](double inFlightBytes, double bw) {
+        const double u = std::min(bw / peak, 0.95);
+        const double latency = unloaded * (1.0 + qs * u / (1.0 - u));
+        return inFlightBytes / latency;
     };
 
-    const double supplyCap = std::min(busPeak, crossingCap);
-    double bw;
-    if (mlpBwAt(supplyCap) >= supplyCap) {
-        // Enough concurrency to saturate the supply path.
-        bw = supplyCap;
-    } else {
-        // Concurrency-limited: solve bw = g(bw) by bisection (g is
-        // strictly decreasing, so the crossing is unique).
-        double lo = 0.0;
-        double hi = supplyCap;
+    // Three exact dedup rules keep the batch cheap. All of them
+    // follow from g(bw) = inFlightBytes / latency(bw) being monotone
+    // in inFlightBytes at fixed bw (IEEE division is monotone in its
+    // numerator, so the comparisons below transfer exactly, not just
+    // approximately):
+    //
+    //  1. A saturated result is a pure function of the supply ceiling
+    //     (effectiveBps = cap, latency and limiter derived from it),
+    //     so lanes sharing a ceiling share one saturated result.
+    //  2. Saturation itself is monotone in the in-flight bytes: once
+    //     one demand level saturates a ceiling, every deeper level
+    //     does too (and once one is unsaturated, every shallower
+    //     level is too), so most lanes skip the saturation test.
+    //  3. The concurrency fixed point of bw = g(bw) does not depend
+    //     on the ceiling at all — the ceiling only decided that the
+    //     lane is unsaturated (the root lies below it) — so the
+    //     bisection runs on the cap-independent bracket [0, busPeak]
+    //     (g(0) > 0 and g(busPeak) <= g(root) < busPeak) and lanes
+    //     sharing a demand level share one solve.
+    //
+    // The distinct bisections run interleaved: iteration i of every
+    // staged solve executes before iteration i+1 of any of them, so
+    // the division chains — independent across solves — pipeline
+    // instead of serializing.
+    constexpr size_t kBatch = 64;
+
+    // Supply-ceiling groups (rule 1 + 2).
+    struct CapGroup
+    {
+        double cap;           // min(busPeak, crossing cap)
+        double satMin;        // smallest in-flight level known saturated
+        double unsatMax;      // largest in-flight level known unsaturated
+        BandwidthResult sat;  // shared saturated result (if satMin set)
+    };
+    CapGroup groups[kBatch];
+    size_t nGroups = 0;
+
+    // Distinct bisection solves (rule 3) and the lanes awaiting them.
+    double solveIn[kBatch]; // distinct in-flight byte levels
+    double lo[kBatch];
+    double hi[kBatch];
+    double solveLatency[kBatch];
+    size_t laneSlot[kBatch];  // staged lane -> out index
+    size_t laneSolve[kBatch]; // staged lane -> solve
+    size_t laneGroup[kBatch]; // staged lane -> ceiling group
+    size_t nSolves = 0;
+    size_t nStaged = 0;
+
+    auto flush = [&]() {
         for (int iter = 0; iter < 48; ++iter) {
-            const double mid = 0.5 * (lo + hi);
-            if (mlpBwAt(mid) >= mid)
-                lo = mid;
-            else
-                hi = mid;
+            for (size_t u = 0; u < nSolves; ++u) {
+                const double mid = 0.5 * (lo[u] + hi[u]);
+                // Branchless halving: the comparison outcome is
+                // data-dependent noise to the branch predictor, so
+                // select instead of branching.
+                const bool below = mlpBwAt(solveIn[u], mid) >= mid;
+                lo[u] = below ? mid : lo[u];
+                hi[u] = below ? hi[u] : mid;
+            }
         }
-        bw = 0.5 * (lo + hi);
-    }
+        for (size_t u = 0; u < nSolves; ++u) {
+            const double bw = 0.5 * (lo[u] + hi[u]);
+            solveIn[u] = bw; // reuse as the solved bandwidth
+            solveLatency[u] = gddr5_.loadedLatencyFromBase(
+                unloaded, std::min(bw / peak, 0.95));
+        }
+        for (size_t l = 0; l < nStaged; ++l) {
+            BandwidthResult &r = out[laneSlot[l]];
+            const CapGroup &g = groups[laneGroup[l]];
+            r.effectiveBps = solveIn[laneSolve[l]];
+            r.latency = solveLatency[laneSolve[l]];
+            if (r.effectiveBps >= g.cap * (1.0 - 1e-9)) {
+                r.limiter = busPeak <= g.cap ? BandwidthLimiter::BusPeak
+                                             : BandwidthLimiter::Crossing;
+            } else {
+                r.limiter = BandwidthLimiter::Concurrency;
+            }
+            HARMONIA_CHECK_NONNEG(r.effectiveBps);
+            HARMONIA_CHECK(r.effectiveBps <= g.cap * (1.0 + 1e-9),
+                           "bandwidth above the supply-path ceiling");
+            HARMONIA_CHECK(r.latency > 0.0, "non-positive loaded latency");
+        }
+        nGroups = 0;
+        nSolves = 0;
+        nStaged = 0;
+    };
 
-    result.effectiveBps = bw;
-    result.latency = gddr5_.loadedLatency(
-        memFreqMhz, std::min(bw / peak, 0.95));
-    if (bw >= supplyCap * (1.0 - 1e-9)) {
-        result.limiter = busPeak <= crossingCap
-                             ? BandwidthLimiter::BusPeak
-                             : BandwidthLimiter::Crossing;
-    } else {
-        result.limiter = BandwidthLimiter::Concurrency;
-    }
+    for (size_t i = 0; i < lanes; ++i) {
+        fatalIf(outstanding[i] < 0.0,
+                "MemorySystem: negative outstanding requests");
+        if (outstanding[i] == 0.0) {
+            out[i].effectiveBps = 0.0;
+            out[i].latency = unloaded;
+            out[i].limiter = BandwidthLimiter::Concurrency;
+            continue;
+        }
 
-    HARMONIA_CHECK_NONNEG(result.effectiveBps);
-    HARMONIA_CHECK(result.effectiveBps <= supplyCap * (1.0 + 1e-9),
-                   "bandwidth above the supply-path ceiling");
-    HARMONIA_CHECK(result.latency > 0.0, "non-positive loaded latency");
-    return result;
+        if (nGroups == kBatch || nSolves == kBatch || nStaged == kBatch)
+            flush();
+
+        const double supplyCap = std::min(busPeak, crossingCaps[i]);
+        size_t gi = 0;
+        while (gi < nGroups && groups[gi].cap != supplyCap)
+            ++gi;
+        if (gi == nGroups) {
+            groups[gi].cap = supplyCap;
+            groups[gi].satMin = std::numeric_limits<double>::infinity();
+            groups[gi].unsatMax = -1.0;
+            ++nGroups;
+        }
+        CapGroup &g = groups[gi];
+
+        const double inFlightBytes = outstanding[i] * demand.requestBytes;
+        bool saturated;
+        if (inFlightBytes >= g.satMin) {
+            saturated = true;
+        } else if (inFlightBytes <= g.unsatMax) {
+            saturated = false;
+        } else {
+            saturated = mlpBwAt(inFlightBytes, supplyCap) >= supplyCap;
+            if (saturated) {
+                // First (shallowest) saturated level seen for this
+                // ceiling: build the shared saturated result.
+                if (g.satMin ==
+                    std::numeric_limits<double>::infinity()) {
+                    g.sat.effectiveBps = supplyCap;
+                    g.sat.latency = gddr5_.loadedLatencyFromBase(
+                        unloaded, std::min(supplyCap / peak, 0.95));
+                    g.sat.limiter = busPeak <= crossingCaps[i]
+                                        ? BandwidthLimiter::BusPeak
+                                        : BandwidthLimiter::Crossing;
+                    HARMONIA_CHECK_NONNEG(g.sat.effectiveBps);
+                    HARMONIA_CHECK(g.sat.latency > 0.0,
+                                   "non-positive loaded latency");
+                }
+                g.satMin = inFlightBytes;
+            } else {
+                g.unsatMax = inFlightBytes;
+            }
+        }
+
+        if (saturated) {
+            // Enough concurrency to saturate the supply path.
+            out[i] = g.sat;
+        } else {
+            // Concurrency-limited: stage for the shared bisection (g
+            // is strictly decreasing in bw, so the crossing is
+            // unique).
+            size_t u = 0;
+            while (u < nSolves && solveIn[u] != inFlightBytes)
+                ++u;
+            if (u == nSolves) {
+                solveIn[u] = inFlightBytes;
+                lo[u] = 0.0;
+                hi[u] = busPeak;
+                ++nSolves;
+            }
+            laneSlot[nStaged] = i;
+            laneSolve[nStaged] = u;
+            laneGroup[nStaged] = gi;
+            ++nStaged;
+        }
+    }
+    flush();
 }
 
 MemPowerBreakdown

@@ -96,6 +96,41 @@ class MemorySystem
                                      double computeFreqMhz,
                                      const MemDemand &demand) const;
 
+    /**
+     * resolveBandwidth() with the L2->MC crossing ceiling already
+     * evaluated: resolveBandwidth(m, c, d) ==
+     * resolveWithCrossingCap(m, d, crossing().maxBandwidth(c)),
+     * bitwise. Factored sweeps hoist the per-compute-frequency
+     * crossing cap (8 values) and the per-CU-count demand (8 values)
+     * and call this per lattice point; two compute frequencies whose
+     * crossing caps both clear the bus ceiling share one result.
+     */
+    BandwidthResult resolveWithCrossingCap(double memFreqMhz,
+                                           const MemDemand &demand,
+                                           double crossingCapBps) const;
+
+    /**
+     * Batched resolveWithCrossingCap: lane i resolves @p demand with
+     * outstandingRequests = @p outstanding[i] against crossing cap
+     * @p crossingCaps[i], writing @p out[i]. Lane i is bitwise equal
+     * to the corresponding single-lane call. The batch exploits three
+     * exact dedup rules (saturated results are pure functions of the
+     * supply ceiling, saturation is monotone in the demand level, and
+     * the concurrency fixed point is ceiling-independent) and runs
+     * the remaining distinct bisections interleaved so their division
+     * chains pipeline — which is what makes batch table construction
+     * fast.
+     *
+     * The single-lane resolveWithCrossingCap() routes through this
+     * with lanes == 1, so there is exactly one solver implementation.
+     */
+    void resolveLanesWithCrossingCap(double memFreqMhz,
+                                     const MemDemand &demand,
+                                     size_t lanes,
+                                     const double *outstanding,
+                                     const double *crossingCaps,
+                                     BandwidthResult *out) const;
+
     /** Memory power breakdown for achieved traffic at a frequency. */
     MemPowerBreakdown power(double memFreqMhz, double bytesPerSec,
                             double rowHitFraction) const;

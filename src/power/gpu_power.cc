@@ -39,19 +39,46 @@ GpuPowerBreakdown
 GpuPowerModel::power(const HardwareConfig &cfg, double valuBusyPct,
                      double memPathActivity) const
 {
-    fatalIf(valuBusyPct < 0.0 || valuBusyPct > 100.0,
-            "GpuPowerModel: VALUBusy must be in [0, 100], got ",
-            valuBusyPct);
-    fatalIf(memPathActivity < 0.0 || memPathActivity > 1.0,
-            "GpuPowerModel: memPathActivity must be in [0, 1], got ",
-            memPathActivity);
+    return powerFromFactors(factorsFor(cfg), valuBusyPct,
+                            memPathActivity);
+}
 
+GpuPowerFactors
+GpuPowerModel::factorsFor(const HardwareConfig &cfg) const
+{
     const double v = voltage(cfg.computeFreqMhz);
     const double vScale = (v / params_.refVoltage) *
                           (v / params_.refVoltage);
     const double fScale = cfg.computeFreqMhz / params_.refFreqMhz;
     const double cuFraction =
         static_cast<double>(cfg.cuCount) / dev_.numCus;
+
+    GpuPowerFactors out;
+    out.cuDynPrefix =
+        params_.cuDynAtRef * vScale * fScale * cuFraction;
+    out.uncoreDynPrefix = params_.uncoreDynAtRef * vScale * fScale;
+
+    const double leakScale =
+        std::pow(v / params_.refVoltage, params_.leakVoltageExp);
+    // Power-gated CUs leak nothing; the uncore is never gated.
+    out.leakage = leakScale * (params_.cuLeakAtRef * cuFraction +
+                               params_.uncoreLeakAtRef);
+
+    HARMONIA_CHECK_NONNEG(out.leakage);
+    return out;
+}
+
+GpuPowerBreakdown
+GpuPowerModel::powerFromFactors(const GpuPowerFactors &factors,
+                                double valuBusyPct,
+                                double memPathActivity) const
+{
+    fatalIf(valuBusyPct < 0.0 || valuBusyPct > 100.0,
+            "GpuPowerModel: VALUBusy must be in [0, 100], got ",
+            valuBusyPct);
+    fatalIf(memPathActivity < 0.0 || memPathActivity > 1.0,
+            "GpuPowerModel: memPathActivity must be in [0, 1], got ",
+            memPathActivity);
 
     const double cuActivity =
         params_.activityFloor +
@@ -61,16 +88,9 @@ GpuPowerModel::power(const HardwareConfig &cfg, double valuBusyPct,
         (1.0 - params_.activityFloor) * memPathActivity;
 
     GpuPowerBreakdown out;
-    out.cuDynamic = params_.cuDynAtRef * vScale * fScale * cuFraction *
-                    cuActivity;
-    out.uncoreDynamic =
-        params_.uncoreDynAtRef * vScale * fScale * uncoreActivity;
-
-    const double leakScale =
-        std::pow(v / params_.refVoltage, params_.leakVoltageExp);
-    // Power-gated CUs leak nothing; the uncore is never gated.
-    out.leakage = leakScale * (params_.cuLeakAtRef * cuFraction +
-                               params_.uncoreLeakAtRef);
+    out.cuDynamic = factors.cuDynPrefix * cuActivity;
+    out.uncoreDynamic = factors.uncoreDynPrefix * uncoreActivity;
+    out.leakage = factors.leakage;
 
     HARMONIA_CHECK_NONNEG(out.cuDynamic);
     HARMONIA_CHECK_NONNEG(out.uncoreDynamic);

@@ -58,6 +58,30 @@ struct GpuPowerBreakdown
 };
 
 /**
+ * The (CU count, compute frequency)-dependent factors of the chip
+ * power model. Everything here is independent of the kernel's
+ * activity, so a design-space sweep can compute the factors once per
+ * compute configuration (64 points) instead of once per lattice point
+ * (448) and combine them with per-config activity via
+ * powerFromFactors(). power() itself is factorsFor() +
+ * powerFromFactors(), which is what makes the factored sweep path
+ * bitwise identical to the naive one.
+ */
+struct GpuPowerFactors
+{
+    /** cuDynAtRef * vScale * fScale * cuFraction; multiply by the CU
+     * activity to obtain cuDynamic. */
+    double cuDynPrefix = 0.0;
+
+    /** uncoreDynAtRef * vScale * fScale; multiply by the uncore
+     * activity to obtain uncoreDynamic. */
+    double uncoreDynPrefix = 0.0;
+
+    /** Complete leakage term (activity-independent). */
+    double leakage = 0.0;
+};
+
+/**
  * Computes GPU chip power from a hardware configuration and the
  * activity observed in the performance counters.
  */
@@ -85,6 +109,22 @@ class GpuPowerModel
      */
     GpuPowerBreakdown power(const HardwareConfig &cfg, double valuBusyPct,
                             double memPathActivity) const;
+
+    /**
+     * The activity-independent factors of power() at @p cfg. Depends
+     * only on (cuCount, computeFreqMhz) — the memory frequency never
+     * enters the chip model.
+     */
+    GpuPowerFactors factorsFor(const HardwareConfig &cfg) const;
+
+    /**
+     * Combine precomputed factors with per-invocation activity.
+     * power(cfg, b, a) == powerFromFactors(factorsFor(cfg), b, a),
+     * bitwise.
+     */
+    GpuPowerBreakdown powerFromFactors(const GpuPowerFactors &factors,
+                                       double valuBusyPct,
+                                       double memPathActivity) const;
 
     /** Chip power when idle at @p cfg (activity floor only). */
     GpuPowerBreakdown idlePower(const HardwareConfig &cfg) const;

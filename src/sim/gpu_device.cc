@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.hh"
+#include "common/thread_pool.hh"
+#include "sim/lattice_evaluator.hh"
 
 namespace harmonia
 {
@@ -32,33 +34,59 @@ KernelResult
 GpuDevice::run(const KernelProfile &profile, const KernelPhase &phase,
                const HardwareConfig &cfg) const
 {
+    return composeResult(
+        engine_.run(profile, phase, cfg), phase,
+        gpuPower_.factorsFor(cfg), gpuPower_.idlePower(cfg),
+        engine_.memorySystem().gddr5().factorsFor(cfg.memFreqMhz),
+        engine_.memorySystem().power(cfg.memFreqMhz, 0.0, 1.0),
+        engine_.cacheModel().l2Bandwidth(cfg.computeFreqMhz),
+        engine_.memorySystem().peakBandwidth(cfg.memFreqMhz));
+}
+
+KernelResult
+GpuDevice::composeResult(KernelTiming timing, const KernelPhase &phase,
+                         const GpuPowerFactors &gpuFactors,
+                         const GpuPowerBreakdown &idleGpu,
+                         const Gddr5PowerFactors &memFactors,
+                         const MemPowerBreakdown &idleMem,
+                         double l2BandwidthBps, double peakMemBps) const
+{
     KernelResult out;
-    out.timing = engine_.run(profile, phase, cfg);
+    composeResultInto(out, std::move(timing), phase, gpuFactors, idleGpu,
+                      memFactors, idleMem, l2BandwidthBps, peakMemBps);
+    return out;
+}
+
+void
+GpuDevice::composeResultInto(KernelResult &out, KernelTiming timing,
+                             const KernelPhase &phase,
+                             const GpuPowerFactors &gpuFactors,
+                             const GpuPowerBreakdown &idleGpu,
+                             const Gddr5PowerFactors &memFactors,
+                             const MemPowerBreakdown &idleMem,
+                             double l2BandwidthBps, double peakMemBps) const
+{
+    out.timing = std::move(timing);
 
     // Uncore/memory-path activity: fraction of L2 service bandwidth in
     // use while the kernel is busy.
-    const double busy = std::max(out.timing.busyTime, 1e-12);
-    const double l2Bps = out.timing.requestedBytes / busy;
-    const double l2Activity = std::min(
-        1.0,
-        l2Bps / engine_.cacheModel().l2Bandwidth(cfg.computeFreqMhz));
+    const double invBusy = 1.0 / std::max(out.timing.busyTime, 1e-12);
+    const double l2Bps = out.timing.requestedBytes * invBusy;
+    const double l2Activity = std::min(1.0, l2Bps / l2BandwidthBps);
 
     // Activity during the busy phase: the fraction of busy time the
     // vector ALUs are issuing (the counters themselves are normalized
     // to total time, which would double-count the idle launch window).
     const double busyValuPct =
-        std::min(100.0, 100.0 * out.timing.computeTime / busy);
+        std::min(100.0, 100.0 * out.timing.computeTime * invBusy);
     const GpuPowerBreakdown busyGpu =
-        gpuPower_.power(cfg, busyValuPct, l2Activity);
-    const GpuPowerBreakdown idleGpu = gpuPower_.idlePower(cfg);
+        gpuPower_.powerFromFactors(gpuFactors, busyValuPct, l2Activity);
 
-    const double offBps = out.timing.offChipBytes / busy;
-    const MemPowerBreakdown busyMem = engine_.memorySystem().power(
-        cfg.memFreqMhz, std::min(offBps, engine_.memorySystem()
-                                             .peakBandwidth(cfg.memFreqMhz)),
-        phase.rowHitFraction);
-    const MemPowerBreakdown idleMem =
-        engine_.memorySystem().power(cfg.memFreqMhz, 0.0, 1.0);
+    const double offBps = out.timing.offChipBytes * invBusy;
+    const MemPowerBreakdown busyMem =
+        engine_.memorySystem().gddr5().powerFromFactors(
+            memFactors, std::min(offBps, peakMemBps),
+            phase.rowHitFraction);
 
     const CardPowerBreakdown busyCard =
         boardPower_.compose(busyGpu, busyMem);
@@ -67,7 +95,7 @@ GpuDevice::run(const KernelProfile &profile, const KernelPhase &phase,
 
     const double tBusy = out.timing.busyTime;
     const double tIdle = out.timing.launchOverhead;
-    const double tTotal = std::max(out.timing.execTime, 1e-12);
+    const double invTotal = 1.0 / std::max(out.timing.execTime, 1e-12);
 
     out.cardEnergy = busyCard.total() * tBusy + idleCard.total() * tIdle;
     out.gpuEnergy =
@@ -75,9 +103,10 @@ GpuDevice::run(const KernelProfile &profile, const KernelPhase &phase,
     out.memEnergy =
         busyCard.memTotal() * tBusy + idleCard.memTotal() * tIdle;
 
-    // Report the time-weighted average breakdown over the invocation.
+    // Report the time-weighted average breakdown over the invocation;
+    // all nine blends share one reciprocal of the total time.
     auto blend = [&](double busyW, double idleW) {
-        return (busyW * tBusy + idleW * tIdle) / tTotal;
+        return (busyW * tBusy + idleW * tIdle) * invTotal;
     };
     out.power.gpu.cuDynamic =
         blend(busyCard.gpu.cuDynamic, idleCard.gpu.cuDynamic);
@@ -100,7 +129,60 @@ GpuDevice::run(const KernelProfile &profile, const KernelPhase &phase,
     HARMONIA_CHECK_NONNEG(out.gpuEnergy);
     HARMONIA_CHECK_NONNEG(out.memEnergy);
     HARMONIA_CHECK_FINITE(out.power.total());
-    return out;
+}
+
+void
+GpuDevice::runLattice(const KernelProfile &profile,
+                      const KernelPhase &phase,
+                      const std::vector<HardwareConfig> &configs,
+                      KernelResult *out, ThreadPool *pool) const
+{
+    const LatticeEvaluator eval(*this, profile, phase, pool);
+
+    // Sweeps almost always pass the full lattice in canonical
+    // allConfigs() order (memory frequency major, then CU count, then
+    // compute frequency). Detect that with one cheap comparison pass
+    // and evaluate by axis index, skipping the per-config
+    // lattice-position derivation.
+    const TimingAxisTables &t = eval.timingTables();
+    const size_t nCu = t.cuValues.size();
+    const size_t nCf = t.computeFreqValues.size();
+    const size_t nMem = t.memFreqValues.size();
+    bool canonical = configs.size() == nMem * nCu * nCf;
+    for (size_t m = 0, i = 0; canonical && m < nMem; ++m) {
+        for (size_t cu = 0; canonical && cu < nCu; ++cu) {
+            for (size_t cf = 0; cf < nCf; ++cf, ++i) {
+                if (configs[i].cuCount != t.cuValues[cu] ||
+                    configs[i].computeFreqMhz != t.computeFreqValues[cf] ||
+                    configs[i].memFreqMhz != t.memFreqValues[m]) {
+                    canonical = false;
+                    break;
+                }
+            }
+        }
+    }
+
+    if (pool != nullptr && pool->numThreads() > 1) {
+        if (canonical) {
+            pool->parallelFor(configs.size(), 16, [&](size_t i) {
+                eval.evaluateAtInto(i / nCf % nCu, i % nCf,
+                                    i / (nCu * nCf), out[i]);
+            });
+        } else {
+            pool->parallelFor(configs.size(), 16, [&](size_t i) {
+                eval.evaluateInto(configs[i], out[i]);
+            });
+        }
+    } else if (canonical) {
+        size_t i = 0;
+        for (size_t m = 0; m < nMem; ++m)
+            for (size_t cu = 0; cu < nCu; ++cu)
+                for (size_t cf = 0; cf < nCf; ++cf)
+                    eval.evaluateAtInto(cu, cf, m, out[i++]);
+    } else {
+        for (size_t i = 0; i < configs.size(); ++i)
+            eval.evaluateInto(configs[i], out[i]);
+    }
 }
 
 } // namespace harmonia

@@ -12,12 +12,16 @@
 #ifndef HARMONIA_SIM_GPU_DEVICE_HH
 #define HARMONIA_SIM_GPU_DEVICE_HH
 
+#include <vector>
+
 #include "power/board_power.hh"
 #include "power/gpu_power.hh"
 #include "timing/timing_engine.hh"
 
 namespace harmonia
 {
+
+class LatticeEvaluator;
 
 /** Result of one kernel invocation on the device. */
 struct KernelResult
@@ -66,7 +70,52 @@ class GpuDevice
                      const KernelPhase &phase,
                      const HardwareConfig &cfg) const;
 
+    /**
+     * Batch evaluation of one invocation across many lattice points:
+     * hoists the (profile, phase)-invariant bundle and the per-axis
+     * model tables once, then combines them per configuration. Writes
+     * result i for @p configs[i] into @p out[i]; @p out must have room
+     * for configs.size() results. Bitwise identical to calling run()
+     * per configuration (tests/test_factored_engine.cpp pins this).
+     *
+     * When @p pool is non-null, table construction and the per-config
+     * combine run on it; each index writes only its own slot, so
+     * results are scheduling-independent.
+     */
+    void runLattice(const KernelProfile &profile, const KernelPhase &phase,
+                    const std::vector<HardwareConfig> &configs,
+                    KernelResult *out, ThreadPool *pool = nullptr) const;
+
   private:
+    friend class LatticeEvaluator;
+
+    /**
+     * The per-config power/energy composition shared by run() and the
+     * factored lattice path. All model inputs that depend on a tunable
+     * axis arrive as arguments — computed by direct model calls in
+     * run(), by table lookup in LatticeEvaluator — so both paths
+     * execute identical arithmetic on identical values.
+     */
+    KernelResult composeResult(KernelTiming timing,
+                               const KernelPhase &phase,
+                               const GpuPowerFactors &gpuFactors,
+                               const GpuPowerBreakdown &idleGpu,
+                               const Gddr5PowerFactors &memFactors,
+                               const MemPowerBreakdown &idleMem,
+                               double l2BandwidthBps,
+                               double peakMemBps) const;
+
+    /** composeResult() writing into caller storage; assigns every
+     * field of @p out, so the lattice path can fill its result array
+     * without a per-config KernelResult copy. */
+    void composeResultInto(KernelResult &out, KernelTiming timing,
+                           const KernelPhase &phase,
+                           const GpuPowerFactors &gpuFactors,
+                           const GpuPowerBreakdown &idleGpu,
+                           const Gddr5PowerFactors &memFactors,
+                           const MemPowerBreakdown &idleMem,
+                           double l2BandwidthBps, double peakMemBps) const;
+
     GcnDeviceConfig dev_;
     TimingEngine engine_;
     GpuPowerModel gpuPower_;

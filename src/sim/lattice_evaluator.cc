@@ -1,0 +1,84 @@
+#include "lattice_evaluator.hh"
+
+#include "common/thread_pool.hh"
+
+namespace harmonia
+{
+
+LatticeEvaluator::LatticeEvaluator(const GpuDevice &device,
+                                   const KernelProfile &profile,
+                                   const KernelPhase &phase,
+                                   ThreadPool *pool)
+    : device_(device), prep_(device.engine().prepare(profile, phase)),
+      timing_(device.engine().buildAxisTables(prep_, pool))
+{
+    const size_t nCu = timing_.cuValues.size();
+    const size_t nCf = timing_.computeFreqValues.size();
+    const size_t nMem = timing_.memFreqValues.size();
+
+    // GPU-side power state depends only on the DPM state: active CU
+    // count and compute frequency (which selects the voltage). The
+    // table entries are produced by exactly the calls run() makes, so
+    // lookups are bitwise identical to recomputation; the memory
+    // frequency in the probe config is irrelevant to both calls.
+    gpuFactors_.resize(nCu * nCf);
+    idleGpu_.resize(nCu * nCf);
+    for (size_t cu = 0; cu < nCu; ++cu) {
+        for (size_t cf = 0; cf < nCf; ++cf) {
+            HardwareConfig probe;
+            probe.cuCount = timing_.cuValues[cu];
+            probe.computeFreqMhz = timing_.computeFreqValues[cf];
+            gpuFactors_[cu * nCf + cf] =
+                device_.gpuPower().factorsFor(probe);
+            // idlePower(cfg) is powerFromFactors(factorsFor(cfg), 0, 0);
+            // reusing the factors just computed skips the second
+            // voltage lookup and pow() while producing the same bits.
+            idleGpu_[cu * nCf + cf] = device_.gpuPower().powerFromFactors(
+                gpuFactors_[cu * nCf + cf], 0.0, 0.0);
+        }
+    }
+
+    // Memory-side power state depends only on the bus frequency.
+    memFactors_.resize(nMem);
+    idleMem_.resize(nMem);
+    const MemorySystem &memsys = device_.engine().memorySystem();
+    for (size_t m = 0; m < nMem; ++m) {
+        const int memFreq = timing_.memFreqValues[m];
+        memFactors_[m] = memsys.gddr5().factorsFor(memFreq);
+        idleMem_[m] = memsys.gddr5().powerFromFactors(memFactors_[m],
+                                                      0.0, 1.0);
+    }
+}
+
+KernelResult
+LatticeEvaluator::evaluate(const HardwareConfig &cfg) const
+{
+    KernelResult out;
+    evaluateInto(cfg, out);
+    return out;
+}
+
+void
+LatticeEvaluator::evaluateInto(const HardwareConfig &cfg,
+                               KernelResult &out) const
+{
+    evaluateAtInto(timing_.cuIndex(cfg.cuCount),
+                   timing_.computeFreqIndex(cfg.computeFreqMhz),
+                   timing_.memFreqIndex(cfg.memFreqMhz), out);
+}
+
+void
+LatticeEvaluator::evaluateAtInto(size_t cuIdx, size_t cfIdx,
+                                 size_t memIdx, KernelResult &out) const
+{
+    const size_t nCf = timing_.computeFreqValues.size();
+    device_.composeResultInto(
+        out,
+        device_.engine().evaluateAt(prep_, timing_, cuIdx, cfIdx, memIdx),
+        prep_.phase, gpuFactors_[cuIdx * nCf + cfIdx],
+        idleGpu_[cuIdx * nCf + cfIdx], memFactors_[memIdx],
+        idleMem_[memIdx], timing_.l2Bandwidth[cfIdx],
+        timing_.peakBandwidth[memIdx]);
+}
+
+} // namespace harmonia

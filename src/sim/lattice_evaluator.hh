@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Factored lattice evaluation of one kernel invocation.
+ *
+ * Design-space sweeps evaluate the same (profile, phase) at all 448
+ * points of the tunable lattice. The naive path recomputes everything
+ * per point; almost all of it is config-invariant or depends on a
+ * single tunable axis. LatticeEvaluator hoists that work once:
+ *
+ *  - the config-invariant bundle (TimingEngine::prepare): validation,
+ *    occupancy, instruction and traffic totals;
+ *  - the timing axis tables (TimingEngine::buildAxisTables): L2 hit
+ *    rates per CU count, L2 bandwidth and crossing caps per compute
+ *    frequency, ALU issue times per (CU, freq), peak bus bandwidth
+ *    per memory frequency, and the resolved bandwidth lattice;
+ *  - GPU power factors and DPM-state idle power per (CU count,
+ *    compute frequency) — 64 voltage lookups and pow() calls instead
+ *    of 448;
+ *  - GDDR5 power factors and idle memory power per memory frequency.
+ *
+ * evaluate() then combines tables into a KernelResult with the same
+ * arithmetic the naive path runs (GpuDevice::composeResult), so the
+ * two paths produce bitwise-identical results.
+ */
+
+#ifndef HARMONIA_SIM_LATTICE_EVALUATOR_HH
+#define HARMONIA_SIM_LATTICE_EVALUATOR_HH
+
+#include <vector>
+
+#include "sim/gpu_device.hh"
+
+namespace harmonia
+{
+
+class ThreadPool;
+
+/**
+ * One (profile, phase) invocation, prepared for repeated evaluation
+ * across the configuration lattice. Holds a reference to the device;
+ * the device must outlive the evaluator.
+ */
+class LatticeEvaluator
+{
+  public:
+    /**
+     * Hoist all config-invariant and axis-separable work for
+     * (@p profile, @p phase). When @p pool is non-null the bandwidth
+     * lattice is resolved in parallel (deterministically: each row
+     * writes only its own slots).
+     */
+    LatticeEvaluator(const GpuDevice &device, const KernelProfile &profile,
+                     const KernelPhase &phase, ThreadPool *pool = nullptr);
+
+    const GpuDevice &device() const { return device_; }
+
+    /** The config-invariant bundle. */
+    const PreparedKernel &prepared() const { return prep_; }
+
+    /** The timing-side axis tables. */
+    const TimingAxisTables &timingTables() const { return timing_; }
+
+    /**
+     * Evaluate one lattice point from the hoisted state. Bitwise
+     * identical to device().run(profile, phase, cfg).
+     * @throws ConfigError when @p cfg is off the lattice.
+     */
+    KernelResult evaluate(const HardwareConfig &cfg) const;
+
+    /** evaluate() writing into caller storage (assigns every field of
+     * @p out); lets batch sweeps fill result arrays copy-free. */
+    void evaluateInto(const HardwareConfig &cfg, KernelResult &out) const;
+
+    /** evaluateInto() with the axis positions already derived — for
+     * drivers iterating the lattice in index order. Indices must be
+     * in range (unchecked). */
+    void evaluateAtInto(size_t cuIdx, size_t cfIdx, size_t memIdx,
+                        KernelResult &out) const;
+
+  private:
+    const GpuDevice &device_;
+    PreparedKernel prep_;
+    TimingAxisTables timing_;
+
+    // (CU count, compute frequency) plane, row-major in CU count.
+    std::vector<GpuPowerFactors> gpuFactors_;
+    std::vector<GpuPowerBreakdown> idleGpu_;
+
+    // Memory-frequency axis.
+    std::vector<Gddr5PowerFactors> memFactors_;
+    std::vector<MemPowerBreakdown> idleMem_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_SIM_LATTICE_EVALUATOR_HH

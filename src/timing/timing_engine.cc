@@ -5,10 +5,48 @@
 
 #include "common/check.hh"
 #include "common/error.hh"
+#include "common/thread_pool.hh"
 #include "common/units.hh"
 
 namespace harmonia
 {
+
+namespace
+{
+
+/** Position of @p value on an ascending arithmetic lattice axis. */
+size_t
+axisIndexOf(int value, const std::vector<int> &values, const char *what)
+{
+    fatalIf(values.empty(), "TimingAxisTables: empty ", what, " axis");
+    const int lo = values.front();
+    const int hi = values.back();
+    const int step = values.size() > 1 ? values[1] - values[0] : 1;
+    fatalIf(value < lo || value > hi || (value - lo) % step != 0,
+            "TimingAxisTables: ", what, " = ", value,
+            " is not on the lattice [", lo, ", ", hi, "] step ", step);
+    return static_cast<size_t>((value - lo) / step);
+}
+
+} // namespace
+
+size_t
+TimingAxisTables::cuIndex(int cuCount) const
+{
+    return axisIndexOf(cuCount, cuValues, "CU-count");
+}
+
+size_t
+TimingAxisTables::computeFreqIndex(int computeFreqMhz) const
+{
+    return axisIndexOf(computeFreqMhz, computeFreqValues, "compute-freq");
+}
+
+size_t
+TimingAxisTables::memFreqIndex(int memFreqMhz) const
+{
+    return axisIndexOf(memFreqMhz, memFreqValues, "mem-freq");
+}
 
 TimingEngine::TimingEngine(const GcnDeviceConfig &dev, CacheModel cache,
                            MemorySystem memsys, TimingParams params)
@@ -39,64 +77,272 @@ TimingEngine::run(const KernelProfile &profile, const KernelPhase &phase,
                   const HardwareConfig &cfg) const
 {
     space_.validate(cfg);
-    phase.validate();
+    const PreparedKernel prep = prepare(profile, phase);
 
-    KernelTiming out;
-    out.occupancy = computeOccupancy(dev_, profile.resources);
-
-    const double waves = phase.workItems / dev_.wavefrontSize;
-
-    // ---- Compute side ------------------------------------------------
-    const double aluWaveInsts = waves * phase.aluInstsPerItem;
-    // Divergent branches serialize both paths: extra issue slots are
-    // spent re-executing with complementary lane masks.
-    const double issueSlots =
-        aluWaveInsts * (1.0 + phase.branchDivergence *
-                                  phase.divergenceSerialization);
+    // The axis-dependent inputs, computed by direct model calls. The
+    // factored path obtains the very same values from its tables.
+    TimingAxisValues axis;
     const double issueRate =
         dev_.peakWaveInstRate(cfg.cuCount, cfg.computeFreqMhz) *
         params_.issueEfficiency;
-    out.computeTime = issueSlots / issueRate;
+    axis.computeTime = prep.issueSlots / issueRate;
+    axis.l2HitRate = cache_.hitRate(phase, cfg.cuCount);
+    axis.offChipBytes = prep.requestedBytes * (1.0 - axis.l2HitRate);
+
+    // All traffic is serviced through the L2 (compute clock domain).
+    axis.l2Time =
+        prep.requestedBytes / cache_.l2Bandwidth(cfg.computeFreqMhz);
+
+    MemDemand demand;
+    demand.outstandingRequests = static_cast<double>(cfg.cuCount) *
+                                 prep.occupancy.wavesPerCu *
+                                 phase.mlpPerWave;
+    demand.requestBytes = dev_.cacheLineBytes;
+    demand.rowHitFraction = phase.rowHitFraction;
+    demand.streamEfficiency = phase.streamEfficiency;
+    axis.bandwidth = memsys_.resolveBandwidth(
+        cfg.memFreqMhz, cfg.computeFreqMhz, demand);
+    axis.peakBandwidth = memsys_.peakBandwidth(cfg.memFreqMhz);
+    axis.invPeakBandwidth = 1.0 / axis.peakBandwidth;
+
+    return combine(prep, axis);
+}
+
+PreparedKernel
+TimingEngine::prepare(const KernelProfile &profile,
+                      const KernelPhase &phase) const
+{
+    phase.validate();
+
+    PreparedKernel out;
+    out.phase = phase;
+    out.occupancy = computeOccupancy(dev_, profile.resources);
+    // With enough resident waves, compute and memory pipelines overlap
+    // fully; at low occupancy part of the shorter phases is exposed.
+    // A pure function of occupancy, so config-invariant.
+    out.overlap = std::min(
+        1.0, out.occupancy.occupancy / params_.overlapOccupancyKnee);
+    out.exposure = 1.0 - out.overlap;
+    out.waves = phase.workItems / dev_.wavefrontSize;
+
+    // ---- Compute side ------------------------------------------------
+    out.aluWaveInsts = out.waves * phase.aluInstsPerItem;
+    // Divergent branches serialize both paths: extra issue slots are
+    // spent re-executing with complementary lane masks.
+    out.issueSlots =
+        out.aluWaveInsts * (1.0 + phase.branchDivergence *
+                                      phase.divergenceSerialization);
 
     // ---- Memory side -------------------------------------------------
     const double accessWaveInsts =
-        waves * (phase.fetchInstsPerItem + phase.writeInstsPerItem);
+        out.waves * (phase.fetchInstsPerItem + phase.writeInstsPerItem);
     const double usefulBytesPerAccess =
         dev_.wavefrontSize * params_.bytesPerLane;
     out.requestedBytes =
         accessWaveInsts * usefulBytesPerAccess / phase.coalescing;
 
-    out.l2HitRate = cache_.hitRate(phase, cfg.cuCount);
-    out.offChipBytes = out.requestedBytes * (1.0 - out.l2HitRate);
+    const double accesses =
+        phase.fetchInstsPerItem + phase.writeInstsPerItem;
+    out.writeShare =
+        accesses > 0.0 ? phase.writeInstsPerItem / accesses : 0.0;
+    out.valuUtilization = 100.0 * (1.0 - phase.branchDivergence);
+    out.normVgpr = static_cast<double>(profile.resources.vgprPerWorkitem) /
+                   dev_.maxVgprPerWave;
+    out.normSgpr = static_cast<double>(profile.resources.sgprPerWave) /
+                   dev_.maxSgprPerWave;
+    out.vfetchInsts = out.waves * phase.fetchInstsPerItem;
+    out.vwriteInsts = out.waves * phase.writeInstsPerItem;
+    return out;
+}
 
-    // All traffic is serviced through the L2 (compute clock domain).
-    out.l2Time =
-        out.requestedBytes / cache_.l2Bandwidth(cfg.computeFreqMhz);
+TimingAxisTables
+TimingEngine::buildAxisTables(const PreparedKernel &prep,
+                              ThreadPool *pool) const
+{
+    const KernelPhase &phase = prep.phase;
 
-    MemDemand demand;
-    demand.outstandingRequests = static_cast<double>(cfg.cuCount) *
-                                 out.occupancy.wavesPerCu *
-                                 phase.mlpPerWave;
-    demand.requestBytes = dev_.cacheLineBytes;
-    demand.rowHitFraction = phase.rowHitFraction;
-    demand.streamEfficiency = phase.streamEfficiency;
-    out.bandwidth = memsys_.resolveBandwidth(
-        cfg.memFreqMhz, cfg.computeFreqMhz, demand);
+    TimingAxisTables t;
+    t.cuValues = space_.values(Tunable::CuCount);
+    t.computeFreqValues = space_.values(Tunable::ComputeFreq);
+    t.memFreqValues = space_.values(Tunable::MemFreq);
+    const size_t nCu = t.cuValues.size();
+    const size_t nCf = t.computeFreqValues.size();
+    const size_t nMem = t.memFreqValues.size();
+
+    t.l2HitRate.resize(nCu);
+    t.offChipBytes.resize(nCu);
+    t.outstandingRequests.resize(nCu);
+    for (size_t i = 0; i < nCu; ++i) {
+        const int cu = t.cuValues[i];
+        t.l2HitRate[i] = cache_.hitRate(phase, cu);
+        t.offChipBytes[i] =
+            prep.requestedBytes * (1.0 - t.l2HitRate[i]);
+        t.outstandingRequests[i] = static_cast<double>(cu) *
+                                   prep.occupancy.wavesPerCu *
+                                   phase.mlpPerWave;
+    }
+
+    t.l2Bandwidth.resize(nCf);
+    t.l2Time.resize(nCf);
+    t.crossingCap.resize(nCf);
+    for (size_t i = 0; i < nCf; ++i) {
+        const int cf = t.computeFreqValues[i];
+        t.l2Bandwidth[i] = cache_.l2Bandwidth(cf);
+        t.l2Time[i] = prep.requestedBytes / t.l2Bandwidth[i];
+        t.crossingCap[i] = memsys_.crossing().maxBandwidth(cf);
+    }
+
+    t.computeTime.resize(nCu * nCf);
+    for (size_t cu = 0; cu < nCu; ++cu) {
+        for (size_t cf = 0; cf < nCf; ++cf) {
+            const double issueRate =
+                dev_.peakWaveInstRate(t.cuValues[cu],
+                                      t.computeFreqValues[cf]) *
+                params_.issueEfficiency;
+            t.computeTime[cu * nCf + cf] = prep.issueSlots / issueRate;
+        }
+    }
+
+    t.peakBandwidth.resize(nMem);
+    t.invPeakBandwidth.resize(nMem);
+    for (size_t m = 0; m < nMem; ++m) {
+        t.peakBandwidth[m] = memsys_.peakBandwidth(t.memFreqValues[m]);
+        t.invPeakBandwidth[m] = 1.0 / t.peakBandwidth[m];
+    }
+
+    // The bandwidth lattice, built one memory-frequency slab at a
+    // time. Two levers keep the slab cheap while staying bitwise
+    // identical to per-point resolveBandwidth() calls:
+    //
+    //  1. Compute-frequency dedup: with zero outstanding requests the
+    //     result never reads the crossing cap, and once both adjacent
+    //     caps clear the bus ceiling the solve sees the identical
+    //     supply ceiling and limiter ordering — reuse the previous
+    //     entry in the row verbatim.
+    //  2. Every remaining (CU, compute-freq) point in the slab is an
+    //     independent lane of resolveLanesWithCrossingCap(), which
+    //     interleaves the bisection solves so their division chains
+    //     pipeline instead of running back to back.
+    t.bandwidth.resize(nMem * nCu * nCf);
+
+    // Lane scratch for every slab, allocated once up front; slab m
+    // touches only its own [m * nCu * nCf, ...) window, so the
+    // parallel path stays write-disjoint.
+    std::vector<double> laneOutstandingBuf(nMem * nCu * nCf);
+    std::vector<double> laneCapBuf(nMem * nCu * nCf);
+    std::vector<size_t> laneSlotBuf(nMem * nCu * nCf);
+    std::vector<BandwidthResult> laneResultBuf(nMem * nCu * nCf);
+
+    auto buildSlab = [&](size_t m) {
+        MemDemand demand;
+        demand.requestBytes = dev_.cacheLineBytes;
+        demand.rowHitFraction = phase.rowHitFraction;
+        demand.streamEfficiency = phase.streamEfficiency;
+
+        const double memFreq = t.memFreqValues[m];
+        const double busPeak =
+            t.peakBandwidth[m] * demand.streamEfficiency;
+        BandwidthResult *slab = &t.bandwidth[m * nCu * nCf];
+
+        // A compute frequency dedups against its left neighbor when
+        // both crossing caps clear the bus ceiling (or the row has no
+        // outstanding requests); everything else becomes a lane.
+        auto dedups = [&](double outstanding, size_t cf) {
+            return cf > 0 && (outstanding == 0.0 ||
+                              (t.crossingCap[cf] >= busPeak &&
+                               t.crossingCap[cf - 1] >= busPeak));
+        };
+
+        double *laneOutstanding = &laneOutstandingBuf[m * nCu * nCf];
+        double *laneCap = &laneCapBuf[m * nCu * nCf];
+        size_t *laneSlot = &laneSlotBuf[m * nCu * nCf];
+        BandwidthResult *laneResult = &laneResultBuf[m * nCu * nCf];
+        size_t n = 0;
+        for (size_t cu = 0; cu < nCu; ++cu) {
+            for (size_t cf = 0; cf < nCf; ++cf) {
+                if (dedups(t.outstandingRequests[cu], cf))
+                    continue;
+                laneOutstanding[n] = t.outstandingRequests[cu];
+                laneCap[n] = t.crossingCap[cf];
+                laneSlot[n] = cu * nCf + cf;
+                ++n;
+            }
+        }
+        memsys_.resolveLanesWithCrossingCap(memFreq, demand, n,
+                                            laneOutstanding, laneCap,
+                                            laneResult);
+        for (size_t l = 0; l < n; ++l)
+            slab[laneSlot[l]] = laneResult[l];
+        for (size_t cu = 0; cu < nCu; ++cu) {
+            BandwidthResult *row = slab + cu * nCf;
+            for (size_t cf = 1; cf < nCf; ++cf)
+                if (dedups(t.outstandingRequests[cu], cf))
+                    row[cf] = row[cf - 1];
+        }
+    };
+    if (pool != nullptr && pool->numThreads() > 1)
+        pool->parallelFor(nMem, 1, buildSlab);
+    else
+        for (size_t m = 0; m < nMem; ++m)
+            buildSlab(m);
+    return t;
+}
+
+KernelTiming
+TimingEngine::evaluate(const PreparedKernel &prep,
+                       const TimingAxisTables &tables,
+                       const HardwareConfig &cfg) const
+{
+    return evaluateAt(prep, tables, tables.cuIndex(cfg.cuCount),
+                      tables.computeFreqIndex(cfg.computeFreqMhz),
+                      tables.memFreqIndex(cfg.memFreqMhz));
+}
+
+KernelTiming
+TimingEngine::evaluateAt(const PreparedKernel &prep,
+                         const TimingAxisTables &tables, size_t cuIdx,
+                         size_t cfIdx, size_t memIdx) const
+{
+    const size_t nCf = tables.computeFreqValues.size();
+
+    TimingAxisValues axis;
+    axis.computeTime = tables.computeTime[cuIdx * nCf + cfIdx];
+    axis.l2HitRate = tables.l2HitRate[cuIdx];
+    axis.offChipBytes = tables.offChipBytes[cuIdx];
+    axis.l2Time = tables.l2Time[cfIdx];
+    axis.peakBandwidth = tables.peakBandwidth[memIdx];
+    axis.invPeakBandwidth = tables.invPeakBandwidth[memIdx];
+    axis.bandwidth =
+        tables.bandwidth[(memIdx * tables.cuValues.size() + cuIdx) * nCf +
+                         cfIdx];
+    return combine(prep, axis);
+}
+
+KernelTiming
+TimingEngine::combine(const PreparedKernel &prep,
+                      const TimingAxisValues &axis) const
+{
+    KernelTiming out;
+    out.occupancy = prep.occupancy;
+    out.computeTime = axis.computeTime;
+    out.requestedBytes = prep.requestedBytes;
+    out.l2HitRate = axis.l2HitRate;
+    out.offChipBytes = axis.offChipBytes;
+    out.l2Time = axis.l2Time;
+    out.bandwidth = axis.bandwidth;
 
     out.memTime = out.offChipBytes > 0.0 && out.bandwidth.effectiveBps > 0.0
                       ? out.offChipBytes / out.bandwidth.effectiveBps
                       : 0.0;
 
     // ---- Overlap -----------------------------------------------------
-    // With enough resident waves, compute and memory pipelines overlap
-    // fully and the kernel runs at the slowest of the three; at low
-    // occupancy part of the shorter phases is exposed.
+    // The kernel runs at the slowest of the three phases plus the
+    // exposed (non-overlapped) remainder; the overlap fraction itself
+    // is config-invariant and was hoisted into the prepared kernel.
     const double longest =
         std::max({out.computeTime, out.l2Time, out.memTime});
     const double total = out.computeTime + out.l2Time + out.memTime;
-    const double overlap = std::min(
-        1.0, out.occupancy.occupancy / params_.overlapOccupancyKnee);
-    out.busyTime = longest + (1.0 - overlap) * (total - longest);
+    out.busyTime = longest + prep.exposure * (total - longest);
     out.launchOverhead = params_.launchOverheadSec;
     out.execTime = out.busyTime + out.launchOverhead;
 
@@ -106,40 +352,33 @@ TimingEngine::run(const KernelProfile &profile, const KernelPhase &phase,
     // dilutes them — which is exactly the signal that makes tiny
     // kernels look insensitive to every tunable.
     CounterSet &ctr = out.counters;
-    const double wallTime = std::max(out.execTime, 1e-12);
-    ctr.valuBusy = std::min(100.0, 100.0 * out.computeTime / wallTime);
-    ctr.valuUtilization = 100.0 * (1.0 - phase.branchDivergence);
+    // One reciprocal serves the three per-wall-time rates below; the
+    // busy/stall percentages divide the only other way wall time is
+    // consumed, so this is the per-config division hot spot.
+    const double invWall = 1.0 / std::max(out.execTime, 1e-12);
+    ctr.valuBusy = std::min(100.0, 100.0 * out.computeTime * invWall);
+    ctr.valuUtilization = prep.valuUtilization;
 
     const double memActive = std::max(out.l2Time, out.memTime);
-    ctr.memUnitBusy = std::min(100.0, 100.0 * memActive / wallTime);
+    ctr.memUnitBusy = std::min(100.0, 100.0 * memActive * invWall);
 
     const double busUtil =
-        out.bandwidth.effectiveBps /
-        memsys_.peakBandwidth(cfg.memFreqMhz);
-    const double exposure = 1.0 - overlap;
+        out.bandwidth.effectiveBps * axis.invPeakBandwidth;
     const double stallFrac =
         std::min(1.0, params_.busStallWeight * busUtil +
-                          params_.exposureStallWeight * exposure);
+                          params_.exposureStallWeight * prep.exposure);
     ctr.memUnitStalled = ctr.memUnitBusy * stallFrac;
-
-    const double accesses =
-        phase.fetchInstsPerItem + phase.writeInstsPerItem;
-    const double writeShare =
-        accesses > 0.0 ? phase.writeInstsPerItem / accesses : 0.0;
-    ctr.writeUnitStalled = ctr.memUnitStalled * writeShare;
+    ctr.writeUnitStalled = ctr.memUnitStalled * prep.writeShare;
 
     ctr.l2CacheHit = 100.0 * out.l2HitRate;
-    const double achievedBps = out.offChipBytes / wallTime;
+    const double achievedBps = out.offChipBytes * invWall;
     ctr.icActivity = icActivityOf(
-        std::min(achievedBps, memsys_.peakBandwidth(cfg.memFreqMhz)),
-        memsys_.peakBandwidth(cfg.memFreqMhz));
-    ctr.normVgpr = static_cast<double>(profile.resources.vgprPerWorkitem) /
-                   dev_.maxVgprPerWave;
-    ctr.normSgpr = static_cast<double>(profile.resources.sgprPerWave) /
-                   dev_.maxSgprPerWave;
-    ctr.valuInsts = aluWaveInsts;
-    ctr.vfetchInsts = waves * phase.fetchInstsPerItem;
-    ctr.vwriteInsts = waves * phase.writeInstsPerItem;
+        std::min(achievedBps, axis.peakBandwidth), axis.peakBandwidth);
+    ctr.normVgpr = prep.normVgpr;
+    ctr.normSgpr = prep.normSgpr;
+    ctr.valuInsts = prep.aluWaveInsts;
+    ctr.vfetchInsts = prep.vfetchInsts;
+    ctr.vwriteInsts = prep.vwriteInsts;
     ctr.offChipBytes = out.offChipBytes;
     ctr.validate();
 

@@ -22,6 +22,9 @@
 #ifndef HARMONIA_TIMING_TIMING_ENGINE_HH
 #define HARMONIA_TIMING_TIMING_ENGINE_HH
 
+#include <cstddef>
+#include <vector>
+
 #include "arch/occupancy.hh"
 #include "counters/perf_counters.hh"
 #include "dvfs/tunables.hh"
@@ -53,6 +56,102 @@ struct TimingParams
     /** Extra stall weight when latency is exposed (low occupancy). */
     double exposureStallWeight = 0.45;
 };
+
+/**
+ * Config-invariant bundle of one (profile, phase) invocation, computed
+ * once by TimingEngine::prepare() and reused across every point of the
+ * design-space lattice. None of these quantities depends on any of the
+ * three tunables: occupancy is a pure function of the kernel's
+ * resource demands, and the instruction/traffic totals follow from the
+ * phase alone.
+ */
+struct PreparedKernel
+{
+    KernelPhase phase;        ///< Validated copy of the phase.
+    OccupancyInfo occupancy;  ///< computeOccupancy(dev, resources).
+    double overlap = 0.0;         ///< min(1, occupancy / overlap knee).
+    double exposure = 0.0;        ///< 1 - overlap (latency exposed).
+    double waves = 0.0;           ///< workItems / wavefrontSize.
+    double aluWaveInsts = 0.0;    ///< waves * aluInstsPerItem.
+    double issueSlots = 0.0;      ///< ALU slots incl. divergence replay.
+    double requestedBytes = 0.0;  ///< Bytes requested of the L2.
+    double writeShare = 0.0;      ///< Write fraction of memory accesses.
+    double valuUtilization = 0.0; ///< 100 * (1 - branchDivergence).
+    double normVgpr = 0.0;        ///< VGPR demand / device limit.
+    double normSgpr = 0.0;        ///< SGPR demand / device limit.
+    double vfetchInsts = 0.0;     ///< waves * fetchInstsPerItem.
+    double vwriteInsts = 0.0;     ///< waves * writeInstsPerItem.
+};
+
+/**
+ * The axis-dependent scalar inputs of one lattice point, as consumed
+ * by the shared per-config combine step. The naive path computes them
+ * with direct model calls; the factored path reads them out of
+ * TimingAxisTables. Either way the combine arithmetic is identical,
+ * which is what pins the two paths to bitwise-equal results.
+ */
+struct TimingAxisValues
+{
+    double computeTime = 0.0;   ///< (CU count, compute freq) axis.
+    double l2HitRate = 0.0;     ///< CU-count axis.
+    double offChipBytes = 0.0;  ///< CU-count axis.
+    double l2Time = 0.0;        ///< Compute-frequency axis.
+    double peakBandwidth = 0.0; ///< Memory-frequency axis.
+    double invPeakBandwidth = 0.0; ///< 1 / peakBandwidth.
+    BandwidthResult bandwidth;  ///< All three axes (resolved).
+};
+
+/**
+ * Per-axis lookup tables over the configuration lattice for one
+ * prepared kernel, built once per sweep by
+ * TimingEngine::buildAxisTables(). Each entry is produced by exactly
+ * the model call the naive path would make, so indexed lookups are
+ * bitwise identical to recomputation:
+ *
+ *  - CU-count axis (8 values): L2 hit rate, off-chip bytes, and the
+ *    Little's-law outstanding-request demand;
+ *  - compute-frequency axis (8): L2 bandwidth and service time, and
+ *    the L2->MC crossing cap;
+ *  - (CU count x compute frequency) plane (64): vector-ALU issue time
+ *    (the kernel's issue slots over the wave issue rate);
+ *  - memory-frequency axis (7): peak bus bandwidth and its
+ *    reciprocal;
+ *  - full lattice (448): resolved BandwidthResult, deduplicated where
+ *    the crossing cap saturates against the bus ceiling.
+ */
+struct TimingAxisTables
+{
+    std::vector<int> cuValues;          ///< Ascending lattice values.
+    std::vector<int> computeFreqValues; ///< Ascending lattice values.
+    std::vector<int> memFreqValues;     ///< Ascending lattice values.
+
+    // --- CU-count axis (phase-dependent) ---------------------------
+    std::vector<double> l2HitRate;
+    std::vector<double> offChipBytes;
+    std::vector<double> outstandingRequests;
+
+    // --- Compute-frequency axis ------------------------------------
+    std::vector<double> l2Bandwidth;
+    std::vector<double> l2Time;
+    std::vector<double> crossingCap;
+
+    // --- (CU count, compute frequency) plane, row-major in cu ------
+    std::vector<double> computeTime;
+
+    // --- Memory-frequency axis -------------------------------------
+    std::vector<double> peakBandwidth;
+    std::vector<double> invPeakBandwidth;
+
+    // --- Full lattice, mem-major like ConfigSpace::allConfigs() ----
+    std::vector<BandwidthResult> bandwidth;
+
+    /** Axis position of a lattice value; @throws when off-lattice. */
+    size_t cuIndex(int cuCount) const;
+    size_t computeFreqIndex(int computeFreqMhz) const;
+    size_t memFreqIndex(int memFreqMhz) const;
+};
+
+class ThreadPool;
 
 /** Complete timing result of one kernel invocation. */
 struct KernelTiming
@@ -107,7 +206,49 @@ class TimingEngine
     KernelTiming runIteration(const KernelProfile &profile, int iteration,
                               const HardwareConfig &cfg) const;
 
+    /**
+     * Hoist everything about (@p profile, @p phase) that no tunable
+     * can change: validation, occupancy, and the instruction/traffic
+     * totals. run() recomputes this bundle per call; sweeps compute it
+     * once and evaluate() 448 times.
+     */
+    PreparedKernel prepare(const KernelProfile &profile,
+                           const KernelPhase &phase) const;
+
+    /**
+     * Build the per-axis lookup tables for @p prep over this engine's
+     * configuration lattice. When @p pool is non-null the bandwidth
+     * lattice rows are resolved in parallel (each row writes only its
+     * own slots, so results are scheduling-independent).
+     */
+    TimingAxisTables buildAxisTables(const PreparedKernel &prep,
+                                     ThreadPool *pool = nullptr) const;
+
+    /**
+     * Factored equivalent of run(): combine a prepared kernel with
+     * table lookups for @p cfg. Bitwise identical to
+     * run(profile, phase, cfg) because every table entry was computed
+     * by the same model call run() would make, and the final combine
+     * step is the same code for both paths.
+     */
+    KernelTiming evaluate(const PreparedKernel &prep,
+                          const TimingAxisTables &tables,
+                          const HardwareConfig &cfg) const;
+
+    /**
+     * evaluate() with the axis positions already derived — for batch
+     * drivers that resolve (cu, cf, mem) indices once and reuse them
+     * for several table families. Indices must be in range.
+     */
+    KernelTiming evaluateAt(const PreparedKernel &prep,
+                            const TimingAxisTables &tables, size_t cuIdx,
+                            size_t cfIdx, size_t memIdx) const;
+
   private:
+    /** The per-config arithmetic shared by run() and evaluate(). */
+    KernelTiming combine(const PreparedKernel &prep,
+                         const TimingAxisValues &axis) const;
+
     GcnDeviceConfig dev_;
     ConfigSpace space_;
     CacheModel cache_;

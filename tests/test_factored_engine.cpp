@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Bitwise-equivalence harness for the factored lattice evaluator.
+ *
+ * The factored path (TimingEngine::prepare + buildAxisTables +
+ * evaluate, LatticeEvaluator, GpuDevice::runLattice) promises results
+ * *bitwise identical* to the naive per-config path — not merely close.
+ * These tests compare every double of every KernelResult at the bit
+ * level across the full workload suite x the 448-point lattice, plus
+ * spot-check each axis table against direct model calls (which also
+ * pins the bandwidth-dedupe rule: a reused entry must equal the full
+ * fixed-point solve it skipped).
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/thread_pool.hh"
+#include "core/sweep.hh"
+#include "sim/gpu_device.hh"
+#include "sim/lattice_evaluator.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+const GpuDevice &
+device()
+{
+    static GpuDevice dev;
+    return dev;
+}
+
+/** Bit pattern of a double: distinguishes -0.0/0.0 and NaN payloads. */
+uint64_t
+bits(double x)
+{
+    return std::bit_cast<uint64_t>(x);
+}
+
+#define EXPECT_SAME_BITS(a, b)                                          \
+    EXPECT_EQ(bits(a), bits(b)) << #a " differs from " #b " at " << ctx
+
+void
+expectSameCounters(const CounterSet &a, const CounterSet &b,
+                   const std::string &ctx)
+{
+    EXPECT_SAME_BITS(a.valuBusy, b.valuBusy);
+    EXPECT_SAME_BITS(a.valuUtilization, b.valuUtilization);
+    EXPECT_SAME_BITS(a.memUnitBusy, b.memUnitBusy);
+    EXPECT_SAME_BITS(a.memUnitStalled, b.memUnitStalled);
+    EXPECT_SAME_BITS(a.writeUnitStalled, b.writeUnitStalled);
+    EXPECT_SAME_BITS(a.l2CacheHit, b.l2CacheHit);
+    EXPECT_SAME_BITS(a.icActivity, b.icActivity);
+    EXPECT_SAME_BITS(a.normVgpr, b.normVgpr);
+    EXPECT_SAME_BITS(a.normSgpr, b.normSgpr);
+    EXPECT_SAME_BITS(a.valuInsts, b.valuInsts);
+    EXPECT_SAME_BITS(a.vfetchInsts, b.vfetchInsts);
+    EXPECT_SAME_BITS(a.vwriteInsts, b.vwriteInsts);
+    EXPECT_SAME_BITS(a.offChipBytes, b.offChipBytes);
+}
+
+void
+expectSameTiming(const KernelTiming &a, const KernelTiming &b,
+                 const std::string &ctx)
+{
+    EXPECT_SAME_BITS(a.execTime, b.execTime);
+    EXPECT_SAME_BITS(a.computeTime, b.computeTime);
+    EXPECT_SAME_BITS(a.l2Time, b.l2Time);
+    EXPECT_SAME_BITS(a.memTime, b.memTime);
+    EXPECT_SAME_BITS(a.launchOverhead, b.launchOverhead);
+    EXPECT_SAME_BITS(a.busyTime, b.busyTime);
+    EXPECT_EQ(a.occupancy.wavesPerSimd, b.occupancy.wavesPerSimd) << ctx;
+    EXPECT_EQ(a.occupancy.wavesPerCu, b.occupancy.wavesPerCu) << ctx;
+    EXPECT_EQ(a.occupancy.workgroupsPerCu, b.occupancy.workgroupsPerCu)
+        << ctx;
+    EXPECT_SAME_BITS(a.occupancy.occupancy, b.occupancy.occupancy);
+    EXPECT_EQ(a.occupancy.limiter, b.occupancy.limiter) << ctx;
+    EXPECT_SAME_BITS(a.l2HitRate, b.l2HitRate);
+    EXPECT_SAME_BITS(a.requestedBytes, b.requestedBytes);
+    EXPECT_SAME_BITS(a.offChipBytes, b.offChipBytes);
+    EXPECT_SAME_BITS(a.bandwidth.effectiveBps, b.bandwidth.effectiveBps);
+    EXPECT_SAME_BITS(a.bandwidth.latency, b.bandwidth.latency);
+    EXPECT_EQ(a.bandwidth.limiter, b.bandwidth.limiter) << ctx;
+    expectSameCounters(a.counters, b.counters, ctx);
+}
+
+void
+expectSameResult(const KernelResult &a, const KernelResult &b,
+                 const std::string &ctx)
+{
+    expectSameTiming(a.timing, b.timing, ctx);
+    EXPECT_SAME_BITS(a.power.gpu.cuDynamic, b.power.gpu.cuDynamic);
+    EXPECT_SAME_BITS(a.power.gpu.uncoreDynamic,
+                     b.power.gpu.uncoreDynamic);
+    EXPECT_SAME_BITS(a.power.gpu.leakage, b.power.gpu.leakage);
+    EXPECT_SAME_BITS(a.power.mem.background, b.power.mem.background);
+    EXPECT_SAME_BITS(a.power.mem.activatePrecharge,
+                     b.power.mem.activatePrecharge);
+    EXPECT_SAME_BITS(a.power.mem.readWrite, b.power.mem.readWrite);
+    EXPECT_SAME_BITS(a.power.mem.termination, b.power.mem.termination);
+    EXPECT_SAME_BITS(a.power.mem.phy, b.power.mem.phy);
+    EXPECT_SAME_BITS(a.power.other, b.power.other);
+    EXPECT_SAME_BITS(a.cardEnergy, b.cardEnergy);
+    EXPECT_SAME_BITS(a.gpuEnergy, b.gpuEnergy);
+    EXPECT_SAME_BITS(a.memEnergy, b.memEnergy);
+}
+
+} // namespace
+
+// The headline guarantee: every kernel of every suite application, at
+// every iteration's phase, across all 448 lattice points, produces the
+// same bits through GpuDevice::runLattice as through per-config run().
+TEST(FactoredEngine, FullSuiteBitwiseIdenticalToNaive)
+{
+    const GpuDevice &dev = device();
+    const std::vector<HardwareConfig> configs =
+        dev.space().allConfigs();
+    ASSERT_EQ(configs.size(), 448u);
+
+    for (const Application &app : standardSuite()) {
+        for (const KernelProfile &k : app.kernels) {
+            for (int iter : {0, 1, app.iterations - 1}) {
+                const KernelPhase phase = k.phase(iter);
+                std::vector<KernelResult> factored(configs.size());
+                dev.runLattice(k, phase, configs, factored.data());
+                for (size_t i = 0; i < configs.size(); ++i) {
+                    const KernelResult naive =
+                        dev.run(k, phase, configs[i]);
+                    expectSameResult(factored[i], naive,
+                                     k.id() + "#" +
+                                         std::to_string(iter) + " @ " +
+                                         configs[i].str());
+                }
+            }
+        }
+    }
+}
+
+// Same guarantee through the sweep engine with a thread pool: the
+// factored batch path must be scheduling-independent and bit-equal to
+// a serial naive sweep.
+TEST(FactoredEngine, SweepFactoredMatchesNaiveSweep)
+{
+    SweepOptions naiveOpts;
+    naiveOpts.jobs = 1;
+    naiveOpts.factored = false;
+    const ConfigSweep naive(device(), naiveOpts);
+
+    SweepOptions factoredOpts;
+    factoredOpts.jobs = 4;
+    factoredOpts.factored = true;
+    const ConfigSweep factored(device(), factoredOpts);
+
+    for (const Application &app : {makeDeviceMemory(), makeSort(),
+                                   makeXsbench()}) {
+        for (const KernelProfile &k : app.kernels) {
+            const auto &a = naive.evaluate(k, 0);
+            const auto &b = factored.evaluate(k, 0);
+            ASSERT_EQ(a.size(), b.size());
+            for (size_t i = 0; i < a.size(); ++i)
+                expectSameResult(a[i], b[i],
+                                 k.id() + " @ " +
+                                     naive.configs()[i].str());
+        }
+    }
+}
+
+// Every axis-table entry must be byte-for-byte the value the direct
+// model call produces. The bandwidth check is the important one: it
+// proves the crossing-cap dedupe only reuses results that are exactly
+// what the skipped fixed-point solve would have returned.
+TEST(FactoredEngine, AxisTablesMatchDirectModelCalls)
+{
+    const GpuDevice &dev = device();
+    const TimingEngine &eng = dev.engine();
+    const KernelProfile k = makeSpmv().kernels.front();
+    const KernelPhase phase = k.phase(0);
+
+    const PreparedKernel prep = eng.prepare(k, phase);
+    const TimingAxisTables t = eng.buildAxisTables(prep);
+
+    ASSERT_EQ(t.cuValues.size(), 8u);
+    ASSERT_EQ(t.computeFreqValues.size(), 8u);
+    ASSERT_EQ(t.memFreqValues.size(), 7u);
+    ASSERT_EQ(t.bandwidth.size(), 448u);
+
+    for (size_t cu = 0; cu < t.cuValues.size(); ++cu) {
+        const std::string ctx = "cu=" + std::to_string(t.cuValues[cu]);
+        EXPECT_SAME_BITS(t.l2HitRate[cu],
+                         eng.cacheModel().hitRate(phase, t.cuValues[cu]));
+        EXPECT_SAME_BITS(t.offChipBytes[cu],
+                         prep.requestedBytes * (1.0 - t.l2HitRate[cu]));
+    }
+    for (size_t cf = 0; cf < t.computeFreqValues.size(); ++cf) {
+        const std::string ctx =
+            "cf=" + std::to_string(t.computeFreqValues[cf]);
+        EXPECT_SAME_BITS(
+            t.l2Bandwidth[cf],
+            eng.cacheModel().l2Bandwidth(t.computeFreqValues[cf]));
+        EXPECT_SAME_BITS(t.crossingCap[cf],
+                         eng.memorySystem().crossing().maxBandwidth(
+                             t.computeFreqValues[cf]));
+    }
+    for (size_t m = 0; m < t.memFreqValues.size(); ++m) {
+        const std::string ctx =
+            "mem=" + std::to_string(t.memFreqValues[m]);
+        EXPECT_SAME_BITS(
+            t.peakBandwidth[m],
+            eng.memorySystem().peakBandwidth(t.memFreqValues[m]));
+    }
+
+    MemDemand demand;
+    demand.requestBytes = dev.config().cacheLineBytes;
+    demand.rowHitFraction = phase.rowHitFraction;
+    demand.streamEfficiency = phase.streamEfficiency;
+    for (size_t m = 0; m < t.memFreqValues.size(); ++m) {
+        for (size_t cu = 0; cu < t.cuValues.size(); ++cu) {
+            demand.outstandingRequests = t.outstandingRequests[cu];
+            for (size_t cf = 0; cf < t.computeFreqValues.size(); ++cf) {
+                const std::string ctx =
+                    "bw(" + std::to_string(t.memFreqValues[m]) + "," +
+                    std::to_string(t.cuValues[cu]) + "," +
+                    std::to_string(t.computeFreqValues[cf]) + ")";
+                const BandwidthResult direct =
+                    eng.memorySystem().resolveBandwidth(
+                        t.memFreqValues[m], t.computeFreqValues[cf],
+                        demand);
+                const BandwidthResult &tabled =
+                    t.bandwidth[(m * t.cuValues.size() + cu) *
+                                    t.computeFreqValues.size() +
+                                cf];
+                EXPECT_SAME_BITS(tabled.effectiveBps,
+                                 direct.effectiveBps);
+                EXPECT_SAME_BITS(tabled.latency, direct.latency);
+                EXPECT_EQ(tabled.limiter, direct.limiter) << ctx;
+            }
+        }
+    }
+}
+
+// Table construction with a pool must be bit-identical to serial
+// construction (each bandwidth row writes only its own slots).
+TEST(FactoredEngine, ParallelTableBuildMatchesSerial)
+{
+    const TimingEngine &eng = device().engine();
+    const KernelProfile k = makeStreamcluster().kernels.front();
+    const PreparedKernel prep = eng.prepare(k, k.phase(0));
+
+    const TimingAxisTables serial = eng.buildAxisTables(prep);
+    ThreadPool pool(4);
+    const TimingAxisTables parallel = eng.buildAxisTables(prep, &pool);
+
+    ASSERT_EQ(serial.bandwidth.size(), parallel.bandwidth.size());
+    for (size_t i = 0; i < serial.bandwidth.size(); ++i) {
+        const std::string ctx = "slot " + std::to_string(i);
+        EXPECT_SAME_BITS(serial.bandwidth[i].effectiveBps,
+                         parallel.bandwidth[i].effectiveBps);
+        EXPECT_SAME_BITS(serial.bandwidth[i].latency,
+                         parallel.bandwidth[i].latency);
+        EXPECT_EQ(serial.bandwidth[i].limiter,
+                  parallel.bandwidth[i].limiter)
+            << ctx;
+    }
+}
+
+// Off-lattice configurations are rejected by the table lookup just as
+// the naive path rejects them in validate().
+TEST(FactoredEngine, OffLatticeEvaluationThrows)
+{
+    const GpuDevice &dev = device();
+    const KernelProfile k = makeMaxFlops().kernels.front();
+    const LatticeEvaluator eval(dev, k, k.phase(0));
+
+    HardwareConfig cfg = dev.space().maxConfig();
+    EXPECT_NO_THROW(eval.evaluate(cfg));
+    cfg.computeFreqMhz = 1001;
+    EXPECT_THROW(eval.evaluate(cfg), ConfigError);
+    cfg = dev.space().maxConfig();
+    cfg.cuCount = 3;
+    EXPECT_THROW(eval.evaluate(cfg), ConfigError);
+    cfg = dev.space().maxConfig();
+    cfg.memFreqMhz = 500;
+    EXPECT_THROW(eval.evaluate(cfg), ConfigError);
+}
+
+// The sweep memo must treat the factored and naive paths as the same
+// cache: repeated evaluations hit, and the pair key distinguishes
+// iterations.
+TEST(FactoredEngine, SweepCacheKeyDistinguishesIterations)
+{
+    const ConfigSweep sweep(device());
+    const KernelProfile k = makeCfd().kernels.front();
+
+    const auto &first = sweep.evaluate(k, 0);
+    EXPECT_EQ(sweep.cacheMisses(), 1u);
+    const auto &again = sweep.evaluate(k, 0);
+    EXPECT_EQ(&first, &again);
+    EXPECT_EQ(sweep.cacheHits(), 1u);
+
+    sweep.evaluate(k, 1);
+    EXPECT_EQ(sweep.cacheMisses(), 2u);
+    EXPECT_EQ(sweep.cacheEntries(), 2u);
+}
