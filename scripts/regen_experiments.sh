@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerate every paper exhibit through the unified harmonia_exp
+# driver and archive the combined console output.
+#
+#   scripts/regen_experiments.sh [BUILD_DIR] [JOBS]
+#
+# Builds BUILD_DIR (default: build) if needed, runs
+# `harmonia_exp --all --jobs JOBS --out artifacts/`, and tees the
+# driver's stdout — every ASCII table plus the cache-summary line —
+# into artifacts/bench_output.txt. JSON/CSV artifacts for each exhibit
+# land next to it (schema documented in EXPERIMENTS.md).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir=${1:-build}
+jobs=${2:-$(nproc 2>/dev/null || echo 2)}
+
+if [[ ! -f "$build_dir/CMakeCache.txt" ]]; then
+    cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+cmake --build "$build_dir" -j "$jobs" --target harmonia_exp
+
+mkdir -p artifacts
+"$build_dir/tools/harmonia_exp" --all --jobs "$jobs" --out artifacts \
+    | tee artifacts/bench_output.txt
+
+echo "regen_experiments: artifacts/ and artifacts/bench_output.txt updated" >&2

@@ -47,6 +47,20 @@ class TextTable
     /** Number of columns (fixed at construction). */
     size_t cols() const { return headers_.size(); }
 
+    /** Column headers, in order. */
+    const std::vector<std::string> &headers() const { return headers_; }
+
+    /**
+     * Raw cell strings, row-major, exactly as they will render —
+     * the machine-readable artifact writers (src/exp/artifact.hh)
+     * serialize these so JSON/CSV stay bit-identical to the ASCII
+     * table's formatting.
+     */
+    const std::vector<std::vector<std::string>> &data() const
+    {
+        return rows_;
+    }
+
     /** Render the table, with an optional title line. */
     void print(std::ostream &os, const std::string &title = "") const;
 

@@ -68,11 +68,16 @@ Campaign::makeGovernor(Scheme scheme) const
 void
 Campaign::run()
 {
-    TrainingOptions trainingOpts = options_.training;
-    if (trainingOpts.jobs <= 1)
-        trainingOpts.jobs = options_.jobs;
-    training_ = std::make_unique<TrainingResult>(
-        trainPredictors(device_, suite_, trainingOpts));
+    if (options_.pretrained) {
+        training_ =
+            std::make_unique<TrainingResult>(*options_.pretrained);
+    } else {
+        TrainingOptions trainingOpts = options_.training;
+        if (trainingOpts.jobs <= 1)
+            trainingOpts.jobs = options_.jobs;
+        training_ = std::make_unique<TrainingResult>(
+            trainPredictors(device_, suite_, trainingOpts));
+    }
     predictor_ =
         std::make_unique<SensitivityPredictor>(training_->predictor());
 

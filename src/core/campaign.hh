@@ -65,6 +65,17 @@ struct CampaignOptions
      * set explicitly, training inherits this value too.
      */
     int jobs = 1;
+
+    /**
+     * Optional precomputed training result. When set, run() copies it
+     * instead of retraining — callers that already trained on the
+     * same (device, suite) pair (e.g. the experiment driver's shared
+     * context, src/exp/context.hh) avoid a redundant pipeline pass.
+     * Training is jobs-invariant (tests/test_sweep_determinism.cpp),
+     * so the campaign results are bit-identical either way. The
+     * pointee must outlive run().
+     */
+    const TrainingResult *pretrained = nullptr;
 };
 
 /**

@@ -1,0 +1,111 @@
+#include "artifact.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/csv.hh"
+#include "common/error.hh"
+
+namespace harmonia::exp
+{
+
+ArtifactWriter::ArtifactWriter(std::string dir, ArtifactFormats formats)
+    : dir_(std::move(dir)), formats_(formats)
+{
+    fatalIf(dir_.empty(), "ArtifactWriter: empty output directory");
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    fatalIf(static_cast<bool>(ec), "ArtifactWriter: cannot create '",
+            dir_, "': ", ec.message());
+}
+
+std::string
+ArtifactWriter::jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+ArtifactWriter::writeTable(const std::string &stem,
+                           const std::string &title,
+                           const TextTable &table)
+{
+    if (!enabled())
+        return;
+    if (formats_.json) {
+        const std::string path = dir_ + "/" + stem + ".json";
+        writeJson(path, stem, title, table);
+        written_.push_back(path);
+    }
+    if (formats_.csv) {
+        const std::string path = dir_ + "/" + stem + ".csv";
+        writeCsv(path, table);
+        written_.push_back(path);
+    }
+}
+
+void
+ArtifactWriter::writeJson(const std::string &path,
+                          const std::string &stem,
+                          const std::string &title,
+                          const TextTable &table)
+{
+    std::ofstream out(path);
+    fatalIf(!out, "ArtifactWriter: cannot write ", path);
+    out << "{\n"
+        << "  \"schema\": \"harmonia.exhibit-table/1\",\n"
+        << "  \"exhibit\": \"" << jsonEscape(stem) << "\",\n"
+        << "  \"title\": \"" << jsonEscape(title) << "\",\n"
+        << "  \"columns\": [";
+    const auto &headers = table.headers();
+    for (size_t c = 0; c < headers.size(); ++c)
+        out << (c ? ", " : "") << '"' << jsonEscape(headers[c]) << '"';
+    out << "],\n  \"rows\": [";
+    const auto &rows = table.data();
+    for (size_t r = 0; r < rows.size(); ++r) {
+        out << (r ? ",\n    " : "\n    ") << '[';
+        for (size_t c = 0; c < rows[r].size(); ++c)
+            out << (c ? ", " : "") << '"' << jsonEscape(rows[r][c])
+                << '"';
+        out << ']';
+    }
+    out << (rows.empty() ? "]" : "\n  ]") << "\n}\n";
+    fatalIf(!out, "ArtifactWriter: write failed for ", path);
+}
+
+void
+ArtifactWriter::writeCsv(const std::string &path, const TextTable &table)
+{
+    std::ofstream out(path);
+    fatalIf(!out, "ArtifactWriter: cannot write ", path);
+    CsvWriter csv(out, table.headers());
+    for (const auto &row : table.data()) {
+        csv.row();
+        for (const auto &cell : row)
+            csv.field(cell);
+    }
+    csv.finish();
+    fatalIf(!out, "ArtifactWriter: write failed for ", path);
+}
+
+} // namespace harmonia::exp

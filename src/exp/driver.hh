@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Command-line driver shared by the `harmonia_exp` binary and the
+ * thin legacy per-figure wrappers (bench/fig10_ed2.cpp,
+ * bench/fig13_performance.cpp).
+ *
+ * Usage:
+ *   harmonia_exp --list
+ *   harmonia_exp --run NAME [--run NAME ...] [options]
+ *   harmonia_exp --all [options]
+ *
+ * Options:
+ *   --jobs N        Worker threads (default: HARMONIA_JOBS env, else 1)
+ *   --out DIR       Write JSON/CSV artifacts under DIR
+ *   --format F      Artifact formats: json, csv, all (default), none
+ *   --seed S        Base RNG seed for sweep substreams
+ *   --bench-reps N  Full-suite passes per micro_sweep variant (default 6)
+ *
+ * All selected experiments share one ExpContext, so the standard
+ * campaign and the trained predictors are evaluated at most once per
+ * process; the closing summary line reports evaluations vs reuses.
+ * Exit status: 0 on success, 2 on a usage error.
+ */
+
+#ifndef HARMONIA_EXP_DRIVER_HH
+#define HARMONIA_EXP_DRIVER_HH
+
+#include <string>
+
+namespace harmonia::exp
+{
+
+/** Full CLI (the `harmonia_exp` binary's main). */
+int runDriver(int argc, char **argv);
+
+/**
+ * Legacy-wrapper entry point: parse the shared options only and run
+ * the single experiment @p name — `fig10_ed2 --jobs 4 --out DIR` is
+ * exactly `harmonia_exp --run fig10 --jobs 4 --out DIR`.
+ */
+int runLegacyWrapper(int argc, char **argv, const std::string &name);
+
+} // namespace harmonia::exp
+
+#endif // HARMONIA_EXP_DRIVER_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Sweep-throughput microbenchmark: naive per-config evaluation vs the
+ * factored lattice path, at 1 and 4 worker threads.
+ *
+ * Reports kernel-invocation lattices per second (one lattice = one
+ * (kernel, iteration) evaluated at all 448 configurations) and the
+ * per-config rate, and prints the single-thread factored/naive
+ * speedup. `--bench-reps N` controls how many full-suite passes each
+ * variant runs (default 6); the measurements land in the
+ * micro_sweep/micro_sweep_summary artifacts under `--out`.
+ */
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "exp/context.hh"
+#include "exp/experiment.hh"
+
+namespace harmonia::exp
+{
+namespace
+{
+
+struct Measurement
+{
+    std::string path; // "naive" | "factored"
+    int jobs = 1;
+    int reps = 1;
+    size_t lattices = 0;
+    size_t configs = 0;
+    double seconds = 0.0;
+
+    double latticesPerSec() const { return lattices / seconds; }
+    double configsPerSec() const { return configs / seconds; }
+};
+
+/**
+ * Evaluate every suite kernel at @p reps distinct iterations through
+ * a fresh sweep (distinct (kernel, iteration) keys, so every lattice
+ * is computed, never served from the memo).
+ */
+Measurement
+measure(ExpContext &ctx, bool factored, int jobs, int reps)
+{
+    SweepOptions opt;
+    opt.jobs = jobs;
+    opt.factored = factored;
+    opt.rngSeed = ctx.seed();
+    const ConfigSweep sweep(ctx.device(), opt);
+    const std::vector<Application> &apps = ctx.suite();
+
+    Measurement m;
+    m.path = factored ? "factored" : "naive";
+    m.jobs = jobs;
+    m.reps = reps;
+
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+        for (const Application &app : apps) {
+            for (const KernelProfile &k : app.kernels) {
+                sweep.evaluate(k, r);
+                ++m.lattices;
+            }
+        }
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    m.seconds = std::chrono::duration<double>(stop - start).count();
+    m.configs = m.lattices * sweep.configs().size();
+    return m;
+}
+
+class MicroSweep final : public Experiment
+{
+  public:
+    std::string name() const override { return "micro_sweep"; }
+    std::string legacyBinary() const override { return "micro_sweep"; }
+    std::string description() const override
+    {
+        return "Sweep throughput: naive vs factored lattice path";
+    }
+    std::string tier() const override { return "bench"; }
+    int order() const override { return 270; }
+
+    void run(ExpContext &ctx) const override
+    {
+        const int reps = ctx.options().benchReps;
+        ctx.banner("micro_sweep",
+                   "Design-space sweep throughput: naive per-config "
+                   "evaluation vs the factored lattice path.");
+
+        std::vector<Measurement> runs;
+        for (const int jobs : {1, 4}) {
+            for (const bool factored : {false, true}) {
+                // Warm-up pass so first-touch allocation and page
+                // faults don't land inside either variant's timed
+                // region.
+                measure(ctx, factored, jobs, 1);
+                runs.push_back(measure(ctx, factored, jobs, reps));
+            }
+        }
+
+        TextTable table(
+            {"path", "jobs", "lattices/s", "configs/s", "sec"});
+        for (const Measurement &m : runs) {
+            table.row()
+                .cell(m.path)
+                .cell(std::to_string(m.jobs))
+                .cell(formatNum(m.latticesPerSec(), 1))
+                .cell(formatNum(m.configsPerSec(), 0))
+                .cell(formatNum(m.seconds, 3));
+        }
+        ctx.emit(table, "Sweep throughput (448-config lattices)",
+                 "micro_sweep");
+
+        double naive1 = 0.0, factored1 = 0.0;
+        for (const Measurement &m : runs) {
+            if (m.jobs == 1 && m.path == "naive")
+                naive1 = m.latticesPerSec();
+            if (m.jobs == 1 && m.path == "factored")
+                factored1 = m.latticesPerSec();
+        }
+        const double speedup1 =
+            naive1 > 0.0 ? factored1 / naive1 : 0.0;
+        ctx.out() << "\nsingle-thread factored speedup: "
+                  << formatNum(speedup1, 2) << "x\n";
+
+        TextTable summary({"metric", "value"});
+        summary.row().cell("configs per lattice").numInt(
+            static_cast<long long>(
+                runs.empty() ? 0 : runs.front().configs /
+                                       runs.front().lattices));
+        summary.row().cell("reps per variant").numInt(reps);
+        summary.row().cell("single-thread factored speedup").num(
+            speedup1, 3);
+        ctx.emit(summary, "micro_sweep summary", "micro_sweep_summary");
+    }
+};
+
+} // namespace
+
+HARMONIA_REGISTER_EXPERIMENT(MicroSweep)
+
+} // namespace harmonia::exp

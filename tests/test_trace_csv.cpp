@@ -1,0 +1,113 @@
+/**
+ * @file
+ * AppRunResult::writeTraceCsv and the time-weighted Residency
+ * accounting: header round-trip, one CSV row per trace entry, and
+ * residency fractions that sum to one with total() equal to the run's
+ * execution time.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/baseline_governor.hh"
+#include "core/runtime.hh"
+#include "sim/gpu_device.hh"
+#include "workloads/suite.hh"
+
+namespace harmonia
+{
+namespace
+{
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+AppRunResult
+runComd()
+{
+    GpuDevice device;
+    BaselineGovernor governor(device.space());
+    Runtime runtime(device);
+    return runtime.run(makeComd(), governor);
+}
+
+TEST(TraceCsv, HeaderRoundTrip)
+{
+    std::ostringstream out;
+    runComd().writeTraceCsv(out);
+    const auto lines = splitLines(out.str());
+    ASSERT_FALSE(lines.empty());
+    EXPECT_EQ(lines.front(),
+              "kernel,iteration,cuCount,computeFreqMhz,memFreqMhz,"
+              "timeSec,cardEnergyJ,powerW,valuBusy,memUnitBusy,"
+              "icActivity,l2CacheHit");
+}
+
+TEST(TraceCsv, OneRowPerTraceEntry)
+{
+    const AppRunResult run = runComd();
+    ASSERT_FALSE(run.trace.empty());
+
+    std::ostringstream out;
+    run.writeTraceCsv(out);
+    const auto lines = splitLines(out.str());
+    // Header plus one row per kernel invocation.
+    EXPECT_EQ(lines.size(), run.trace.size() + 1);
+
+    // Every data row names a kernel from the trace and has the full
+    // column count.
+    for (size_t i = 1; i < lines.size(); ++i) {
+        const std::string &row = lines[i];
+        const size_t commas =
+            static_cast<size_t>(std::count(row.begin(), row.end(), ','));
+        EXPECT_EQ(commas, 11u) << "row " << i << ": " << row;
+        EXPECT_EQ(row.rfind(run.trace[i - 1].kernelId + ",", 0), 0u)
+            << "row " << i << ": " << row;
+    }
+}
+
+TEST(TraceCsv, ResidencyFractionsSumToOne)
+{
+    const AppRunResult run = runComd();
+    for (const Tunable t :
+         {Tunable::CuCount, Tunable::ComputeFreq, Tunable::MemFreq}) {
+        const Residency &res = run.residency(t);
+        double sum = 0.0;
+        for (double state : res.states())
+            sum += res.fraction(state);
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+        // Time-weighted: the accumulated weight is the run's total
+        // kernel execution time.
+        EXPECT_NEAR(res.total(), run.totalTime,
+                    1e-9 * std::max(1.0, run.totalTime));
+    }
+}
+
+TEST(TraceCsv, ResidencyTimeWeighting)
+{
+    Residency res;
+    res.add(1000.0, 3.0);
+    res.add(925.0, 1.0);
+    ASSERT_EQ(res.states(), (std::vector<double>{925.0, 1000.0}));
+    EXPECT_DOUBLE_EQ(res.total(), 4.0);
+    EXPECT_DOUBLE_EQ(res.fraction(1000.0), 0.75);
+    EXPECT_DOUBLE_EQ(res.fraction(925.0), 0.25);
+    EXPECT_DOUBLE_EQ(res.fraction(775.0), 0.0);
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * The unified experiment driver: every paper exhibit (figures,
+ * tables, ablations, extensions, microbenchmarks) registered in the
+ * src/exp registry behind one CLI. See src/exp/driver.hh for usage.
+ */
+
+#include "exp/driver.hh"
+
+int
+main(int argc, char **argv)
+{
+    return harmonia::exp::runDriver(argc, argv);
+}
