@@ -14,12 +14,7 @@
 #include <iostream>
 #include <vector>
 
-#include "common/table.hh"
-#include "core/harmonia_governor.hh"
-#include "core/oracle.hh"
-#include "core/runtime.hh"
-#include "core/training.hh"
-#include "workloads/suite.hh"
+#include "harmonia/harmonia.hh"
 
 using namespace harmonia;
 
@@ -36,8 +31,9 @@ main(int argc, char **argv)
     }
     const std::string appName =
         !positional.empty() ? positional[0] : "CoMD";
-    GpuDevice device;
-    const Application app = appByName(appName);
+    Device device;
+    const Suite fullSuite = Suite::standard();
+    const Application app = fullSuite.app(appName).value();
     const KernelProfile &kernel = positional.size() > 1
         ? app.kernel(positional[1])
         : app.kernels.front();
@@ -45,7 +41,7 @@ main(int argc, char **argv)
     // The sweep engine owns the canonical enumeration and evaluates
     // all 448 points in parallel; every analysis below reads from its
     // memoized result vector.
-    ConfigSweep sweep(device, sweepOpt);
+    ConfigSweep sweep(device.gpu(), sweepOpt);
     std::cout << "Exploring " << sweep.configs().size()
               << " configurations for " << kernel.id() << " (jobs="
               << sweepOpt.jobs << ")\n\n";
@@ -101,10 +97,11 @@ main(int argc, char **argv)
 
     // Where does Harmonia land after running the whole application?
     const TrainingResult training =
-        trainPredictors(device, standardSuite());
-    HarmoniaGovernor governor(device.space(), training.predictor());
-    Runtime runtime(device);
-    const AppRunResult run = runtime.run(app, governor);
+        device.train(fullSuite.apps()).value();
+    const SensitivityPredictor predictor = training.predictor();
+    const auto governor =
+        device.makeGovernor("harmonia", &predictor).value();
+    const AppRunResult run = device.runApp(app, *governor);
     HardwareConfig last = space.maxConfig();
     for (const auto &t : run.trace) {
         if (t.kernelId == kernel.id())

@@ -12,9 +12,7 @@
 #include <cstring>
 #include <iostream>
 
-#include "common/table.hh"
-#include "core/campaign.hh"
-#include "workloads/suite.hh"
+#include "harmonia/harmonia.hh"
 
 using namespace harmonia;
 
@@ -29,8 +27,8 @@ main(int argc, char **argv)
             options.jobs = std::max(1, std::atoi(argv[++i]));
     }
 
-    GpuDevice device;
-    Campaign campaign(device, standardSuite(), options);
+    Device device;
+    Campaign campaign(device.gpu(), Suite::standard().apps(), options);
     const auto start = std::chrono::steady_clock::now();
     campaign.run();
     const double ms = std::chrono::duration<double, std::milli>(

@@ -13,12 +13,7 @@
 #include <iostream>
 #include <string>
 
-#include "common/table.hh"
-#include "core/baseline_governor.hh"
-#include "core/harmonia_governor.hh"
-#include "core/runtime.hh"
-#include "core/training.hh"
-#include "workloads/suite.hh"
+#include "harmonia/harmonia.hh"
 
 using namespace harmonia;
 
@@ -34,18 +29,19 @@ main(int argc, char **argv)
             target = argv[i];
     }
 
-    GpuDevice device;
-    const auto suite = standardSuite();
+    Device device;
+    const Suite fullSuite = Suite::standard();
+    const auto &suite = fullSuite.apps();
     TrainingOptions trainingOpt;
     trainingOpt.jobs = jobs;
     const TrainingResult training =
-        trainPredictors(device, suite, trainingOpt);
+        device.train(suite, trainingOpt).value();
     const SensitivityPredictor predictor = training.predictor();
 
     // Ground-truth sweep (Section 4.1) across the whole suite,
     // measured in parallel; order matches the suite iteration below.
     const auto groundTruth =
-        measureSuiteSensitivities(device, suite, 1, jobs);
+        measureSuiteSensitivities(device.gpu(), suite, 1, jobs);
 
     std::cout << "bandwidth fit corr=" << training.bandwidthFit.correlation
               << " mae=" << training.bandwidthMae
@@ -82,12 +78,11 @@ main(int argc, char **argv)
     table.print(std::cout, "Per-kernel sensitivities (iteration 0)");
 
     // Per-iteration Harmonia trace of the target application.
-    const Application app = appByName(target);
-    Runtime runtime(device);
-    HarmoniaGovernor gov(device.space(), predictor);
-    const AppRunResult run = runtime.run(app, gov);
-    BaselineGovernor base(device.space());
-    const AppRunResult baseRun = runtime.run(app, base);
+    const Application app = fullSuite.app(target).value();
+    const auto gov = device.makeGovernor("harmonia", &predictor).value();
+    const AppRunResult run = device.runApp(app, *gov);
+    const auto base = device.makeGovernor("baseline").value();
+    const AppRunResult baseRun = device.runApp(app, *base);
 
     TextTable trace({"kernel", "iter", "config", "time(us)",
                      "base(us)", "power(W)"});

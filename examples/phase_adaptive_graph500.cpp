@@ -8,29 +8,25 @@
 
 #include <iostream>
 
-#include "common/table.hh"
-#include "core/baseline_governor.hh"
-#include "core/harmonia_governor.hh"
-#include "core/runtime.hh"
-#include "core/training.hh"
-#include "workloads/suite.hh"
+#include "harmonia/harmonia.hh"
 
 using namespace harmonia;
 
 int
 main()
 {
-    GpuDevice device;
-    const Application app = appByName("Graph500");
+    Device device;
+    const Suite suite = Suite::standard();
+    const Application app = suite.app("Graph500").value();
 
-    const TrainingResult training =
-        trainPredictors(device, standardSuite());
-    HarmoniaGovernor governor(device.space(), training.predictor());
-    BaselineGovernor baseline(device.space());
-    Runtime runtime(device);
+    const TrainingResult training = device.train(suite.apps()).value();
+    const SensitivityPredictor predictor = training.predictor();
+    const auto governor =
+        device.makeGovernor("harmonia", &predictor).value();
+    const auto baseline = device.makeGovernor("baseline").value();
 
-    const AppRunResult hm = runtime.run(app, governor);
-    const AppRunResult base = runtime.run(app, baseline);
+    const AppRunResult hm = device.runApp(app, *governor);
+    const AppRunResult base = device.runApp(app, *baseline);
 
     TextTable trace({"iter", "kernel", "config", "time (us)",
                      "power (W)", "VALUInsts (M)"});

@@ -3,45 +3,42 @@
  * Quickstart: run one application under the baseline PowerTune policy
  * and under Harmonia, and print the time / energy / ED^2 comparison.
  *
- * This is the smallest end-to-end use of the library:
+ * This is the smallest end-to-end use of the public API facade
+ * (harmonia/harmonia.hh):
  *   1. build the default HD7970 device model,
  *   2. train the sensitivity predictors on the workload suite,
- *   3. run an application under both governors,
- *   4. compare the measured metrics.
+ *   3. obtain both governors from the string-keyed factory,
+ *   4. run an application under each and compare the metrics.
  */
 
 #include <iostream>
 
-#include "common/table.hh"
-#include "core/baseline_governor.hh"
-#include "core/harmonia_governor.hh"
-#include "core/runtime.hh"
-#include "core/training.hh"
-#include "workloads/suite.hh"
+#include "harmonia/harmonia.hh"
 
 using namespace harmonia;
 
 int
 main()
 {
-    GpuDevice device;
-    Runtime runtime(device);
+    Device device;
+    const Suite suite = Suite::standard();
 
     std::cout << "Training sensitivity predictors on the suite...\n";
-    const TrainingResult training =
-        trainPredictors(device, standardSuite());
+    const TrainingResult training = device.train(suite.apps()).value();
     std::cout << "  bandwidth model correlation: "
               << formatNum(training.bandwidthFit.correlation, 3)
               << ", compute model correlation: "
               << formatNum(training.computeFit.correlation, 3) << "\n\n";
 
-    const Application app = makeComd();
+    const Application app = suite.app("CoMD").value();
+    const SensitivityPredictor predictor = training.predictor();
 
-    BaselineGovernor baseline(device.space());
-    HarmoniaGovernor harmoniaGov(device.space(), training.predictor());
+    const auto baseline = device.makeGovernor("baseline").value();
+    const auto harmoniaGov =
+        device.makeGovernor("harmonia", &predictor).value();
 
-    const AppRunResult base = runtime.run(app, baseline);
-    const AppRunResult harm = runtime.run(app, harmoniaGov);
+    const AppRunResult base = device.runApp(app, *baseline);
+    const AppRunResult harm = device.runApp(app, *harmoniaGov);
 
     TextTable table({"scheme", "time (ms)", "energy (J)", "avg power (W)",
                      "ED^2 (J*s^2)"});

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The public Harmonia API facade.
+ *
+ * This is the single header applications include:
+ *
+ *   #include "harmonia/harmonia.hh"
+ *
+ * It provides the stable surface —
+ *
+ *  - Device:   the simulated GPU card (default HD7970), with kernel
+ *              execution, the configuration lattice, training, and a
+ *              string-keyed governor factory;
+ *  - Suite:    the 14-application workload suite and name lookups;
+ *  - Campaign: the suite x schemes evaluation campaign (re-exported
+ *              from the core layer);
+ *  - makeGovernor(name, spec): the governor registry, replacing
+ *              direct BaselineGovernor / HarmoniaGovernor /
+ *              OracleGovernor construction;
+ *  - Status / Result<T>: structured errors at every fallible facade
+ *              call (common/status.hh); internals keep exceptions.
+ *
+ * — and re-exports the supporting vocabulary types (KernelProfile,
+ * HardwareConfig, AppRunResult, TextTable, ...) so that examples,
+ * tools, and external users never include src/core/ or src/sim/
+ * headers directly. Everything lives in namespace harmonia.
+ *
+ * The serving front-end for this surface is the `harmoniad` daemon
+ * (src/serve/, docs/SERVING.md), which exposes the same operations —
+ * evaluate / govern / sweep — over a newline-delimited JSON protocol.
+ */
+
+#ifndef HARMONIA_HARMONIA_HH
+#define HARMONIA_HARMONIA_HH
+
+#include "check/checker.hh"
+#include "common/status.hh"
+#include "common/table.hh"
+#include "core/campaign.hh"
+#include "core/governor_registry.hh"
+#include "core/oracle.hh"
+#include "core/runtime.hh"
+#include "core/sensitivity.hh"
+#include "core/sweep.hh"
+#include "core/training.hh"
+#include "sim/gpu_device.hh"
+#include "workloads/suite.hh"
+
+namespace harmonia
+{
+
+/**
+ * The public handle on a simulated GPU card. Owns the underlying
+ * GpuDevice model and layers the facade conveniences on top: governor
+ * construction by name, predictor training, and sweep/runtime
+ * helpers. Copyable views of the internals remain reachable through
+ * gpu()/space() for the analysis types that take them by reference.
+ */
+class Device
+{
+  public:
+    /** The default HD7970 model. */
+    Device() = default;
+
+    /** Wrap an explicitly-built model (e.g. a stacked variant). */
+    explicit Device(GpuDevice gpu) : gpu_(std::move(gpu)) {}
+
+    const GpuDevice &gpu() const { return gpu_; }
+    const ConfigSpace &space() const { return gpu_.space(); }
+    const GcnDeviceConfig &config() const { return gpu_.config(); }
+
+    /** Run one kernel invocation at @p cfg. */
+    KernelResult run(const KernelProfile &profile, int iteration,
+                     const HardwareConfig &cfg) const
+    {
+        return gpu_.run(profile, iteration, cfg);
+    }
+
+    /**
+     * Train the sensitivity predictors on @p suite.
+     * @returns the training result or the error explaining why the
+     *          suite/options were rejected.
+     */
+    Result<TrainingResult>
+    train(const std::vector<Application> &suite,
+          const TrainingOptions &options = {}) const
+    {
+        try {
+            return trainPredictors(gpu_, suite, options);
+        } catch (...) {
+            return statusFromCurrentException();
+        }
+    }
+
+    /**
+     * Build a governor by registry name ("baseline", "cg",
+     * "harmonia", "freq-only", "oracle", or anything registered via
+     * GovernorRegistry). Predictor-driven governors need
+     * @p predictor; it must outlive the returned governor.
+     */
+    Result<std::unique_ptr<Governor>>
+    makeGovernor(const std::string &name,
+                 const SensitivityPredictor *predictor = nullptr,
+                 const HarmoniaOptions &options = {}) const
+    {
+        GovernorSpec spec;
+        spec.device = &gpu_;
+        spec.predictor = predictor;
+        spec.harmonia = options;
+        return harmonia::makeGovernor(name, spec);
+    }
+
+    /** Execute @p app under @p governor (facade over Runtime). */
+    AppRunResult runApp(const Application &app, Governor &governor) const
+    {
+        return Runtime(gpu_).run(app, governor);
+    }
+
+  private:
+    GpuDevice gpu_;
+};
+
+/**
+ * The workload suite: a named collection of applications with
+ * structured-error lookups.
+ */
+class Suite
+{
+  public:
+    /** The paper's 14-application standard suite. */
+    static Suite standard() { return Suite(standardSuite()); }
+
+    /** Standard suite minus the two stress benchmarks ("Geomean2"). */
+    static Suite withoutStress() { return Suite(suiteWithoutStress()); }
+
+    explicit Suite(std::vector<Application> apps)
+        : apps_(std::move(apps))
+    {
+    }
+
+    const std::vector<Application> &apps() const { return apps_; }
+    size_t size() const { return apps_.size(); }
+
+    /** Application by name. */
+    Result<Application> app(const std::string &name) const
+    {
+        for (const Application &a : apps_) {
+            if (a.name == name)
+                return a;
+        }
+        return Status::notFound("unknown application '" + name + "'");
+    }
+
+    /** Kernel profile by "App.Kernel" id. */
+    Result<KernelProfile> kernel(const std::string &id) const
+    {
+        for (const Application &a : apps_) {
+            for (const KernelProfile &k : a.kernels) {
+                if (k.id() == id)
+                    return k;
+            }
+        }
+        return Status::notFound("unknown kernel '" + id + "'");
+    }
+
+  private:
+    std::vector<Application> apps_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_HARMONIA_HH

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the serving stack: start harmoniad on a
+# Unix socket, drive ~100 mixed-verb requests through harmonia_client,
+# assert zero error replies, then verify the daemon drains cleanly on
+# SIGTERM. Used by ctest (serve_smoke) and the CI smoke stage.
+#
+# usage: serve_smoke.sh /path/to/harmoniad /path/to/harmonia_client
+set -eu
+
+HARMONIAD=${1:?usage: serve_smoke.sh HARMONIAD HARMONIA_CLIENT}
+CLIENT=${2:?usage: serve_smoke.sh HARMONIAD HARMONIA_CLIENT}
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/serve_smoke.XXXXXX")
+SOCK="$WORK/harmoniad.sock"
+DAEMON_LOG="$WORK/daemon.log"
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+"$HARMONIAD" --socket "$SOCK" --jobs 2 2>"$DAEMON_LOG" &
+DAEMON_PID=$!
+
+# Wait for the socket to appear (daemon startup includes building the
+# device model).
+for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+        echo "serve_smoke: daemon died during startup" >&2
+        cat "$DAEMON_LOG" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "serve_smoke: socket never appeared" >&2; exit 1; }
+
+# Mixed-verb load: the client exits non-zero on any error reply.
+"$CLIENT" --socket "$SOCK" --requests 100 --mix mixed --configs 8 \
+    --kernels 4 --stats
+
+# A second, pure-evaluate burst exercises the micro-batcher.
+"$CLIENT" --socket "$SOCK" --requests 40 --mix evaluate --configs 16 \
+    --kernels 2 --quiet
+
+# Graceful SIGTERM drain: daemon must exit 0 and report its shutdown
+# stats line.
+kill -TERM "$DAEMON_PID"
+DRAIN_OK=0
+for _ in $(seq 1 100); do
+    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+        DRAIN_OK=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$DRAIN_OK" != 1 ]; then
+    echo "serve_smoke: daemon did not exit after SIGTERM" >&2
+    exit 1
+fi
+wait "$DAEMON_PID" && STATUS=0 || STATUS=$?
+if [ "$STATUS" != 0 ]; then
+    echo "serve_smoke: daemon exited with status $STATUS" >&2
+    cat "$DAEMON_LOG" >&2
+    exit 1
+fi
+grep -q "drained, shutting down" "$DAEMON_LOG" || {
+    echo "serve_smoke: no drain marker in daemon log" >&2
+    cat "$DAEMON_LOG" >&2
+    exit 1
+}
+
+echo "serve_smoke: OK"

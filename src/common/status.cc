@@ -1,0 +1,45 @@
+#include "status.hh"
+
+namespace harmonia
+{
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "ok";
+      case StatusCode::InvalidArgument: return "invalid_argument";
+      case StatusCode::NotFound: return "not_found";
+      case StatusCode::FailedPrecondition: return "failed_precondition";
+      case StatusCode::ResourceExhausted: return "resource_exhausted";
+      case StatusCode::Unavailable: return "unavailable";
+      case StatusCode::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+std::string
+Status::str() const
+{
+    if (ok())
+        return "ok";
+    return std::string(statusCodeName(code_)) + ": " + message_;
+}
+
+Status
+statusFromCurrentException()
+{
+    try {
+        throw;
+    } catch (const ConfigError &e) {
+        return Status::invalidArgument(e.what());
+    } catch (const InternalError &e) {
+        return Status::internal(e.what());
+    } catch (const std::exception &e) {
+        return Status::internal(e.what());
+    } catch (...) {
+        return Status::internal("unknown exception");
+    }
+}
+
+} // namespace harmonia

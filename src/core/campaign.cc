@@ -3,6 +3,7 @@
 #include "common/error.hh"
 #include "common/stats.hh"
 #include "common/thread_pool.hh"
+#include "core/governor_registry.hh"
 
 namespace harmonia
 {
@@ -30,39 +31,30 @@ Campaign::Campaign(const GpuDevice &device,
         app.validate();
 }
 
+/** Registry name of each scheme (core/governor_registry.hh). */
+static const char *
+schemeGovernorName(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Baseline: return "baseline";
+      case Scheme::CgOnly: return "cg";
+      case Scheme::Harmonia: return "harmonia";
+      case Scheme::Oracle: return "oracle";
+      case Scheme::FreqOnly: return "freq-only";
+    }
+    panic("Campaign: bad scheme");
+}
+
 std::unique_ptr<Governor>
 Campaign::makeGovernor(Scheme scheme) const
 {
     panicIf(!predictor_, "Campaign: governor requested before training");
-    switch (scheme) {
-      case Scheme::Baseline:
-        return std::make_unique<BaselineGovernor>(device_.space());
-      case Scheme::CgOnly: {
-        HarmoniaOptions opt = options_.harmonia;
-        opt.enableCg = true;
-        opt.enableFg = false;
-        return std::make_unique<HarmoniaGovernor>(device_.space(),
-                                                  *predictor_, opt);
-      }
-      case Scheme::Harmonia: {
-        HarmoniaOptions opt = options_.harmonia;
-        opt.enableCg = true;
-        opt.enableFg = true;
-        return std::make_unique<HarmoniaGovernor>(device_.space(),
-                                                  *predictor_, opt);
-      }
-      case Scheme::Oracle:
-        return std::make_unique<OracleGovernor>(device_);
-      case Scheme::FreqOnly: {
-        HarmoniaOptions opt = options_.harmonia;
-        opt.enableCg = true;
-        opt.enableFg = true;
-        opt.tunableEnabled = {false, true, false};
-        return std::make_unique<HarmoniaGovernor>(device_.space(),
-                                                  *predictor_, opt);
-      }
-    }
-    panic("Campaign: bad scheme");
+    GovernorSpec spec;
+    spec.device = &device_;
+    spec.predictor = predictor_.get();
+    spec.harmonia = options_.harmonia;
+    return harmonia::makeGovernor(schemeGovernorName(scheme), spec)
+        .value();
 }
 
 void

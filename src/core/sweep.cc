@@ -96,6 +96,19 @@ ConfigSweep::at(const KernelProfile &profile, int iteration,
     return evaluate(profile, iteration)[indexOf(cfg)];
 }
 
+const std::vector<KernelResult> *
+ConfigSweep::peek(const KernelProfile &profile, int iteration) const
+{
+    const detail::SweepKeyView view{profile.app, profile.name,
+                                    iteration};
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = cache_.find(view);
+    if (it == cache_.end())
+        return nullptr;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second.get();
+}
+
 size_t
 ConfigSweep::cacheHits() const
 {

@@ -191,6 +191,18 @@ class ConfigSweep
     const KernelResult &at(const KernelProfile &profile, int iteration,
                            const HardwareConfig &cfg) const;
 
+    /**
+     * Memoized result vector for (@p profile, @p iteration) when it is
+     * already cached, nullptr otherwise — never computes. Lets layers
+     * with their own partial-evaluation path (the serving daemon's
+     * `evaluate` verb) harvest a full-lattice result for free without
+     * committing to a 448-point run on a miss. Counts as a cache hit
+     * when present; a miss is not recorded (the caller decides how to
+     * compute).
+     */
+    const std::vector<KernelResult> *peek(const KernelProfile &profile,
+                                          int iteration) const;
+
     /** RNG substream for task @p taskIndex under options().rngSeed. */
     Rng rngFor(uint64_t taskIndex) const
     {

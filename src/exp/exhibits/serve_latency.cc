@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Serving-stack latency/throughput exhibit: the harmoniad micro-batcher
+ * measured in-process.
+ *
+ * Replays the load pattern tools/harmonia_client generates — windows
+ * of concurrent `evaluate` requests that target the same (kernel,
+ * iteration) with disjoint config slices — through Service twice: once
+ * with micro-batching enabled (one factored lattice run per window)
+ * and once disabled (one run per request). Both paths produce
+ * byte-identical responses; the difference is purely how often the
+ * lattice evaluator's per-invocation hoist is paid. Reports requests/s,
+ * the service-side p50/p99 evaluate latency, the batched/unbatched
+ * speedup at each thread count, and the result-cache hit economics of
+ * a repeated stream.
+ */
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "exp/context.hh"
+#include "exp/experiment.hh"
+#include "serve/service.hh"
+
+namespace harmonia::exp
+{
+namespace
+{
+
+using serve::JsonValue;
+using serve::Service;
+using serve::ServiceOptions;
+using serve::Verb;
+
+/** Requests per window (concurrent clients the batcher can fuse). */
+constexpr int kClients = 16;
+
+/** Lattice points per request — a governor-style candidate set (the
+ * current config plus its lattice neighbours). Small lists are where
+ * batching pays: unbatched, each request re-pays the factored
+ * evaluator's per-invocation hoist for just a handful of points. */
+constexpr int kConfigsPerClient = 4;
+
+/** One window of evaluate request lines: @p clients requests against
+ * the same (kernel, iteration), each holding a disjoint slice of the
+ * 448-point lattice. */
+std::vector<std::string>
+makeWindow(const ConfigSweep &sweep, const std::string &kernelId,
+           int iteration, int clients)
+{
+    const std::vector<HardwareConfig> &configs = sweep.configs();
+    std::vector<std::string> lines;
+    lines.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+        JsonValue cfgs = JsonValue::array();
+        const size_t begin = c * kConfigsPerClient;
+        const size_t end = begin + kConfigsPerClient;
+        for (size_t i = begin; i < end; ++i)
+            cfgs.push(serve::configToJson(configs[i % configs.size()]));
+        JsonValue req = JsonValue::object({
+            {"schema", JsonValue(serve::kRequestSchema)},
+            {"id", JsonValue(static_cast<int64_t>(c))},
+            {"verb", JsonValue("evaluate")},
+            {"kernel", JsonValue(kernelId)},
+            {"iteration", JsonValue(iteration)},
+            {"configs", std::move(cfgs)},
+        });
+        lines.push_back(req.dump());
+    }
+    return lines;
+}
+
+struct LoadResult
+{
+    std::string mode;
+    int jobs = 1;
+    size_t requests = 0;
+    double seconds = 0.0;
+    uint64_t latticeRuns = 0;
+    double p50Us = 0.0;
+    double p99Us = 0.0;
+
+    double requestsPerSec() const
+    {
+        return seconds > 0.0 ? requests / seconds : 0.0;
+    }
+};
+
+/** Drive @p windows of the client load pattern through one Service. */
+LoadResult
+drive(ExpContext &ctx, bool batching, int jobs, int windows)
+{
+    ServiceOptions opt;
+    opt.jobs = jobs;
+    opt.batching = batching;
+    opt.cache = false; // Isolate the batching effect from caching.
+    opt.rngSeed = ctx.seed();
+    Service service(opt);
+
+    const std::vector<Application> &apps = ctx.suite();
+    std::vector<std::pair<std::string, int>> invocations;
+    int iteration = 0;
+    while (static_cast<int>(invocations.size()) < windows) {
+        for (const Application &app : apps) {
+            for (const KernelProfile &k : app.kernels) {
+                if (static_cast<int>(invocations.size()) >= windows)
+                    break;
+                invocations.emplace_back(k.id(), iteration);
+            }
+        }
+        ++iteration;
+    }
+
+    LoadResult r;
+    r.mode = batching ? "batched" : "unbatched";
+    r.jobs = jobs;
+
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto &[kernelId, iter] : invocations) {
+        const std::vector<std::string> lines =
+            makeWindow(service.sweep(), kernelId, iter, kClients);
+        r.requests += service.processBatch(lines).size();
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    r.seconds = std::chrono::duration<double>(stop - start).count();
+    r.latticeRuns = service.metrics().latticeRuns();
+    const serve::LatencyStats &lat =
+        service.metrics().verb(Verb::Evaluate).latency;
+    r.p50Us = lat.percentileMicros(50.0);
+    r.p99Us = lat.percentileMicros(99.0);
+    return r;
+}
+
+class ServeLatency final : public Experiment
+{
+  public:
+    std::string name() const override { return "serve_latency"; }
+    std::string description() const override
+    {
+        return "harmoniad micro-batcher throughput/latency vs the "
+               "batching-disabled path";
+    }
+    std::string tier() const override { return "bench"; }
+    int order() const override { return 280; }
+
+    void run(ExpContext &ctx) const override
+    {
+        const int windows = std::max(8, ctx.options().benchReps * 8);
+        ctx.banner("serve_latency",
+                   "Serving-stack load test: windows of " +
+                       std::to_string(kClients) +
+                       " concurrent evaluate requests, micro-batched "
+                       "vs one lattice run per request.");
+
+        std::vector<LoadResult> runs;
+        for (const int jobs : {1, 4}) {
+            for (const bool batching : {false, true}) {
+                drive(ctx, batching, jobs, 2); // Warm-up.
+                runs.push_back(drive(ctx, batching, jobs, windows));
+            }
+        }
+
+        TextTable table({"mode", "jobs", "requests", "lattice runs",
+                         "req/s", "p50 (us)", "p99 (us)"});
+        for (const LoadResult &r : runs) {
+            table.row()
+                .cell(r.mode)
+                .cell(std::to_string(r.jobs))
+                .numInt(static_cast<long long>(r.requests))
+                .numInt(static_cast<long long>(r.latticeRuns))
+                .cell(formatNum(r.requestsPerSec(), 0))
+                .cell(formatNum(r.p50Us, 1))
+                .cell(formatNum(r.p99Us, 1));
+        }
+        ctx.emit(table, "Evaluate throughput: micro-batched vs not",
+                 "serve_latency");
+
+        double speedup1 = 0.0, speedup4 = 0.0;
+        for (const LoadResult &r : runs) {
+            if (!(r.mode == "batched"))
+                continue;
+            for (const LoadResult &u : runs) {
+                if (u.mode == "unbatched" && u.jobs == r.jobs &&
+                    u.requestsPerSec() > 0.0) {
+                    (r.jobs == 1 ? speedup1 : speedup4) =
+                        r.requestsPerSec() / u.requestsPerSec();
+                }
+            }
+        }
+
+        // Cache economics: the same stream replayed against a caching
+        // service — the second pass is served from memoized points.
+        ServiceOptions copt;
+        copt.jobs = 4;
+        copt.rngSeed = ctx.seed();
+        Service cached(copt);
+        for (int pass = 0; pass < 2; ++pass) {
+            for (int w = 0; w < windows; ++w) {
+                const std::vector<Application> &apps = ctx.suite();
+                const KernelProfile &k =
+                    apps[w % apps.size()].kernels.front();
+                cached.processBatch(
+                    makeWindow(cached.sweep(), k.id(), w, kClients));
+            }
+        }
+        const double cachedPoints =
+            static_cast<double>(cached.metrics().pointsFromCache());
+        const double totalPoints =
+            cachedPoints +
+            static_cast<double>(cached.metrics().pointsComputed());
+        const double hitRate =
+            totalPoints > 0.0 ? cachedPoints / totalPoints : 0.0;
+
+        ctx.out() << "\nmicro-batch speedup: "
+                  << formatNum(speedup1, 2) << "x at 1 job, "
+                  << formatNum(speedup4, 2) << "x at 4 jobs\n"
+                  << "replayed-stream cache hit rate: "
+                  << formatPct(hitRate, 1) << '\n';
+
+        TextTable summary({"metric", "value"});
+        summary.row().cell("clients per window").numInt(kClients);
+        summary.row().cell("windows per mode").numInt(windows);
+        summary.row().cell("speedup at 1 job").num(speedup1, 3);
+        summary.row().cell("speedup at 4 jobs").num(speedup4, 3);
+        summary.row().cell("replay cache hit rate").num(hitRate, 4);
+        ctx.emit(summary, "serve_latency summary",
+                 "serve_latency_summary");
+    }
+};
+
+} // namespace
+
+HARMONIA_REGISTER_EXPERIMENT(ServeLatency)
+
+} // namespace harmonia::exp

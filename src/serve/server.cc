@@ -1,0 +1,444 @@
+#include "server.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace harmonia::serve
+{
+
+namespace
+{
+
+/** Write end of the self-pipe; async-signal-safe signal forwarding. */
+volatile int g_signalPipeWrite = -1;
+
+void
+onSignal(int)
+{
+    if (g_signalPipeWrite >= 0) {
+        const char byte = 1;
+        // The pipe is non-blocking; a full pipe already means a
+        // wakeup is pending, so a failed write is fine.
+        [[maybe_unused]] const ssize_t n =
+            write(g_signalPipeWrite, &byte, 1);
+    }
+}
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+long long
+nowMicros()
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** The hard cap on the adaptive coalescing window. */
+constexpr int kMaxWindowMicros = 2000;
+
+} // namespace
+
+Server::Server(Service &service, ServerOptions options)
+    : service_(service), options_(std::move(options))
+{
+}
+
+Server::~Server()
+{
+    for (const auto &conn : conns_) {
+        if (conn->fd > 2)
+            close(conn->fd);
+    }
+    if (listenFd_ >= 0) {
+        close(listenFd_);
+        unlink(options_.socketPath.c_str());
+    }
+    if (signalFd_ >= 0)
+        close(signalFd_);
+    if (g_signalPipeWrite >= 0) {
+        close(g_signalPipeWrite);
+        g_signalPipeWrite = -1;
+    }
+}
+
+bool
+Server::setupSignals()
+{
+    int fds[2];
+    if (pipe(fds) != 0)
+        return false;
+    signalFd_ = fds[0];
+    g_signalPipeWrite = fds[1];
+    if (!setNonBlocking(fds[0]) || !setNonBlocking(fds[1]))
+        return false;
+
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onSignal;
+    sigemptyset(&sa.sa_mask);
+    if (sigaction(SIGTERM, &sa, nullptr) != 0 ||
+        sigaction(SIGINT, &sa, nullptr) != 0)
+        return false;
+    signal(SIGPIPE, SIG_IGN);
+    return true;
+}
+
+bool
+Server::setupListener()
+{
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (options_.socketPath.size() >= sizeof(addr.sun_path)) {
+        std::cerr << "harmoniad: socket path too long: "
+                  << options_.socketPath << '\n';
+        return false;
+    }
+    std::strncpy(addr.sun_path, options_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    listenFd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        std::cerr << "harmoniad: socket(): " << std::strerror(errno)
+                  << '\n';
+        return false;
+    }
+    unlink(options_.socketPath.c_str());
+    if (bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+             sizeof(addr)) != 0 ||
+        listen(listenFd_, 64) != 0 || !setNonBlocking(listenFd_)) {
+        std::cerr << "harmoniad: cannot listen on "
+                  << options_.socketPath << ": "
+                  << std::strerror(errno) << '\n';
+        return false;
+    }
+    return true;
+}
+
+void
+Server::acceptClients()
+{
+    while (true) {
+        const int fd = accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            return;
+        const int active = static_cast<int>(std::count_if(
+            conns_.begin(), conns_.end(),
+            [](const auto &c) { return c->fd >= 0; }));
+        if (active >= options_.maxConnections) {
+            close(fd);
+            continue;
+        }
+        if (!setNonBlocking(fd)) {
+            close(fd);
+            continue;
+        }
+        auto conn = std::make_unique<Conn>();
+        conn->fd = fd;
+        conn->outFd = fd;
+        conns_.push_back(std::move(conn));
+    }
+}
+
+void
+Server::readConn(size_t idx)
+{
+    Conn &conn = *conns_[idx];
+    char buf[4096];
+    while (true) {
+        const ssize_t n = read(conn.fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break;
+            conn.eof = true;
+            break;
+        }
+        if (n == 0) {
+            conn.eof = true;
+            break;
+        }
+        conn.inBuf.append(buf, static_cast<size_t>(n));
+        // A single line larger than the request cap would otherwise
+        // buffer without bound; reject it early and resynchronize at
+        // the next newline.
+        if (!conn.oversized &&
+            conn.inBuf.find('\n') == std::string::npos &&
+            conn.inBuf.size() > service_.options().maxRequestBytes) {
+            conn.outBuf += makeErrorResponse(
+                JsonValue(),
+                Status::resourceExhausted(
+                    "request line exceeds " +
+                    std::to_string(service_.options().maxRequestBytes) +
+                    " bytes"));
+            conn.outBuf += '\n';
+            conn.oversized = true;
+            conn.inBuf.clear();
+        }
+    }
+
+    size_t start = 0;
+    while (true) {
+        const size_t nl = conn.inBuf.find('\n', start);
+        if (nl == std::string::npos)
+            break;
+        std::string line = conn.inBuf.substr(start, nl - start);
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        start = nl + 1;
+        if (conn.oversized) {
+            conn.oversized = false; // Resynchronized; drop the tail.
+            continue;
+        }
+        if (line.empty())
+            continue;
+        pending_.push_back(PendingLine{idx, std::move(line)});
+    }
+    conn.inBuf.erase(0, start);
+
+    // A final unterminated line at EOF still counts as a request.
+    if (conn.eof && !conn.inBuf.empty() && !conn.oversized) {
+        pending_.push_back(PendingLine{idx, std::move(conn.inBuf)});
+        conn.inBuf.clear();
+    }
+}
+
+void
+Server::flushConn(Conn &conn)
+{
+    while (!conn.outBuf.empty()) {
+        const ssize_t n =
+            write(conn.outFd, conn.outBuf.data(), conn.outBuf.size());
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return;
+            conn.outBuf.clear(); // Peer gone; drop the rest.
+            conn.eof = true;
+            return;
+        }
+        conn.outBuf.erase(0, static_cast<size_t>(n));
+    }
+}
+
+int
+Server::currentWindowMicros() const
+{
+    if (options_.coalesceMicros >= 0)
+        return options_.coalesceMicros;
+    // Adaptive: hold new arrivals for a fraction of the recent batch
+    // service time — long enough that requests racing a lattice run
+    // join the next batch, short enough to be invisible next to one.
+    const int window = static_cast<int>(serviceEwmaMicros_ / 8.0);
+    return std::min(kMaxWindowMicros, std::max(0, window));
+}
+
+void
+Server::processPending()
+{
+    if (pending_.empty())
+        return;
+    std::vector<PendingLine> batch;
+    batch.swap(pending_);
+    windowOpen_ = false;
+
+    std::vector<std::string> lines;
+    lines.reserve(batch.size());
+    for (PendingLine &p : batch)
+        lines.push_back(std::move(p.line));
+
+    const long long start = nowMicros();
+    const std::vector<std::string> responses =
+        service_.processBatch(lines);
+    const double elapsed = static_cast<double>(nowMicros() - start);
+    serviceEwmaMicros_ = serviceEwmaMicros_ == 0.0
+                             ? elapsed
+                             : 0.75 * serviceEwmaMicros_ +
+                                   0.25 * elapsed;
+
+    for (size_t i = 0; i < batch.size(); ++i) {
+        Conn &conn = *conns_[batch[i].conn];
+        conn.outBuf += responses[i];
+        conn.outBuf += '\n';
+    }
+    for (const auto &conn : conns_)
+        flushConn(*conn);
+}
+
+void
+Server::closeFinished()
+{
+    for (const auto &conn : conns_) {
+        if (conn->fd >= 0 && conn->eof && conn->outBuf.empty()) {
+            const bool pendingInput = std::any_of(
+                pending_.begin(), pending_.end(),
+                [&](const PendingLine &p) {
+                    return conns_[p.conn].get() == conn.get();
+                });
+            if (pendingInput)
+                continue;
+            if (conn->fd > 2)
+                close(conn->fd);
+            conn->fd = -1;
+        }
+    }
+}
+
+int
+Server::run()
+{
+    if (!setupSignals()) {
+        std::cerr << "harmoniad: signal setup failed\n";
+        return 1;
+    }
+    if (options_.stdio) {
+        auto conn = std::make_unique<Conn>();
+        conn->fd = 0;
+        conn->outFd = 1;
+        setNonBlocking(0);
+        conns_.push_back(std::move(conn));
+    } else {
+        if (options_.socketPath.empty()) {
+            std::cerr << "harmoniad: no socket path\n";
+            return 1;
+        }
+        if (!setupListener())
+            return 1;
+        std::cerr << "harmoniad: listening on " << options_.socketPath
+                  << '\n';
+    }
+
+    while (true) {
+        // Drain condition: stop was requested (signal, shutdown verb,
+        // or stdio EOF) and every buffered request and response has
+        // been dealt with.
+        const bool draining =
+            stopRequested_ || service_.shutdownRequested() ||
+            (options_.stdio && conns_.front()->eof);
+        if (draining) {
+            processPending();
+            for (const auto &conn : conns_)
+                flushConn(*conn);
+            const bool flushed = std::all_of(
+                conns_.begin(), conns_.end(), [](const auto &c) {
+                    return c->fd < 0 || c->outBuf.empty();
+                });
+            if (pending_.empty() && flushed)
+                break;
+        }
+
+        std::vector<pollfd> fds;
+        std::vector<size_t> connOf; // fds index -> conns_ index.
+        fds.push_back({signalFd_, POLLIN, 0});
+        connOf.push_back(SIZE_MAX);
+        if (listenFd_ >= 0 && !draining) {
+            fds.push_back({listenFd_, POLLIN, 0});
+            connOf.push_back(SIZE_MAX);
+        }
+        for (size_t i = 0; i < conns_.size(); ++i) {
+            Conn &conn = *conns_[i];
+            if (conn.fd < 0)
+                continue;
+            const bool wantIn = !conn.eof && !draining;
+            const bool wantOut = !conn.outBuf.empty();
+            if (conn.fd == conn.outFd) {
+                const short events =
+                    static_cast<short>((wantIn ? POLLIN : 0) |
+                                       (wantOut ? POLLOUT : 0));
+                if (events == 0)
+                    continue;
+                fds.push_back({conn.fd, events, 0});
+                connOf.push_back(i);
+            } else {
+                // stdio: read and write sides are distinct fds.
+                if (wantIn) {
+                    fds.push_back({conn.fd, POLLIN, 0});
+                    connOf.push_back(i);
+                }
+                if (wantOut) {
+                    fds.push_back({conn.outFd, POLLOUT, 0});
+                    connOf.push_back(i);
+                }
+            }
+        }
+
+        int timeoutMs = -1;
+        if (windowOpen_) {
+            const long long remaining =
+                windowDeadlineMicros_ - nowMicros();
+            timeoutMs = remaining <= 0
+                            ? 0
+                            : static_cast<int>((remaining + 999) /
+                                               1000);
+        } else if (draining) {
+            timeoutMs = 10;
+        }
+
+        const int rc =
+            poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                 timeoutMs);
+        if (rc < 0 && errno != EINTR) {
+            std::cerr << "harmoniad: poll(): " << std::strerror(errno)
+                      << '\n';
+            return 1;
+        }
+
+        if (rc > 0) {
+            size_t fdIdx = 0;
+            if (fds[fdIdx].revents & POLLIN) {
+                char drain[64];
+                while (read(signalFd_, drain, sizeof(drain)) > 0) {
+                }
+                stopRequested_ = true;
+            }
+            ++fdIdx;
+            if (listenFd_ >= 0 && !draining) {
+                if (fds[fdIdx].revents & POLLIN)
+                    acceptClients();
+                ++fdIdx;
+            }
+            for (; fdIdx < fds.size(); ++fdIdx) {
+                const size_t ci = connOf[fdIdx];
+                if (ci == SIZE_MAX)
+                    continue;
+                const short revents = fds[fdIdx].revents;
+                if (revents & POLLOUT)
+                    flushConn(*conns_[ci]);
+                if (revents & (POLLIN | POLLHUP | POLLERR))
+                    readConn(ci);
+            }
+        }
+
+        if (!pending_.empty() && !windowOpen_) {
+            windowOpen_ = true;
+            windowDeadlineMicros_ =
+                nowMicros() + currentWindowMicros();
+        }
+        if (windowOpen_ &&
+            (nowMicros() >= windowDeadlineMicros_ || draining ||
+             stopRequested_))
+            processPending();
+
+        closeFinished();
+    }
+
+    std::cerr << "harmoniad: drained, shutting down\n"
+              << service_.statsJson().dump() << '\n';
+    return 0;
+}
+
+} // namespace harmonia::serve

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * harmoniad's I/O front-end: a single-threaded poll() event loop over
+ * a Unix-domain listener (or stdin/stdout in --stdio mode) that feeds
+ * request lines to the Service in coalescing windows.
+ *
+ * Threading model: all socket I/O, request parsing, and response
+ * routing happen on one thread; compute parallelism lives entirely
+ * below Service::processBatch (the sweep worker pool). This keeps
+ * per-connection response ordering trivially correct and makes the
+ * daemon's observable behaviour a pure function of the request
+ * streams.
+ *
+ * Micro-batching: when a request line arrives, the loop holds it for
+ * an adaptive window — scaled from an EWMA of recent batch service
+ * times, capped at a few milliseconds — so that concurrent clients'
+ * requests land in the same Service batch and coalesce into shared
+ * lattice runs. An idle loop blocks in poll() indefinitely; the
+ * window only ever delays work that is already queued behind other
+ * work.
+ *
+ * Shutdown: SIGTERM/SIGINT (via a self-pipe) or a `shutdown` request
+ * stop the listener, drain every buffered request and response, print
+ * the metrics snapshot to stderr, and exit 0.
+ */
+
+#ifndef HARMONIA_SERVE_SERVER_HH
+#define HARMONIA_SERVE_SERVER_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/service.hh"
+
+namespace harmonia::serve
+{
+
+/** Server (transport-level) configuration. */
+struct ServerOptions
+{
+    /** Unix-domain socket path; ignored in stdio mode. */
+    std::string socketPath;
+
+    /** Serve stdin -> stdout instead of a socket (tests/CI). */
+    bool stdio = false;
+
+    /**
+     * Fixed coalescing window in microseconds; <0 selects the
+     * adaptive policy, 0 disables coalescing (process immediately).
+     */
+    int coalesceMicros = -1;
+
+    /** Max simultaneous client connections (socket mode). */
+    int maxConnections = 64;
+};
+
+/** The event loop. run() blocks until shutdown; returns exit code. */
+class Server
+{
+  public:
+    Server(Service &service, ServerOptions options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Serve until EOF/SIGTERM/shutdown-verb; 0 on clean drain. */
+    int run();
+
+  private:
+    /** One client byte stream (a socket, or the stdio pair). */
+    struct Conn
+    {
+        int fd = -1;    ///< Read side.
+        int outFd = -1; ///< Write side (== fd except in stdio mode).
+        std::string inBuf;
+        std::string outBuf;
+        bool eof = false;
+        bool oversized = false; ///< Discarding until next newline.
+    };
+
+    /** A complete request line awaiting the next batch. */
+    struct PendingLine
+    {
+        size_t conn;
+        std::string line;
+    };
+
+    bool setupSignals();
+    bool setupListener();
+    void acceptClients();
+    void readConn(size_t idx);
+    void flushConn(Conn &conn);
+    int currentWindowMicros() const;
+    void processPending();
+    void closeFinished();
+
+    Service &service_;
+    ServerOptions options_;
+    int listenFd_ = -1;
+    int signalFd_ = -1; ///< Read end of the self-pipe.
+    bool stopRequested_ = false;
+    std::vector<std::unique_ptr<Conn>> conns_;
+    std::vector<PendingLine> pending_;
+    double serviceEwmaMicros_ = 0.0;
+    bool windowOpen_ = false;
+    long long windowDeadlineMicros_ = 0; ///< Monotonic clock stamp.
+};
+
+} // namespace harmonia::serve
+
+#endif // HARMONIA_SERVE_SERVER_HH

@@ -1,0 +1,634 @@
+#include "service.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "core/governor_registry.hh"
+#include "core/oracle.hh"
+#include "workloads/suite.hh"
+
+namespace harmonia::serve
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+microsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+Result<OracleObjective>
+parseObjective(const std::string &name)
+{
+    if (name == "min_ed2")
+        return OracleObjective::MinEd2;
+    if (name == "min_ed")
+        return OracleObjective::MinEd;
+    if (name == "min_energy")
+        return OracleObjective::MinEnergy;
+    if (name == "max_performance")
+        return OracleObjective::MaxPerf;
+    return Status::invalidArgument(
+        "unknown objective \"" + name +
+        "\" (want min_ed2, min_ed, min_energy, or max_performance)");
+}
+
+double
+objectiveScore(OracleObjective objective, const KernelResult &r)
+{
+    switch (objective) {
+      case OracleObjective::MinEd2: return r.ed2();
+      case OracleObjective::MinEnergy: return r.cardEnergy;
+      case OracleObjective::MaxPerf: return r.time();
+      case OracleObjective::MinEd: return r.ed();
+    }
+    return r.ed2();
+}
+
+JsonValue
+kernelResultJson(const HardwareConfig &cfg, const KernelResult &r)
+{
+    return JsonValue::object({
+        {"config", configToJson(cfg)},
+        {"time_s", JsonValue(r.time())},
+        {"power_w", JsonValue(r.power.total())},
+        {"card_energy_j", JsonValue(r.cardEnergy)},
+        {"gpu_energy_j", JsonValue(r.gpuEnergy)},
+        {"mem_energy_j", JsonValue(r.memEnergy)},
+        {"ed2", JsonValue(r.ed2())},
+    });
+}
+
+} // namespace
+
+/** One request line moving through processBatch. */
+struct Service::Pending
+{
+    JsonValue id;
+    Request req;
+    bool parsed = false;
+    bool done = false;
+    std::string response;
+};
+
+/** Evaluate requests fused into one lattice run. */
+struct Service::EvalGroup
+{
+    const KernelProfile *profile = nullptr;
+    int iteration = 0;
+    std::vector<size_t> members; ///< Indices into the pending vector.
+};
+
+/** Sparse per-(kernel, iteration) lattice results. */
+struct Service::PointCacheEntry
+{
+    explicit PointCacheEntry(size_t points)
+        : results(points), present(points, 0)
+    {
+    }
+
+    std::vector<KernelResult> results;
+    std::vector<char> present;
+};
+
+Service::Service(ServiceOptions options)
+    : options_(std::move(options)),
+      device_(),
+      sweep_(device_,
+             SweepOptions{options_.jobs, options_.rngSeed, true})
+{
+    for (const Application &app : standardSuite()) {
+        for (const KernelProfile &kernel : app.kernels)
+            kernels_.emplace(kernel.id(), kernel);
+    }
+}
+
+Service::~Service() = default;
+
+const KernelProfile *
+Service::findKernel(const std::string &id) const
+{
+    const auto it = kernels_.find(id);
+    return it == kernels_.end() ? nullptr : &it->second;
+}
+
+Status
+Service::validateEvaluate(const EvaluateParams &p) const
+{
+    if (!findKernel(p.kernel))
+        return Status::notFound("unknown kernel \"" + p.kernel + "\"");
+    if (p.iteration < 0)
+        return Status::invalidArgument("\"iteration\" must be >= 0");
+    if (p.fullLattice)
+        return Status::okStatus();
+    if (p.configs.size() > options_.maxConfigsPerRequest) {
+        return Status::resourceExhausted(
+            "configs list has " + std::to_string(p.configs.size()) +
+            " entries; limit is " +
+            std::to_string(options_.maxConfigsPerRequest));
+    }
+    const ConfigSpace &space = device_.space();
+    for (const HardwareConfig &cfg : p.configs) {
+        if (!space.valid(cfg))
+            return Status::invalidArgument("off-lattice config " +
+                                           cfg.str());
+    }
+    return Status::okStatus();
+}
+
+JsonValue
+Service::evaluateResultJson(const EvaluateParams &p,
+                            const std::vector<KernelResult> &full)
+{
+    JsonValue results = JsonValue::array();
+    if (p.fullLattice) {
+        const auto &configs = sweep_.configs();
+        for (size_t i = 0; i < configs.size(); ++i)
+            results.push(kernelResultJson(configs[i], full[i]));
+    } else {
+        for (const HardwareConfig &cfg : p.configs)
+            results.push(
+                kernelResultJson(cfg, full[sweep_.indexOf(cfg)]));
+    }
+    const int64_t count =
+        static_cast<int64_t>(results.asArray().size());
+    return JsonValue::object({
+        {"kernel", JsonValue(p.kernel)},
+        {"iteration", JsonValue(p.iteration)},
+        {"points", JsonValue(count)},
+        {"results", std::move(results)},
+    });
+}
+
+JsonValue
+Service::evaluateResultJson(const EvaluateParams &p,
+                            const PointCacheEntry &entry)
+{
+    return evaluateResultJson(p, entry.results);
+}
+
+void
+Service::runEvalGroup(EvalGroup &group, std::vector<Pending> &pending)
+{
+    const auto start = Clock::now();
+    const KernelProfile &profile = *group.profile;
+    const int iteration = group.iteration;
+
+    uint64_t pointsRequested = 0;
+    for (const size_t idx : group.members) {
+        const EvaluateParams &p = pending[idx].req.evaluate;
+        pointsRequested += p.fullLattice ? sweep_.configs().size()
+                                         : p.configs.size();
+    }
+
+    uint64_t latticeRuns = 0;
+    uint64_t pointsComputed = 0;
+
+    // Fast path: the full lattice for this invocation is already in
+    // the sweep memo (a prior `sweep` request or `configs:"all"`).
+    const std::vector<KernelResult> *full =
+        sweep_.peek(profile, iteration);
+
+    const bool wantFull =
+        std::any_of(group.members.begin(), group.members.end(),
+                    [&](size_t idx) {
+                        return pending[idx].req.evaluate.fullLattice;
+                    });
+
+    if (!full && wantFull) {
+        // Someone asked for all 448 points anyway: let the sweep
+        // engine compute and memoize the whole lattice once.
+        full = &sweep_.evaluate(profile, iteration);
+        latticeRuns = 1;
+        pointsComputed = full->size();
+    }
+
+    if (full) {
+        for (const size_t idx : group.members) {
+            Pending &p = pending[idx];
+            p.response = makeResultResponse(
+                p.id, Verb::Evaluate,
+                evaluateResultJson(p.req.evaluate, *full));
+            p.done = true;
+        }
+    } else {
+        // Partial-lattice path: compute the deduplicated union of the
+        // group's missing points in one factored lattice run.
+        const std::string key = profile.id();
+        PointCacheEntry *entry = nullptr;
+        std::unique_ptr<PointCacheEntry> scratch;
+        if (options_.cache) {
+            auto &slot = points_[{key, iteration}];
+            if (!slot)
+                slot = std::make_unique<PointCacheEntry>(
+                    sweep_.configs().size());
+            entry = slot.get();
+        } else {
+            scratch = std::make_unique<PointCacheEntry>(
+                sweep_.configs().size());
+            entry = scratch.get();
+        }
+
+        std::vector<size_t> missing;
+        std::vector<HardwareConfig> missingConfigs;
+        for (const size_t idx : group.members) {
+            for (const HardwareConfig &cfg :
+                 pending[idx].req.evaluate.configs) {
+                const size_t slot = sweep_.indexOf(cfg);
+                if (entry->present[slot])
+                    continue;
+                entry->present[slot] = 1; // Marks "queued" too.
+                missing.push_back(slot);
+                missingConfigs.push_back(cfg);
+            }
+        }
+
+        if (!missing.empty()) {
+            std::vector<KernelResult> computed(missing.size());
+            device_.runLattice(profile, profile.phase(iteration),
+                               missingConfigs, computed.data(),
+                               &sweep_.pool());
+            for (size_t i = 0; i < missing.size(); ++i)
+                entry->results[missing[i]] = computed[i];
+            latticeRuns = 1;
+            pointsComputed = missing.size();
+        }
+
+        for (const size_t idx : group.members) {
+            Pending &p = pending[idx];
+            p.response = makeResultResponse(
+                p.id, Verb::Evaluate,
+                evaluateResultJson(p.req.evaluate, *entry));
+            p.done = true;
+        }
+    }
+
+    const double elapsed = microsSince(start);
+    for (size_t i = 0; i < group.members.size(); ++i)
+        metrics_.record(Verb::Evaluate, true, elapsed);
+    metrics_.recordEvaluate(
+        latticeRuns,
+        group.members.size() > 1 ? group.members.size() : 0,
+        pointsComputed, pointsRequested - pointsComputed);
+}
+
+void
+Service::runEvaluates(std::vector<Pending> &pending)
+{
+    // Group evaluate requests by (kernel, iteration). With batching
+    // disabled every request forms its own group, so each pays its own
+    // runLattice hoist — the comparison baseline.
+    std::vector<EvalGroup> groups;
+    std::map<std::pair<std::string, int>, size_t> groupIndex;
+    for (size_t i = 0; i < pending.size(); ++i) {
+        Pending &p = pending[i];
+        if (!p.parsed || p.done || p.req.verb != Verb::Evaluate)
+            continue;
+        const Status valid = validateEvaluate(p.req.evaluate);
+        if (!valid.ok()) {
+            p.response = makeErrorResponse(p.id, valid);
+            p.done = true;
+            metrics_.record(Verb::Evaluate, false, 0.0);
+            continue;
+        }
+        const KernelProfile *profile = findKernel(p.req.evaluate.kernel);
+        if (options_.batching) {
+            const std::pair<std::string, int> key{
+                p.req.evaluate.kernel, p.req.evaluate.iteration};
+            const auto it = groupIndex.find(key);
+            if (it != groupIndex.end()) {
+                groups[it->second].members.push_back(i);
+                continue;
+            }
+            groupIndex.emplace(key, groups.size());
+        }
+        groups.push_back(
+            EvalGroup{profile, p.req.evaluate.iteration, {i}});
+    }
+
+    for (EvalGroup &group : groups) {
+        try {
+            runEvalGroup(group, pending);
+        } catch (...) {
+            const Status status = statusFromCurrentException();
+            for (const size_t idx : group.members) {
+                Pending &p = pending[idx];
+                if (p.done)
+                    continue;
+                p.response = makeErrorResponse(p.id, status);
+                p.done = true;
+                metrics_.record(Verb::Evaluate, false, 0.0);
+            }
+        }
+    }
+}
+
+Status
+Service::ensureTraining()
+{
+    if (predictor_)
+        return Status::okStatus();
+    try {
+        TrainingOptions opt;
+        opt.jobs = options_.jobs;
+        training_ = trainPredictors(device_, standardSuite(), opt);
+        predictor_ = training_->predictor();
+    } catch (...) {
+        return statusFromCurrentException();
+    }
+    return Status::okStatus();
+}
+
+Result<std::unique_ptr<Governor>>
+Service::buildGovernor(const std::string &name)
+{
+    GovernorSpec spec;
+    spec.device = &device_;
+    spec.predictor = predictor_ ? &*predictor_ : nullptr;
+    spec.sweep.jobs = options_.jobs;
+    spec.sweep.rngSeed = options_.rngSeed;
+
+    Result<std::unique_ptr<Governor>> governor =
+        makeGovernor(name, spec);
+    if (governor.ok() || predictor_)
+        return governor;
+
+    // Predictor-driven governors fail until the predictors are
+    // trained; train lazily on first demand and retry once.
+    if (governor.status().message().find("predictor") ==
+        std::string::npos)
+        return governor;
+    if (const Status trained = ensureTraining(); !trained.ok())
+        return trained;
+    spec.predictor = &*predictor_;
+    return makeGovernor(name, spec);
+}
+
+Result<JsonValue>
+Service::runGovern(const GovernParams &p)
+{
+    if (p.end || p.reset) {
+        const auto it = sessions_.find(p.session);
+        if (it == sessions_.end())
+            return Status::notFound("unknown session \"" + p.session +
+                                    "\"");
+        if (p.end) {
+            const int64_t steps =
+                static_cast<int64_t>(it->second.steps);
+            sessions_.erase(it);
+            return JsonValue::object({
+                {"session", JsonValue(p.session)},
+                {"ended", JsonValue(true)},
+                {"steps", JsonValue(steps)},
+            });
+        }
+        it->second.governor->reset();
+        return JsonValue::object({
+            {"session", JsonValue(p.session)},
+            {"reset", JsonValue(true)},
+        });
+    }
+
+    const KernelProfile *profile = findKernel(p.kernel);
+    if (!profile)
+        return Status::notFound("unknown kernel \"" + p.kernel + "\"");
+    if (p.iteration < 0)
+        return Status::invalidArgument("\"iteration\" must be >= 0");
+
+    auto it = sessions_.find(p.session);
+    if (it == sessions_.end()) {
+        if (sessions_.size() >= options_.maxSessions) {
+            return Status::resourceExhausted(
+                "session limit (" +
+                std::to_string(options_.maxSessions) + ") reached");
+        }
+        const std::string name =
+            p.governor.empty() ? "harmonia" : p.governor;
+        Result<std::unique_ptr<Governor>> governor =
+            buildGovernor(name);
+        if (!governor.ok())
+            return governor.status();
+        it = sessions_
+                 .emplace(p.session,
+                          GovernorSession{
+                              name, std::move(governor.value()), 0})
+                 .first;
+    } else if (!p.governor.empty() &&
+               p.governor != it->second.governorName) {
+        return Status::failedPrecondition(
+            "session \"" + p.session + "\" is bound to governor \"" +
+            it->second.governorName + "\"");
+    }
+
+    GovernorSession &session = it->second;
+    const HardwareConfig cfg =
+        session.governor->decide(*profile, p.iteration);
+    const KernelResult result = device_.run(*profile, p.iteration, cfg);
+
+    KernelSample sample;
+    sample.kernelId = profile->id();
+    sample.iteration = p.iteration;
+    sample.config = cfg;
+    sample.counters = result.timing.counters;
+    sample.execTime = result.time();
+    sample.cardEnergy = result.cardEnergy;
+    session.governor->observe(sample);
+    ++session.steps;
+
+    return JsonValue::object({
+        {"session", JsonValue(p.session)},
+        {"governor", JsonValue(session.governor->name())},
+        {"kernel", JsonValue(p.kernel)},
+        {"iteration", JsonValue(p.iteration)},
+        {"config", configToJson(cfg)},
+        {"time_s", JsonValue(result.time())},
+        {"power_w", JsonValue(result.power.total())},
+        {"card_energy_j", JsonValue(result.cardEnergy)},
+        {"ed2", JsonValue(result.ed2())},
+        {"steps", JsonValue(static_cast<int64_t>(session.steps))},
+    });
+}
+
+Result<JsonValue>
+Service::runSweep(const SweepParams &p)
+{
+    const KernelProfile *profile = findKernel(p.kernel);
+    if (!profile)
+        return Status::notFound("unknown kernel \"" + p.kernel + "\"");
+    if (p.iteration < 0)
+        return Status::invalidArgument("\"iteration\" must be >= 0");
+    const Result<OracleObjective> objective =
+        parseObjective(p.objective);
+    if (!objective.ok())
+        return objective.status();
+
+    const std::vector<KernelResult> &results =
+        sweep_.evaluate(*profile, p.iteration);
+    const std::vector<HardwareConfig> &configs = sweep_.configs();
+
+    const HardwareConfig best =
+        bestConfigFor(sweep_, *profile, p.iteration, objective.value());
+    const size_t bestIdx = sweep_.indexOf(best);
+
+    JsonValue bestJson = kernelResultJson(best, results[bestIdx]);
+    bestJson.set("score", JsonValue(objectiveScore(objective.value(),
+                                                   results[bestIdx])));
+
+    JsonValue out = JsonValue::object({
+        {"kernel", JsonValue(p.kernel)},
+        {"iteration", JsonValue(p.iteration)},
+        {"objective", JsonValue(p.objective)},
+        {"points", JsonValue(static_cast<int64_t>(results.size()))},
+        {"best", std::move(bestJson)},
+    });
+
+    if (p.top > 0) {
+        // Rank by objective score; ties break on canonical lattice
+        // order, so rankings are thread-count independent.
+        std::vector<size_t> order(results.size());
+        std::iota(order.begin(), order.end(), size_t{0});
+        std::stable_sort(
+            order.begin(), order.end(), [&](size_t a, size_t b) {
+                return objectiveScore(objective.value(), results[a]) <
+                       objectiveScore(objective.value(), results[b]);
+            });
+        const size_t n =
+            std::min(static_cast<size_t>(p.top), order.size());
+        JsonValue top = JsonValue::array();
+        for (size_t i = 0; i < n; ++i) {
+            const size_t idx = order[i];
+            JsonValue row = kernelResultJson(configs[idx], results[idx]);
+            row.set("score",
+                    JsonValue(objectiveScore(objective.value(),
+                                             results[idx])));
+            top.push(std::move(row));
+        }
+        out.set("top", std::move(top));
+    }
+    return out;
+}
+
+JsonValue
+Service::statsJson() const
+{
+    return JsonValue::object({
+        {"metrics", metrics_.toJson()},
+        {"sessions",
+         JsonValue(static_cast<int64_t>(sessions_.size()))},
+        {"sweep_cache",
+         JsonValue::object({
+             {"hits",
+              JsonValue(static_cast<int64_t>(sweep_.cacheHits()))},
+             {"misses",
+              JsonValue(static_cast<int64_t>(sweep_.cacheMisses()))},
+             {"entries",
+              JsonValue(static_cast<int64_t>(sweep_.cacheEntries()))},
+         })},
+        {"point_cache_invocations",
+         JsonValue(static_cast<int64_t>(points_.size()))},
+        {"trained", JsonValue(predictor_.has_value())},
+        {"jobs", JsonValue(options_.jobs)},
+        {"batching", JsonValue(options_.batching)},
+        {"cache", JsonValue(options_.cache)},
+    });
+}
+
+std::vector<std::string>
+Service::processBatch(const std::vector<std::string> &lines)
+{
+    std::vector<Pending> pending(lines.size());
+
+    for (size_t i = 0; i < lines.size(); ++i) {
+        Pending &p = pending[i];
+        if (lines[i].size() > options_.maxRequestBytes) {
+            p.response = makeErrorResponse(
+                p.id, Status::resourceExhausted(
+                          "request line exceeds " +
+                          std::to_string(options_.maxRequestBytes) +
+                          " bytes"));
+            p.done = true;
+            metrics_.recordMalformed();
+            continue;
+        }
+        Result<Request> req = parseRequest(lines[i], &p.id);
+        if (!req.ok()) {
+            p.response = makeErrorResponse(p.id, req.status());
+            p.done = true;
+            metrics_.recordMalformed();
+            continue;
+        }
+        p.req = std::move(req.value());
+        p.parsed = true;
+    }
+
+    // Evaluate requests first: the micro-batcher fuses them across
+    // the whole window. They share no state with the other verbs, so
+    // reordering cannot change any response.
+    runEvaluates(pending);
+
+    // Everything else runs serially in input order (govern sessions
+    // are stateful; their evolution must follow the request stream).
+    for (Pending &p : pending) {
+        if (!p.parsed || p.done)
+            continue;
+        const auto start = Clock::now();
+        Result<JsonValue> result = JsonValue();
+        switch (p.req.verb) {
+          case Verb::Govern:
+            try {
+                result = runGovern(p.req.govern);
+            } catch (...) {
+                result = statusFromCurrentException();
+            }
+            break;
+          case Verb::Sweep:
+            try {
+                result = runSweep(p.req.sweep);
+            } catch (...) {
+                result = statusFromCurrentException();
+            }
+            break;
+          case Verb::Stats:
+            result = statsJson();
+            break;
+          case Verb::Ping:
+            result = JsonValue::object({{"pong", JsonValue(true)}});
+            break;
+          case Verb::Shutdown:
+            shutdownRequested_ = true;
+            result = JsonValue::object({{"draining", JsonValue(true)}});
+            break;
+          case Verb::Evaluate:
+            break; // Handled above.
+        }
+        if (result.ok()) {
+            p.response = makeResultResponse(p.id, p.req.verb,
+                                            std::move(result.value()));
+        } else {
+            p.response = makeErrorResponse(p.id, result.status());
+        }
+        metrics_.record(p.req.verb, result.ok(), microsSince(start));
+        p.done = true;
+    }
+
+    std::vector<std::string> responses;
+    responses.reserve(pending.size());
+    for (Pending &p : pending)
+        responses.push_back(std::move(p.response));
+    return responses;
+}
+
+std::string
+Service::processLine(const std::string &line)
+{
+    return processBatch({line}).front();
+}
+
+} // namespace harmonia::serve

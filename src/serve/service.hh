@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The harmoniad evaluation service: protocol semantics, micro-batch
+ * coalescing, result caching, and governor sessions — everything the
+ * daemon does except socket I/O (src/serve/server.hh owns that).
+ *
+ * The service is driven in *batches*: the server hands it every
+ * request line that arrived within one coalescing window, and the
+ * service returns one response line per request, in input order. The
+ * batch boundary is where the micro-batcher gets its leverage:
+ * concurrent `evaluate` requests for the same (kernel, iteration) are
+ * fused into a single GpuDevice::runLattice invocation over the
+ * deduplicated union of their configurations, so the factored
+ * evaluator's per-invocation hoist (config-invariant bundle + axis
+ * tables) is paid once per group instead of once per request.
+ *
+ * Determinism: responses depend only on the request stream, never on
+ * batch boundaries or worker count — runLattice is bitwise identical
+ * to per-config run() calls, every cache is value-transparent, and
+ * governor sessions advance in request input order. The `stats` verb
+ * is the one exception (it reports wall-clock latencies).
+ *
+ * Failure containment: every request error — malformed JSON, unknown
+ * verb or kernel, off-lattice config, oversized batch — becomes a
+ * structured error response. The service never throws across
+ * processBatch(); an escaped internal exception is translated into an
+ * `internal` error reply for the offending request.
+ */
+
+#ifndef HARMONIA_SERVE_SERVICE_HH
+#define HARMONIA_SERVE_SERVICE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/governor.hh"
+#include "core/sweep.hh"
+#include "core/training.hh"
+#include "serve/metrics.hh"
+#include "serve/protocol.hh"
+#include "sim/gpu_device.hh"
+
+namespace harmonia::serve
+{
+
+/** Service configuration (daemon flags map onto this). */
+struct ServiceOptions
+{
+    /** Worker threads for lattice runs and sweeps (1 = serial). */
+    int jobs = 1;
+
+    /** Fuse concurrent same-invocation evaluates into one lattice
+     * run. Off = one runLattice per request (the comparison baseline
+     * for the serve_latency exhibit; results are identical). */
+    bool batching = true;
+
+    /** Reuse computed lattice points across requests. */
+    bool cache = true;
+
+    /** Per-request config-list cap (448 distinct points exist;
+     * duplicates count). */
+    size_t maxConfigsPerRequest = 1024;
+
+    /** Per-line byte cap; longer lines are rejected, not parsed. */
+    size_t maxRequestBytes = 1 << 20;
+
+    /** Concurrent governor sessions. */
+    size_t maxSessions = 256;
+
+    /** Sweep RNG seed (forwarded to SweepOptions). */
+    uint64_t rngSeed = 0x4841524d4f4e4941ull;
+};
+
+/** One stateful governor session (the `govern` verb). */
+struct GovernorSession
+{
+    std::string governorName;  ///< Registry name it was built from.
+    std::unique_ptr<Governor> governor;
+    uint64_t steps = 0; ///< decide/run/observe cycles executed.
+};
+
+/** The in-process service behind harmoniad. */
+class Service
+{
+  public:
+    explicit Service(ServiceOptions options = {});
+    ~Service(); // Out of line: PointCacheEntry is incomplete here.
+
+    const ServiceOptions &options() const { return options_; }
+    const GpuDevice &device() const { return device_; }
+    const ServiceMetrics &metrics() const { return metrics_; }
+    const ConfigSweep &sweep() const { return sweep_; }
+    size_t sessionCount() const { return sessions_.size(); }
+
+    /**
+     * Process one coalescing window's worth of request lines and
+     * return exactly lines.size() response lines (no trailing
+     * newlines), responses[i] answering lines[i].
+     */
+    std::vector<std::string>
+    processBatch(const std::vector<std::string> &lines);
+
+    /** Single-request convenience (a batch of one). */
+    std::string processLine(const std::string &line);
+
+    /** True once a `shutdown` request has been accepted. */
+    bool shutdownRequested() const { return shutdownRequested_; }
+
+    /** The `stats` verb payload (also printed on shutdown). */
+    JsonValue statsJson() const;
+
+  private:
+    struct Pending;
+    struct EvalGroup;
+    struct PointCacheEntry;
+
+    const KernelProfile *findKernel(const std::string &id) const;
+    Status validateEvaluate(const EvaluateParams &p) const;
+    void runEvaluates(std::vector<Pending> &pending);
+    void runEvalGroup(EvalGroup &group, std::vector<Pending> &pending);
+    JsonValue evaluateResultJson(const EvaluateParams &p,
+                                 const std::vector<KernelResult> &full);
+    JsonValue evaluateResultJson(const EvaluateParams &p,
+                                 const PointCacheEntry &entry);
+    Result<JsonValue> runGovern(const GovernParams &p);
+    Result<JsonValue> runSweep(const SweepParams &p);
+    Result<std::unique_ptr<Governor>>
+    buildGovernor(const std::string &name);
+    Status ensureTraining();
+
+    ServiceOptions options_;
+    GpuDevice device_;
+    ConfigSweep sweep_;
+
+    /** "App.Kernel" -> profile, for the whole standard suite. */
+    std::map<std::string, KernelProfile> kernels_;
+
+    /**
+     * Partial-lattice result cache: (kernel id, iteration) -> sparse
+     * 448-slot vector. Reuses the sweep memo's transparent hash so
+     * lookups allocate nothing; a full-lattice result in the sweep
+     * memo (via `sweep` or `configs:"all"`) supersedes it.
+     */
+    std::unordered_map<std::pair<std::string, int>,
+                       std::unique_ptr<PointCacheEntry>,
+                       detail::SweepKeyHash, detail::SweepKeyEqual>
+        points_;
+
+    // The predictor must outlive the sessions whose governors point at
+    // it: declared before them, so it is destroyed after them.
+    std::optional<TrainingResult> training_;
+    std::optional<SensitivityPredictor> predictor_;
+    std::map<std::string, GovernorSession> sessions_;
+
+    ServiceMetrics metrics_;
+    bool shutdownRequested_ = false;
+};
+
+} // namespace harmonia::serve
+
+#endif // HARMONIA_SERVE_SERVICE_HH

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Serving determinism: an identical request stream must yield
+ * byte-identical response bodies regardless of worker count (--jobs 1
+ * vs --jobs 8), micro-batching on/off, and how the stream is cut into
+ * coalescing windows. This is the wire-level corollary of the factored
+ * evaluator's bitwise guarantee (tests/test_sweep_determinism.cpp):
+ * nothing about scheduling may leak into what a client observes.
+ *
+ * The `stats` verb is deliberately absent from the stream — it reports
+ * wall-clock latencies and is the protocol's one sanctioned source of
+ * nondeterminism.
+ */
+
+#include "serve/service.hh"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/json.hh"
+#include "serve/protocol.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+using namespace harmonia::serve;
+
+namespace
+{
+
+/** A mixed-verb stream (no `stats`): partial and full-lattice
+ * evaluates with overlapping config slices, governor sessions, a
+ * sweep, and pings. */
+std::vector<std::string>
+requestStream(const ConfigSweep &sweep)
+{
+    const std::vector<HardwareConfig> &configs = sweep.configs();
+    std::vector<std::string> kernelIds;
+    for (const Application &app : standardSuite())
+        for (const KernelProfile &k : app.kernels)
+            kernelIds.push_back(k.id());
+
+    std::vector<std::string> lines;
+    int id = 0;
+    auto push = [&](JsonValue req) {
+        req.set("id", JsonValue(id++));
+        lines.push_back(req.dump());
+    };
+
+    // Overlapping evaluate slices against a few (kernel, iteration)
+    // invocations — the coalescer's dedup path.
+    for (int r = 0; r < 12; ++r) {
+        const std::string &kid = kernelIds[(r / 4) % kernelIds.size()];
+        JsonValue cfgs = JsonValue::array();
+        for (int i = 0; i < 6; ++i)
+            cfgs.push(configToJson(
+                configs[(r * 3 + i * 7) % configs.size()]));
+        push(JsonValue::object({
+            {"schema", JsonValue(kRequestSchema)},
+            {"verb", JsonValue("evaluate")},
+            {"kernel", JsonValue(kid)},
+            {"iteration", JsonValue(r % 2)},
+            {"configs", std::move(cfgs)},
+        }));
+    }
+
+    // Two interleaved governor sessions stepping the same kernel.
+    for (int step = 0; step < 4; ++step) {
+        for (const char *session : {"alpha", "beta"}) {
+            push(JsonValue::object({
+                {"schema", JsonValue(kRequestSchema)},
+                {"verb", JsonValue("govern")},
+                {"session", JsonValue(session)},
+                {"governor", JsonValue("baseline")},
+                {"kernel", JsonValue(kernelIds.front())},
+                {"iteration", JsonValue(step)},
+            }));
+        }
+    }
+
+    // One full sweep (memoizes the lattice) then a full-lattice
+    // evaluate that must be served from the same memo.
+    push(JsonValue::object({
+        {"schema", JsonValue(kRequestSchema)},
+        {"verb", JsonValue("sweep")},
+        {"kernel", JsonValue(kernelIds[1])},
+        {"iteration", JsonValue(0)},
+        {"objective", JsonValue("min_ed2")},
+        {"top", JsonValue(3)},
+    }));
+    push(JsonValue::object({
+        {"schema", JsonValue(kRequestSchema)},
+        {"verb", JsonValue("evaluate")},
+        {"kernel", JsonValue(kernelIds[1])},
+        {"iteration", JsonValue(0)},
+        {"configs", JsonValue("all")},
+    }));
+
+    // An error in the stream must also be deterministic.
+    push(JsonValue::object({
+        {"schema", JsonValue(kRequestSchema)},
+        {"verb", JsonValue("evaluate")},
+        {"kernel", JsonValue("NoSuch.Kernel")},
+        {"configs", JsonValue("all")},
+    }));
+    push(JsonValue::object({{"schema", JsonValue(kRequestSchema)},
+                            {"verb", JsonValue("ping")}}));
+    return lines;
+}
+
+/** Run @p lines through a fresh service, cut into windows of
+ * @p windowSize requests. */
+std::vector<std::string>
+replay(int jobs, bool batching, size_t windowSize)
+{
+    ServiceOptions opt;
+    opt.jobs = jobs;
+    opt.batching = batching;
+    Service service(opt);
+    const std::vector<std::string> lines =
+        requestStream(service.sweep());
+
+    std::vector<std::string> responses;
+    for (size_t begin = 0; begin < lines.size();
+         begin += windowSize) {
+        const size_t end =
+            std::min(begin + windowSize, lines.size());
+        const std::vector<std::string> window(
+            lines.begin() + begin, lines.begin() + end);
+        for (std::string &r : service.processBatch(window))
+            responses.push_back(std::move(r));
+    }
+    return responses;
+}
+
+TEST(ServeDeterminism, ResponsesIndependentOfWorkerCount)
+{
+    const std::vector<std::string> serial = replay(1, true, 8);
+    const std::vector<std::string> parallel = replay(8, true, 8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i]) << "response " << i;
+}
+
+TEST(ServeDeterminism, ResponsesIndependentOfBatching)
+{
+    const std::vector<std::string> batched = replay(4, true, 8);
+    const std::vector<std::string> unbatched = replay(4, false, 8);
+    ASSERT_EQ(batched.size(), unbatched.size());
+    for (size_t i = 0; i < batched.size(); ++i)
+        EXPECT_EQ(batched[i], unbatched[i]) << "response " << i;
+}
+
+TEST(ServeDeterminism, ResponsesIndependentOfWindowBoundaries)
+{
+    const std::vector<std::string> one = replay(2, true, 1);
+    const std::vector<std::string> big = replay(2, true, 1000);
+    ASSERT_EQ(one.size(), big.size());
+    for (size_t i = 0; i < one.size(); ++i)
+        EXPECT_EQ(one[i], big[i]) << "response " << i;
+}
+
+TEST(ServeDeterminism, RepeatRunsAreByteIdentical)
+{
+    EXPECT_EQ(replay(8, true, 8), replay(8, true, 8));
+}
+
+} // namespace

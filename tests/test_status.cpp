@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the Status / Result<T> boundary-error types
+ * (common/status.hh): code vocabulary, exception translation, and the
+ * Result value/rethrow contract the facade and serving layers rely on.
+ */
+
+#include "common/status.hh"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+TEST(Status, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Ok);
+    EXPECT_EQ(s.message(), "");
+    EXPECT_EQ(s.str(), "ok");
+    EXPECT_EQ(s, Status::okStatus());
+}
+
+TEST(Status, NamedConstructorsCarryCodeAndMessage)
+{
+    EXPECT_EQ(Status::invalidArgument("bad").code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(Status::notFound("gone").code(), StatusCode::NotFound);
+    EXPECT_EQ(Status::failedPrecondition("state").code(),
+              StatusCode::FailedPrecondition);
+    EXPECT_EQ(Status::resourceExhausted("limit").code(),
+              StatusCode::ResourceExhausted);
+    EXPECT_EQ(Status::unavailable("bye").code(),
+              StatusCode::Unavailable);
+    EXPECT_EQ(Status::internal("bug").code(), StatusCode::Internal);
+
+    const Status s = Status::notFound("no such kernel");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.message(), "no such kernel");
+    EXPECT_EQ(s.str(), "not_found: no such kernel");
+}
+
+TEST(Status, CodeNamesAreStableWireStrings)
+{
+    EXPECT_STREQ(statusCodeName(StatusCode::Ok), "ok");
+    EXPECT_STREQ(statusCodeName(StatusCode::InvalidArgument),
+                 "invalid_argument");
+    EXPECT_STREQ(statusCodeName(StatusCode::NotFound), "not_found");
+    EXPECT_STREQ(statusCodeName(StatusCode::FailedPrecondition),
+                 "failed_precondition");
+    EXPECT_STREQ(statusCodeName(StatusCode::ResourceExhausted),
+                 "resource_exhausted");
+    EXPECT_STREQ(statusCodeName(StatusCode::Unavailable),
+                 "unavailable");
+    EXPECT_STREQ(statusCodeName(StatusCode::Internal), "internal");
+}
+
+TEST(Status, FromCurrentExceptionMapsLibraryErrors)
+{
+    auto capture = [](auto &&thrower) {
+        try {
+            thrower();
+        } catch (...) {
+            return statusFromCurrentException();
+        }
+        return Status::okStatus();
+    };
+
+    const Status user =
+        capture([] { throw ConfigError("bad cu count"); });
+    EXPECT_EQ(user.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(user.message().find("bad cu count"), std::string::npos);
+
+    const Status bug =
+        capture([] { throw InternalError("impossible state"); });
+    EXPECT_EQ(bug.code(), StatusCode::Internal);
+
+    const Status other =
+        capture([] { throw std::runtime_error("disk on fire"); });
+    EXPECT_EQ(other.code(), StatusCode::Internal);
+    EXPECT_NE(other.message().find("disk on fire"), std::string::npos);
+}
+
+TEST(Result, ValueRoundTrip)
+{
+    Result<int> r(42);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(static_cast<bool>(r));
+    EXPECT_TRUE(r.status().ok());
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_EQ(*r, 42);
+    EXPECT_EQ(r.valueOr(7), 42);
+}
+
+TEST(Result, ErrorCarriesStatusAndRethrows)
+{
+    Result<std::string> r(Status::notFound("no such session"));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::NotFound);
+    // User-caused codes rethrow as ConfigError...
+    EXPECT_THROW(r.value(), ConfigError);
+    // ...internal ones as InternalError.
+    Result<std::string> bug(Status::internal("oops"));
+    EXPECT_THROW(bug.value(), InternalError);
+    EXPECT_EQ(bug.valueOr("fallback"), "fallback");
+}
+
+TEST(Result, MoveOnlyPayload)
+{
+    Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+    ASSERT_TRUE(r.ok());
+    std::unique_ptr<int> owned = std::move(r).value();
+    ASSERT_NE(owned, nullptr);
+    EXPECT_EQ(*owned, 9);
+}
+
+TEST(Result, ArrowOperatorReachesMembers)
+{
+    Result<std::string> r(std::string("harmonia"));
+    EXPECT_EQ(r->size(), 8u);
+}
+
+} // namespace

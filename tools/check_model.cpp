@@ -26,10 +26,7 @@
 #include <string>
 #include <vector>
 
-#include "check/checker.hh"
-#include "common/error.hh"
-#include "common/table.hh"
-#include "workloads/suite.hh"
+#include "harmonia/harmonia.hh"
 
 using namespace harmonia;
 
@@ -119,14 +116,15 @@ main(int argc, char **argv)
     try {
         std::vector<Application> suite;
         if (opt.apps.empty()) {
-            suite = standardSuite();
+            suite = Suite::standard().apps();
         } else {
+            const Suite all = Suite::standard();
             for (const std::string &name : opt.apps)
-                suite.push_back(appByName(name));
+                suite.push_back(all.app(name).value());
         }
 
-        const GpuDevice device;
-        const ModelChecker checker(device, opt.check);
+        const Device device;
+        const ModelChecker checker(device.gpu(), opt.check);
 
         std::cout << "check_model: " << suite.size() << " app(s), "
                   << device.space().size() << " configurations, "

@@ -1,0 +1,472 @@
+/**
+ * @file
+ * harmonia_client — load generator and latency reporter for harmoniad.
+ *
+ * Connects to a running daemon's Unix-domain socket, generates a
+ * deterministic request stream (mixed verbs or pure evaluate), sends
+ * it open-loop at a configurable arrival rate — send times follow the
+ * schedule regardless of response progress, like real concurrent
+ * clients — and reports client-side latency percentiles, throughput,
+ * and the error-reply count.
+ *
+ * Usage:
+ *   harmonia_client --socket PATH [options]
+ *
+ *   --requests N     Requests to send (default 100).
+ *   --rate R         Open-loop arrival rate, requests/second
+ *                    (0 = send everything immediately; default 0).
+ *   --mix MODE       "evaluate" (default) or "mixed"
+ *                    (evaluate/sweep/govern/ping blend).
+ *   --configs K      Lattice points per evaluate request (default 8).
+ *   --kernels M      Distinct kernels to spread requests over
+ *                    (default 4).
+ *   --group G        Consecutive requests sharing one
+ *                    (kernel, iteration) — the unit the daemon's
+ *                    micro-batcher can coalesce (default 4).
+ *   --governor NAME  Governor for govern requests (default baseline —
+ *                    keeps the smoke test free of training cost).
+ *   --seed N         Workload RNG seed (default 1).
+ *   --stats          Fetch and print the daemon stats snapshot at the
+ *                    end.
+ *   --shutdown       Send a shutdown request after the load.
+ *   --quiet          Only print the summary line.
+ *
+ * Exit status: 0 when every request got an ok reply, 1 when any error
+ * reply or transport failure occurred.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/json.hh"
+#include "serve/protocol.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+using namespace harmonia::serve;
+
+namespace
+{
+
+struct ClientOptions
+{
+    std::string socketPath;
+    int requests = 100;
+    double rate = 0.0;
+    std::string mix = "evaluate";
+    int configsPerRequest = 8;
+    int kernels = 4;
+    int group = 4;
+    std::string governor = "baseline";
+    uint64_t seed = 1;
+    bool stats = false;
+    bool shutdown = false;
+    bool quiet = false;
+};
+
+[[noreturn]] void
+usage(int status)
+{
+    std::cout << "usage: harmonia_client --socket PATH [--requests N] "
+                 "[--rate R] [--mix evaluate|mixed]\n"
+                 "                       [--configs K] [--kernels M] "
+                 "[--governor NAME] [--seed N]\n"
+                 "                       [--stats] [--shutdown] "
+                 "[--quiet]\n";
+    std::exit(status);
+}
+
+/** splitmix64: deterministic, seedable, no <random> state to drag. */
+uint64_t
+nextRand(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+struct Workload
+{
+    std::vector<std::string> kernelIds;
+    std::vector<int> cuValues{4, 8, 12, 16, 20, 24, 28, 32};
+    std::vector<int> computeValues{300, 400, 500, 600,
+                                   700, 800, 900, 1000};
+    std::vector<int> memValues{475, 625, 775, 925, 1075, 1225, 1375};
+};
+
+JsonValue
+randomConfig(Workload &w, uint64_t &rng)
+{
+    return JsonValue::object({
+        {"cu", JsonValue(w.cuValues[nextRand(rng) %
+                                    w.cuValues.size()])},
+        {"compute_mhz",
+         JsonValue(
+             w.computeValues[nextRand(rng) % w.computeValues.size()])},
+        {"mem_mhz",
+         JsonValue(w.memValues[nextRand(rng) % w.memValues.size()])},
+    });
+}
+
+std::string
+makeRequest(const ClientOptions &opt, Workload &w, uint64_t &rng,
+            int index)
+{
+    JsonValue req = JsonValue::object({
+        {"schema", JsonValue(kRequestSchema)},
+        {"id", JsonValue(static_cast<int64_t>(index))},
+    });
+
+    // Requests in the same cohort target the same (kernel, iteration)
+    // with different config subsets, so ones that arrive within a
+    // coalescing window fuse into a single lattice run.
+    const int cohort = index / std::max(1, opt.group);
+    const std::string &kernel =
+        w.kernelIds[static_cast<size_t>(cohort) % w.kernelIds.size()];
+    const int iteration =
+        cohort / static_cast<int>(w.kernelIds.size());
+
+    // Mixed traffic: mostly evaluates, a sprinkling of everything
+    // else — the pattern the coalescer sees in practice.
+    int lane = 0; // evaluate
+    if (opt.mix == "mixed") {
+        const uint64_t roll = nextRand(rng) % 10;
+        lane = roll < 6 ? 0 : (roll < 7 ? 1 : (roll < 9 ? 2 : 3));
+    }
+
+    if (lane == 0) {
+        JsonValue configs = JsonValue::array();
+        for (int c = 0; c < opt.configsPerRequest; ++c)
+            configs.push(randomConfig(w, rng));
+        req.set("verb", JsonValue("evaluate"));
+        req.set("kernel", JsonValue(kernel));
+        req.set("iteration", JsonValue(iteration));
+        req.set("configs", std::move(configs));
+    } else if (lane == 1) {
+        req.set("verb", JsonValue("sweep"));
+        req.set("kernel", JsonValue(kernel));
+        req.set("iteration", JsonValue(0));
+        req.set("objective", JsonValue("min_ed2"));
+        req.set("top", JsonValue(3));
+    } else if (lane == 2) {
+        req.set("verb", JsonValue("govern"));
+        req.set("session",
+                JsonValue("load-" + std::to_string(index % 4)));
+        req.set("governor", JsonValue(opt.governor));
+        req.set("kernel", JsonValue(kernel));
+        req.set("iteration", JsonValue(index));
+    } else {
+        req.set("verb", JsonValue("ping"));
+    }
+    return req.dump();
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const size_t idx = static_cast<size_t>(
+        p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+ClientOptions
+parseArgs(int argc, char **argv)
+{
+    ClientOptions opt;
+    auto value = [&](int &i, const std::string &flag) -> std::string {
+        if (i + 1 >= argc) {
+            std::cerr << "harmonia_client: " << flag
+                      << " needs a value\n";
+            usage(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket")
+            opt.socketPath = value(i, arg);
+        else if (arg == "--requests")
+            opt.requests = std::max(1, std::atoi(value(i, arg).c_str()));
+        else if (arg == "--rate")
+            opt.rate = std::atof(value(i, arg).c_str());
+        else if (arg == "--mix")
+            opt.mix = value(i, arg);
+        else if (arg == "--configs")
+            opt.configsPerRequest =
+                std::max(1, std::atoi(value(i, arg).c_str()));
+        else if (arg == "--kernels")
+            opt.kernels = std::max(1, std::atoi(value(i, arg).c_str()));
+        else if (arg == "--group")
+            opt.group = std::max(1, std::atoi(value(i, arg).c_str()));
+        else if (arg == "--governor")
+            opt.governor = value(i, arg);
+        else if (arg == "--seed")
+            opt.seed = std::strtoull(value(i, arg).c_str(), nullptr, 0);
+        else if (arg == "--stats")
+            opt.stats = true;
+        else if (arg == "--shutdown")
+            opt.shutdown = true;
+        else if (arg == "--quiet")
+            opt.quiet = true;
+        else if (arg == "--help" || arg == "-h")
+            usage(0);
+        else {
+            std::cerr << "harmonia_client: unknown argument '" << arg
+                      << "'\n";
+            usage(2);
+        }
+    }
+    if (opt.socketPath.empty()) {
+        std::cerr << "harmonia_client: --socket is required\n";
+        usage(2);
+    }
+    if (opt.mix != "evaluate" && opt.mix != "mixed") {
+        std::cerr << "harmonia_client: --mix must be evaluate|mixed\n";
+        usage(2);
+    }
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using Clock = std::chrono::steady_clock;
+    const ClientOptions opt = parseArgs(argc, argv);
+
+    Workload workload;
+    for (const Application &app : standardSuite()) {
+        for (const KernelProfile &k : app.kernels) {
+            workload.kernelIds.push_back(k.id());
+            if (workload.kernelIds.size() >=
+                static_cast<size_t>(opt.kernels))
+                break;
+        }
+        if (workload.kernelIds.size() >=
+            static_cast<size_t>(opt.kernels))
+            break;
+    }
+
+    // Pre-generate the whole stream so send time is pure I/O.
+    uint64_t rng = opt.seed;
+    std::vector<std::string> requests;
+    requests.reserve(static_cast<size_t>(opt.requests));
+    for (int i = 0; i < opt.requests; ++i)
+        requests.push_back(makeRequest(opt, workload, rng, i));
+
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::cerr << "harmonia_client: socket(): "
+                  << std::strerror(errno) << '\n';
+        return 1;
+    }
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, opt.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                sizeof(addr)) != 0) {
+        std::cerr << "harmonia_client: connect(" << opt.socketPath
+                  << "): " << std::strerror(errno) << '\n';
+        close(fd);
+        return 1;
+    }
+    // Non-blocking during the open-loop phase so a full send buffer
+    // can never deadlock against a daemon busy writing responses.
+    fcntl(fd, F_SETFL, fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+
+    // Open loop: request i is due at start + i/rate; sends never wait
+    // for responses. Responses are drained whenever the socket has
+    // them, and matched to send stamps by id.
+    std::vector<Clock::time_point> sentAt(
+        static_cast<size_t>(opt.requests));
+    std::vector<double> latenciesMs;
+    latenciesMs.reserve(static_cast<size_t>(opt.requests));
+    size_t sent = 0;
+    size_t received = 0;
+    size_t errors = 0;
+    std::string sendBuf;
+    std::string recvBuf;
+    const Clock::time_point start = Clock::now();
+
+    auto handleLine = [&](const std::string &line) {
+        Result<JsonValue> doc = parseJson(line);
+        if (!doc.ok()) {
+            ++errors;
+            ++received;
+            std::cerr << "harmonia_client: unparseable response: "
+                      << line << '\n';
+            return;
+        }
+        const JsonValue *ok = doc.value().find("ok");
+        const JsonValue *id = doc.value().find("id");
+        if (!ok || !ok->isBool() || !ok->asBool()) {
+            ++errors;
+            if (!opt.quiet)
+                std::cerr << "harmonia_client: error reply: " << line
+                          << '\n';
+        }
+        if (id && id->isInt()) {
+            const int64_t i = id->asInt();
+            if (i >= 0 && i < opt.requests) {
+                const double ms =
+                    std::chrono::duration<double, std::milli>(
+                        Clock::now() - sentAt[static_cast<size_t>(i)])
+                        .count();
+                latenciesMs.push_back(ms);
+            }
+        }
+        ++received;
+    };
+
+    while (received < static_cast<size_t>(opt.requests)) {
+        const Clock::time_point now = Clock::now();
+
+        // Queue every request whose scheduled arrival time has come.
+        while (sent < requests.size()) {
+            const double dueSec =
+                opt.rate > 0.0 ? static_cast<double>(sent) / opt.rate
+                               : 0.0;
+            const double elapsed =
+                std::chrono::duration<double>(now - start).count();
+            if (elapsed < dueSec)
+                break;
+            sentAt[sent] = now;
+            sendBuf += requests[sent];
+            sendBuf += '\n';
+            ++sent;
+        }
+
+        if (!sendBuf.empty()) {
+            const ssize_t n =
+                write(fd, sendBuf.data(), sendBuf.size());
+            if (n > 0)
+                sendBuf.erase(0, static_cast<size_t>(n));
+            else if (n < 0 && errno != EAGAIN && errno != EINTR) {
+                std::cerr << "harmonia_client: write(): "
+                          << std::strerror(errno) << '\n';
+                close(fd);
+                return 1;
+            }
+        }
+
+        pollfd pfd{fd, POLLIN, 0};
+        int timeoutMs = 0;
+        if (sendBuf.empty() && sent < requests.size() &&
+            opt.rate > 0.0) {
+            const double dueSec = static_cast<double>(sent) / opt.rate;
+            const double elapsed =
+                std::chrono::duration<double>(Clock::now() - start)
+                    .count();
+            timeoutMs = std::max(
+                0, static_cast<int>((dueSec - elapsed) * 1000.0));
+        } else if (sendBuf.empty() && sent == requests.size()) {
+            timeoutMs = 1000;
+        }
+        const int rc = poll(&pfd, 1, timeoutMs);
+        if (rc > 0 && (pfd.revents & (POLLIN | POLLHUP))) {
+            char buf[8192];
+            const ssize_t n = read(fd, buf, sizeof(buf));
+            if (n > 0) {
+                recvBuf.append(buf, static_cast<size_t>(n));
+                size_t startPos = 0;
+                while (true) {
+                    const size_t nl = recvBuf.find('\n', startPos);
+                    if (nl == std::string::npos)
+                        break;
+                    handleLine(
+                        recvBuf.substr(startPos, nl - startPos));
+                    startPos = nl + 1;
+                }
+                recvBuf.erase(0, startPos);
+            } else if (n == 0) {
+                std::cerr << "harmonia_client: daemon closed the "
+                             "connection with "
+                          << (opt.requests - received)
+                          << " response(s) outstanding\n";
+                close(fd);
+                return 1;
+            }
+        }
+    }
+    const Clock::time_point end = Clock::now();
+
+    // Back to blocking for the simple stats/shutdown round trips.
+    fcntl(fd, F_SETFL, fcntl(fd, F_GETFL, 0) & ~O_NONBLOCK);
+
+    auto roundTrip = [&](const std::string &line) -> std::string {
+        std::string out = line + "\n";
+        size_t off = 0;
+        while (off < out.size()) {
+            const ssize_t n = write(fd, out.data() + off,
+                                    out.size() - off);
+            if (n <= 0 && errno != EINTR)
+                return {};
+            if (n > 0)
+                off += static_cast<size_t>(n);
+        }
+        std::string reply;
+        char buf[8192];
+        while (reply.find('\n') == std::string::npos) {
+            const ssize_t n = read(fd, buf, sizeof(buf));
+            if (n <= 0)
+                return reply;
+            reply.append(buf, static_cast<size_t>(n));
+        }
+        return reply.substr(0, reply.find('\n'));
+    };
+
+    if (opt.stats) {
+        const std::string reply = roundTrip(
+            std::string("{\"schema\":\"") + kRequestSchema +
+            "\",\"id\":\"stats\",\"verb\":\"stats\"}");
+        std::cout << "daemon stats: " << reply << '\n';
+    }
+    if (opt.shutdown) {
+        roundTrip(std::string("{\"schema\":\"") + kRequestSchema +
+                  "\",\"id\":\"bye\",\"verb\":\"shutdown\"}");
+    }
+    close(fd);
+
+    std::sort(latenciesMs.begin(), latenciesMs.end());
+    const double wallSec =
+        std::chrono::duration<double>(end - start).count();
+    const double throughput =
+        wallSec > 0.0 ? static_cast<double>(opt.requests) / wallSec
+                      : 0.0;
+    double meanMs = 0.0;
+    for (const double ms : latenciesMs)
+        meanMs += ms;
+    if (!latenciesMs.empty())
+        meanMs /= static_cast<double>(latenciesMs.size());
+
+    std::cout << "harmonia_client: " << opt.requests << " requests ("
+              << opt.mix << "), " << errors << " error(s), "
+              << throughput << " req/s\n"
+              << "latency ms: mean " << meanMs << "  p50 "
+              << percentile(latenciesMs, 50.0) << "  p90 "
+              << percentile(latenciesMs, 90.0) << "  p99 "
+              << percentile(latenciesMs, 99.0) << "  max "
+              << (latenciesMs.empty() ? 0.0 : latenciesMs.back())
+              << '\n';
+
+    return errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * harmoniad — the batched Harmonia evaluation daemon.
+ *
+ * Serves the harmonia.request/1 NDJSON protocol (docs/SERVING.md)
+ * over a Unix-domain socket, or over stdin/stdout with --stdio (the
+ * mode tests and CI pipelines use). Verbs: evaluate, govern, sweep,
+ * stats, ping, shutdown.
+ *
+ * Usage:
+ *   harmoniad --socket PATH [options]
+ *   harmoniad --stdio [options]
+ *
+ *   --socket PATH     Listen on a Unix-domain socket at PATH.
+ *   --stdio           Serve stdin -> stdout instead of a socket.
+ *   --jobs N          Worker threads for lattice runs (or
+ *                     HARMONIA_JOBS; default 1).
+ *   --no-batching     Disable evaluate micro-batching (one lattice
+ *                     run per request; results are identical).
+ *   --no-cache        Disable the cross-request result cache.
+ *   --coalesce-us N   Fixed coalescing window in microseconds
+ *                     (default: adaptive; 0 = no coalescing).
+ *   --max-configs N   Per-request config-list cap (default 1024).
+ *   --max-sessions N  Concurrent governor-session cap (default 256).
+ *   --seed N          Sweep RNG seed.
+ *
+ * Exit status 0 after a clean drain (SIGTERM/SIGINT, a `shutdown`
+ * request, or --stdio EOF); the final metrics snapshot is printed to
+ * stderr as one JSON line.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "serve/server.hh"
+#include "serve/service.hh"
+
+using namespace harmonia;
+using namespace harmonia::serve;
+
+namespace
+{
+
+[[noreturn]] void
+usage(int status)
+{
+    std::cout << "usage: harmoniad (--socket PATH | --stdio) "
+                 "[--jobs N] [--no-batching] [--no-cache]\n"
+                 "                 [--coalesce-us N] [--max-configs N] "
+                 "[--max-sessions N] [--seed N]\n";
+    std::exit(status);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServiceOptions service;
+    ServerOptions server;
+
+    if (const char *env = std::getenv("HARMONIA_JOBS")) {
+        const int v = std::atoi(env);
+        if (v > 0)
+            service.jobs = v;
+    }
+
+    auto intArg = [&](int &i, const std::string &flag) {
+        if (i + 1 >= argc) {
+            std::cerr << "harmoniad: " << flag << " needs a value\n";
+            usage(2);
+        }
+        return std::atoi(argv[++i]);
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket") {
+            if (i + 1 >= argc) {
+                std::cerr << "harmoniad: --socket needs a value\n";
+                usage(2);
+            }
+            server.socketPath = argv[++i];
+        } else if (arg == "--stdio") {
+            server.stdio = true;
+        } else if (arg == "--jobs") {
+            service.jobs = std::max(1, intArg(i, arg));
+        } else if (arg == "--no-batching") {
+            service.batching = false;
+        } else if (arg == "--no-cache") {
+            service.cache = false;
+        } else if (arg == "--coalesce-us") {
+            server.coalesceMicros = std::max(0, intArg(i, arg));
+        } else if (arg == "--max-configs") {
+            service.maxConfigsPerRequest =
+                static_cast<size_t>(std::max(1, intArg(i, arg)));
+        } else if (arg == "--max-sessions") {
+            service.maxSessions =
+                static_cast<size_t>(std::max(1, intArg(i, arg)));
+        } else if (arg == "--seed") {
+            if (i + 1 >= argc) {
+                std::cerr << "harmoniad: --seed needs a value\n";
+                usage(2);
+            }
+            service.rngSeed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else {
+            std::cerr << "harmoniad: unknown argument '" << arg
+                      << "'\n";
+            usage(2);
+        }
+    }
+
+    if (!server.stdio && server.socketPath.empty()) {
+        std::cerr << "harmoniad: need --socket PATH or --stdio\n";
+        usage(2);
+    }
+    if (server.stdio && !server.socketPath.empty()) {
+        std::cerr << "harmoniad: --socket and --stdio are exclusive\n";
+        usage(2);
+    }
+
+    Service svc(service);
+    Server loop(svc, server);
+    return loop.run();
+}
