@@ -10,12 +10,13 @@
 #   tidy       clang-tidy with the repo .clang-tidy profile
 #              (skipped with a notice when clang-tidy is absent)
 #   asan       ASan+UBSan Debug build; tier-1 ctest suite, the
-#              factored/naive equivalence suite, and the fig10_ed2
-#              benchmark harness with --jobs 4
+#              factored/naive and scalar/SIMD equivalence suites, and
+#              the fig10_ed2 benchmark harness with --jobs 4
 #   tsan       TSan build; the thread-pool and sweep-determinism
 #              tests, which exercise every lock in the library
 #   model      check_model: the 11-invariant physics check across
-#              every (app x 448-config) point of the suite
+#              every (app x 448-config) point of the suite, through
+#              both the SIMD lattice kernels and the scalar reference
 #
 # Usage:
 #   scripts/run_static_analysis.sh            # all stages
@@ -77,10 +78,13 @@ if want asan; then
     if [ "$FAILED" -eq 0 ]; then
         (cd build-asan && ctest -L tier1 -j "$JOBS" --output-on-failure \
             | tail -n 5) || FAILED=1
-        # The factored/naive bitwise-equivalence suite under the
-        # sanitizers: the factored path's batching and table reuse is
-        # exactly the kind of code ASan/UBSan exists for.
+        # The factored/naive and scalar/SIMD bitwise-equivalence
+        # suites under the sanitizers: the batching, table reuse, and
+        # partial-pack tail loads/stores in those paths are exactly
+        # the kind of code ASan/UBSan exists for.
         ./build-asan/tests/test_factored_engine > /dev/null || FAILED=1
+        ./build-asan/tests/test_simd_equivalence > /dev/null || FAILED=1
+        ./build-asan/tests/test_simd_shim > /dev/null || FAILED=1
         ./build-asan/bench/fig10_ed2 --jobs 4 > /dev/null || FAILED=1
     fi
 fi
@@ -103,8 +107,12 @@ if want model; then
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DHARMONIA_WERROR=ON || FAILED=1
     if [ "$FAILED" -eq 0 ]; then
+        # Both lattice paths must clear every invariant: the SIMD
+        # batched kernels (default) and the scalar reference.
         ./build-werror/tools/check_model --jobs "$JOBS" | tail -n 3 \
             || FAILED=1
+        ./build-werror/tools/check_model --jobs "$JOBS" --no-simd \
+            | tail -n 3 || FAILED=1
     fi
 fi
 

@@ -39,7 +39,8 @@ ModelChecker::ModelChecker(const GpuDevice &device, CheckOptions options)
     : device_(device), options_(std::move(options)),
       invariants_(selectInvariants(options_.invariantIds)),
       predictor_(SensitivityPredictor::paperTable3()),
-      sweep_(device, SweepOptions{options_.jobs})
+      sweep_(device, SweepOptions{.jobs = options_.jobs,
+                                  .simd = options_.simd})
 {
     fatalIf(options_.relTol < 0.0,
             "ModelChecker: negative tolerance ", options_.relTol);

@@ -72,7 +72,7 @@ ConfigSweep::evaluate(const KernelProfile &profile, int iteration) const
         std::make_unique<std::vector<KernelResult>>(configs_.size());
     if (options_.factored) {
         device_.runLattice(profile, phase, configs_, results->data(),
-                           pool_.get());
+                           pool_.get(), options_.simd);
     } else {
         pool_->parallelFor(configs_.size(), 16, [&](size_t i) {
             (*results)[i] = device_.run(profile, phase, configs_[i]);

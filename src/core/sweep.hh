@@ -59,6 +59,14 @@ struct SweepOptions
      * the reference implementation).
      */
     bool factored = true;
+
+    /**
+     * Evaluate factored sweeps through the SIMD-batched kernels
+     * (vector bandwidth bisection + vertical combine over the SoA
+     * planes). Bitwise identical to the scalar factored path; false
+     * is the --no-simd escape hatch. Ignored when factored is false.
+     */
+    bool simd = true;
 };
 
 namespace detail

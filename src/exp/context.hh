@@ -47,6 +47,11 @@ struct ExpOptions
 
     /** Full-suite passes per variant in the micro_sweep bench. */
     int benchReps = 6;
+
+    /** Run sweeps through the SIMD-batched lattice kernels; false is
+     * the harmonia_exp --no-simd escape hatch (results identical,
+     * exhibits record which path ran). */
+    bool simd = true;
 };
 
 /**

@@ -38,7 +38,9 @@ usage(std::ostream &os)
           "  --format F      json | csv | all (default) | none\n"
           "  --seed S        base RNG seed for sweep substreams\n"
           "  --bench-reps N  micro_sweep passes per variant "
-          "(default 6)\n";
+          "(default 6)\n"
+          "  --no-simd       evaluate sweeps on the scalar reference "
+          "path\n";
 }
 
 /**
@@ -93,6 +95,8 @@ parseSharedOption(int argc, char **argv, int &i, CliOptions &opt,
             std::max(1, std::atoi(value("--bench-reps").c_str()));
     } else if (arg.rfind("--bench-reps=", 0) == 0) {
         opt.exp.benchReps = std::max(1, std::atoi(arg.c_str() + 13));
+    } else if (arg == "--no-simd") {
+        opt.exp.simd = false;
     } else {
         return false;
     }

@@ -6,6 +6,7 @@
 
 #include "common/check.hh"
 #include "common/error.hh"
+#include "common/simd.hh"
 
 namespace harmonia
 {
@@ -53,7 +54,8 @@ MemorySystem::resolveWithCrossingCap(double memFreqMhz,
     BandwidthResult result;
     resolveLanesWithCrossingCap(memFreqMhz, demand, 1,
                                 &demand.outstandingRequests,
-                                &crossingCapBps, &result);
+                                &crossingCapBps, &result,
+                                /*simd=*/false);
     return result;
 }
 
@@ -63,7 +65,8 @@ MemorySystem::resolveLanesWithCrossingCap(double memFreqMhz,
                                           size_t lanes,
                                           const double *outstanding,
                                           const double *crossingCaps,
-                                          BandwidthResult *out) const
+                                          BandwidthResult *out,
+                                          bool simd) const
 {
     fatalIf(demand.requestBytes <= 0.0,
             "MemorySystem: request size must be positive");
@@ -140,15 +143,45 @@ MemorySystem::resolveLanesWithCrossingCap(double memFreqMhz,
     size_t nStaged = 0;
 
     auto flush = [&]() {
-        for (int iter = 0; iter < 48; ++iter) {
-            for (size_t u = 0; u < nSolves; ++u) {
-                const double mid = 0.5 * (lo[u] + hi[u]);
-                // Branchless halving: the comparison outcome is
-                // data-dependent noise to the branch predictor, so
-                // select instead of branching.
-                const bool below = mlpBwAt(solveIn[u], mid) >= mid;
-                lo[u] = below ? mid : lo[u];
-                hi[u] = below ? hi[u] : mid;
+        if (simd) {
+            // Lane-parallel bisection: each vector lane mirrors the
+            // scalar expression tree below op for op (same division,
+            // same clamp, same compare), so lane results are bitwise
+            // identical to the scalar loop. Tail packs pad with the
+            // last staged solve (loadN) and store only live lanes.
+            using simd::VDouble;
+            const VDouble half(0.5), one(1.0), clamp(0.95);
+            const VDouble vPeak(peak), vQs(qs), vUnloaded(unloaded);
+            for (size_t base = 0; base < nSolves;
+                 base += VDouble::width) {
+                const size_t n =
+                    std::min(VDouble::width, nSolves - base);
+                const VDouble in = VDouble::loadN(solveIn + base, n);
+                VDouble vLo = VDouble::loadN(lo + base, n);
+                VDouble vHi = VDouble::loadN(hi + base, n);
+                for (int iter = 0; iter < 48; ++iter) {
+                    const VDouble mid = half * (vLo + vHi);
+                    const VDouble u = vmin(mid / vPeak, clamp);
+                    const VDouble latency =
+                        vUnloaded * (one + vQs * u / (one - u));
+                    const auto below = in / latency >= mid;
+                    vLo = select(below, mid, vLo);
+                    vHi = select(below, vHi, mid);
+                }
+                vLo.storeN(lo + base, n);
+                vHi.storeN(hi + base, n);
+            }
+        } else {
+            for (int iter = 0; iter < 48; ++iter) {
+                for (size_t u = 0; u < nSolves; ++u) {
+                    const double mid = 0.5 * (lo[u] + hi[u]);
+                    // Branchless halving: the comparison outcome is
+                    // data-dependent noise to the branch predictor, so
+                    // select instead of branching.
+                    const bool below = mlpBwAt(solveIn[u], mid) >= mid;
+                    lo[u] = below ? mid : lo[u];
+                    hi[u] = below ? hi[u] : mid;
+                }
             }
         }
         for (size_t u = 0; u < nSolves; ++u) {
@@ -252,6 +285,209 @@ MemorySystem::resolveLanesWithCrossingCap(double memFreqMhz,
             laneSolve[nStaged] = u;
             laneGroup[nStaged] = gi;
             ++nStaged;
+        }
+    }
+    flush();
+}
+
+void
+MemorySystem::resolveSlabLanesWithCrossingCap(
+    const SlabLaneRequest *slabs, size_t nSlabs,
+    const MemDemand &demand) const
+{
+    fatalIf(demand.requestBytes <= 0.0,
+            "MemorySystem: request size must be positive");
+    fatalIf(demand.streamEfficiency <= 0.0 ||
+                demand.streamEfficiency > 1.0,
+            "MemorySystem: streamEfficiency must be in (0, 1], got ",
+            demand.streamEfficiency);
+
+    const double qs = gddr5_.timing().queueSensitivity;
+
+    // Global solve/lane staging across slabs. A full 448-point lattice
+    // stages at most 448 lanes, so one flush is the common case; the
+    // capacity checks below keep arbitrary callers correct.
+    constexpr size_t kGlobal = 512;
+    double solveIn[kGlobal];
+    double lo[kGlobal];
+    double hi[kGlobal];
+    double solvePeak[kGlobal];     // per-solve slab peak bandwidth
+    double solveUnloaded[kGlobal]; // per-solve slab unloaded latency
+    double solveLatency[kGlobal];
+    BandwidthResult *laneOut[kGlobal];
+    size_t laneSolve[kGlobal];
+    double laneCap[kGlobal];     // supply ceiling, for the limiter
+    double laneBusPeak[kGlobal]; // slab bus ceiling, for the limiter
+    size_t nSolves = 0;
+    size_t nStaged = 0;
+
+    auto flush = [&]() {
+        using simd::VDouble;
+        const VDouble half(0.5), one(1.0), clamp(0.95), vQs(qs);
+        // Iteration-major: iteration i of every pack runs before
+        // iteration i+1 of any pack, so the packs' serially dependent
+        // division chains overlap in the divider instead of running
+        // back to back. Each lane mirrors the scalar bisection op for
+        // op with its own slab's constants — bitwise identical
+        // results. Tail packs pad with the last solve (loadN); pads
+        // stay finite and are never stored.
+        for (int iter = 0; iter < 48; ++iter) {
+            for (size_t base = 0; base < nSolves;
+                 base += VDouble::width) {
+                const size_t n = std::min(VDouble::width, nSolves - base);
+                const VDouble in = VDouble::loadN(solveIn + base, n);
+                const VDouble vPeak =
+                    VDouble::loadN(solvePeak + base, n);
+                const VDouble vUnloaded =
+                    VDouble::loadN(solveUnloaded + base, n);
+                VDouble vLo = VDouble::loadN(lo + base, n);
+                VDouble vHi = VDouble::loadN(hi + base, n);
+                const VDouble mid = half * (vLo + vHi);
+                const VDouble u = vmin(mid / vPeak, clamp);
+                const VDouble latency =
+                    vUnloaded * (one + vQs * u / (one - u));
+                const auto below = in / latency >= mid;
+                vLo = select(below, mid, vLo);
+                vHi = select(below, vHi, mid);
+                vLo.storeN(lo + base, n);
+                vHi.storeN(hi + base, n);
+            }
+        }
+        for (size_t u = 0; u < nSolves; ++u) {
+            const double bw = 0.5 * (lo[u] + hi[u]);
+            solveIn[u] = bw; // reuse as the solved bandwidth
+            solveLatency[u] = gddr5_.loadedLatencyFromBase(
+                solveUnloaded[u],
+                std::min(bw / solvePeak[u], 0.95));
+        }
+        for (size_t l = 0; l < nStaged; ++l) {
+            BandwidthResult &r = *laneOut[l];
+            r.effectiveBps = solveIn[laneSolve[l]];
+            r.latency = solveLatency[laneSolve[l]];
+            if (r.effectiveBps >= laneCap[l] * (1.0 - 1e-9)) {
+                r.limiter = laneBusPeak[l] <= laneCap[l]
+                                ? BandwidthLimiter::BusPeak
+                                : BandwidthLimiter::Crossing;
+            } else {
+                r.limiter = BandwidthLimiter::Concurrency;
+            }
+            HARMONIA_CHECK_NONNEG(r.effectiveBps);
+            HARMONIA_CHECK(r.effectiveBps <= laneCap[l] * (1.0 + 1e-9),
+                           "bandwidth above the supply-path ceiling");
+            HARMONIA_CHECK(r.latency > 0.0, "non-positive loaded latency");
+        }
+        nSolves = 0;
+        nStaged = 0;
+    };
+
+    for (size_t s = 0; s < nSlabs; ++s) {
+        const SlabLaneRequest &slab = slabs[s];
+        const double peak = peakBandwidth(slab.memFreqMhz);
+        const double busPeak = peak * demand.streamEfficiency;
+        const double unloaded = gddr5_.unloadedLatency(slab.memFreqMhz);
+
+        auto mlpBwAt = [&](double inFlightBytes, double bw) {
+            const double u = std::min(bw / peak, 0.95);
+            const double latency = unloaded * (1.0 + qs * u / (1.0 - u));
+            return inFlightBytes / latency;
+        };
+
+        // Ceiling groups are per slab (caps at different memory
+        // frequencies are not comparable); solve dedup likewise only
+        // scans this slab's window of the global solve array.
+        struct CapGroup
+        {
+            double cap;
+            double satMin;
+            double unsatMax;
+            BandwidthResult sat;
+        };
+        constexpr size_t kGroups = 64;
+        CapGroup groups[kGroups];
+        size_t nGroups = 0;
+        size_t solveBase = nSolves;
+
+        for (size_t i = 0; i < slab.lanes; ++i) {
+            fatalIf(slab.outstanding[i] < 0.0,
+                    "MemorySystem: negative outstanding requests");
+            if (slab.outstanding[i] == 0.0) {
+                slab.out[i].effectiveBps = 0.0;
+                slab.out[i].latency = unloaded;
+                slab.out[i].limiter = BandwidthLimiter::Concurrency;
+                continue;
+            }
+
+            if (nSolves == kGlobal || nStaged == kGlobal) {
+                flush();
+                solveBase = 0;
+            }
+            if (nGroups == kGroups)
+                nGroups = 0; // drop saturation memory, stay correct
+
+            const double supplyCap =
+                std::min(busPeak, slab.crossingCaps[i]);
+            size_t gi = 0;
+            while (gi < nGroups && groups[gi].cap != supplyCap)
+                ++gi;
+            if (gi == nGroups) {
+                groups[gi].cap = supplyCap;
+                groups[gi].satMin =
+                    std::numeric_limits<double>::infinity();
+                groups[gi].unsatMax = -1.0;
+                ++nGroups;
+            }
+            CapGroup &g = groups[gi];
+
+            const double inFlightBytes =
+                slab.outstanding[i] * demand.requestBytes;
+            bool saturated;
+            if (inFlightBytes >= g.satMin) {
+                saturated = true;
+            } else if (inFlightBytes <= g.unsatMax) {
+                saturated = false;
+            } else {
+                saturated =
+                    mlpBwAt(inFlightBytes, supplyCap) >= supplyCap;
+                if (saturated) {
+                    if (g.satMin ==
+                        std::numeric_limits<double>::infinity()) {
+                        g.sat.effectiveBps = supplyCap;
+                        g.sat.latency = gddr5_.loadedLatencyFromBase(
+                            unloaded, std::min(supplyCap / peak, 0.95));
+                        g.sat.limiter =
+                            busPeak <= slab.crossingCaps[i]
+                                ? BandwidthLimiter::BusPeak
+                                : BandwidthLimiter::Crossing;
+                        HARMONIA_CHECK_NONNEG(g.sat.effectiveBps);
+                        HARMONIA_CHECK(g.sat.latency > 0.0,
+                                       "non-positive loaded latency");
+                    }
+                    g.satMin = inFlightBytes;
+                } else {
+                    g.unsatMax = inFlightBytes;
+                }
+            }
+
+            if (saturated) {
+                slab.out[i] = g.sat;
+            } else {
+                size_t u = solveBase;
+                while (u < nSolves && solveIn[u] != inFlightBytes)
+                    ++u;
+                if (u == nSolves) {
+                    solveIn[u] = inFlightBytes;
+                    lo[u] = 0.0;
+                    hi[u] = busPeak;
+                    solvePeak[u] = peak;
+                    solveUnloaded[u] = unloaded;
+                    ++nSolves;
+                }
+                laneOut[nStaged] = &slab.out[i];
+                laneSolve[nStaged] = u;
+                laneCap[nStaged] = g.cap;
+                laneBusPeak[nStaged] = busPeak;
+                ++nStaged;
+            }
         }
     }
     flush();

@@ -123,13 +123,51 @@ class MemorySystem
      *
      * The single-lane resolveWithCrossingCap() routes through this
      * with lanes == 1, so there is exactly one solver implementation.
+     *
+     * With @p simd set (the default), the interleaved bisections run
+     * as explicit vector packs (src/common/simd.hh) with branchless
+     * per-lane selects; every operation is a lane-wise mirror of the
+     * scalar expression, so the results stay bitwise identical to the
+     * scalar loop (docs/MODEL.md §9). Pass false for the scalar
+     * reference loop (the --no-simd escape hatch).
      */
     void resolveLanesWithCrossingCap(double memFreqMhz,
                                      const MemDemand &demand,
                                      size_t lanes,
                                      const double *outstanding,
                                      const double *crossingCaps,
-                                     BandwidthResult *out) const;
+                                     BandwidthResult *out,
+                                     bool simd = true) const;
+
+    /** One memory frequency's worth of lanes for the multi-slab
+     * resolver below; fields mirror the resolveLanesWithCrossingCap
+     * arguments. */
+    struct SlabLaneRequest
+    {
+        double memFreqMhz = 0.0;
+        size_t lanes = 0;
+        const double *outstanding = nullptr;
+        const double *crossingCaps = nullptr;
+        BandwidthResult *out = nullptr;
+    };
+
+    /**
+     * Resolve several memory frequencies' lane batches in one pass:
+     * slab s is staged exactly like resolveLanesWithCrossingCap(
+     * slabs[s].memFreqMhz, demand, ...), but the surviving bisections
+     * of ALL slabs run together, iteration-major across vector packs.
+     * A single slab rarely stages more than one pack of distinct
+     * solves, so its pack is latency-bound on the 48 serially
+     * dependent iterations; batching across slabs gives the divider
+     * several independent packs per iteration to pipeline. Per lane
+     * the expression tree is unchanged (each solve carries its own
+     * slab's peak/unloaded-latency constants), so every result is
+     * bitwise identical to the per-slab call. SIMD-path only: the
+     * scalar reference keeps the per-slab route.
+     */
+    void resolveSlabLanesWithCrossingCap(const SlabLaneRequest *slabs,
+                                         size_t nSlabs,
+                                         const MemDemand &demand) const;
 
     /** Memory power breakdown for achieved traffic at a frequency. */
     MemPowerBreakdown power(double memFreqMhz, double bytesPerSec,

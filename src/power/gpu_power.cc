@@ -68,6 +68,39 @@ GpuPowerModel::factorsFor(const HardwareConfig &cfg) const
     return out;
 }
 
+void
+GpuPowerModel::factorsForLattice(const int *cuCounts, size_t nCu,
+                                 const int *computeFreqsMhz, size_t nCf,
+                                 GpuPowerFactors *out) const
+{
+    for (size_t cf = 0; cf < nCf; ++cf) {
+        const double v = voltage(computeFreqsMhz[cf]);
+        const double vScale = (v / params_.refVoltage) *
+                              (v / params_.refVoltage);
+        const double fScale = computeFreqsMhz[cf] / params_.refFreqMhz;
+        // cuDynPrefix associates left in factorsFor(), so
+        // (cuDynAtRef * vScale) * fScale is the exact intermediate it
+        // multiplies by cuFraction; sharing it across the CU loop
+        // reuses the same rounded value.
+        const double cuDynBase = params_.cuDynAtRef * vScale * fScale;
+        const double uncoreDynPrefix =
+            params_.uncoreDynAtRef * vScale * fScale;
+        const double leakScale =
+            std::pow(v / params_.refVoltage, params_.leakVoltageExp);
+        for (size_t cu = 0; cu < nCu; ++cu) {
+            const double cuFraction =
+                static_cast<double>(cuCounts[cu]) / dev_.numCus;
+            GpuPowerFactors &f = out[cu * nCf + cf];
+            f.cuDynPrefix = cuDynBase * cuFraction;
+            f.uncoreDynPrefix = uncoreDynPrefix;
+            f.leakage =
+                leakScale * (params_.cuLeakAtRef * cuFraction +
+                             params_.uncoreLeakAtRef);
+            HARMONIA_CHECK_NONNEG(f.leakage);
+        }
+    }
+}
+
 GpuPowerBreakdown
 GpuPowerModel::powerFromFactors(const GpuPowerFactors &factors,
                                 double valuBusyPct,

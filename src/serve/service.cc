@@ -101,8 +101,8 @@ struct Service::PointCacheEntry
 Service::Service(ServiceOptions options)
     : options_(std::move(options)),
       device_(),
-      sweep_(device_,
-             SweepOptions{options_.jobs, options_.rngSeed, true})
+      sweep_(device_, SweepOptions{options_.jobs, options_.rngSeed,
+                                   true, options_.simd})
 {
     for (const Application &app : standardSuite()) {
         for (const KernelProfile &kernel : app.kernels)
@@ -254,7 +254,7 @@ Service::runEvalGroup(EvalGroup &group, std::vector<Pending> &pending)
             std::vector<KernelResult> computed(missing.size());
             device_.runLattice(profile, profile.phase(iteration),
                                missingConfigs, computed.data(),
-                               &sweep_.pool());
+                               &sweep_.pool(), options_.simd);
             for (size_t i = 0; i < missing.size(); ++i)
                 entry->results[missing[i]] = computed[i];
             latticeRuns = 1;
@@ -537,6 +537,7 @@ Service::statsJson() const
         {"jobs", JsonValue(options_.jobs)},
         {"batching", JsonValue(options_.batching)},
         {"cache", JsonValue(options_.cache)},
+        {"simd", JsonValue(options_.simd)},
     });
 }
 

@@ -135,9 +135,10 @@ void
 GpuDevice::runLattice(const KernelProfile &profile,
                       const KernelPhase &phase,
                       const std::vector<HardwareConfig> &configs,
-                      KernelResult *out, ThreadPool *pool) const
+                      KernelResult *out, ThreadPool *pool,
+                      bool simd) const
 {
-    const LatticeEvaluator eval(*this, profile, phase, pool);
+    const LatticeEvaluator eval(*this, profile, phase, pool, simd);
 
     // Sweeps almost always pass the full lattice in canonical
     // allConfigs() order (memory frequency major, then CU count, then
@@ -162,7 +163,56 @@ GpuDevice::runLattice(const KernelProfile &profile,
         }
     }
 
-    if (pool != nullptr && pool->numThreads() > 1) {
+    if (simd) {
+        // Batched SIMD combine, one lane block per task. Each block
+        // derives its lane indices (arithmetically when canonical,
+        // through the axis lookups — same ConfigError behavior as the
+        // scalar path — otherwise) and writes only its own result
+        // window, so pool scheduling cannot affect the output.
+        constexpr size_t kChunk = LatticeEvaluator::kBatchChunk;
+        const size_t nChunks =
+            (configs.size() + kChunk - 1) / kChunk;
+        auto runChunk = [&](size_t chunk) {
+            const size_t begin = chunk * kChunk;
+            const size_t len =
+                std::min(kChunk, configs.size() - begin);
+            size_t cuIdx[kChunk], cfIdx[kChunk], memIdx[kChunk];
+            if (canonical) {
+                // Odometer walk instead of three divisions per lane:
+                // the canonical order increments cf fastest, then cu,
+                // then the memory frequency.
+                size_t cf = begin % nCf;
+                size_t cu = begin / nCf % nCu;
+                size_t m = begin / (nCu * nCf);
+                for (size_t l = 0; l < len; ++l) {
+                    cuIdx[l] = cu;
+                    cfIdx[l] = cf;
+                    memIdx[l] = m;
+                    if (++cf == nCf) {
+                        cf = 0;
+                        if (++cu == nCu) {
+                            cu = 0;
+                            ++m;
+                        }
+                    }
+                }
+            } else {
+                for (size_t l = 0; l < len; ++l) {
+                    const HardwareConfig &cfg = configs[begin + l];
+                    cuIdx[l] = t.cuIndex(cfg.cuCount);
+                    cfIdx[l] = t.computeFreqIndex(cfg.computeFreqMhz);
+                    memIdx[l] = t.memFreqIndex(cfg.memFreqMhz);
+                }
+            }
+            eval.evaluateBatchAtInto(cuIdx, cfIdx, memIdx, len,
+                                     out + begin);
+        };
+        if (pool != nullptr && pool->numThreads() > 1 && nChunks > 1)
+            pool->parallelFor(nChunks, 1, runChunk);
+        else
+            for (size_t c = 0; c < nChunks; ++c)
+                runChunk(c);
+    } else if (pool != nullptr && pool->numThreads() > 1) {
         if (canonical) {
             pool->parallelFor(configs.size(), 16, [&](size_t i) {
                 eval.evaluateAtInto(i / nCf % nCu, i % nCf,

@@ -81,10 +81,17 @@ class GpuDevice
      * When @p pool is non-null, table construction and the per-config
      * combine run on it; each index writes only its own slot, so
      * results are scheduling-independent.
+     *
+     * @p simd selects the batched SIMD combine
+     * (LatticeEvaluator::evaluateBatchAtInto) over the scalar
+     * reference loop. The two paths are bitwise identical
+     * (tests/test_simd_equivalence.cpp); false is the runtime
+     * --no-simd escape hatch.
      */
     void runLattice(const KernelProfile &profile, const KernelPhase &phase,
                     const std::vector<HardwareConfig> &configs,
-                    KernelResult *out, ThreadPool *pool = nullptr) const;
+                    KernelResult *out, ThreadPool *pool = nullptr,
+                    bool simd = true) const;
 
   private:
     friend class LatticeEvaluator;

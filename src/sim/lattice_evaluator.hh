@@ -18,14 +18,27 @@
  *    of 448;
  *  - GDDR5 power factors and idle memory power per memory frequency.
  *
- * evaluate() then combines tables into a KernelResult with the same
- * arithmetic the naive path runs (GpuDevice::composeResult), so the
- * two paths produce bitwise-identical results.
+ * The hoisted tables are stored as structure-of-arrays planes (one
+ * contiguous double array per model component) rather than arrays of
+ * structs, so the batched path can stream each component with vector
+ * loads. Two evaluation paths consume them:
+ *
+ *  - evaluate()/evaluateAtInto(): the scalar reference. Reassembles
+ *    per-config structs from the planes and runs exactly the combine
+ *    arithmetic the naive path runs (GpuDevice::composeResultInto),
+ *    so the two paths produce bitwise-identical results.
+ *  - evaluateBatchAtInto(): the SIMD path. Gathers lane inputs from
+ *    the planes and evaluates the combine + power composition as
+ *    vertical vector ops (src/common/simd.hh), op-for-op mirroring
+ *    the scalar expression trees — no reassociation anywhere — so it
+ *    is bitwise identical to the scalar path too (pinned by
+ *    tests/test_simd_equivalence.cpp; contract in docs/MODEL.md §9).
  */
 
 #ifndef HARMONIA_SIM_LATTICE_EVALUATOR_HH
 #define HARMONIA_SIM_LATTICE_EVALUATOR_HH
 
+#include <cstddef>
 #include <vector>
 
 #include "sim/gpu_device.hh"
@@ -43,14 +56,21 @@ class ThreadPool;
 class LatticeEvaluator
 {
   public:
+    /** Lane-block size of the batched path: evaluateBatchAtInto()
+     * processes lanes in chunks of this many configs, so batch
+     * drivers get good parallel grain by chunking at the same size. */
+    static constexpr size_t kBatchChunk = 64;
+
     /**
      * Hoist all config-invariant and axis-separable work for
      * (@p profile, @p phase). When @p pool is non-null the bandwidth
      * lattice is resolved in parallel (deterministically: each row
-     * writes only its own slots).
+     * writes only its own slots). @p simd selects the lane-parallel
+     * bandwidth bisection (bitwise identical either way).
      */
     LatticeEvaluator(const GpuDevice &device, const KernelProfile &profile,
-                     const KernelPhase &phase, ThreadPool *pool = nullptr);
+                     const KernelPhase &phase, ThreadPool *pool = nullptr,
+                     bool simd = true);
 
     const GpuDevice &device() const { return device_; }
 
@@ -77,18 +97,51 @@ class LatticeEvaluator
     void evaluateAtInto(size_t cuIdx, size_t cfIdx, size_t memIdx,
                         KernelResult &out) const;
 
+    /**
+     * SIMD-batched evaluateAtInto(): lane i evaluates the lattice
+     * point (@p cuIdx[i], @p cfIdx[i], @p memIdx[i]) into @p out[i].
+     * Lanes are independent — any subset, duplicates, or a single
+     * point are all fine — and each lane's result is bitwise
+     * identical to the corresponding evaluateAtInto() call. Indices
+     * must be in range (unchecked).
+     */
+    void evaluateBatchAtInto(const size_t *cuIdx, const size_t *cfIdx,
+                             const size_t *memIdx, size_t n,
+                             KernelResult *out) const;
+
   private:
+    /** One lane block (n <= kBatchChunk) of the batched path. */
+    void evaluateChunkAtInto(const size_t *cuIdx, const size_t *cfIdx,
+                             const size_t *memIdx, size_t n,
+                             KernelResult *out) const;
+
     const GpuDevice &device_;
     PreparedKernel prep_;
     TimingAxisTables timing_;
 
-    // (CU count, compute frequency) plane, row-major in CU count.
-    std::vector<GpuPowerFactors> gpuFactors_;
-    std::vector<GpuPowerBreakdown> idleGpu_;
+    // (CU count, compute frequency) plane, row-major in CU count —
+    // GpuPowerFactors and the DPM-state idle GpuPowerBreakdown split
+    // into one plane per component.
+    std::vector<double> gpuCuDynPrefix_;
+    std::vector<double> gpuUncoreDynPrefix_;
+    std::vector<double> gpuLeakage_;
+    std::vector<double> idleGpuCuDynamic_;
+    std::vector<double> idleGpuUncoreDynamic_;
+    std::vector<double> idleGpuLeakage_;
+    std::vector<double> idleGpuTotal_; ///< idle GpuPowerBreakdown::total().
 
-    // Memory-frequency axis.
-    std::vector<Gddr5PowerFactors> memFactors_;
-    std::vector<MemPowerBreakdown> idleMem_;
+    // Memory-frequency axis — Gddr5PowerFactors and the idle
+    // MemPowerBreakdown, one plane per component.
+    std::vector<double> memFRatio_;
+    std::vector<double> memLowFreqScale_;
+    std::vector<double> memVScale_;
+    std::vector<double> memBackground_;
+    std::vector<double> idleMemBackground_;
+    std::vector<double> idleMemActivatePrecharge_;
+    std::vector<double> idleMemReadWrite_;
+    std::vector<double> idleMemTermination_;
+    std::vector<double> idleMemPhy_;
+    std::vector<double> idleMemTotal_; ///< idle MemPowerBreakdown::total().
 };
 
 } // namespace harmonia

@@ -157,7 +157,7 @@ TimingEngine::prepare(const KernelProfile &profile,
 
 TimingAxisTables
 TimingEngine::buildAxisTables(const PreparedKernel &prep,
-                              ThreadPool *pool) const
+                              ThreadPool *pool, bool simd) const
 {
     const KernelPhase &phase = prep.phase;
 
@@ -223,7 +223,9 @@ TimingEngine::buildAxisTables(const PreparedKernel &prep,
     //     independent lane of resolveLanesWithCrossingCap(), which
     //     interleaves the bisection solves so their division chains
     //     pipeline instead of running back to back.
-    t.bandwidth.resize(nMem * nCu * nCf);
+    t.bandwidthBps.resize(nMem * nCu * nCf);
+    t.bandwidthLatency.resize(nMem * nCu * nCf);
+    t.bandwidthLimiter.resize(nMem * nCu * nCf);
 
     // Lane scratch for every slab, allocated once up front; slab m
     // touches only its own [m * nCu * nCf, ...) window, so the
@@ -233,34 +235,30 @@ TimingEngine::buildAxisTables(const PreparedKernel &prep,
     std::vector<size_t> laneSlotBuf(nMem * nCu * nCf);
     std::vector<BandwidthResult> laneResultBuf(nMem * nCu * nCf);
 
-    auto buildSlab = [&](size_t m) {
-        MemDemand demand;
-        demand.requestBytes = dev_.cacheLineBytes;
-        demand.rowHitFraction = phase.rowHitFraction;
-        demand.streamEfficiency = phase.streamEfficiency;
+    MemDemand demand;
+    demand.requestBytes = dev_.cacheLineBytes;
+    demand.rowHitFraction = phase.rowHitFraction;
+    demand.streamEfficiency = phase.streamEfficiency;
 
-        const double memFreq = t.memFreqValues[m];
+    // A compute frequency dedups against its left neighbor when both
+    // crossing caps clear the slab's bus ceiling (or the row has no
+    // outstanding requests); everything else becomes a lane.
+    auto dedups = [&](double outstanding, double busPeak, size_t cf) {
+        return cf > 0 && (outstanding == 0.0 ||
+                          (t.crossingCap[cf] >= busPeak &&
+                           t.crossingCap[cf - 1] >= busPeak));
+    };
+
+    auto stageLanes = [&](size_t m) -> size_t {
         const double busPeak =
             t.peakBandwidth[m] * demand.streamEfficiency;
-        BandwidthResult *slab = &t.bandwidth[m * nCu * nCf];
-
-        // A compute frequency dedups against its left neighbor when
-        // both crossing caps clear the bus ceiling (or the row has no
-        // outstanding requests); everything else becomes a lane.
-        auto dedups = [&](double outstanding, size_t cf) {
-            return cf > 0 && (outstanding == 0.0 ||
-                              (t.crossingCap[cf] >= busPeak &&
-                               t.crossingCap[cf - 1] >= busPeak));
-        };
-
         double *laneOutstanding = &laneOutstandingBuf[m * nCu * nCf];
         double *laneCap = &laneCapBuf[m * nCu * nCf];
         size_t *laneSlot = &laneSlotBuf[m * nCu * nCf];
-        BandwidthResult *laneResult = &laneResultBuf[m * nCu * nCf];
         size_t n = 0;
         for (size_t cu = 0; cu < nCu; ++cu) {
             for (size_t cf = 0; cf < nCf; ++cf) {
-                if (dedups(t.outstandingRequests[cu], cf))
+                if (dedups(t.outstandingRequests[cu], busPeak, cf))
                     continue;
                 laneOutstanding[n] = t.outstandingRequests[cu];
                 laneCap[n] = t.crossingCap[cf];
@@ -268,23 +266,68 @@ TimingEngine::buildAxisTables(const PreparedKernel &prep,
                 ++n;
             }
         }
-        memsys_.resolveLanesWithCrossingCap(memFreq, demand, n,
-                                            laneOutstanding, laneCap,
-                                            laneResult);
-        for (size_t l = 0; l < n; ++l)
-            slab[laneSlot[l]] = laneResult[l];
+        return n;
+    };
+
+    auto scatterSlab = [&](size_t m, size_t n) {
+        const double busPeak =
+            t.peakBandwidth[m] * demand.streamEfficiency;
+        double *slabBps = &t.bandwidthBps[m * nCu * nCf];
+        double *slabLatency = &t.bandwidthLatency[m * nCu * nCf];
+        BandwidthLimiter *slabLimiter =
+            &t.bandwidthLimiter[m * nCu * nCf];
+        const size_t *laneSlot = &laneSlotBuf[m * nCu * nCf];
+        const BandwidthResult *laneResult = &laneResultBuf[m * nCu * nCf];
+        for (size_t l = 0; l < n; ++l) {
+            slabBps[laneSlot[l]] = laneResult[l].effectiveBps;
+            slabLatency[laneSlot[l]] = laneResult[l].latency;
+            slabLimiter[laneSlot[l]] = laneResult[l].limiter;
+        }
         for (size_t cu = 0; cu < nCu; ++cu) {
-            BandwidthResult *row = slab + cu * nCf;
-            for (size_t cf = 1; cf < nCf; ++cf)
-                if (dedups(t.outstandingRequests[cu], cf))
-                    row[cf] = row[cf - 1];
+            const size_t row = cu * nCf;
+            for (size_t cf = 1; cf < nCf; ++cf) {
+                if (dedups(t.outstandingRequests[cu], busPeak, cf)) {
+                    slabBps[row + cf] = slabBps[row + cf - 1];
+                    slabLatency[row + cf] = slabLatency[row + cf - 1];
+                    slabLimiter[row + cf] = slabLimiter[row + cf - 1];
+                }
+            }
         }
     };
-    if (pool != nullptr && pool->numThreads() > 1)
+
+    auto buildSlab = [&](size_t m) {
+        const size_t n = stageLanes(m);
+        memsys_.resolveLanesWithCrossingCap(
+            t.memFreqValues[m], demand, n,
+            &laneOutstandingBuf[m * nCu * nCf],
+            &laneCapBuf[m * nCu * nCf], &laneResultBuf[m * nCu * nCf],
+            simd);
+        scatterSlab(m, n);
+    };
+
+    if (pool != nullptr && pool->numThreads() > 1) {
         pool->parallelFor(nMem, 1, buildSlab);
-    else
+    } else if (simd) {
+        // Serial SIMD path: stage every slab first and resolve them in
+        // one multi-slab call, so the bisection packs of all memory
+        // frequencies pipeline against each other (bitwise identical
+        // to the per-slab calls; see resolveSlabLanesWithCrossingCap).
+        std::vector<MemorySystem::SlabLaneRequest> reqs(nMem);
+        for (size_t m = 0; m < nMem; ++m) {
+            reqs[m].memFreqMhz = t.memFreqValues[m];
+            reqs[m].lanes = stageLanes(m);
+            reqs[m].outstanding = &laneOutstandingBuf[m * nCu * nCf];
+            reqs[m].crossingCaps = &laneCapBuf[m * nCu * nCf];
+            reqs[m].out = &laneResultBuf[m * nCu * nCf];
+        }
+        memsys_.resolveSlabLanesWithCrossingCap(reqs.data(), nMem,
+                                                demand);
+        for (size_t m = 0; m < nMem; ++m)
+            scatterSlab(m, reqs[m].lanes);
+    } else {
         for (size_t m = 0; m < nMem; ++m)
             buildSlab(m);
+    }
     return t;
 }
 
@@ -312,9 +355,8 @@ TimingEngine::evaluateAt(const PreparedKernel &prep,
     axis.l2Time = tables.l2Time[cfIdx];
     axis.peakBandwidth = tables.peakBandwidth[memIdx];
     axis.invPeakBandwidth = tables.invPeakBandwidth[memIdx];
-    axis.bandwidth =
-        tables.bandwidth[(memIdx * tables.cuValues.size() + cuIdx) * nCf +
-                         cfIdx];
+    axis.bandwidth = tables.bandwidthAt(
+        (memIdx * tables.cuValues.size() + cuIdx) * nCf + cfIdx);
     return combine(prep, axis);
 }
 

@@ -142,8 +142,19 @@ struct TimingAxisTables
     std::vector<double> peakBandwidth;
     std::vector<double> invPeakBandwidth;
 
-    // --- Full lattice, mem-major like ConfigSpace::allConfigs() ----
-    std::vector<BandwidthResult> bandwidth;
+    // --- Full lattice, mem-major like ConfigSpace::allConfigs(),
+    // stored as structure-of-arrays planes so the batched combine can
+    // stream each component with vector loads ---------------------
+    std::vector<double> bandwidthBps;
+    std::vector<double> bandwidthLatency;
+    std::vector<BandwidthLimiter> bandwidthLimiter;
+
+    /** Reassemble the resolved bandwidth of one lattice slot. */
+    BandwidthResult bandwidthAt(size_t slot) const
+    {
+        return {bandwidthBps[slot], bandwidthLatency[slot],
+                bandwidthLimiter[slot]};
+    }
 
     /** Axis position of a lattice value; @throws when off-lattice. */
     size_t cuIndex(int cuCount) const;
@@ -219,10 +230,13 @@ class TimingEngine
      * Build the per-axis lookup tables for @p prep over this engine's
      * configuration lattice. When @p pool is non-null the bandwidth
      * lattice rows are resolved in parallel (each row writes only its
-     * own slots, so results are scheduling-independent).
+     * own slots, so results are scheduling-independent). @p simd
+     * selects the lane-parallel bandwidth bisection (bitwise identical
+     * to the scalar solver; see resolveLanesWithCrossingCap).
      */
     TimingAxisTables buildAxisTables(const PreparedKernel &prep,
-                                     ThreadPool *pool = nullptr) const;
+                                     ThreadPool *pool = nullptr,
+                                     bool simd = true) const;
 
     /**
      * Factored equivalent of run(): combine a prepared kernel with

@@ -190,7 +190,9 @@ TEST(FactoredEngine, AxisTablesMatchDirectModelCalls)
     ASSERT_EQ(t.cuValues.size(), 8u);
     ASSERT_EQ(t.computeFreqValues.size(), 8u);
     ASSERT_EQ(t.memFreqValues.size(), 7u);
-    ASSERT_EQ(t.bandwidth.size(), 448u);
+    ASSERT_EQ(t.bandwidthBps.size(), 448u);
+    ASSERT_EQ(t.bandwidthLatency.size(), 448u);
+    ASSERT_EQ(t.bandwidthLimiter.size(), 448u);
 
     for (size_t cu = 0; cu < t.cuValues.size(); ++cu) {
         const std::string ctx = "cu=" + std::to_string(t.cuValues[cu]);
@@ -233,10 +235,10 @@ TEST(FactoredEngine, AxisTablesMatchDirectModelCalls)
                     eng.memorySystem().resolveBandwidth(
                         t.memFreqValues[m], t.computeFreqValues[cf],
                         demand);
-                const BandwidthResult &tabled =
-                    t.bandwidth[(m * t.cuValues.size() + cu) *
-                                    t.computeFreqValues.size() +
-                                cf];
+                const BandwidthResult tabled =
+                    t.bandwidthAt((m * t.cuValues.size() + cu) *
+                                      t.computeFreqValues.size() +
+                                  cf);
                 EXPECT_SAME_BITS(tabled.effectiveBps,
                                  direct.effectiveBps);
                 EXPECT_SAME_BITS(tabled.latency, direct.latency);
@@ -258,15 +260,15 @@ TEST(FactoredEngine, ParallelTableBuildMatchesSerial)
     ThreadPool pool(4);
     const TimingAxisTables parallel = eng.buildAxisTables(prep, &pool);
 
-    ASSERT_EQ(serial.bandwidth.size(), parallel.bandwidth.size());
-    for (size_t i = 0; i < serial.bandwidth.size(); ++i) {
+    ASSERT_EQ(serial.bandwidthBps.size(), parallel.bandwidthBps.size());
+    for (size_t i = 0; i < serial.bandwidthBps.size(); ++i) {
         const std::string ctx = "slot " + std::to_string(i);
-        EXPECT_SAME_BITS(serial.bandwidth[i].effectiveBps,
-                         parallel.bandwidth[i].effectiveBps);
-        EXPECT_SAME_BITS(serial.bandwidth[i].latency,
-                         parallel.bandwidth[i].latency);
-        EXPECT_EQ(serial.bandwidth[i].limiter,
-                  parallel.bandwidth[i].limiter)
+        EXPECT_SAME_BITS(serial.bandwidthBps[i],
+                         parallel.bandwidthBps[i]);
+        EXPECT_SAME_BITS(serial.bandwidthLatency[i],
+                         parallel.bandwidthLatency[i]);
+        EXPECT_EQ(serial.bandwidthLimiter[i],
+                  parallel.bandwidthLimiter[i])
             << ctx;
     }
 }

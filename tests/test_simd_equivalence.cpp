@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Differential scalar-vs-SIMD equivalence harness.
+ *
+ * The SIMD-batched lattice path (GpuDevice::runLattice with simd set,
+ * LatticeEvaluator::evaluateBatchAtInto, and the batched bandwidth
+ * resolvers in MemorySystem) promises results *bitwise identical* to
+ * the scalar reference path — not merely close (docs/MODEL.md §9).
+ * These tests pin that contract:
+ *
+ *  - the full workload suite across the whole 448-point lattice,
+ *    scalar vs SIMD, every double compared at the bit level;
+ *  - seeded fuzzing of off-canonical batches (random subsets,
+ *    duplicates, shuffles, single points), which exercises the
+ *    indexed-gather fallback rather than the fused canonical gather;
+ *  - scheduling independence of the chunked parallel SIMD path;
+ *  - the batched crossing-cap bandwidth resolvers against per-lane
+ *    and per-slab references, including lanes placed exactly on the
+ *    saturation thresholds the batch dedup rules key off.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "core/sweep.hh"
+#include "dvfs/tunables.hh"
+#include "memsys/memory_system.hh"
+#include "sim/gpu_device.hh"
+#include "sim/lattice_evaluator.hh"
+#include "workloads/suite.hh"
+
+using namespace harmonia;
+
+namespace
+{
+
+const GpuDevice &
+device()
+{
+    static GpuDevice dev;
+    return dev;
+}
+
+/** Bit pattern of a double: distinguishes -0.0/0.0 and NaN payloads. */
+uint64_t
+bits(double x)
+{
+    return std::bit_cast<uint64_t>(x);
+}
+
+#define EXPECT_SAME_BITS(a, b)                                          \
+    EXPECT_EQ(bits(a), bits(b)) << #a " differs from " #b " at " << ctx
+
+void
+expectSameCounters(const CounterSet &a, const CounterSet &b,
+                   const std::string &ctx)
+{
+    EXPECT_SAME_BITS(a.valuBusy, b.valuBusy);
+    EXPECT_SAME_BITS(a.valuUtilization, b.valuUtilization);
+    EXPECT_SAME_BITS(a.memUnitBusy, b.memUnitBusy);
+    EXPECT_SAME_BITS(a.memUnitStalled, b.memUnitStalled);
+    EXPECT_SAME_BITS(a.writeUnitStalled, b.writeUnitStalled);
+    EXPECT_SAME_BITS(a.l2CacheHit, b.l2CacheHit);
+    EXPECT_SAME_BITS(a.icActivity, b.icActivity);
+    EXPECT_SAME_BITS(a.normVgpr, b.normVgpr);
+    EXPECT_SAME_BITS(a.normSgpr, b.normSgpr);
+    EXPECT_SAME_BITS(a.valuInsts, b.valuInsts);
+    EXPECT_SAME_BITS(a.vfetchInsts, b.vfetchInsts);
+    EXPECT_SAME_BITS(a.vwriteInsts, b.vwriteInsts);
+    EXPECT_SAME_BITS(a.offChipBytes, b.offChipBytes);
+}
+
+void
+expectSameTiming(const KernelTiming &a, const KernelTiming &b,
+                 const std::string &ctx)
+{
+    EXPECT_SAME_BITS(a.execTime, b.execTime);
+    EXPECT_SAME_BITS(a.computeTime, b.computeTime);
+    EXPECT_SAME_BITS(a.l2Time, b.l2Time);
+    EXPECT_SAME_BITS(a.memTime, b.memTime);
+    EXPECT_SAME_BITS(a.launchOverhead, b.launchOverhead);
+    EXPECT_SAME_BITS(a.busyTime, b.busyTime);
+    EXPECT_EQ(a.occupancy.wavesPerSimd, b.occupancy.wavesPerSimd) << ctx;
+    EXPECT_EQ(a.occupancy.wavesPerCu, b.occupancy.wavesPerCu) << ctx;
+    EXPECT_EQ(a.occupancy.workgroupsPerCu, b.occupancy.workgroupsPerCu)
+        << ctx;
+    EXPECT_SAME_BITS(a.occupancy.occupancy, b.occupancy.occupancy);
+    EXPECT_EQ(a.occupancy.limiter, b.occupancy.limiter) << ctx;
+    EXPECT_SAME_BITS(a.l2HitRate, b.l2HitRate);
+    EXPECT_SAME_BITS(a.requestedBytes, b.requestedBytes);
+    EXPECT_SAME_BITS(a.offChipBytes, b.offChipBytes);
+    EXPECT_SAME_BITS(a.bandwidth.effectiveBps, b.bandwidth.effectiveBps);
+    EXPECT_SAME_BITS(a.bandwidth.latency, b.bandwidth.latency);
+    EXPECT_EQ(a.bandwidth.limiter, b.bandwidth.limiter) << ctx;
+    expectSameCounters(a.counters, b.counters, ctx);
+}
+
+void
+expectSameResult(const KernelResult &a, const KernelResult &b,
+                 const std::string &ctx)
+{
+    expectSameTiming(a.timing, b.timing, ctx);
+    EXPECT_SAME_BITS(a.power.gpu.cuDynamic, b.power.gpu.cuDynamic);
+    EXPECT_SAME_BITS(a.power.gpu.uncoreDynamic,
+                     b.power.gpu.uncoreDynamic);
+    EXPECT_SAME_BITS(a.power.gpu.leakage, b.power.gpu.leakage);
+    EXPECT_SAME_BITS(a.power.mem.background, b.power.mem.background);
+    EXPECT_SAME_BITS(a.power.mem.activatePrecharge,
+                     b.power.mem.activatePrecharge);
+    EXPECT_SAME_BITS(a.power.mem.readWrite, b.power.mem.readWrite);
+    EXPECT_SAME_BITS(a.power.mem.termination, b.power.mem.termination);
+    EXPECT_SAME_BITS(a.power.mem.phy, b.power.mem.phy);
+    EXPECT_SAME_BITS(a.power.other, b.power.other);
+    EXPECT_SAME_BITS(a.cardEnergy, b.cardEnergy);
+    EXPECT_SAME_BITS(a.gpuEnergy, b.gpuEnergy);
+    EXPECT_SAME_BITS(a.memEnergy, b.memEnergy);
+}
+
+/**
+ * Run @p configs through runLattice with the SIMD kernels and with
+ * the scalar reference, and require bitwise-identical results.
+ * @p pool, when given, is handed only to the SIMD run so the chunked
+ * parallel schedule is compared against the serial scalar loop.
+ */
+void
+expectSimdMatchesScalar(const KernelProfile &k, const KernelPhase &phase,
+                        const std::vector<HardwareConfig> &configs,
+                        const std::string &ctxBase,
+                        ThreadPool *pool = nullptr)
+{
+    std::vector<KernelResult> scalar(configs.size());
+    std::vector<KernelResult> simd(configs.size());
+    device().runLattice(k, phase, configs, scalar.data(), nullptr, false);
+    device().runLattice(k, phase, configs, simd.data(), pool, true);
+    for (size_t i = 0; i < configs.size(); ++i)
+        expectSameResult(simd[i], scalar[i],
+                         ctxBase + " @ " + configs[i].str());
+}
+
+void
+expectSameBandwidth(const BandwidthResult &a, const BandwidthResult &b,
+                    const std::string &ctx)
+{
+    EXPECT_SAME_BITS(a.effectiveBps, b.effectiveBps);
+    EXPECT_SAME_BITS(a.latency, b.latency);
+    EXPECT_EQ(a.limiter, b.limiter) << ctx;
+}
+
+} // namespace
+
+// The headline guarantee: every kernel of every suite application, at
+// representative iterations' phases, produces the same bits through
+// the SIMD-batched lattice path as through the scalar reference path,
+// across the full canonical 448-point lattice (fused-gather route).
+TEST(SimdEquivalence, FullSuiteBitwiseIdenticalToScalar)
+{
+    const std::vector<HardwareConfig> configs =
+        device().space().allConfigs();
+    ASSERT_EQ(configs.size(), 448u);
+
+    for (const Application &app : standardSuite()) {
+        for (const KernelProfile &k : app.kernels) {
+            for (int iter : {0, 1, app.iterations - 1}) {
+                expectSimdMatchesScalar(
+                    k, k.phase(iter), configs,
+                    k.id() + "#" + std::to_string(iter));
+            }
+        }
+    }
+}
+
+// Off-canonical batches: random subsets with duplicates, shuffled
+// full lattices, and odd batch sizes, all fed through the
+// indexed-gather route (the canonical detection must reject them and
+// the result must still be bitwise scalar-identical). Seeded via the
+// sweep RNG substream helper so failures replay exactly.
+TEST(SimdEquivalence, FuzzedBatchesBitwiseIdenticalToScalar)
+{
+    const std::vector<HardwareConfig> all = device().space().allConfigs();
+    const std::vector<Application> suite = standardSuite();
+
+    constexpr int kTrials = 24;
+    for (int trial = 0; trial < kTrials; ++trial) {
+        Rng rng = sweepSubstream(0x51D0E01ull, trial);
+        const Application &app =
+            suite[rng.uniformInt(0, suite.size() - 1)];
+        const KernelProfile &k =
+            app.kernels[rng.uniformInt(0, app.kernels.size() - 1)];
+        const int iter = rng.uniformInt(0, app.iterations - 1);
+
+        std::vector<HardwareConfig> batch;
+        if (trial % 4 == 0) {
+            // Full lattice, Fisher-Yates shuffled: canonical size but
+            // non-canonical order.
+            batch = all;
+            for (size_t i = batch.size() - 1; i > 0; --i)
+                std::swap(batch[i], batch[rng.uniformInt(0, i)]);
+        } else {
+            // Random multiset of lattice points, including sizes that
+            // leave partial tail chunks and partial vector packs.
+            const size_t n = rng.uniformInt(1, 600);
+            batch.reserve(n);
+            for (size_t i = 0; i < n; ++i)
+                batch.push_back(all[rng.uniformInt(0, all.size() - 1)]);
+        }
+
+        expectSimdMatchesScalar(k, k.phase(iter), batch,
+                                k.id() + "#" + std::to_string(iter) +
+                                    " fuzz trial " +
+                                    std::to_string(trial));
+    }
+}
+
+// Degenerate batch shapes: a single point, one chunk of duplicates of
+// the same point, and a chunk-straddling batch. Also anchors the SIMD
+// result to the naive per-config GpuDevice::run, not just the scalar
+// lattice path.
+TEST(SimdEquivalence, SinglePointAndDuplicateBatches)
+{
+    const GpuDevice &dev = device();
+    const Application app = makeDeviceMemory();
+    const KernelProfile &k = app.kernels.front();
+    const KernelPhase phase = k.phase(0);
+
+    const HardwareConfig lo = dev.space().minConfig();
+    const HardwareConfig hi = dev.space().maxConfig();
+
+    std::vector<std::vector<HardwareConfig>> batches;
+    batches.push_back({lo});
+    batches.push_back({hi});
+    batches.push_back(
+        std::vector<HardwareConfig>(LatticeEvaluator::kBatchChunk, lo));
+    // One full chunk plus a 1-lane tail, alternating two points.
+    std::vector<HardwareConfig> straddle;
+    for (size_t i = 0; i < LatticeEvaluator::kBatchChunk + 1; ++i)
+        straddle.push_back(i % 2 == 0 ? lo : hi);
+    batches.push_back(straddle);
+
+    for (const std::vector<HardwareConfig> &batch : batches) {
+        expectSimdMatchesScalar(k, phase, batch,
+                                k.id() + " degenerate batch of " +
+                                    std::to_string(batch.size()));
+        std::vector<KernelResult> simd(batch.size());
+        dev.runLattice(k, phase, batch, simd.data(), nullptr, true);
+        for (size_t i = 0; i < batch.size(); ++i) {
+            const KernelResult naive = dev.run(k, phase, batch[i]);
+            expectSameResult(simd[i], naive,
+                             k.id() + " vs naive @ " + batch[i].str());
+        }
+    }
+}
+
+// Scheduling independence: the chunked SIMD path under a thread pool
+// must produce the same bytes as both the serial SIMD loop and the
+// serial scalar reference.
+TEST(SimdEquivalence, ParallelSimdMatchesSerial)
+{
+    const GpuDevice &dev = device();
+    const std::vector<HardwareConfig> configs = dev.space().allConfigs();
+    const Application app = makeXsbench();
+    ThreadPool pool(4);
+
+    for (const KernelProfile &k : app.kernels) {
+        const KernelPhase phase = k.phase(0);
+        expectSimdMatchesScalar(k, phase, configs, k.id() + " pooled",
+                                &pool);
+        std::vector<KernelResult> serial(configs.size());
+        std::vector<KernelResult> pooled(configs.size());
+        dev.runLattice(k, phase, configs, serial.data(), nullptr, true);
+        dev.runLattice(k, phase, configs, pooled.data(), &pool, true);
+        for (size_t i = 0; i < configs.size(); ++i)
+            expectSameResult(pooled[i], serial[i],
+                             k.id() + " pooled vs serial @ " +
+                                 configs[i].str());
+    }
+}
+
+// The batched crossing-cap solver, lane by lane: SIMD batch vs scalar
+// batch vs the single-lane call, over a grid of demand levels and
+// crossing caps that includes every saturation-threshold boundary the
+// dedup rules depend on (cap exactly at the supply ceiling, one ULP
+// either side, zero demand, and saturating demand).
+TEST(SimdEquivalence, LaneResolverMatchesPerLaneCalls)
+{
+    const MemorySystem &ms = device().engine().memorySystem();
+    const ConfigSpace &space = device().space();
+
+    MemDemand demand;
+    MemDemand streaming;
+    streaming.requestBytes = 128.0;
+    streaming.rowHitFraction = 0.9;
+    streaming.streamEfficiency = 1.0;
+
+    for (const MemDemand &d : {demand, streaming}) {
+        for (const int mem : space.values(Tunable::MemFreq)) {
+            const double peak = ms.peakBandwidth(mem);
+            const double ceiling = d.streamEfficiency * peak;
+
+            std::vector<double> outstanding;
+            std::vector<double> caps;
+            const double demandLevels[] = {0.0, 1.0, 7.5, 64.0, 640.0,
+                                           1e6};
+            const double capLevels[] = {
+                0.05 * peak,
+                0.5 * peak,
+                std::nextafter(ceiling, 0.0),
+                ceiling,
+                std::nextafter(ceiling, 2.0 * ceiling),
+                peak,
+                2.0 * peak,
+                ms.crossing().maxBandwidth(space.minValue(
+                    Tunable::ComputeFreq)),
+                ms.crossing().maxBandwidth(space.maxValue(
+                    Tunable::ComputeFreq)),
+            };
+            for (const double o : demandLevels) {
+                for (const double c : capLevels) {
+                    outstanding.push_back(o);
+                    caps.push_back(c);
+                }
+            }
+            // Duplicate the first few lanes so the dedup rules see
+            // exact repeats mid-batch.
+            for (size_t i = 0; i < 5; ++i) {
+                outstanding.push_back(outstanding[i]);
+                caps.push_back(caps[i]);
+            }
+
+            const size_t lanes = outstanding.size();
+            std::vector<BandwidthResult> simd(lanes);
+            std::vector<BandwidthResult> scalar(lanes);
+            ms.resolveLanesWithCrossingCap(mem, d, lanes,
+                                           outstanding.data(),
+                                           caps.data(), simd.data(),
+                                           true);
+            ms.resolveLanesWithCrossingCap(mem, d, lanes,
+                                           outstanding.data(),
+                                           caps.data(), scalar.data(),
+                                           false);
+            for (size_t l = 0; l < lanes; ++l) {
+                const std::string ctx =
+                    "mem " + std::to_string(mem) + " lane " +
+                    std::to_string(l) + " (outstanding " +
+                    std::to_string(outstanding[l]) + ", cap " +
+                    std::to_string(caps[l]) + ")";
+                MemDemand lane = d;
+                lane.outstandingRequests = outstanding[l];
+                const BandwidthResult ref =
+                    ms.resolveWithCrossingCap(mem, lane, caps[l]);
+                expectSameBandwidth(simd[l], scalar[l], ctx);
+                expectSameBandwidth(simd[l], ref, ctx);
+            }
+        }
+    }
+}
+
+// The cross-slab resolver: staging all memory frequencies' lane
+// batches into one interleaved bisection pass must reproduce the
+// per-slab batched results (and hence the per-lane scalar reference)
+// bit for bit, including slabs whose lane counts leave partial packs.
+TEST(SimdEquivalence, SlabResolverMatchesPerSlabCalls)
+{
+    const MemorySystem &ms = device().engine().memorySystem();
+    const ConfigSpace &space = device().space();
+    const std::vector<int> mems = space.values(Tunable::MemFreq);
+
+    MemDemand demand;
+    Rng rng = sweepSubstream(0xCAB5ull, 7);
+
+    std::vector<std::vector<double>> outstanding(mems.size());
+    std::vector<std::vector<double>> caps(mems.size());
+    std::vector<std::vector<BandwidthResult>> slabOut(mems.size());
+    std::vector<std::vector<BandwidthResult>> refOut(mems.size());
+    std::vector<MemorySystem::SlabLaneRequest> slabs(mems.size());
+
+    for (size_t s = 0; s < mems.size(); ++s) {
+        // Lane counts 1..17: exercises single-lane slabs, partial
+        // packs, and multi-pack slabs in one call.
+        const size_t lanes = 1 + (s * 5) % 17;
+        const double peak = ms.peakBandwidth(mems[s]);
+        for (size_t l = 0; l < lanes; ++l) {
+            outstanding[s].push_back(rng.uniform(0.0, 2000.0));
+            caps[s].push_back(rng.uniform(0.05 * peak, 2.5 * peak));
+        }
+        slabOut[s].resize(lanes);
+        refOut[s].resize(lanes);
+        slabs[s] = {static_cast<double>(mems[s]), lanes,
+                    outstanding[s].data(), caps[s].data(),
+                    slabOut[s].data()};
+    }
+
+    ms.resolveSlabLanesWithCrossingCap(slabs.data(), slabs.size(),
+                                       demand);
+
+    for (size_t s = 0; s < mems.size(); ++s) {
+        ms.resolveLanesWithCrossingCap(
+            slabs[s].memFreqMhz, demand, slabs[s].lanes,
+            outstanding[s].data(), caps[s].data(), refOut[s].data(),
+            true);
+        for (size_t l = 0; l < slabs[s].lanes; ++l) {
+            const std::string ctx = "slab " + std::to_string(mems[s]) +
+                                    " lane " + std::to_string(l);
+            expectSameBandwidth(slabOut[s][l], refOut[s][l], ctx);
+            MemDemand lane = demand;
+            lane.outstandingRequests = outstanding[s][l];
+            const BandwidthResult single = ms.resolveWithCrossingCap(
+                slabs[s].memFreqMhz, lane, caps[s][l]);
+            expectSameBandwidth(slabOut[s][l], single, ctx);
+        }
+    }
+}

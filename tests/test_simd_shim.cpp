@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the portable SIMD shim (src/common/simd.hh).
+ *
+ * This TU is compiled with HARMONIA_SIMD_SOURCE_OPTIONS — the same
+ * per-source flags as the lattice kernels that include the shim — so
+ * it tests the exact VDouble backend and width the model runs with.
+ * The properties pinned here are the ones the bitwise determinism
+ * contract (docs/MODEL.md §9) rests on: every lane of every operation
+ * is the IEEE-754 exactly-rounded scalar expression, loadN pads tail
+ * lanes by replicating the last valid element, and storeN never
+ * touches lanes past the requested count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/simd.hh"
+
+// select() is a hidden friend of VMask — found via ADL on the
+// argument types, so no using-declaration for it.
+using harmonia::simd::VDouble;
+using harmonia::simd::VMask;
+using harmonia::simd::vmax;
+using harmonia::simd::vmin;
+
+namespace
+{
+
+constexpr size_t W = VDouble::width;
+
+uint64_t
+bits(double x)
+{
+    return std::bit_cast<uint64_t>(x);
+}
+
+#define EXPECT_SAME_BITS(a, b)                                          \
+    EXPECT_EQ(bits(a), bits(b)) << #a " differs from " #b " at lane "   \
+                                << i
+
+/** Deterministic lane values that exercise sign, scale, and rounding:
+ * none are exactly representable products/quotients of each other. */
+void
+fillOperands(double *a, double *b)
+{
+    for (size_t i = 0; i < W; ++i) {
+        a[i] = std::ldexp(1.0 + 0.37 * i, static_cast<int>(i % 5) - 2) *
+               (i % 2 == 0 ? 1.0 : -1.0);
+        b[i] = std::ldexp(0.1 + 0.73 * i, static_cast<int>(i % 3) - 1);
+    }
+}
+
+} // namespace
+
+TEST(SimdShim, WidthIsAtLeastOne)
+{
+    static_assert(W >= 1, "VDouble must have at least one lane");
+    EXPECT_GE(W, 1u);
+}
+
+TEST(SimdShim, LoadStoreRoundTripIsBitExact)
+{
+    double src[W], dst[W];
+    // Include signed zero and a subnormal: a round trip must preserve
+    // bit patterns, not just values.
+    for (size_t i = 0; i < W; ++i)
+        src[i] = 1.5 * i - 2.25;
+    src[0] = -0.0;
+    if (W > 1)
+        src[1] = std::numeric_limits<double>::denorm_min();
+
+    const VDouble v = VDouble::load(src);
+    for (size_t i = 0; i < W; ++i)
+        EXPECT_SAME_BITS(v[i], src[i]);
+    v.store(dst);
+    for (size_t i = 0; i < W; ++i)
+        EXPECT_SAME_BITS(dst[i], src[i]);
+}
+
+TEST(SimdShim, BroadcastFillsEveryLane)
+{
+    const VDouble v(3.141592653589793);
+    for (size_t i = 0; i < W; ++i)
+        EXPECT_SAME_BITS(v[i], 3.141592653589793);
+}
+
+TEST(SimdShim, LoadNReplicatesLastElementIntoPadding)
+{
+    double src[W];
+    for (size_t i = 0; i < W; ++i)
+        src[i] = 10.0 + i;
+
+    for (size_t n = 1; n <= W; ++n) {
+        const VDouble v = VDouble::loadN(src, n);
+        for (size_t i = 0; i < W; ++i) {
+            const double expected = i < n ? src[i] : src[n - 1];
+            EXPECT_SAME_BITS(v[i], expected);
+        }
+    }
+}
+
+TEST(SimdShim, StoreNLeavesTailLanesUntouched)
+{
+    double src[W];
+    for (size_t i = 0; i < W; ++i)
+        src[i] = 2.0 * i + 0.5;
+    const VDouble v = VDouble::load(src);
+
+    for (size_t n = 1; n <= W; ++n) {
+        double dst[W];
+        for (size_t i = 0; i < W; ++i)
+            dst[i] = -777.25;
+        v.storeN(dst, n);
+        for (size_t i = 0; i < W; ++i) {
+            const double expected = i < n ? src[i] : -777.25;
+            EXPECT_SAME_BITS(dst[i], expected);
+        }
+    }
+}
+
+TEST(SimdShim, ArithmeticMatchesScalarBitwise)
+{
+    double a[W], b[W];
+    fillOperands(a, b);
+    const VDouble va = VDouble::load(a);
+    const VDouble vb = VDouble::load(b);
+
+    const VDouble sum = va + vb;
+    const VDouble diff = va - vb;
+    const VDouble prod = va * vb;
+    const VDouble quot = va / vb;
+    // A chained expression: if any op contracted into an FMA the
+    // product's rounding step would disappear and the bits would
+    // differ from the two-op scalar form.
+    const VDouble chained = va * vb + va;
+
+    for (size_t i = 0; i < W; ++i) {
+        EXPECT_SAME_BITS(sum[i], a[i] + b[i]);
+        EXPECT_SAME_BITS(diff[i], a[i] - b[i]);
+        EXPECT_SAME_BITS(prod[i], a[i] * b[i]);
+        EXPECT_SAME_BITS(quot[i], a[i] / b[i]);
+        const double scalarProd = a[i] * b[i];
+        EXPECT_SAME_BITS(chained[i], scalarProd + a[i]);
+    }
+}
+
+TEST(SimdShim, MinMaxMatchScalarSemantics)
+{
+    double a[W], b[W];
+    fillOperands(a, b);
+    const double inf = std::numeric_limits<double>::infinity();
+    a[0] = inf;
+    b[W - 1] = -inf;
+
+    const VDouble lo = vmin(VDouble::load(a), VDouble::load(b));
+    const VDouble hi = vmax(VDouble::load(a), VDouble::load(b));
+    for (size_t i = 0; i < W; ++i) {
+        EXPECT_SAME_BITS(lo[i], b[i] < a[i] ? b[i] : a[i]);
+        EXPECT_SAME_BITS(hi[i], a[i] < b[i] ? b[i] : a[i]);
+    }
+}
+
+TEST(SimdShim, ComparisonsAreLaneWise)
+{
+    double a[W], b[W];
+    for (size_t i = 0; i < W; ++i) {
+        // Alternate strictly-less / equal / strictly-greater lanes so
+        // >= and > disagree on the equal lanes.
+        a[i] = static_cast<double>(i % 3);
+        b[i] = 1.0;
+    }
+    const VDouble va = VDouble::load(a);
+    const VDouble vb = VDouble::load(b);
+
+    const VMask ge = va >= vb;
+    const VMask gt = va > vb;
+    const VMask both = ge && gt;
+    for (size_t i = 0; i < W; ++i) {
+        EXPECT_EQ(ge[i], a[i] >= b[i]) << "lane " << i;
+        EXPECT_EQ(gt[i], a[i] > b[i]) << "lane " << i;
+        EXPECT_EQ(both[i], (a[i] >= b[i]) && (a[i] > b[i]))
+            << "lane " << i;
+    }
+}
+
+TEST(SimdShim, SelectIsBranchlessPerLane)
+{
+    double a[W], b[W];
+    fillOperands(a, b);
+    // Distinguishable only at the bit level: select must move the
+    // exact lane pattern, not a numerically-equal substitute.
+    a[0] = 0.0;
+    b[0] = -0.0;
+
+    const VDouble va = VDouble::load(a);
+    const VDouble vb = VDouble::load(b);
+    const VMask m = va >= vb;
+
+    const VDouble picked = select(m, va, vb);
+    for (size_t i = 0; i < W; ++i) {
+        const double expected = a[i] >= b[i] ? a[i] : b[i];
+        EXPECT_SAME_BITS(picked[i], expected);
+    }
+
+    // All-true and all-false masks pass operands through unchanged.
+    const VDouble allA = select(va >= va, va, vb);
+    const VDouble allB = select(vb > vb, va, vb);
+    for (size_t i = 0; i < W; ++i) {
+        EXPECT_SAME_BITS(allA[i], a[i]);
+        EXPECT_SAME_BITS(allB[i], b[i]);
+    }
+}

@@ -18,6 +18,8 @@
  *   --no-batching     Disable evaluate micro-batching (one lattice
  *                     run per request; results are identical).
  *   --no-cache        Disable the cross-request result cache.
+ *   --no-simd         Run lattice evaluations through the scalar
+ *                     reference path (responses are byte-identical).
  *   --coalesce-us N   Fixed coalescing window in microseconds
  *                     (default: adaptive; 0 = no coalescing).
  *   --max-configs N   Per-request config-list cap (default 1024).
@@ -46,7 +48,7 @@ namespace
 usage(int status)
 {
     std::cout << "usage: harmoniad (--socket PATH | --stdio) "
-                 "[--jobs N] [--no-batching] [--no-cache]\n"
+                 "[--jobs N] [--no-batching] [--no-cache] [--no-simd]\n"
                  "                 [--coalesce-us N] [--max-configs N] "
                  "[--max-sessions N] [--seed N]\n";
     std::exit(status);
@@ -89,6 +91,8 @@ main(int argc, char **argv)
             service.batching = false;
         } else if (arg == "--no-cache") {
             service.cache = false;
+        } else if (arg == "--no-simd") {
+            service.simd = false;
         } else if (arg == "--coalesce-us") {
             server.coalesceMicros = std::max(0, intArg(i, arg));
         } else if (arg == "--max-configs") {
