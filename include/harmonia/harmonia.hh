@@ -25,6 +25,11 @@
  * tools, and external users never include src/core/ or src/sim/
  * headers directly. Everything lives in namespace harmonia.
  *
+ * The validation tooling is part of the surface too: the model
+ * checker (check/checker.hh, namespace harmonia) and the
+ * source-contract analyzer (lint/linter.hh, namespace
+ * harmonia::lint) back the check_model and harmonia_lint CLIs.
+ *
  * The serving front-end for this surface is the `harmoniad` daemon
  * (src/serve/, docs/SERVING.md), which exposes the same operations —
  * evaluate / govern / sweep — over a newline-delimited JSON protocol.
@@ -43,6 +48,7 @@
 #include "core/sensitivity.hh"
 #include "core/sweep.hh"
 #include "core/training.hh"
+#include "lint/linter.hh"
 #include "sim/gpu_device.hh"
 #include "workloads/suite.hh"
 

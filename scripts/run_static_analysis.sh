@@ -7,6 +7,10 @@
 #
 #   warnings   strict -Wall -Wextra -Wshadow -Werror build of
 #              everything (src, tests, bench, tools, examples)
+#   lint       harmonia_lint: the project-contract analyzer (Layer 0
+#              in docs/CHECKING.md) over the whole tree, with the
+#              checked-in lint-baseline.txt applied — any new finding
+#              fails the stage
 #   tidy       clang-tidy with the repo .clang-tidy profile
 #              (skipped with a notice when clang-tidy is absent)
 #   asan       ASan+UBSan Debug build; tier-1 ctest suite, the
@@ -29,7 +33,7 @@ set -u -o pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(warnings tidy asan tsan model)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(warnings lint tidy asan tsan model)
 FAILED=0
 
 note() { printf '\n=== %s ===\n' "$*"; }
@@ -56,15 +60,34 @@ if want warnings; then
         -DHARMONIA_WERROR=ON || FAILED=1
 fi
 
+if want lint; then
+    note "source contracts (harmonia_lint)"
+    if cmake -S . -B build-lint -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+            > build-lint.configure.log 2>&1 \
+        && cmake --build build-lint --target harmonia_lint \
+            -j "$JOBS" 2>&1 | tail -n 2; then
+        ./build-lint/tools/harmonia_lint --root . || FAILED=1
+    else
+        echo "lint build failed; see build-lint.configure.log"
+        FAILED=1
+    fi
+fi
+
 if want tidy; then
     note "clang-tidy"
     if command -v clang-tidy > /dev/null 2>&1; then
         # Needs a compile database; reuse (or create) the strict tree.
-        cmake -S . -B build-werror -DHARMONIA_WERROR=ON \
-            -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
-            > build-werror.configure.log 2>&1 || FAILED=1
-        find src tools bench -name '*.cc' -o -name '*.cpp' \
-            | xargs clang-tidy -p build-werror --quiet || FAILED=1
+        if cmake -S . -B build-werror -DHARMONIA_WERROR=ON \
+                -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+                > build-werror.configure.log 2>&1; then
+            find src tools bench tests examples \
+                    \( -name '*.cc' -o -name '*.cpp' \) -print0 \
+                | xargs -0 clang-tidy -p build-werror --quiet \
+                || FAILED=1
+        else
+            echo "configure failed; see build-werror.configure.log"
+            FAILED=1
+        fi
     else
         echo "clang-tidy not installed; skipping (profile: .clang-tidy)"
     fi

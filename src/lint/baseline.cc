@@ -1,0 +1,67 @@
+#include "lint/baseline.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace harmonia::lint
+{
+
+Baseline
+Baseline::parse(const std::string &text)
+{
+    Baseline baseline;
+    std::istringstream in(text);
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream fields(line);
+        std::string rule, path, extra;
+        if (!(fields >> rule))
+            continue; // blank / comment-only line
+        fatalIf(!(fields >> path) || (fields >> extra),
+                "lint baseline line ", lineNo,
+                ": expected '<rule-id> <path>', got '", line, "'");
+        baseline.keys_.insert(rule + " " + path);
+    }
+    return baseline;
+}
+
+Baseline
+Baseline::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatalIf(!in, "harmonia_lint: cannot read baseline '", path, "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse(text.str());
+}
+
+size_t
+Baseline::apply(std::vector<Diagnostic> &diagnostics) const
+{
+    std::set<std::string> matched;
+    size_t failing = 0;
+    for (Diagnostic &d : diagnostics) {
+        if (keys_.count(d.baselineKey())) {
+            d.baselined = true;
+            matched.insert(d.baselineKey());
+        } else {
+            d.baselined = false;
+            ++failing;
+        }
+    }
+    unmatched_.clear();
+    std::set_difference(keys_.begin(), keys_.end(), matched.begin(),
+                        matched.end(),
+                        std::back_inserter(unmatched_));
+    return failing;
+}
+
+} // namespace harmonia::lint

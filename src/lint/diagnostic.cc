@@ -1,0 +1,41 @@
+#include "lint/diagnostic.hh"
+
+#include <sstream>
+
+namespace harmonia::lint
+{
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Warning:
+        return "warning";
+      case Severity::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::ostringstream oss;
+    oss << file << ':' << line << ": " << severityName(severity) << '['
+        << ruleId << "] " << message;
+    if (baselined)
+        oss << " (baselined)";
+    if (!excerpt.empty())
+        oss << "\n    > " << excerpt;
+    if (!fixHint.empty())
+        oss << "\n    fix: " << fixHint;
+    return oss.str();
+}
+
+std::string
+Diagnostic::baselineKey() const
+{
+    return ruleId + " " + file;
+}
+
+} // namespace harmonia::lint

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Structured findings for the source-contract analyzer.
+ *
+ * Mirrors the shape of the model checker's Diagnostic
+ * (src/check/invariants.hh): every finding names the rule that fired,
+ * the exact source coordinates, the offending excerpt, and a concrete
+ * fix hint, so a CI failure pinpoints itself without rerunning
+ * anything locally.
+ */
+
+#ifndef HARMONIA_LINT_DIAGNOSTIC_HH
+#define HARMONIA_LINT_DIAGNOSTIC_HH
+
+#include <string>
+
+namespace harmonia::lint
+{
+
+/** How a finding is treated by the exit status. */
+enum class Severity
+{
+    Warning, ///< Reported, never fails the run.
+    Error,   ///< Fails the run unless baselined.
+};
+
+/** Stable lowercase name, e.g. "error". */
+const char *severityName(Severity severity);
+
+/** One contract violation at one source location. */
+struct Diagnostic
+{
+    std::string ruleId;   ///< Which rule fired (kebab-case).
+    Severity severity = Severity::Error;
+    std::string file;     ///< Repo-relative path, '/'-separated.
+    int line = 0;         ///< 1-based line of the violation.
+    std::string message;  ///< What contract was violated, and how.
+    std::string excerpt;  ///< The offending source line, trimmed.
+    std::string fixHint;  ///< How to bring the code back on contract.
+    bool baselined = false; ///< Suppressed by lint-baseline.txt.
+
+    /** "file:line: error[rule-id] message" plus excerpt/fix lines. */
+    std::string str() const;
+
+    /** "rule-id file" — the key lint-baseline.txt suppresses on.
+     * Deliberately line-free so baselines survive unrelated edits. */
+    std::string baselineKey() const;
+};
+
+} // namespace harmonia::lint
+
+#endif // HARMONIA_LINT_DIAGNOSTIC_HH

@@ -1,0 +1,65 @@
+#include "lint/rule.hh"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/error.hh"
+
+namespace harmonia::lint
+{
+
+RuleRegistry &
+RuleRegistry::instance()
+{
+    static RuleRegistry registry;
+    return registry;
+}
+
+void
+RuleRegistry::add(std::unique_ptr<LintRule> rule)
+{
+    fatalIf(find(rule->id()) != nullptr,
+            "duplicate lint rule id '", rule->id(), "'");
+    rules_.push_back(std::move(rule));
+}
+
+const LintRule *
+RuleRegistry::find(std::string_view id) const
+{
+    for (const auto &rule : rules_) {
+        if (rule->id() == id)
+            return rule.get();
+    }
+    return nullptr;
+}
+
+std::vector<const LintRule *>
+RuleRegistry::all() const
+{
+    std::vector<const LintRule *> out;
+    out.reserve(rules_.size());
+    for (const auto &rule : rules_)
+        out.push_back(rule.get());
+    std::sort(out.begin(), out.end(),
+              [](const LintRule *a, const LintRule *b) {
+                  return a->id() < b->id();
+              });
+    return out;
+}
+
+std::vector<Diagnostic>
+runLint(const Project &project,
+        const std::vector<const LintRule *> &rules)
+{
+    std::vector<Diagnostic> out;
+    for (const LintRule *rule : rules)
+        rule->check(project, out);
+    std::sort(out.begin(), out.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  return std::tie(a.file, a.line, a.ruleId) <
+                         std::tie(b.file, b.line, b.ruleId);
+              });
+    return out;
+}
+
+} // namespace harmonia::lint

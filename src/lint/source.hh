@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Lexed view of one C++ source file for the contract analyzer.
+ *
+ * The rules never see raw text: stripCommentsAndStrings() blanks
+ * comment bodies and string/character-literal contents (preserving
+ * every newline and the literal delimiters, so offsets and line
+ * numbers stay aligned with the original), which is what lets a rule
+ * grep for `random_device` without tripping on the word inside a doc
+ * comment — or inside the lint rule catalog itself. Include
+ * directives are parsed from the raw lines separately, because the
+ * paths the layering rules need live inside the very string literals
+ * the stripper blanks.
+ */
+
+#ifndef HARMONIA_LINT_SOURCE_HH
+#define HARMONIA_LINT_SOURCE_HH
+
+#include <string>
+#include <vector>
+
+namespace harmonia::lint
+{
+
+/** One #include directive, as written. */
+struct IncludeDirective
+{
+    int line = 0;      ///< 1-based line of the directive.
+    std::string path;  ///< The include path between the delimiters.
+    bool angled = false; ///< <system> rather than "quoted".
+};
+
+/**
+ * Blank comments and string/char-literal contents with spaces.
+ * Handles //, multi-line block comments, escape sequences, and raw
+ * string literals; newlines are preserved so line structure survives.
+ */
+std::string stripCommentsAndStrings(const std::string &raw);
+
+/**
+ * One scanned source file: repo-relative path, the raw lines, and the
+ * comment/string-stripped code view the rules match against.
+ */
+class SourceFile
+{
+  public:
+    /** Build from in-memory content (test fixtures). */
+    static SourceFile fromString(std::string path,
+                                 const std::string &content);
+
+    /** Read @p diskPath, recorded under @p repoPath.
+     * @throws ConfigError when the file cannot be read. */
+    static SourceFile load(const std::string &diskPath,
+                           std::string repoPath);
+
+    /** Repo-relative, '/'-separated path, e.g. "src/core/sweep.cc". */
+    const std::string &path() const { return path_; }
+
+    bool isHeader() const;          ///< .hh / .h / .hpp
+    bool isTranslationUnit() const; ///< .cc / .cpp / .cxx
+
+    /** True when path() starts with @p prefix ("src/serve/"). */
+    bool under(const std::string &prefix) const;
+
+    const std::vector<std::string> &rawLines() const { return raw_; }
+    const std::vector<std::string> &codeLines() const { return code_; }
+
+    /** codeLines() joined with '\n' (for multi-line scans). */
+    const std::string &codeText() const { return codeText_; }
+
+    /** 1-based line containing codeText()[offset]. */
+    int lineOfOffset(size_t offset) const;
+
+    /** Raw source line @p line (1-based), trimmed for a diagnostic. */
+    std::string excerpt(int line) const;
+
+    const std::vector<IncludeDirective> &includes() const
+    {
+        return includes_;
+    }
+
+  private:
+    std::string path_;
+    std::vector<std::string> raw_;
+    std::vector<std::string> code_;
+    std::string codeText_;
+    std::vector<size_t> lineStart_; ///< Offset of each line in codeText_.
+    std::vector<IncludeDirective> includes_;
+};
+
+} // namespace harmonia::lint
+
+#endif // HARMONIA_LINT_SOURCE_HH

@@ -68,14 +68,14 @@ LatticeEvaluator::LatticeEvaluator(const GpuDevice &device,
     const MemorySystem &memsys = device_.engine().memorySystem();
     for (size_t m = 0; m < nMem; ++m) {
         const int memFreq = timing_.memFreqValues[m];
-        const Gddr5PowerFactors factors =
+        const Gddr5PowerFactors memFactors =
             memsys.gddr5().factorsFor(memFreq);
         const MemPowerBreakdown idle =
-            memsys.gddr5().powerFromFactors(factors, 0.0, 1.0);
-        memFRatio_[m] = factors.fRatio;
-        memLowFreqScale_[m] = factors.lowFreqScale;
-        memVScale_[m] = factors.vScale;
-        memBackground_[m] = factors.background;
+            memsys.gddr5().powerFromFactors(memFactors, 0.0, 1.0);
+        memFRatio_[m] = memFactors.fRatio;
+        memLowFreqScale_[m] = memFactors.lowFreqScale;
+        memVScale_[m] = memFactors.vScale;
+        memBackground_[m] = memFactors.background;
         idleMemBackground_[m] = idle.background;
         idleMemActivatePrecharge_[m] = idle.activatePrecharge;
         idleMemReadWrite_[m] = idle.readWrite;
