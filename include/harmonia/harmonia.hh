@@ -33,6 +33,11 @@
  * The serving front-end for this surface is the `harmoniad` daemon
  * (src/serve/, docs/SERVING.md), which exposes the same operations —
  * evaluate / govern / sweep — over a newline-delimited JSON protocol.
+ * The client-side serving vocabulary is exported too (serve/json.hh,
+ * serve/protocol.hh, namespace harmonia::serve): JsonValue and the
+ * harmonia.request/1 envelope helpers, so protocol clients like
+ * tools/harmonia_client build against the facade alone. The daemon's
+ * reactor/service internals stay private.
  */
 
 #ifndef HARMONIA_HARMONIA_HH
@@ -49,6 +54,8 @@
 #include "core/sweep.hh"
 #include "core/training.hh"
 #include "lint/linter.hh"
+#include "serve/json.hh"
+#include "serve/protocol.hh"
 #include "sim/gpu_device.hh"
 #include "workloads/suite.hh"
 

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end smoke test for the serving stack: start harmoniad on a
-# Unix socket, drive ~100 mixed-verb requests through harmonia_client,
-# assert zero error replies, then verify the daemon drains cleanly on
-# SIGTERM. Used by ctest (serve_smoke) and the CI smoke stage.
+# Unix socket plus a TCP listener, drive ~100 mixed-verb requests
+# through harmonia_client on each transport — the TCP stage fans the
+# load across 16 concurrent connections so the reactor's
+# cross-connection micro-batching path is exercised — assert zero
+# error replies, then verify the daemon drains cleanly on SIGTERM.
+# Used by ctest (serve_smoke) and the CI smoke stage.
 #
 # usage: serve_smoke.sh /path/to/harmoniad /path/to/harmonia_client
 set -eu
@@ -15,7 +18,10 @@ SOCK="$WORK/harmoniad.sock"
 DAEMON_LOG="$WORK/daemon.log"
 trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
-"$HARMONIAD" --socket "$SOCK" --jobs 2 2>"$DAEMON_LOG" &
+# Both listeners feed one reactor; port 0 = ephemeral, the daemon
+# prints the resolved port on startup.
+"$HARMONIAD" --socket "$SOCK" --tcp 127.0.0.1:0 --jobs 2 \
+    2>"$DAEMON_LOG" &
 DAEMON_PID=$!
 
 # Wait for the socket to appear (daemon startup includes building the
@@ -38,6 +44,22 @@ done
 # A second, pure-evaluate burst exercises the micro-batcher.
 "$CLIENT" --socket "$SOCK" --requests 40 --mix evaluate --configs 16 \
     --kernels 2 --quiet
+
+# TCP stage: the same daemon over its TCP listener, with the load
+# fanned across 16 concurrent connections — consecutive requests of
+# one coalescing cohort arrive on different sockets, so zero error
+# replies here covers the cross-connection fusion path end to end.
+TCP_PORT=$(sed -n 's/.*listening on tcp [0-9.]*:\([0-9][0-9]*\).*/\1/p' \
+    "$DAEMON_LOG" | head -n 1)
+if [ -z "$TCP_PORT" ]; then
+    echo "serve_smoke: no TCP port in daemon log" >&2
+    cat "$DAEMON_LOG" >&2
+    exit 1
+fi
+"$CLIENT" --tcp "127.0.0.1:$TCP_PORT" --clients 16 --requests 100 \
+    --mix mixed --configs 8 --kernels 4 --stats
+"$CLIENT" --tcp "127.0.0.1:$TCP_PORT" --clients 16 --requests 48 \
+    --mix evaluate --configs 16 --kernels 2 --quiet
 
 # Graceful SIGTERM drain: daemon must exit 0 and report its shutdown
 # stats line.

@@ -13,14 +13,35 @@
  * the service-side p50/p99 evaluate latency, the batched/unbatched
  * speedup at each thread count, and the result-cache hit economics of
  * a repeated stream.
+ *
+ * The second half measures the real transport: an in-process harmoniad
+ * reactor on an ephemeral TCP port, driven by N closed-loop loopback
+ * clients (1/16/64/128). Concurrent clients' same-(kernel, iteration)
+ * requests land in one coalescing window, fuse into shared lattice
+ * runs across connections, and the table reports the end-to-end
+ * client-side throughput and p50/p99 against the single-connection
+ * baseline.
  */
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cstring>
+#include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "exp/context.hh"
 #include "exp/experiment.hh"
+#include "serve/server.hh"
 #include "serve/service.hh"
 
 namespace harmonia::exp
@@ -133,6 +154,213 @@ drive(ExpContext &ctx, bool batching, int jobs, int windows)
     return r;
 }
 
+/** One TCP fan-in measurement: N closed-loop clients. */
+struct FanInResult
+{
+    int clients = 0;
+    size_t requests = 0;
+    double seconds = 0.0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    uint64_t latticeRuns = 0;
+    uint64_t crossConnRuns = 0;
+
+    double requestsPerSec() const
+    {
+        return seconds > 0.0 ? requests / seconds : 0.0;
+    }
+};
+
+/** Connect one blocking loopback TCP client to @p port. */
+int
+connectLoopback(int port)
+{
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                sizeof(addr)) != 0) {
+        close(fd);
+        return -1;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+bool
+sendAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            write(fd, data.data() + off, data.size() - off);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/** Read one newline-terminated reply (blocking). */
+bool
+readLine(int fd, std::string &carry, std::string &line)
+{
+    while (true) {
+        const size_t nl = carry.find('\n');
+        if (nl != std::string::npos) {
+            line = carry.substr(0, nl);
+            carry.erase(0, nl + 1);
+            return true;
+        }
+        char buf[8192];
+        const ssize_t n = read(fd, buf, sizeof(buf));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        carry.append(buf, static_cast<size_t>(n));
+    }
+}
+
+/**
+ * Drive @p totalRequests closed-loop evaluate requests through an
+ * in-process TCP reactor from @p clients concurrent connections.
+ * Every round, all clients request the same (kernel, iteration) with
+ * disjoint config slices — the daemon's cross-connection micro-batcher
+ * fuses each round into shared lattice runs. Latency is end-to-end
+ * client-side (send to reply-parsed); one unmeasured warm-up round
+ * seeds the adaptive window.
+ */
+FanInResult
+fanIn(ExpContext &ctx, int clients, int totalRequests)
+{
+    using Clock = std::chrono::steady_clock;
+
+    ServiceOptions opt;
+    opt.jobs = 4;
+    opt.batching = true;
+    opt.cache = false;
+    opt.rngSeed = ctx.seed();
+    opt.simd = ctx.options().simd;
+    Service service(opt);
+
+    serve::ServerOptions sopt;
+    sopt.tcpBind = "127.0.0.1:0";
+    sopt.maxConnections = clients + 8;
+    serve::Server server(service, sopt);
+
+    // The reactor narrates on stderr (listen line, drain snapshot);
+    // keep the bench output clean. The server thread only writes
+    // inside run(), which this scope brackets.
+    std::ostringstream sink;
+    std::streambuf *cerrBuf = std::cerr.rdbuf(sink.rdbuf());
+    FanInResult r;
+    r.clients = clients;
+    if (!server.start().ok()) {
+        std::cerr.rdbuf(cerrBuf);
+        return r;
+    }
+    std::thread reactor([&server] { server.run(); });
+
+    std::vector<int> fds;
+    std::vector<std::string> carries(static_cast<size_t>(clients));
+    bool transportOk = true;
+    for (int c = 0; c < clients; ++c) {
+        const int fd = connectLoopback(server.tcpPort());
+        if (fd < 0) {
+            transportOk = false;
+            break;
+        }
+        fds.push_back(fd);
+    }
+
+    const std::vector<Application> &apps = ctx.suite();
+    std::vector<std::string> kernelIds;
+    for (const Application &app : apps)
+        for (const KernelProfile &k : app.kernels)
+            kernelIds.push_back(k.id());
+
+    const int rounds =
+        std::max(1, totalRequests / std::max(1, clients));
+    std::vector<double> latenciesMs;
+    latenciesMs.reserve(static_cast<size_t>(rounds) * clients);
+    std::vector<Clock::time_point> sentAt(
+        static_cast<size_t>(clients));
+    Clock::time_point measureStart;
+
+    // Round -1 is the unmeasured warm-up.
+    for (int round = -1; transportOk && round < rounds; ++round) {
+        if (round == 0)
+            measureStart = Clock::now();
+        const std::string &kernelId =
+            kernelIds[static_cast<size_t>(round + 1) %
+                      kernelIds.size()];
+        const std::vector<std::string> lines = makeWindow(
+            service.sweep(), kernelId, round + 1, clients);
+        for (int c = 0; c < clients && transportOk; ++c) {
+            sentAt[static_cast<size_t>(c)] = Clock::now();
+            transportOk = sendAll(fds[static_cast<size_t>(c)],
+                                  lines[static_cast<size_t>(c)] +
+                                      "\n");
+        }
+        for (int c = 0; c < clients && transportOk; ++c) {
+            std::string reply;
+            transportOk =
+                readLine(fds[static_cast<size_t>(c)],
+                         carries[static_cast<size_t>(c)], reply);
+            if (transportOk && round >= 0) {
+                latenciesMs.push_back(
+                    std::chrono::duration<double, std::milli>(
+                        Clock::now() -
+                        sentAt[static_cast<size_t>(c)])
+                        .count());
+            }
+        }
+    }
+    r.requests = latenciesMs.size();
+    r.seconds = r.requests > 0
+                    ? std::chrono::duration<double>(Clock::now() -
+                                                    measureStart)
+                          .count()
+                    : 0.0;
+
+    // One shutdown verb stops the reactor; it drains and returns.
+    if (!fds.empty()) {
+        sendAll(fds.front(),
+                std::string("{\"schema\":\"") +
+                    serve::kRequestSchema +
+                    "\",\"id\":\"bye\",\"verb\":\"shutdown\"}\n");
+        std::string reply;
+        readLine(fds.front(), carries.front(), reply);
+    }
+    reactor.join();
+    for (const int fd : fds)
+        close(fd);
+    std::cerr.rdbuf(cerrBuf);
+
+    std::sort(latenciesMs.begin(), latenciesMs.end());
+    auto pct = [&](double p) {
+        if (latenciesMs.empty())
+            return 0.0;
+        const size_t idx = static_cast<size_t>(
+            p / 100.0 * (latenciesMs.size() - 1) + 0.5);
+        return latenciesMs[std::min(idx, latenciesMs.size() - 1)];
+    };
+    r.p50Ms = pct(50.0);
+    r.p99Ms = pct(99.0);
+    r.latticeRuns = service.metrics().latticeRuns();
+    r.crossConnRuns = service.metrics().crossConnRuns();
+    return r;
+}
+
 class ServeLatency final : public Experiment
 {
   public:
@@ -220,6 +448,44 @@ class ServeLatency final : public Experiment
                   << "replayed-stream cache hit rate: "
                   << formatPct(hitRate, 1) << '\n';
 
+        // The real transport: TCP fan-in through the reactor at
+        // --jobs 4, closed-loop clients, fixed total request count so
+        // every row does the same work.
+        const int fanInRequests = 256;
+        std::vector<FanInResult> fanRuns;
+        for (const int clients : {1, 16, 64, 128})
+            fanRuns.push_back(fanIn(ctx, clients, fanInRequests));
+
+        const double base = fanRuns.front().requestsPerSec();
+        TextTable fanTable({"clients", "requests", "req/s",
+                            "p50 (ms)", "p99 (ms)", "lattice runs",
+                            "x-conn runs", "speedup"});
+        for (const FanInResult &r : fanRuns) {
+            fanTable.row()
+                .numInt(r.clients)
+                .numInt(static_cast<long long>(r.requests))
+                .cell(formatNum(r.requestsPerSec(), 0))
+                .cell(formatNum(r.p50Ms, 3))
+                .cell(formatNum(r.p99Ms, 3))
+                .numInt(static_cast<long long>(r.latticeRuns))
+                .numInt(static_cast<long long>(r.crossConnRuns))
+                .cell(base > 0.0
+                          ? formatNum(r.requestsPerSec() / base, 2) +
+                                "x"
+                          : "-");
+        }
+        ctx.emit(fanTable,
+                 "TCP fan-in: N closed-loop clients vs one (jobs 4)",
+                 "serve_tcp_fanin");
+
+        double fanSpeedup64 = 0.0;
+        for (const FanInResult &r : fanRuns) {
+            if (r.clients == 64 && base > 0.0)
+                fanSpeedup64 = r.requestsPerSec() / base;
+        }
+        ctx.out() << "tcp fan-in speedup at 64 clients: "
+                  << formatNum(fanSpeedup64, 2) << "x\n";
+
         TextTable summary({"metric", "value"});
         // Which lattice kernels the measured daemon ran; responses are
         // byte-identical either way, latencies are not comparable
@@ -231,6 +497,9 @@ class ServeLatency final : public Experiment
         summary.row().cell("speedup at 1 job").num(speedup1, 3);
         summary.row().cell("speedup at 4 jobs").num(speedup4, 3);
         summary.row().cell("replay cache hit rate").num(hitRate, 4);
+        summary.row()
+            .cell("tcp fan-in speedup at 64 clients")
+            .num(fanSpeedup64, 3);
         ctx.emit(summary, "serve_latency summary",
                  "serve_latency_summary");
     }

@@ -526,7 +526,10 @@ HARMONIA_REGISTER_LINT_RULE(FacadeOnlyClients)
  * becomes a structured error reply, never a daemon unwind. fatal()/
  * panic() in shared code the service *calls* are translated at the
  * boundary by statusFromCurrentException(); a literal throw written
- * inside the layer is always a contract violation.
+ * inside the layer is always a contract violation. The serving
+ * binaries (the daemon front-end and the load-driving client) live
+ * under the same contract: a reactor that unwinds drops every
+ * connection it was containing.
  */
 class ServeNoThrow : public LintRule
 {
@@ -535,15 +538,22 @@ class ServeNoThrow : public LintRule
 
     std::string description() const override
     {
-        return "src/serve/ never throws; errors cross the service "
-               "boundary as harmonia::Status";
+        return "src/serve/ and the serving tools never throw; errors "
+               "cross the service boundary as harmonia::Status";
+    }
+
+    static bool servingSource(const SourceFile &file)
+    {
+        return file.under("src/serve/") ||
+               file.path() == "tools/harmoniad.cc" ||
+               file.path() == "tools/harmonia_client.cpp";
     }
 
     void check(const Project &project,
                std::vector<Diagnostic> &out) const override
     {
         for (const SourceFile &file : project.files()) {
-            if (!file.under("src/serve/"))
+            if (!servingSource(file))
                 continue;
             const auto &lines = file.codeLines();
             for (size_t ln = 0; ln < lines.size(); ++ln) {

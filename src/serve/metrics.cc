@@ -83,6 +83,32 @@ ServiceMetrics::recordEvaluate(uint64_t latticeRuns, uint64_t coalesced,
     pointsFromCache_ += pointsCached;
 }
 
+void
+ServiceMetrics::recordCrossConnectionFusion(uint64_t connections,
+                                            uint64_t requests)
+{
+    ++crossConnRuns_;
+    crossConnRequests_ += requests;
+    if (connections > maxConnectionsFused_)
+        maxConnectionsFused_ = connections;
+}
+
+JsonValue
+TransportMetrics::toJson() const
+{
+    return JsonValue::object({
+        {"accepted", JsonValue(static_cast<int64_t>(accepted))},
+        {"rejected", JsonValue(static_cast<int64_t>(rejected))},
+        {"disconnects", JsonValue(static_cast<int64_t>(disconnects))},
+        {"idle_timeouts",
+         JsonValue(static_cast<int64_t>(idleTimeouts))},
+        {"backpressure_sheds",
+         JsonValue(static_cast<int64_t>(backpressureSheds))},
+        {"active", JsonValue(static_cast<int64_t>(active))},
+        {"peak", JsonValue(static_cast<int64_t>(peak))},
+    });
+}
+
 JsonValue
 ServiceMetrics::toJson() const
 {
@@ -112,7 +138,14 @@ ServiceMetrics::toJson() const
               JsonValue(static_cast<int64_t>(pointsComputed_))},
              {"points_from_cache",
               JsonValue(static_cast<int64_t>(pointsFromCache_))},
+             {"cross_connection_runs",
+              JsonValue(static_cast<int64_t>(crossConnRuns_))},
+             {"cross_connection_requests",
+              JsonValue(static_cast<int64_t>(crossConnRequests_))},
+             {"max_connections_fused",
+              JsonValue(static_cast<int64_t>(maxConnectionsFused_))},
          })},
+        {"transport", transport_.toJson()},
     });
 }
 

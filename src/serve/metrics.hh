@@ -66,6 +66,41 @@ struct VerbMetrics
     LatencyStats latency;
 };
 
+/**
+ * Transport-level counters, updated by the reactor (serve/server.hh)
+ * and exported through the same `stats` snapshot as the service-side
+ * metrics so one probe sees the whole daemon. A connection leaves the
+ * active gauge through exactly one of the terminal counters
+ * (disconnects, idle timeouts, backpressure sheds).
+ */
+struct TransportMetrics
+{
+    uint64_t accepted = 0;  ///< Connections admitted (unix + tcp).
+    uint64_t rejected = 0;  ///< Refused at the --max-connections cap.
+    uint64_t disconnects = 0;      ///< Closed by peer EOF/error.
+    uint64_t idleTimeouts = 0;     ///< Evicted by the idle deadline.
+    uint64_t backpressureSheds = 0;///< Shed at the write-buffer cap.
+    uint64_t active = 0;           ///< Currently-open connections.
+    uint64_t peak = 0;             ///< High-water mark of `active`.
+
+    void onAccept()
+    {
+        ++accepted;
+        ++active;
+        if (active > peak)
+            peak = active;
+    }
+
+    void onClose(uint64_t &terminalCounter)
+    {
+        ++terminalCounter;
+        if (active > 0)
+            --active;
+    }
+
+    JsonValue toJson() const;
+};
+
 /** The full service metric set. */
 class ServiceMetrics
 {
@@ -80,6 +115,16 @@ class ServiceMetrics
     void recordEvaluate(uint64_t latticeRuns, uint64_t coalesced,
                         uint64_t pointsComputed, uint64_t pointsCached);
 
+    /**
+     * One evaluate group whose members arrived over @p connections
+     * distinct transport connections (so @p requests requests were
+     * fused across the connection boundary). Only called with
+     * connections >= 2: single-connection fusion is already covered by
+     * recordEvaluate's coalesced counter.
+     */
+    void recordCrossConnectionFusion(uint64_t connections,
+                                     uint64_t requests);
+
     const VerbMetrics &verb(Verb v) const
     {
         return verbs_[static_cast<int>(v)];
@@ -89,6 +134,13 @@ class ServiceMetrics
     uint64_t coalescedRequests() const { return coalescedRequests_; }
     uint64_t pointsComputed() const { return pointsComputed_; }
     uint64_t pointsFromCache() const { return pointsFromCache_; }
+    uint64_t crossConnRuns() const { return crossConnRuns_; }
+    uint64_t crossConnRequests() const { return crossConnRequests_; }
+    uint64_t maxConnectionsFused() const { return maxConnectionsFused_; }
+
+    /** Reactor counters (mutated directly by the transport layer). */
+    TransportMetrics &transport() { return transport_; }
+    const TransportMetrics &transport() const { return transport_; }
 
     /** Snapshot for the `stats` verb / shutdown report. */
     JsonValue toJson() const;
@@ -105,6 +157,15 @@ class ServiceMetrics
     uint64_t coalescedRequests_ = 0; ///< Requests sharing a lattice run.
     uint64_t pointsComputed_ = 0;
     uint64_t pointsFromCache_ = 0;
+
+    // Cross-connection fusion: evaluate groups whose members arrived
+    // over more than one transport connection — the widened coalescing
+    // window the TCP reactor exists to exploit.
+    uint64_t crossConnRuns_ = 0;
+    uint64_t crossConnRequests_ = 0;
+    uint64_t maxConnectionsFused_ = 0;
+
+    TransportMetrics transport_;
 };
 
 } // namespace harmonia::serve

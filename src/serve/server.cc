@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 
+#include <arpa/inet.h>
 #include <errno.h>
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -52,6 +56,10 @@ nowMicros()
 /** The hard cap on the adaptive coalescing window. */
 constexpr int kMaxWindowMicros = 2000;
 
+/** Compact a partially-flushed write buffer once the sent prefix
+ * dominates; keeps flushing O(bytes) instead of O(bytes^2). */
+constexpr size_t kCompactThresholdBytes = 1u << 20;
+
 } // namespace
 
 Server::Server(Service &service, ServerOptions options)
@@ -62,13 +70,15 @@ Server::Server(Service &service, ServerOptions options)
 Server::~Server()
 {
     for (const auto &conn : conns_) {
-        if (conn->fd > 2)
+        if (conn->fd >= 0 && !conn->stdio)
             close(conn->fd);
     }
     if (listenFd_ >= 0) {
         close(listenFd_);
         unlink(options_.socketPath.c_str());
     }
+    if (tcpListenFd_ >= 0)
+        close(tcpListenFd_);
     if (signalFd_ >= 0)
         close(signalFd_);
     if (g_signalPipeWrite >= 0) {
@@ -99,60 +109,231 @@ Server::setupSignals()
     return true;
 }
 
-bool
-Server::setupListener()
+Status
+Server::setupUnixListener()
 {
     sockaddr_un addr;
     std::memset(&addr, 0, sizeof(addr));
     addr.sun_family = AF_UNIX;
     if (options_.socketPath.size() >= sizeof(addr.sun_path)) {
-        std::cerr << "harmoniad: socket path too long: "
-                  << options_.socketPath << '\n';
-        return false;
+        return Status::invalidArgument("socket path too long: " +
+                                       options_.socketPath);
     }
     std::strncpy(addr.sun_path, options_.socketPath.c_str(),
                  sizeof(addr.sun_path) - 1);
 
     listenFd_ = socket(AF_UNIX, SOCK_STREAM, 0);
     if (listenFd_ < 0) {
-        std::cerr << "harmoniad: socket(): " << std::strerror(errno)
-                  << '\n';
-        return false;
+        return Status::unavailable(std::string("socket(): ") +
+                                   std::strerror(errno));
     }
     unlink(options_.socketPath.c_str());
     if (bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
              sizeof(addr)) != 0 ||
-        listen(listenFd_, 64) != 0 || !setNonBlocking(listenFd_)) {
-        std::cerr << "harmoniad: cannot listen on "
-                  << options_.socketPath << ": "
-                  << std::strerror(errno) << '\n';
-        return false;
+        listen(listenFd_, 128) != 0 || !setNonBlocking(listenFd_)) {
+        return Status::unavailable("cannot listen on " +
+                                   options_.socketPath + ": " +
+                                   std::strerror(errno));
     }
-    return true;
+    return Status::okStatus();
+}
+
+Status
+Server::setupTcpListener()
+{
+    const size_t colon = options_.tcpBind.rfind(':');
+    if (colon == std::string::npos) {
+        return Status::invalidArgument("--tcp wants HOST:PORT, got \"" +
+                                       options_.tcpBind + "\"");
+    }
+    std::string host = options_.tcpBind.substr(0, colon);
+    const std::string portStr = options_.tcpBind.substr(colon + 1);
+    if (host.empty())
+        host = "0.0.0.0";
+    if (host == "localhost")
+        host = "127.0.0.1";
+    char *end = nullptr;
+    const long port = std::strtol(portStr.c_str(), &end, 10);
+    if (portStr.empty() || end == nullptr || *end != '\0' ||
+        port < 0 || port > 65535) {
+        return Status::invalidArgument("bad TCP port \"" + portStr +
+                                       "\" (want 0..65535)");
+    }
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        return Status::invalidArgument(
+            "bad TCP host \"" + host +
+            "\" (want an IPv4 address or localhost)");
+    }
+
+    tcpListenFd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (tcpListenFd_ < 0) {
+        return Status::unavailable(std::string("socket(): ") +
+                                   std::strerror(errno));
+    }
+    const int one = 1;
+    setsockopt(tcpListenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+               sizeof(one));
+    if (bind(tcpListenFd_, reinterpret_cast<sockaddr *>(&addr),
+             sizeof(addr)) != 0 ||
+        listen(tcpListenFd_, 128) != 0 ||
+        !setNonBlocking(tcpListenFd_)) {
+        return Status::unavailable("cannot listen on tcp " +
+                                   options_.tcpBind + ": " +
+                                   std::strerror(errno));
+    }
+
+    sockaddr_in bound;
+    std::memset(&bound, 0, sizeof(bound));
+    socklen_t len = sizeof(bound);
+    if (getsockname(tcpListenFd_,
+                    reinterpret_cast<sockaddr *>(&bound), &len) == 0)
+        tcpPort_ = static_cast<int>(ntohs(bound.sin_port));
+    return Status::okStatus();
+}
+
+Status
+Server::start()
+{
+    if (started_)
+        return Status::okStatus();
+    if (!setupSignals())
+        return Status::unavailable("signal setup failed");
+
+    if (options_.stdio) {
+        if (!options_.socketPath.empty() || !options_.tcpBind.empty())
+            return Status::invalidArgument(
+                "--stdio excludes --socket/--tcp");
+        auto conn = std::make_unique<Conn>();
+        conn->fd = options_.stdioReadFd;
+        conn->outFd = options_.stdioWriteFd;
+        conn->stdio = true;
+        conn->id = 0;
+        conn->lastActivityMicros = nowMicros();
+        setNonBlocking(conn->fd);
+        conns_.push_back(std::move(conn));
+    } else {
+        if (options_.socketPath.empty() && options_.tcpBind.empty())
+            return Status::invalidArgument(
+                "no transport: want --socket, --tcp, or --stdio");
+        if (!options_.socketPath.empty()) {
+            if (const Status s = setupUnixListener(); !s.ok())
+                return s;
+            std::cerr << "harmoniad: listening on "
+                      << options_.socketPath << '\n';
+        }
+        if (!options_.tcpBind.empty()) {
+            if (const Status s = setupTcpListener(); !s.ok())
+                return s;
+            std::cerr << "harmoniad: listening on tcp "
+                      << options_.tcpBind.substr(
+                             0, options_.tcpBind.rfind(':'))
+                      << ':' << tcpPort_ << '\n';
+        }
+    }
+    started_ = true;
+    return Status::okStatus();
+}
+
+size_t
+Server::allocConnSlot()
+{
+    for (size_t i = 0; i < conns_.size(); ++i) {
+        Conn &conn = *conns_[i];
+        if (conn.fd >= 0 || conn.stdio || conn.unsentBytes() != 0)
+            continue;
+        const bool referenced = std::any_of(
+            pending_.begin(), pending_.end(),
+            [&](const PendingLine &p) { return p.conn == i; });
+        if (referenced)
+            continue;
+        conn = Conn{};
+        return i;
+    }
+    conns_.push_back(std::make_unique<Conn>());
+    return conns_.size() - 1;
 }
 
 void
-Server::acceptClients()
+Server::closeConn(Conn &conn, CloseReason reason)
+{
+    if (conn.fd < 0 && conn.outFd < 0)
+        return;
+    if (!conn.stdio) {
+        if (conn.fd >= 0)
+            close(conn.fd);
+        TransportMetrics &t = service_.metricsMut().transport();
+        switch (reason) {
+          case CloseReason::Disconnect:
+            t.onClose(t.disconnects);
+            break;
+          case CloseReason::IdleTimeout:
+            t.onClose(t.idleTimeouts);
+            break;
+          case CloseReason::BackpressureShed:
+            t.onClose(t.backpressureSheds);
+            break;
+        }
+    }
+    conn.fd = -1;
+    conn.outFd = -1;
+    conn.inBuf.clear();
+    conn.outBuf.clear();
+    conn.outOff = 0;
+    conn.eof = true;
+}
+
+void
+Server::acceptClients(int listenFd, bool tcp)
 {
     while (true) {
-        const int fd = accept(listenFd_, nullptr, nullptr);
+        const int fd = accept(listenFd, nullptr, nullptr);
         if (fd < 0)
             return;
-        const int active = static_cast<int>(std::count_if(
-            conns_.begin(), conns_.end(),
-            [](const auto &c) { return c->fd >= 0; }));
-        if (active >= options_.maxConnections) {
-            close(fd);
-            continue;
-        }
         if (!setNonBlocking(fd)) {
             close(fd);
             continue;
         }
-        auto conn = std::make_unique<Conn>();
-        conn->fd = fd;
-        conn->outFd = fd;
-        conns_.push_back(std::move(conn));
+        const int active = static_cast<int>(std::count_if(
+            conns_.begin(), conns_.end(),
+            [](const auto &c) { return c->fd >= 0; }));
+        if (active >= options_.maxConnections) {
+            // Tell the peer why before closing: one structured error
+            // line, best-effort (the socket buffer of a fresh
+            // connection always has room for it in practice).
+            const std::string reply =
+                makeErrorResponse(
+                    JsonValue(),
+                    Status::resourceExhausted(
+                        "connection limit (" +
+                        std::to_string(options_.maxConnections) +
+                        ") reached")) +
+                "\n";
+            [[maybe_unused]] const ssize_t n =
+                write(fd, reply.data(), reply.size());
+            close(fd);
+            ++service_.metricsMut().transport().rejected;
+            continue;
+        }
+        if (tcp) {
+            const int one = 1;
+            setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                       sizeof(one));
+            setsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, &one,
+                       sizeof(one));
+        }
+        const size_t slot = allocConnSlot();
+        Conn &conn = *conns_[slot];
+        conn.fd = fd;
+        conn.outFd = fd;
+        conn.tcp = tcp;
+        conn.id = nextConnId_++;
+        conn.lastActivityMicros = nowMicros();
+        service_.metricsMut().transport().onAccept();
     }
 }
 
@@ -160,10 +341,14 @@ void
 Server::readConn(size_t idx)
 {
     Conn &conn = *conns_[idx];
+    if (conn.fd < 0)
+        return;
     char buf[4096];
     while (true) {
         const ssize_t n = read(conn.fd, buf, sizeof(buf));
         if (n < 0) {
+            if (errno == EINTR)
+                continue;
             if (errno == EAGAIN || errno == EWOULDBLOCK)
                 break;
             conn.eof = true;
@@ -174,6 +359,7 @@ Server::readConn(size_t idx)
             break;
         }
         conn.inBuf.append(buf, static_cast<size_t>(n));
+        conn.lastActivityMicros = nowMicros();
         // A single line larger than the request cap would otherwise
         // buffer without bound; reject it early and resynchronize at
         // the next newline.
@@ -221,17 +407,62 @@ Server::readConn(size_t idx)
 void
 Server::flushConn(Conn &conn)
 {
-    while (!conn.outBuf.empty()) {
+    if (conn.outFd < 0)
+        return;
+    while (conn.unsentBytes() > 0) {
         const ssize_t n =
-            write(conn.outFd, conn.outBuf.data(), conn.outBuf.size());
+            write(conn.outFd, conn.outBuf.data() + conn.outOff,
+                  conn.unsentBytes());
         if (n < 0) {
-            if (errno == EAGAIN || errno == EWOULDBLOCK)
+            if (errno == EINTR)
+                continue;
+            if (errno != EAGAIN && errno != EWOULDBLOCK) {
+                conn.outBuf.clear(); // Peer gone; drop the rest.
+                conn.outOff = 0;
+                conn.eof = true;
                 return;
-            conn.outBuf.clear(); // Peer gone; drop the rest.
-            conn.eof = true;
+            }
+            // Partial write parked; POLLOUT re-arms on the next loop
+            // pass. Reclaim the sent prefix once it dominates.
+            if (conn.outOff > kCompactThresholdBytes &&
+                conn.outOff * 2 >= conn.outBuf.size()) {
+                conn.outBuf.erase(0, conn.outOff);
+                conn.outOff = 0;
+            }
             return;
         }
-        conn.outBuf.erase(0, static_cast<size_t>(n));
+        conn.outOff += static_cast<size_t>(n);
+        conn.lastActivityMicros = nowMicros();
+    }
+    conn.outBuf.clear();
+    conn.outOff = 0;
+}
+
+void
+Server::enforceWriteCap(Conn &conn)
+{
+    if (conn.stdio || conn.fd < 0)
+        return;
+    if (conn.unsentBytes() > options_.maxWriteBufferBytes) {
+        // The peer requested more output than it is willing to read;
+        // shed this connection alone — its buffered bytes are dropped,
+        // everyone else keeps streaming.
+        closeConn(conn, CloseReason::BackpressureShed);
+    }
+}
+
+void
+Server::evictIdle(long long nowUs)
+{
+    if (options_.idleTimeoutMillis <= 0)
+        return;
+    const long long limitUs =
+        static_cast<long long>(options_.idleTimeoutMillis) * 1000;
+    for (const auto &conn : conns_) {
+        if (conn->stdio || conn->fd < 0)
+            continue;
+        if (nowUs - conn->lastActivityMicros >= limitUs)
+            closeConn(*conn, CloseReason::IdleTimeout);
     }
 }
 
@@ -257,13 +488,17 @@ Server::processPending()
     windowOpen_ = false;
 
     std::vector<std::string> lines;
+    std::vector<uint64_t> origins;
     lines.reserve(batch.size());
-    for (PendingLine &p : batch)
+    origins.reserve(batch.size());
+    for (PendingLine &p : batch) {
         lines.push_back(std::move(p.line));
+        origins.push_back(conns_[p.conn]->id);
+    }
 
     const long long start = nowMicros();
     const std::vector<std::string> responses =
-        service_.processBatch(lines);
+        service_.processBatch(lines, origins);
     const double elapsed = static_cast<double>(nowMicros() - start);
     serviceEwmaMicros_ = serviceEwmaMicros_ == 0.0
                              ? elapsed
@@ -272,18 +507,22 @@ Server::processPending()
 
     for (size_t i = 0; i < batch.size(); ++i) {
         Conn &conn = *conns_[batch[i].conn];
+        if (conn.outFd < 0)
+            continue; // Shed or evicted while its request was queued.
         conn.outBuf += responses[i];
         conn.outBuf += '\n';
     }
-    for (const auto &conn : conns_)
+    for (const auto &conn : conns_) {
         flushConn(*conn);
+        enforceWriteCap(*conn);
+    }
 }
 
 void
 Server::closeFinished()
 {
     for (const auto &conn : conns_) {
-        if (conn->fd >= 0 && conn->eof && conn->outBuf.empty()) {
+        if (conn->fd >= 0 && conn->eof && conn->unsentBytes() == 0) {
             const bool pendingInput = std::any_of(
                 pending_.begin(), pending_.end(),
                 [&](const PendingLine &p) {
@@ -291,9 +530,7 @@ Server::closeFinished()
                 });
             if (pendingInput)
                 continue;
-            if (conn->fd > 2)
-                close(conn->fd);
-            conn->fd = -1;
+            closeConn(*conn, CloseReason::Disconnect);
         }
     }
 }
@@ -301,25 +538,9 @@ Server::closeFinished()
 int
 Server::run()
 {
-    if (!setupSignals()) {
-        std::cerr << "harmoniad: signal setup failed\n";
+    if (const Status s = start(); !s.ok()) {
+        std::cerr << "harmoniad: " << s.message() << '\n';
         return 1;
-    }
-    if (options_.stdio) {
-        auto conn = std::make_unique<Conn>();
-        conn->fd = 0;
-        conn->outFd = 1;
-        setNonBlocking(0);
-        conns_.push_back(std::move(conn));
-    } else {
-        if (options_.socketPath.empty()) {
-            std::cerr << "harmoniad: no socket path\n";
-            return 1;
-        }
-        if (!setupListener())
-            return 1;
-        std::cerr << "harmoniad: listening on " << options_.socketPath
-                  << '\n';
     }
 
     while (true) {
@@ -335,7 +556,7 @@ Server::run()
                 flushConn(*conn);
             const bool flushed = std::all_of(
                 conns_.begin(), conns_.end(), [](const auto &c) {
-                    return c->fd < 0 || c->outBuf.empty();
+                    return c->outFd < 0 || c->unsentBytes() == 0;
                 });
             if (pending_.empty() && flushed)
                 break;
@@ -345,16 +566,25 @@ Server::run()
         std::vector<size_t> connOf; // fds index -> conns_ index.
         fds.push_back({signalFd_, POLLIN, 0});
         connOf.push_back(SIZE_MAX);
+        size_t unixListenerIdx = SIZE_MAX;
+        size_t tcpListenerIdx = SIZE_MAX;
         if (listenFd_ >= 0 && !draining) {
+            unixListenerIdx = fds.size();
             fds.push_back({listenFd_, POLLIN, 0});
+            connOf.push_back(SIZE_MAX);
+        }
+        if (tcpListenFd_ >= 0 && !draining) {
+            tcpListenerIdx = fds.size();
+            fds.push_back({tcpListenFd_, POLLIN, 0});
             connOf.push_back(SIZE_MAX);
         }
         for (size_t i = 0; i < conns_.size(); ++i) {
             Conn &conn = *conns_[i];
-            if (conn.fd < 0)
+            if (conn.fd < 0 && conn.outFd < 0)
                 continue;
-            const bool wantIn = !conn.eof && !draining;
-            const bool wantOut = !conn.outBuf.empty();
+            const bool wantIn =
+                conn.fd >= 0 && !conn.eof && !draining;
+            const bool wantOut = conn.unsentBytes() > 0;
             if (conn.fd == conn.outFd) {
                 const short events =
                     static_cast<short>((wantIn ? POLLIN : 0) |
@@ -376,16 +606,36 @@ Server::run()
             }
         }
 
+        // Sleep until the earliest of: coalescing-window expiry, the
+        // nearest idle-eviction deadline, or (while draining) a short
+        // re-check tick. Idle with none of those: block indefinitely.
+        const long long pollStart = nowMicros();
+        long long wakeAtUs = -1;
+        auto considerWake = [&](long long t) {
+            if (wakeAtUs < 0 || t < wakeAtUs)
+                wakeAtUs = t;
+        };
+        if (windowOpen_)
+            considerWake(windowDeadlineMicros_);
+        if (options_.idleTimeoutMillis > 0) {
+            const long long limitUs =
+                static_cast<long long>(options_.idleTimeoutMillis) *
+                1000;
+            for (const auto &conn : conns_) {
+                if (conn->stdio || conn->fd < 0)
+                    continue;
+                considerWake(conn->lastActivityMicros + limitUs);
+            }
+        }
         int timeoutMs = -1;
-        if (windowOpen_) {
-            const long long remaining =
-                windowDeadlineMicros_ - nowMicros();
+        if (draining) {
+            timeoutMs = 10;
+        } else if (wakeAtUs >= 0) {
+            const long long remaining = wakeAtUs - pollStart;
             timeoutMs = remaining <= 0
                             ? 0
                             : static_cast<int>((remaining + 999) /
                                                1000);
-        } else if (draining) {
-            timeoutMs = 10;
         }
 
         const int rc =
@@ -406,22 +656,27 @@ Server::run()
                 stopRequested_ = true;
             }
             ++fdIdx;
-            if (listenFd_ >= 0 && !draining) {
-                if (fds[fdIdx].revents & POLLIN)
-                    acceptClients();
-                ++fdIdx;
-            }
-            for (; fdIdx < fds.size(); ++fdIdx) {
+            if (unixListenerIdx != SIZE_MAX &&
+                (fds[unixListenerIdx].revents & POLLIN))
+                acceptClients(listenFd_, false);
+            if (tcpListenerIdx != SIZE_MAX &&
+                (fds[tcpListenerIdx].revents & POLLIN))
+                acceptClients(tcpListenFd_, true);
+            for (fdIdx = 1; fdIdx < fds.size(); ++fdIdx) {
                 const size_t ci = connOf[fdIdx];
                 if (ci == SIZE_MAX)
                     continue;
                 const short revents = fds[fdIdx].revents;
-                if (revents & POLLOUT)
+                if (revents & POLLOUT) {
                     flushConn(*conns_[ci]);
+                    enforceWriteCap(*conns_[ci]);
+                }
                 if (revents & (POLLIN | POLLHUP | POLLERR))
                     readConn(ci);
             }
         }
+
+        evictIdle(nowMicros());
 
         if (!pending_.empty() && !windowOpen_) {
             windowOpen_ = true;

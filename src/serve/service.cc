@@ -73,6 +73,7 @@ struct Service::Pending
 {
     JsonValue id;
     Request req;
+    uint64_t origin = 0; ///< Transport connection id (stats only).
     bool parsed = false;
     bool done = false;
     std::string response;
@@ -277,6 +278,21 @@ Service::runEvalGroup(EvalGroup &group, std::vector<Pending> &pending)
         latticeRuns,
         group.members.size() > 1 ? group.members.size() : 0,
         pointsComputed, pointsRequested - pointsComputed);
+
+    // Fan-in accounting: how many distinct transport connections fed
+    // this fused group. Purely observational (stats verb).
+    if (group.members.size() > 1) {
+        std::vector<uint64_t> origins;
+        origins.reserve(group.members.size());
+        for (const size_t idx : group.members)
+            origins.push_back(pending[idx].origin);
+        std::sort(origins.begin(), origins.end());
+        origins.erase(std::unique(origins.begin(), origins.end()),
+                      origins.end());
+        if (origins.size() > 1)
+            metrics_.recordCrossConnectionFusion(
+                origins.size(), group.members.size());
+    }
 }
 
 void
@@ -544,10 +560,19 @@ Service::statsJson() const
 std::vector<std::string>
 Service::processBatch(const std::vector<std::string> &lines)
 {
+    return processBatch(lines, {});
+}
+
+std::vector<std::string>
+Service::processBatch(const std::vector<std::string> &lines,
+                      const std::vector<uint64_t> &origins)
+{
     std::vector<Pending> pending(lines.size());
 
     for (size_t i = 0; i < lines.size(); ++i) {
         Pending &p = pending[i];
+        if (i < origins.size())
+            p.origin = origins[i];
         if (lines[i].size() > options_.maxRequestBytes) {
             p.response = makeErrorResponse(
                 p.id, Status::resourceExhausted(

@@ -100,6 +100,9 @@ class Service
     const ServiceOptions &options() const { return options_; }
     const GpuDevice &device() const { return device_; }
     const ServiceMetrics &metrics() const { return metrics_; }
+
+    /** Mutable metrics handle for the transport layer's counters. */
+    ServiceMetrics &metricsMut() { return metrics_; }
     const ConfigSweep &sweep() const { return sweep_; }
     size_t sessionCount() const { return sessions_.size(); }
 
@@ -110,6 +113,18 @@ class Service
      */
     std::vector<std::string>
     processBatch(const std::vector<std::string> &lines);
+
+    /**
+     * Same, with per-line connection origins (origins[i] is an opaque
+     * transport connection id for lines[i]; must match lines.size()).
+     * Origins never influence any response — they only feed the
+     * cross-connection fusion counters in the `stats` snapshot, so the
+     * reactor can report how wide the coalescing window actually is
+     * across its TCP/unix fan-in.
+     */
+    std::vector<std::string>
+    processBatch(const std::vector<std::string> &lines,
+                 const std::vector<uint64_t> &origins);
 
     /** Single-request convenience (a batch of one). */
     std::string processLine(const std::string &line);

@@ -269,6 +269,23 @@ TEST(LintRules, ServeNoThrowFires)
     EXPECT_EQ(diags[0].line, 2);
 }
 
+// The serving binaries are under the same no-throw contract as the
+// library: a daemon or load-client that unwinds drops connections.
+TEST(LintRules, ServeNoThrowCoversServingTools)
+{
+    const Project p =
+        ProjectBuilder()
+            .add("tools/harmoniad.cc", "void f() { throw 1; }\n")
+            .add("tools/harmonia_client.cpp",
+                 "void g() { throw 2; }\n")
+            .add("tools/other_tool.cc", "void h() { throw 3; }\n")
+            .build();
+    const auto diags = runRule("serve-no-throw", p);
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_EQ(diags[0].file, "tools/harmonia_client.cpp");
+    EXPECT_EQ(diags[1].file, "tools/harmoniad.cc");
+}
+
 // --- hygiene -----------------------------------------------------------
 
 TEST(LintRules, HeaderGuardFiresOnUnguardedHeader)

@@ -2,16 +2,22 @@
  * @file
  * harmonia_client — load generator and latency reporter for harmoniad.
  *
- * Connects to a running daemon's Unix-domain socket, generates a
- * deterministic request stream (mixed verbs or pure evaluate), sends
- * it open-loop at a configurable arrival rate — send times follow the
- * schedule regardless of response progress, like real concurrent
- * clients — and reports client-side latency percentiles, throughput,
- * and the error-reply count.
+ * Connects to a running daemon over its Unix-domain socket or TCP
+ * listener — with --clients N, over N concurrent connections —
+ * generates a deterministic request stream (mixed verbs or pure
+ * evaluate), sends it open-loop at a configurable arrival rate — send
+ * times follow the schedule regardless of response progress, like real
+ * concurrent clients — and reports client-side latency percentiles,
+ * throughput, and the error-reply count. Requests are dealt
+ * round-robin across the connections, so consecutive requests of one
+ * coalescing cohort (--group) arrive on *different* connections: the
+ * fan-in pattern the daemon's cross-connection micro-batcher fuses.
  *
  * Usage:
- *   harmonia_client --socket PATH [options]
+ *   harmonia_client (--socket PATH | --tcp HOST:PORT) [options]
  *
+ *   --clients N      Concurrent connections to spread the load over
+ *                    (default 1).
  *   --requests N     Requests to send (default 100).
  *   --rate R         Open-loop arrival rate, requests/second
  *                    (0 = send everything immediately; default 0).
@@ -43,16 +49,17 @@
 #include <string>
 #include <vector>
 
+#include <arpa/inet.h>
 #include <errno.h>
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
-#include "serve/json.hh"
-#include "serve/protocol.hh"
-#include "workloads/suite.hh"
+#include "harmonia/harmonia.hh"
 
 using namespace harmonia;
 using namespace harmonia::serve;
@@ -63,6 +70,8 @@ namespace
 struct ClientOptions
 {
     std::string socketPath;
+    std::string tcpAddr; ///< "HOST:PORT"; empty = Unix socket.
+    int clients = 1;
     int requests = 100;
     double rate = 0.0;
     std::string mix = "evaluate";
@@ -79,8 +88,10 @@ struct ClientOptions
 [[noreturn]] void
 usage(int status)
 {
-    std::cout << "usage: harmonia_client --socket PATH [--requests N] "
-                 "[--rate R] [--mix evaluate|mixed]\n"
+    std::cout << "usage: harmonia_client (--socket PATH | --tcp "
+                 "HOST:PORT) [--clients N]\n"
+                 "                       [--requests N] [--rate R] "
+                 "[--mix evaluate|mixed]\n"
                  "                       [--configs K] [--kernels M] "
                  "[--governor NAME] [--seed N]\n"
                  "                       [--stats] [--shutdown] "
@@ -201,6 +212,10 @@ parseArgs(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--socket")
             opt.socketPath = value(i, arg);
+        else if (arg == "--tcp")
+            opt.tcpAddr = value(i, arg);
+        else if (arg == "--clients")
+            opt.clients = std::max(1, std::atoi(value(i, arg).c_str()));
         else if (arg == "--requests")
             opt.requests = std::max(1, std::atoi(value(i, arg).c_str()));
         else if (arg == "--rate")
@@ -232,16 +247,92 @@ parseArgs(int argc, char **argv)
             usage(2);
         }
     }
-    if (opt.socketPath.empty()) {
-        std::cerr << "harmonia_client: --socket is required\n";
+    if (opt.socketPath.empty() == opt.tcpAddr.empty()) {
+        std::cerr << "harmonia_client: exactly one of --socket and "
+                     "--tcp is required\n";
         usage(2);
     }
     if (opt.mix != "evaluate" && opt.mix != "mixed") {
         std::cerr << "harmonia_client: --mix must be evaluate|mixed\n";
         usage(2);
     }
+    if (opt.clients > opt.requests)
+        opt.clients = opt.requests;
     return opt;
 }
+
+/** Connect one blocking stream socket to the daemon; -1 on failure
+ * (with the error already printed). */
+int
+connectOnce(const ClientOptions &opt)
+{
+    if (opt.tcpAddr.empty()) {
+        const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            std::cerr << "harmonia_client: socket(): "
+                      << std::strerror(errno) << '\n';
+            return -1;
+        }
+        sockaddr_un addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, opt.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                    sizeof(addr)) != 0) {
+            std::cerr << "harmonia_client: connect("
+                      << opt.socketPath
+                      << "): " << std::strerror(errno) << '\n';
+            close(fd);
+            return -1;
+        }
+        return fd;
+    }
+
+    const size_t colon = opt.tcpAddr.rfind(':');
+    if (colon == std::string::npos) {
+        std::cerr << "harmonia_client: --tcp wants HOST:PORT, got '"
+                  << opt.tcpAddr << "'\n";
+        return -1;
+    }
+    std::string host = opt.tcpAddr.substr(0, colon);
+    if (host.empty() || host == "localhost")
+        host = "127.0.0.1";
+    const int port = std::atoi(opt.tcpAddr.c_str() + colon + 1);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        std::cerr << "harmonia_client: bad TCP host '" << host
+                  << "'\n";
+        return -1;
+    }
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::cerr << "harmonia_client: socket(): "
+                  << std::strerror(errno) << '\n';
+        return -1;
+    }
+    if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                sizeof(addr)) != 0) {
+        std::cerr << "harmonia_client: connect(" << opt.tcpAddr
+                  << "): " << std::strerror(errno) << '\n';
+        close(fd);
+        return -1;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+/** One of the N concurrent client connections. */
+struct Connection
+{
+    int fd = -1;
+    std::string sendBuf;
+    std::string recvBuf;
+};
 
 } // namespace
 
@@ -271,31 +362,22 @@ main(int argc, char **argv)
     for (int i = 0; i < opt.requests; ++i)
         requests.push_back(makeRequest(opt, workload, rng, i));
 
-    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) {
-        std::cerr << "harmonia_client: socket(): "
-                  << std::strerror(errno) << '\n';
-        return 1;
+    std::vector<Connection> conns(static_cast<size_t>(opt.clients));
+    for (Connection &conn : conns) {
+        conn.fd = connectOnce(opt);
+        if (conn.fd < 0)
+            return 1;
+        // Non-blocking during the open-loop phase so a full send
+        // buffer can never deadlock against a daemon busy writing
+        // responses.
+        fcntl(conn.fd, F_SETFL,
+              fcntl(conn.fd, F_GETFL, 0) | O_NONBLOCK);
     }
-    sockaddr_un addr;
-    std::memset(&addr, 0, sizeof(addr));
-    addr.sun_family = AF_UNIX;
-    std::strncpy(addr.sun_path, opt.socketPath.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                sizeof(addr)) != 0) {
-        std::cerr << "harmonia_client: connect(" << opt.socketPath
-                  << "): " << std::strerror(errno) << '\n';
-        close(fd);
-        return 1;
-    }
-    // Non-blocking during the open-loop phase so a full send buffer
-    // can never deadlock against a daemon busy writing responses.
-    fcntl(fd, F_SETFL, fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
 
-    // Open loop: request i is due at start + i/rate; sends never wait
-    // for responses. Responses are drained whenever the socket has
-    // them, and matched to send stamps by id.
+    // Open loop: request i is due at start + i/rate and goes out on
+    // connection i % N; sends never wait for responses. Responses are
+    // drained whenever any socket has them, and matched to send
+    // stamps by id (ids are globally unique across connections).
     std::vector<Clock::time_point> sentAt(
         static_cast<size_t>(opt.requests));
     std::vector<double> latenciesMs;
@@ -303,8 +385,6 @@ main(int argc, char **argv)
     size_t sent = 0;
     size_t received = 0;
     size_t errors = 0;
-    std::string sendBuf;
-    std::string recvBuf;
     const Clock::time_point start = Clock::now();
 
     auto handleLine = [&](const std::string &line) {
@@ -337,10 +417,12 @@ main(int argc, char **argv)
         ++received;
     };
 
+    std::vector<pollfd> pfds(conns.size());
     while (received < static_cast<size_t>(opt.requests)) {
         const Clock::time_point now = Clock::now();
 
-        // Queue every request whose scheduled arrival time has come.
+        // Queue every request whose scheduled arrival time has come
+        // onto its connection.
         while (sent < requests.size()) {
             const double dueSec =
                 opt.rate > 0.0 ? static_cast<double>(sent) / opt.rate
@@ -349,28 +431,32 @@ main(int argc, char **argv)
                 std::chrono::duration<double>(now - start).count();
             if (elapsed < dueSec)
                 break;
+            Connection &conn = conns[sent % conns.size()];
             sentAt[sent] = now;
-            sendBuf += requests[sent];
-            sendBuf += '\n';
+            conn.sendBuf += requests[sent];
+            conn.sendBuf += '\n';
             ++sent;
         }
 
-        if (!sendBuf.empty()) {
-            const ssize_t n =
-                write(fd, sendBuf.data(), sendBuf.size());
+        bool sendBacklog = false;
+        for (Connection &conn : conns) {
+            if (conn.sendBuf.empty())
+                continue;
+            const ssize_t n = write(conn.fd, conn.sendBuf.data(),
+                                    conn.sendBuf.size());
             if (n > 0)
-                sendBuf.erase(0, static_cast<size_t>(n));
+                conn.sendBuf.erase(0, static_cast<size_t>(n));
             else if (n < 0 && errno != EAGAIN && errno != EINTR) {
                 std::cerr << "harmonia_client: write(): "
                           << std::strerror(errno) << '\n';
-                close(fd);
                 return 1;
             }
+            if (!conn.sendBuf.empty())
+                sendBacklog = true;
         }
 
-        pollfd pfd{fd, POLLIN, 0};
         int timeoutMs = 0;
-        if (sendBuf.empty() && sent < requests.size() &&
+        if (!sendBacklog && sent < requests.size() &&
             opt.rate > 0.0) {
             const double dueSec = static_cast<double>(sent) / opt.rate;
             const double elapsed =
@@ -378,45 +464,62 @@ main(int argc, char **argv)
                     .count();
             timeoutMs = std::max(
                 0, static_cast<int>((dueSec - elapsed) * 1000.0));
-        } else if (sendBuf.empty() && sent == requests.size()) {
+        } else if (!sendBacklog && sent == requests.size()) {
             timeoutMs = 1000;
         }
-        const int rc = poll(&pfd, 1, timeoutMs);
-        if (rc > 0 && (pfd.revents & (POLLIN | POLLHUP))) {
+
+        for (size_t c = 0; c < conns.size(); ++c) {
+            pfds[c].fd = conns[c].fd;
+            pfds[c].events = static_cast<short>(
+                POLLIN |
+                (conns[c].sendBuf.empty() ? 0 : POLLOUT));
+            pfds[c].revents = 0;
+        }
+        const int rc =
+            poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                 timeoutMs);
+        if (rc <= 0)
+            continue;
+        for (size_t c = 0; c < conns.size(); ++c) {
+            if (!(pfds[c].revents & (POLLIN | POLLHUP)))
+                continue;
+            Connection &conn = conns[c];
             char buf[8192];
-            const ssize_t n = read(fd, buf, sizeof(buf));
+            const ssize_t n = read(conn.fd, buf, sizeof(buf));
             if (n > 0) {
-                recvBuf.append(buf, static_cast<size_t>(n));
+                conn.recvBuf.append(buf, static_cast<size_t>(n));
                 size_t startPos = 0;
                 while (true) {
-                    const size_t nl = recvBuf.find('\n', startPos);
+                    const size_t nl =
+                        conn.recvBuf.find('\n', startPos);
                     if (nl == std::string::npos)
                         break;
-                    handleLine(
-                        recvBuf.substr(startPos, nl - startPos));
+                    handleLine(conn.recvBuf.substr(startPos,
+                                                   nl - startPos));
                     startPos = nl + 1;
                 }
-                recvBuf.erase(0, startPos);
+                conn.recvBuf.erase(0, startPos);
             } else if (n == 0) {
-                std::cerr << "harmonia_client: daemon closed the "
+                std::cerr << "harmonia_client: daemon closed a "
                              "connection with "
                           << (opt.requests - received)
                           << " response(s) outstanding\n";
-                close(fd);
                 return 1;
             }
         }
     }
     const Clock::time_point end = Clock::now();
 
-    // Back to blocking for the simple stats/shutdown round trips.
-    fcntl(fd, F_SETFL, fcntl(fd, F_GETFL, 0) & ~O_NONBLOCK);
+    // Back to blocking for the simple stats/shutdown round trips
+    // (first connection only).
+    const int fd0 = conns.front().fd;
+    fcntl(fd0, F_SETFL, fcntl(fd0, F_GETFL, 0) & ~O_NONBLOCK);
 
     auto roundTrip = [&](const std::string &line) -> std::string {
         std::string out = line + "\n";
         size_t off = 0;
         while (off < out.size()) {
-            const ssize_t n = write(fd, out.data() + off,
+            const ssize_t n = write(fd0, out.data() + off,
                                     out.size() - off);
             if (n <= 0 && errno != EINTR)
                 return {};
@@ -426,7 +529,7 @@ main(int argc, char **argv)
         std::string reply;
         char buf[8192];
         while (reply.find('\n') == std::string::npos) {
-            const ssize_t n = read(fd, buf, sizeof(buf));
+            const ssize_t n = read(fd0, buf, sizeof(buf));
             if (n <= 0)
                 return reply;
             reply.append(buf, static_cast<size_t>(n));
@@ -444,7 +547,8 @@ main(int argc, char **argv)
         roundTrip(std::string("{\"schema\":\"") + kRequestSchema +
                   "\",\"id\":\"bye\",\"verb\":\"shutdown\"}");
     }
-    close(fd);
+    for (const Connection &conn : conns)
+        close(conn.fd);
 
     std::sort(latenciesMs.begin(), latenciesMs.end());
     const double wallSec =
@@ -459,8 +563,9 @@ main(int argc, char **argv)
         meanMs /= static_cast<double>(latenciesMs.size());
 
     std::cout << "harmonia_client: " << opt.requests << " requests ("
-              << opt.mix << "), " << errors << " error(s), "
-              << throughput << " req/s\n"
+              << opt.mix << ", " << conns.size() << " connection"
+              << (conns.size() == 1 ? "" : "s") << "), " << errors
+              << " error(s), " << throughput << " req/s\n"
               << "latency ms: mean " << meanMs << "  p50 "
               << percentile(latenciesMs, 50.0) << "  p90 "
               << percentile(latenciesMs, 90.0) << "  p99 "

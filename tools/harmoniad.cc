@@ -3,16 +3,21 @@
  * harmoniad — the batched Harmonia evaluation daemon.
  *
  * Serves the harmonia.request/1 NDJSON protocol (docs/SERVING.md)
- * over a Unix-domain socket, or over stdin/stdout with --stdio (the
- * mode tests and CI pipelines use). Verbs: evaluate, govern, sweep,
- * stats, ping, shutdown.
+ * over a Unix-domain socket, a TCP listener, or stdin/stdout with
+ * --stdio (the mode tests and CI pipelines use). Verbs: evaluate,
+ * govern, sweep, stats, ping, shutdown.
  *
  * Usage:
  *   harmoniad --socket PATH [options]
+ *   harmoniad --tcp HOST:PORT [options]
  *   harmoniad --stdio [options]
  *
  *   --socket PATH     Listen on a Unix-domain socket at PATH.
- *   --stdio           Serve stdin -> stdout instead of a socket.
+ *   --tcp HOST:PORT   Listen on a TCP socket (IPv4 or "localhost";
+ *                     port 0 picks an ephemeral port, printed on
+ *                     startup). May be combined with --socket; both
+ *                     listeners feed the same reactor.
+ *   --stdio           Serve stdin -> stdout instead of sockets.
  *   --jobs N          Worker threads for lattice runs (or
  *                     HARMONIA_JOBS; default 1).
  *   --no-batching     Disable evaluate micro-batching (one lattice
@@ -24,6 +29,13 @@
  *                     (default: adaptive; 0 = no coalescing).
  *   --max-configs N   Per-request config-list cap (default 1024).
  *   --max-sessions N  Concurrent governor-session cap (default 256).
+ *   --max-connections N  Concurrent client connections (default 64);
+ *                     further connects get one error reply.
+ *   --idle-timeout-ms N  Evict connections with no read/write
+ *                     progress for N ms (default 0 = never).
+ *   --max-write-buf BYTES  Per-connection cap on buffered unsent
+ *                     response bytes before the connection is shed
+ *                     (default 8388608).
  *   --seed N          Sweep RNG seed.
  *
  * Exit status 0 after a clean drain (SIGTERM/SIGINT, a `shutdown`
@@ -47,10 +59,14 @@ namespace
 [[noreturn]] void
 usage(int status)
 {
-    std::cout << "usage: harmoniad (--socket PATH | --stdio) "
-                 "[--jobs N] [--no-batching] [--no-cache] [--no-simd]\n"
-                 "                 [--coalesce-us N] [--max-configs N] "
-                 "[--max-sessions N] [--seed N]\n";
+    std::cout << "usage: harmoniad (--socket PATH | --tcp HOST:PORT | "
+                 "--stdio) [--jobs N]\n"
+                 "                 [--no-batching] [--no-cache] "
+                 "[--no-simd] [--coalesce-us N]\n"
+                 "                 [--max-configs N] [--max-sessions N] "
+                 "[--max-connections N]\n"
+                 "                 [--idle-timeout-ms N] "
+                 "[--max-write-buf BYTES] [--seed N]\n";
     std::exit(status);
 }
 
@@ -83,6 +99,12 @@ main(int argc, char **argv)
                 usage(2);
             }
             server.socketPath = argv[++i];
+        } else if (arg == "--tcp") {
+            if (i + 1 >= argc) {
+                std::cerr << "harmoniad: --tcp needs HOST:PORT\n";
+                usage(2);
+            }
+            server.tcpBind = argv[++i];
         } else if (arg == "--stdio") {
             server.stdio = true;
         } else if (arg == "--jobs") {
@@ -101,6 +123,13 @@ main(int argc, char **argv)
         } else if (arg == "--max-sessions") {
             service.maxSessions =
                 static_cast<size_t>(std::max(1, intArg(i, arg)));
+        } else if (arg == "--max-connections") {
+            server.maxConnections = std::max(1, intArg(i, arg));
+        } else if (arg == "--idle-timeout-ms") {
+            server.idleTimeoutMillis = std::max(0, intArg(i, arg));
+        } else if (arg == "--max-write-buf") {
+            server.maxWriteBufferBytes =
+                static_cast<size_t>(std::max(1, intArg(i, arg)));
         } else if (arg == "--seed") {
             if (i + 1 >= argc) {
                 std::cerr << "harmoniad: --seed needs a value\n";
@@ -116,12 +145,15 @@ main(int argc, char **argv)
         }
     }
 
-    if (!server.stdio && server.socketPath.empty()) {
-        std::cerr << "harmoniad: need --socket PATH or --stdio\n";
+    if (!server.stdio && server.socketPath.empty() &&
+        server.tcpBind.empty()) {
+        std::cerr << "harmoniad: need --socket PATH, --tcp HOST:PORT, "
+                     "or --stdio\n";
         usage(2);
     }
-    if (server.stdio && !server.socketPath.empty()) {
-        std::cerr << "harmoniad: --socket and --stdio are exclusive\n";
+    if (server.stdio &&
+        (!server.socketPath.empty() || !server.tcpBind.empty())) {
+        std::cerr << "harmoniad: --stdio excludes --socket/--tcp\n";
         usage(2);
     }
 
