@@ -10,7 +10,10 @@
  *
  *  - Device:   the simulated GPU card (default HD7970), with kernel
  *              execution, the configuration lattice, training, and a
- *              string-keyed governor factory;
+ *              string-keyed governor factory; Device::make(name)
+ *              builds any part registered in the DeviceRegistry
+ *              (sim/device_registry.hh) — "hd7970", "hbm-stacked",
+ *              "ampere-ga100", or a third-party registration;
  *  - Suite:    the 14-application workload suite and name lookups;
  *  - Campaign: the suite x schemes evaluation campaign (re-exported
  *              from the core layer);
@@ -33,11 +36,12 @@
  * The serving front-end for this surface is the `harmoniad` daemon
  * (src/serve/, docs/SERVING.md), which exposes the same operations —
  * evaluate / govern / sweep — over a newline-delimited JSON protocol.
- * The client-side serving vocabulary is exported too (serve/json.hh,
- * serve/protocol.hh, namespace harmonia::serve): JsonValue and the
- * harmonia.request/1 envelope helpers, so protocol clients like
- * tools/harmonia_client build against the facade alone. The daemon's
- * reactor/service internals stay private.
+ * The serving vocabulary is exported too (namespace harmonia::serve):
+ * JsonValue and the harmonia.request/1 envelope helpers for protocol
+ * clients like tools/harmonia_client, plus the Service/ServiceOptions
+ * engine and the Server/ServerOptions reactor (serve/service.hh,
+ * serve/server.hh) so the daemon itself builds against the facade
+ * alone.
  */
 
 #ifndef HARMONIA_HARMONIA_HH
@@ -56,6 +60,9 @@
 #include "lint/linter.hh"
 #include "serve/json.hh"
 #include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
+#include "sim/device_registry.hh"
 #include "sim/gpu_device.hh"
 #include "workloads/suite.hh"
 
@@ -75,10 +82,31 @@ class Device
     /** The default HD7970 model. */
     Device() = default;
 
-    /** Wrap an explicitly-built model (e.g. a stacked variant). */
+    /** Wrap an explicitly-built model (e.g. a registry profile). */
     explicit Device(GpuDevice gpu) : gpu_(std::move(gpu)) {}
 
+    /**
+     * Build a device by registry name ("hd7970", "hbm-stacked",
+     * "ampere-ga100", or anything added via DeviceRegistry). Name
+     * matching is case-insensitive; unknown names yield a
+     * StatusCode::UnknownDevice error listing the registered parts.
+     */
+    static Result<Device> make(const std::string &name)
+    {
+        Result<GpuDevice> gpu = makeDevice(name);
+        if (!gpu.ok())
+            return gpu.status();
+        return Device(std::move(gpu.value()));
+    }
+
+    /** Registered device names, sorted (see docs/DEVICES.md). */
+    static std::vector<std::string> names() { return deviceNames(); }
+
     const GpuDevice &gpu() const { return gpu_; }
+
+    /** The registry name this model was built from ("custom" when
+     * wrapped directly). */
+    const std::string &name() const { return gpu_.name(); }
     const ConfigSpace &space() const { return gpu_.space(); }
     const GcnDeviceConfig &config() const { return gpu_.config(); }
 

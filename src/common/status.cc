@@ -10,6 +10,7 @@ statusCodeName(StatusCode code)
       case StatusCode::Ok: return "ok";
       case StatusCode::InvalidArgument: return "invalid_argument";
       case StatusCode::NotFound: return "not_found";
+      case StatusCode::UnknownDevice: return "unknown_device";
       case StatusCode::FailedPrecondition: return "failed_precondition";
       case StatusCode::ResourceExhausted: return "resource_exhausted";
       case StatusCode::Unavailable: return "unavailable";

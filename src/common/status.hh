@@ -38,6 +38,7 @@ enum class StatusCode
     Ok,
     InvalidArgument,   ///< Malformed request/argument (user error).
     NotFound,          ///< Named entity does not exist.
+    UnknownDevice,     ///< Device name not in the DeviceRegistry.
     FailedPrecondition,///< Operation illegal in the current state.
     ResourceExhausted, ///< A configured limit was exceeded.
     Unavailable,       ///< Service is shutting down / not serving.
@@ -69,6 +70,11 @@ class Status
     static Status notFound(std::string msg)
     {
         return {StatusCode::NotFound, std::move(msg)};
+    }
+
+    static Status unknownDevice(std::string msg)
+    {
+        return {StatusCode::UnknownDevice, std::move(msg)};
     }
 
     static Status failedPrecondition(std::string msg)

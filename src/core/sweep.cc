@@ -51,10 +51,10 @@ ConfigSweep::indexOf(const HardwareConfig &cfg) const
 const std::vector<KernelResult> &
 ConfigSweep::evaluate(const KernelProfile &profile, int iteration) const
 {
-    // Heterogeneous probe: hashes the id segments in place, so the
-    // hot path (repeated oracle/figure lookups) never allocates.
-    const detail::SweepKeyView view{profile.app, profile.name,
-                                    iteration};
+    // Heterogeneous probe: hashes the device/id segments in place, so
+    // the hot path (repeated oracle/figure lookups) never allocates.
+    const detail::SweepKeyView view{device_.name(), profile.app,
+                                    profile.name, iteration};
     {
         std::shared_lock<std::shared_mutex> lock(mutex_);
         auto it = cache_.find(view);
@@ -81,7 +81,8 @@ ConfigSweep::evaluate(const KernelProfile &profile, int iteration) const
 
     std::unique_lock<std::shared_mutex> lock(mutex_);
     auto [it, inserted] = cache_.emplace(
-        std::make_pair(profile.id(), iteration), std::move(results));
+        detail::SweepKey{device_.name(), profile.id(), iteration},
+        std::move(results));
     if (inserted)
         misses_.fetch_add(1, std::memory_order_relaxed);
     else
@@ -99,8 +100,8 @@ ConfigSweep::at(const KernelProfile &profile, int iteration,
 const std::vector<KernelResult> *
 ConfigSweep::peek(const KernelProfile &profile, int iteration) const
 {
-    const detail::SweepKeyView view{profile.app, profile.name,
-                                    iteration};
+    const detail::SweepKeyView view{device_.name(), profile.app,
+                                    profile.name, iteration};
     std::shared_lock<std::shared_mutex> lock(mutex_);
     auto it = cache_.find(view);
     if (it == cache_.end())

@@ -73,13 +73,30 @@ namespace detail
 {
 
 /**
- * Transparent hash/equality for the sweep memo key
- * (kernel id string, iteration). Lookups hash the profile's app and
- * name segments directly — byte-compatible with hashing the stored
- * "App.Kernel" id — so a cache hit allocates nothing.
+ * The sweep memo key: (device name, kernel id string, iteration).
+ * The device dimension exists so results evaluated on different
+ * registered parts (sim/device_registry.hh) can never collide, even
+ * when caches from several per-device sweeps are merged or compared
+ * by key downstream (the serving daemon's point cache shares this
+ * key type across its per-device states).
+ */
+struct SweepKey
+{
+    std::string device;   ///< GpuDevice::name() of the part.
+    std::string kernelId; ///< "App.Kernel".
+    int iteration;
+
+    bool operator==(const SweepKey &other) const = default;
+};
+
+/**
+ * Transparent view of a SweepKey. Lookups hash the device name and
+ * the profile's app and name segments directly — byte-compatible
+ * with hashing the stored key — so a cache hit allocates nothing.
  */
 struct SweepKeyView
 {
+    std::string_view device;
     std::string_view app;
     std::string_view name;
     int iteration;
@@ -105,15 +122,19 @@ struct SweepKeyHash
         return h;
     }
 
-    size_t operator()(const std::pair<std::string, int> &key) const
+    size_t operator()(const SweepKey &key) const
     {
-        return finish(mix(0xcbf29ce484222325ull, key.first),
-                      key.second);
+        size_t h = mix(0xcbf29ce484222325ull, key.device);
+        h = mix(h, std::string_view("/"));
+        h = mix(h, key.kernelId);
+        return finish(h, key.iteration);
     }
 
     size_t operator()(const SweepKeyView &key) const
     {
-        size_t h = mix(0xcbf29ce484222325ull, key.app);
+        size_t h = mix(0xcbf29ce484222325ull, key.device);
+        h = mix(h, std::string_view("/"));
+        h = mix(h, key.app);
         h = mix(h, std::string_view("."));
         h = mix(h, key.name);
         return finish(h, key.iteration);
@@ -124,25 +145,22 @@ struct SweepKeyEqual
 {
     using is_transparent = void;
 
-    bool operator()(const std::pair<std::string, int> &a,
-                    const std::pair<std::string, int> &b) const
+    bool operator()(const SweepKey &a, const SweepKey &b) const
     {
         return a == b;
     }
 
-    bool operator()(const SweepKeyView &a,
-                    const std::pair<std::string, int> &b) const
+    bool operator()(const SweepKeyView &a, const SweepKey &b) const
     {
-        const std::string_view id = b.first;
-        return a.iteration == b.second &&
+        const std::string_view id = b.kernelId;
+        return a.iteration == b.iteration && a.device == b.device &&
                id.size() == a.app.size() + 1 + a.name.size() &&
                id.substr(0, a.app.size()) == a.app &&
                id[a.app.size()] == '.' &&
                id.substr(a.app.size() + 1) == a.name;
     }
 
-    bool operator()(const std::pair<std::string, int> &a,
-                    const SweepKeyView &b) const
+    bool operator()(const SweepKey &a, const SweepKeyView &b) const
     {
         return operator()(b, a);
     }
@@ -240,7 +258,7 @@ class ConfigSweep
     // stable behind unique_ptr across rehashes). Hit/miss counters
     // are atomics so shared-lock readers can bump them.
     mutable std::shared_mutex mutex_;
-    mutable std::unordered_map<std::pair<std::string, int>,
+    mutable std::unordered_map<detail::SweepKey,
                                std::unique_ptr<std::vector<KernelResult>>,
                                detail::SweepKeyHash,
                                detail::SweepKeyEqual>

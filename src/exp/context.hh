@@ -48,6 +48,14 @@ struct ExpOptions
     /** Full-suite passes per variant in the micro_sweep bench. */
     int benchReps = 6;
 
+    /**
+     * Registry device name the driver builds the shared model from
+     * (harmonia_exp --device); empty = the default hd7970. Exhibits
+     * that construct additional devices (the stacked-memory and
+     * cross-device comparisons) are unaffected.
+     */
+    std::string device;
+
     /** Run sweeps through the SIMD-batched lattice kernels; false is
      * the harmonia_exp --no-simd escape hatch (results identical,
      * exhibits record which path ran). */

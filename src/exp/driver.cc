@@ -10,6 +10,7 @@
 #include "common/table.hh"
 #include "exp/context.hh"
 #include "exp/experiment.hh"
+#include "sim/device_registry.hh"
 
 namespace harmonia::exp
 {
@@ -39,6 +40,8 @@ usage(std::ostream &os)
           "  --seed S        base RNG seed for sweep substreams\n"
           "  --bench-reps N  micro_sweep passes per variant "
           "(default 6)\n"
+          "  --device NAME   run on a registered device profile "
+          "(default hd7970)\n"
           "  --no-simd       evaluate sweeps on the scalar reference "
           "path\n";
 }
@@ -95,6 +98,10 @@ parseSharedOption(int argc, char **argv, int &i, CliOptions &opt,
             std::max(1, std::atoi(value("--bench-reps").c_str()));
     } else if (arg.rfind("--bench-reps=", 0) == 0) {
         opt.exp.benchReps = std::max(1, std::atoi(arg.c_str() + 13));
+    } else if (arg == "--device") {
+        opt.exp.device = value("--device");
+    } else if (arg.rfind("--device=", 0) == 0) {
+        opt.exp.device = arg.substr(9);
     } else if (arg == "--no-simd") {
         opt.exp.simd = false;
     } else {
@@ -117,7 +124,11 @@ int
 runSelection(const CliOptions &opt,
              const std::vector<const Experiment *> &selection)
 {
-    const GpuDevice device;
+    // value() throws ConfigError on an unknown --device name; the
+    // callers' SimError handlers report it.
+    const GpuDevice device = opt.exp.device.empty()
+                                 ? GpuDevice()
+                                 : makeDevice(opt.exp.device).value();
     ExpContext ctx(device, std::cout, opt.exp);
 
     const auto start = std::chrono::steady_clock::now();

@@ -10,21 +10,14 @@
  * Figure-5 style power sweep is repeated.
  */
 
-#include <utility>
 #include <vector>
 
-#include "arch/gcn_config.hh"
 #include "common/stats.hh"
 #include "core/baseline_governor.hh"
 #include "core/training.hh"
 #include "exp/context.hh"
 #include "exp/experiment.hh"
-#include "memsys/gddr5.hh"
-#include "memsys/memory_system.hh"
-#include "power/board_power.hh"
-#include "power/gpu_power.hh"
-#include "timing/cache_model.hh"
-#include "timing/timing_engine.hh"
+#include "sim/device_registry.hh"
 #include "workloads/suite.hh"
 
 namespace harmonia::exp
@@ -32,17 +25,20 @@ namespace harmonia::exp
 namespace
 {
 
+/**
+ * The default card with one knob flipped: the registry profile is a
+ * value, so a what-if variant is a field edit away — no hand-wiring
+ * of the timing/power stack.
+ */
 GpuDevice
 makeVoltageScalingDevice()
 {
-    Gddr5PowerParams power;
-    power.voltageScaling = true;
-    const Gddr5Model model(Gddr5TimingParams{}, power);
-    MemorySystem memsys(hd7970(), model);
-    TimingEngine engine(hd7970(), CacheModel(hd7970()),
-                        std::move(memsys), TimingParams{});
-    return GpuDevice(hd7970(), std::move(engine),
-                     GpuPowerModel(hd7970()), BoardPowerModel());
+    DeviceProfile profile = DeviceRegistry::instance()
+                                .profile(kDefaultDeviceName)
+                                .value();
+    profile.name += "+vscale";
+    profile.memPower.voltageScaling = true;
+    return profile.makeDevice();
 }
 
 /**

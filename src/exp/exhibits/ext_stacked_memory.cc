@@ -5,9 +5,10 @@
  * with compute and memory sharing a tight package envelope,
  * coordinated management "will become increasingly important".
  *
- * The exhibit runs the identical policy stack on the stacked-memory
- * device (wider/slower/cheaper-per-bit interface, on-package voltage
- * scaling) and compares Harmonia's gains against the GDDR5 card.
+ * The exhibit runs the identical policy stack on the registry's
+ * "hbm-stacked" profile (wider/slower/cheaper-per-bit interface,
+ * on-package voltage scaling) and compares Harmonia's gains against
+ * the GDDR5 card.
  */
 
 #include <string>
@@ -18,7 +19,7 @@
 #include "core/training.hh"
 #include "exp/context.hh"
 #include "exp/experiment.hh"
-#include "sim/stacked_device.hh"
+#include "sim/device_registry.hh"
 #include "workloads/suite.hh"
 
 namespace harmonia::exp
@@ -78,7 +79,7 @@ class ExtStackedMemory final : public Experiment
                    "card.");
 
         const GpuDevice &gddr5 = ctx.device();
-        GpuDevice stacked = makeStackedDevice();
+        GpuDevice stacked = makeDevice("hbm-stacked").value();
 
         TextTable spec({"device", "peak BW (GB/s)", "mem freq range",
                         "configs"});
@@ -92,7 +93,7 @@ class ExtStackedMemory final : public Experiment
                 .numInt(static_cast<long long>(d.space().size()));
         };
         specRow("GDDR5 card (HD7970)", gddr5);
-        specRow("stacked-memory variant", stacked);
+        specRow("stacked-memory (hbm-stacked)", stacked);
         ctx.emit(spec, "Device comparison", "ext_stacked_spec");
 
         const SuiteSummary g =

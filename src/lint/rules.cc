@@ -12,8 +12,9 @@
  *    carry the per-source -ffp-contract=off options from CMake, or
  *    FMA contraction forks the scalar and vector arithmetic.
  *  - layering: the public facade stays the only doorway for tools
- *    and examples, and the serving layer never throws across the
- *    protocol boundary.
+ *    and examples, the serving layer never throws across the
+ *    protocol boundary, and modules build devices from DeviceRegistry
+ *    profiles instead of the raw hd7970 config factory.
  *  - hygiene: include guards and no using-namespace in headers.
  *
  * Each rule fires exactly once per fixture in tests/test_lint.cpp; a
@@ -21,6 +22,7 @@
  * as the invariant catalog).
  */
 
+#include <algorithm>
 #include <array>
 #include <cctype>
 #include <set>
@@ -519,6 +521,66 @@ class FacadeOnlyClients : public LintRule
     }
 };
 HARMONIA_REGISTER_LINT_RULE(FacadeOnlyClients)
+
+/**
+ * Device descriptions live in the DeviceRegistry (PR 9): hd7970() is
+ * the raw GcnDeviceConfig factory behind the registry's default
+ * profile, and any module calling it directly hard-wires one device
+ * into code that is supposed to be lattice-generic. Everything else
+ * selects a device by registry name (makeDevice/DeviceProfile), so a
+ * new profile reaches every layer without edits.
+ */
+class DeviceViaRegistry : public LintRule
+{
+  public:
+    std::string id() const override { return "device-via-registry"; }
+
+    std::string description() const override
+    {
+        return "no hd7970() GcnDeviceConfig-factory calls in src/ "
+               "outside the arch vocabulary and the DeviceRegistry";
+    }
+
+    void check(const Project &project,
+               std::vector<Diagnostic> &out) const override
+    {
+        static constexpr std::array<std::string_view, 4> kAllowed = {{
+            "src/arch/gcn_config.hh",
+            "src/arch/gcn_config.cc",
+            "src/sim/device_registry.hh",
+            "src/sim/device_registry.cc",
+        }};
+        for (const SourceFile &file : project.files()) {
+            if (!file.under("src/"))
+                continue;
+            if (std::find(kAllowed.begin(), kAllowed.end(),
+                          file.path()) != kAllowed.end())
+                continue;
+            const auto &lines = file.codeLines();
+            for (size_t ln = 0; ln < lines.size(); ++ln) {
+                const std::string &line = lines[ln];
+                size_t pos = 0;
+                while ((pos = findToken(line, "hd7970", pos)) !=
+                       std::string::npos) {
+                    const size_t call = skipSpace(line, pos + 6);
+                    pos += 6;
+                    if (call >= line.size() || line[call] != '(')
+                        continue;
+                    out.push_back(makeDiagnostic(
+                        *this, file, static_cast<int>(ln + 1),
+                        "hd7970(): raw device-config factory call "
+                        "bypasses the DeviceRegistry and pins this "
+                        "module to one device",
+                        "build devices from a registry profile: "
+                        "makeDevice(name) or DeviceRegistry::"
+                        "instance().profile(name) "
+                        "(src/sim/device_registry.hh)"));
+                }
+            }
+        }
+    }
+};
+HARMONIA_REGISTER_LINT_RULE(DeviceViaRegistry)
 
 /**
  * The serving layer's error contract (src/common/status.hh): nothing

@@ -83,6 +83,11 @@ parseEvaluate(const JsonValue &obj, EvaluateParams &out)
         return kernel.status();
     out.kernel = std::move(kernel.value());
 
+    Result<std::string> device = stringMember(obj, "device", "", false);
+    if (!device.ok())
+        return device.status();
+    out.device = std::move(device.value());
+
     const Result<int> iteration = intMember(obj, "iteration", 0);
     if (!iteration.ok())
         return iteration.status();
@@ -129,6 +134,11 @@ parseGovern(const JsonValue &obj, GovernParams &out)
         return governor.status();
     out.governor = std::move(governor.value());
 
+    Result<std::string> device = stringMember(obj, "device", "", false);
+    if (!device.ok())
+        return device.status();
+    out.device = std::move(device.value());
+
     const Result<bool> end = boolMember(obj, "end", false);
     if (!end.ok())
         return end.status();
@@ -159,6 +169,11 @@ parseSweep(const JsonValue &obj, SweepParams &out)
     if (!kernel.ok())
         return kernel.status();
     out.kernel = std::move(kernel.value());
+
+    Result<std::string> device = stringMember(obj, "device", "", false);
+    if (!device.ok())
+        return device.status();
+    out.device = std::move(device.value());
 
     const Result<int> iteration = intMember(obj, "iteration", 0);
     if (!iteration.ok())

@@ -54,6 +54,7 @@ const char *verbName(Verb verb);
 struct EvaluateParams
 {
     std::string kernel; ///< "App.Kernel" id.
+    std::string device; ///< Registry device name; empty = default.
     int iteration = 0;
     bool fullLattice = false;          ///< "configs": "all".
     std::vector<HardwareConfig> configs; ///< Explicit lattice points.
@@ -64,6 +65,7 @@ struct GovernParams
 {
     std::string session;
     std::string governor; ///< Registry name; empty = session default.
+    std::string device;   ///< Device name; empty = session default.
     std::string kernel;                ///< Required unless end/reset.
     int iteration = 0;
     bool end = false;   ///< Close the session.
@@ -74,6 +76,7 @@ struct GovernParams
 struct SweepParams
 {
     std::string kernel;
+    std::string device; ///< Registry device name; empty = default.
     int iteration = 0;
     std::string objective = "min_ed2"; ///< Ranking objective.
     int top = 0;                       ///< Top-N rows to include.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <numeric>
+#include <tuple>
 
 #include "core/governor_registry.hh"
 #include "core/oracle.hh"
@@ -82,12 +83,13 @@ struct Service::Pending
 /** Evaluate requests fused into one lattice run. */
 struct Service::EvalGroup
 {
+    DeviceState *dev = nullptr;
     const KernelProfile *profile = nullptr;
     int iteration = 0;
     std::vector<size_t> members; ///< Indices into the pending vector.
 };
 
-/** Sparse per-(kernel, iteration) lattice results. */
+/** Sparse per-(device, kernel, iteration) lattice results. */
 struct Service::PointCacheEntry
 {
     explicit PointCacheEntry(size_t points)
@@ -99,12 +101,60 @@ struct Service::PointCacheEntry
     std::vector<char> present;
 };
 
-Service::Service(ServiceOptions options)
-    : options_(std::move(options)),
-      device_(),
-      sweep_(device_, SweepOptions{options_.jobs, options_.rngSeed,
-                                   true, options_.simd})
+/**
+ * Everything the service holds per device: the model, its sweep
+ * engine (whose memo is therefore partitioned per device), the
+ * partial-lattice point cache, the lazily trained predictor, and
+ * request accounting for the `stats` verb. Non-movable — the sweep
+ * holds a reference to the device — hence unique_ptr storage.
+ */
+struct Service::DeviceState
 {
+    DeviceState(GpuDevice d, const ServiceOptions &opt)
+        : device(std::move(d)),
+          sweep(device, SweepOptions{opt.jobs, opt.rngSeed, true,
+                                     opt.simd})
+    {
+    }
+
+    GpuDevice device;
+    ConfigSweep sweep;
+
+    /**
+     * Partial-lattice result cache: SweepKey -> sparse lattice-sized
+     * vector. Reuses the sweep memo's transparent hash; a full-lattice
+     * result in this device's sweep memo supersedes it.
+     */
+    std::unordered_map<detail::SweepKey,
+                       std::unique_ptr<PointCacheEntry>,
+                       detail::SweepKeyHash, detail::SweepKeyEqual>
+        points;
+
+    // The predictor must outlive any governor pointing at it; sessions
+    // are torn down before device states (member order in Service).
+    std::optional<TrainingResult> training;
+    std::optional<SensitivityPredictor> predictor;
+
+    uint64_t requests = 0; ///< evaluate/govern/sweep routed here.
+};
+
+Service::Service(ServiceOptions options) : options_(std::move(options))
+{
+    // The default device is always resident: legacy (device-less)
+    // requests must not pay a lazy-construction step, and device()/
+    // sweep() accessors need a state to point at from birth.
+    const std::string &name = options_.defaultDevice.empty()
+                                  ? kDefaultDeviceName
+                                  : options_.defaultDevice;
+    Result<GpuDevice> gpu = makeDevice(name);
+    // value() raises ConfigError on an unregistered name — the one
+    // construction-time failure; request-path errors stay Status.
+    auto state =
+        std::make_unique<DeviceState>(std::move(gpu).value(), options_);
+    defaultDevice_ = state.get();
+    const std::string canonical = state->device.name();
+    devices_.emplace(canonical, std::move(state));
+
     for (const Application &app : standardSuite()) {
         for (const KernelProfile &kernel : app.kernels)
             kernels_.emplace(kernel.id(), kernel);
@@ -112,6 +162,42 @@ Service::Service(ServiceOptions options)
 }
 
 Service::~Service() = default;
+
+const GpuDevice &
+Service::device() const
+{
+    return defaultDevice_->device;
+}
+
+const ConfigSweep &
+Service::sweep() const
+{
+    return defaultDevice_->sweep;
+}
+
+Result<Service::DeviceState *>
+Service::resolveDevice(const std::string &name)
+{
+    if (name.empty())
+        return defaultDevice_;
+    Result<DeviceProfile> profile =
+        DeviceRegistry::instance().profile(name);
+    if (!profile.ok())
+        return profile.status();
+    const std::string &key = profile.value().name; // Canonical form.
+    const auto it = devices_.find(key);
+    if (it != devices_.end())
+        return it->second.get();
+    try {
+        auto state = std::make_unique<DeviceState>(
+            profile.value().makeDevice(), options_);
+        DeviceState *raw = state.get();
+        devices_.emplace(key, std::move(state));
+        return raw;
+    } catch (...) {
+        return statusFromCurrentException();
+    }
+}
 
 const KernelProfile *
 Service::findKernel(const std::string &id) const
@@ -121,7 +207,8 @@ Service::findKernel(const std::string &id) const
 }
 
 Status
-Service::validateEvaluate(const EvaluateParams &p) const
+Service::validateEvaluate(const DeviceState &dev,
+                          const EvaluateParams &p) const
 {
     if (!findKernel(p.kernel))
         return Status::notFound("unknown kernel \"" + p.kernel + "\"");
@@ -135,7 +222,7 @@ Service::validateEvaluate(const EvaluateParams &p) const
             " entries; limit is " +
             std::to_string(options_.maxConfigsPerRequest));
     }
-    const ConfigSpace &space = device_.space();
+    const ConfigSpace &space = dev.device.space();
     for (const HardwareConfig &cfg : p.configs) {
         if (!space.valid(cfg))
             return Status::invalidArgument("off-lattice config " +
@@ -145,47 +232,56 @@ Service::validateEvaluate(const EvaluateParams &p) const
 }
 
 JsonValue
-Service::evaluateResultJson(const EvaluateParams &p,
+Service::evaluateResultJson(const DeviceState &dev,
+                            const EvaluateParams &p,
                             const std::vector<KernelResult> &full)
 {
     JsonValue results = JsonValue::array();
     if (p.fullLattice) {
-        const auto &configs = sweep_.configs();
+        const auto &configs = dev.sweep.configs();
         for (size_t i = 0; i < configs.size(); ++i)
             results.push(kernelResultJson(configs[i], full[i]));
     } else {
         for (const HardwareConfig &cfg : p.configs)
             results.push(
-                kernelResultJson(cfg, full[sweep_.indexOf(cfg)]));
+                kernelResultJson(cfg, full[dev.sweep.indexOf(cfg)]));
     }
     const int64_t count =
         static_cast<int64_t>(results.asArray().size());
-    return JsonValue::object({
+    JsonValue out = JsonValue::object({
         {"kernel", JsonValue(p.kernel)},
         {"iteration", JsonValue(p.iteration)},
         {"points", JsonValue(count)},
         {"results", std::move(results)},
     });
+    // Only requests that selected a device echo it back: device-less
+    // request streams keep byte-identical responses across the
+    // introduction of the registry.
+    if (!p.device.empty())
+        out.set("device", JsonValue(dev.device.name()));
+    return out;
 }
 
 JsonValue
-Service::evaluateResultJson(const EvaluateParams &p,
+Service::evaluateResultJson(const DeviceState &dev,
+                            const EvaluateParams &p,
                             const PointCacheEntry &entry)
 {
-    return evaluateResultJson(p, entry.results);
+    return evaluateResultJson(dev, p, entry.results);
 }
 
 void
 Service::runEvalGroup(EvalGroup &group, std::vector<Pending> &pending)
 {
     const auto start = Clock::now();
+    DeviceState &dev = *group.dev;
     const KernelProfile &profile = *group.profile;
     const int iteration = group.iteration;
 
     uint64_t pointsRequested = 0;
     for (const size_t idx : group.members) {
         const EvaluateParams &p = pending[idx].req.evaluate;
-        pointsRequested += p.fullLattice ? sweep_.configs().size()
+        pointsRequested += p.fullLattice ? dev.sweep.configs().size()
                                          : p.configs.size();
     }
 
@@ -195,7 +291,7 @@ Service::runEvalGroup(EvalGroup &group, std::vector<Pending> &pending)
     // Fast path: the full lattice for this invocation is already in
     // the sweep memo (a prior `sweep` request or `configs:"all"`).
     const std::vector<KernelResult> *full =
-        sweep_.peek(profile, iteration);
+        dev.sweep.peek(profile, iteration);
 
     const bool wantFull =
         std::any_of(group.members.begin(), group.members.end(),
@@ -204,9 +300,9 @@ Service::runEvalGroup(EvalGroup &group, std::vector<Pending> &pending)
                     });
 
     if (!full && wantFull) {
-        // Someone asked for all 448 points anyway: let the sweep
-        // engine compute and memoize the whole lattice once.
-        full = &sweep_.evaluate(profile, iteration);
+        // Someone asked for the whole lattice anyway: let the sweep
+        // engine compute and memoize it once.
+        full = &dev.sweep.evaluate(profile, iteration);
         latticeRuns = 1;
         pointsComputed = full->size();
     }
@@ -216,24 +312,24 @@ Service::runEvalGroup(EvalGroup &group, std::vector<Pending> &pending)
             Pending &p = pending[idx];
             p.response = makeResultResponse(
                 p.id, Verb::Evaluate,
-                evaluateResultJson(p.req.evaluate, *full));
+                evaluateResultJson(dev, p.req.evaluate, *full));
             p.done = true;
         }
     } else {
         // Partial-lattice path: compute the deduplicated union of the
         // group's missing points in one factored lattice run.
-        const std::string key = profile.id();
         PointCacheEntry *entry = nullptr;
         std::unique_ptr<PointCacheEntry> scratch;
         if (options_.cache) {
-            auto &slot = points_[{key, iteration}];
+            auto &slot = dev.points[detail::SweepKey{
+                dev.device.name(), profile.id(), iteration}];
             if (!slot)
                 slot = std::make_unique<PointCacheEntry>(
-                    sweep_.configs().size());
+                    dev.sweep.configs().size());
             entry = slot.get();
         } else {
             scratch = std::make_unique<PointCacheEntry>(
-                sweep_.configs().size());
+                dev.sweep.configs().size());
             entry = scratch.get();
         }
 
@@ -242,7 +338,7 @@ Service::runEvalGroup(EvalGroup &group, std::vector<Pending> &pending)
         for (const size_t idx : group.members) {
             for (const HardwareConfig &cfg :
                  pending[idx].req.evaluate.configs) {
-                const size_t slot = sweep_.indexOf(cfg);
+                const size_t slot = dev.sweep.indexOf(cfg);
                 if (entry->present[slot])
                     continue;
                 entry->present[slot] = 1; // Marks "queued" too.
@@ -253,9 +349,9 @@ Service::runEvalGroup(EvalGroup &group, std::vector<Pending> &pending)
 
         if (!missing.empty()) {
             std::vector<KernelResult> computed(missing.size());
-            device_.runLattice(profile, profile.phase(iteration),
-                               missingConfigs, computed.data(),
-                               &sweep_.pool(), options_.simd);
+            dev.device.runLattice(profile, profile.phase(iteration),
+                                  missingConfigs, computed.data(),
+                                  &dev.sweep.pool(), options_.simd);
             for (size_t i = 0; i < missing.size(); ++i)
                 entry->results[missing[i]] = computed[i];
             latticeRuns = 1;
@@ -266,7 +362,7 @@ Service::runEvalGroup(EvalGroup &group, std::vector<Pending> &pending)
             Pending &p = pending[idx];
             p.response = makeResultResponse(
                 p.id, Verb::Evaluate,
-                evaluateResultJson(p.req.evaluate, *entry));
+                evaluateResultJson(dev, p.req.evaluate, *entry));
             p.done = true;
         }
     }
@@ -298,16 +394,26 @@ Service::runEvalGroup(EvalGroup &group, std::vector<Pending> &pending)
 void
 Service::runEvaluates(std::vector<Pending> &pending)
 {
-    // Group evaluate requests by (kernel, iteration). With batching
-    // disabled every request forms its own group, so each pays its own
-    // runLattice hoist — the comparison baseline.
+    // Group evaluate requests by (device, kernel, iteration). With
+    // batching disabled every request forms its own group, so each
+    // pays its own runLattice hoist — the comparison baseline.
     std::vector<EvalGroup> groups;
-    std::map<std::pair<std::string, int>, size_t> groupIndex;
+    std::map<std::tuple<std::string, std::string, int>, size_t>
+        groupIndex;
     for (size_t i = 0; i < pending.size(); ++i) {
         Pending &p = pending[i];
         if (!p.parsed || p.done || p.req.verb != Verb::Evaluate)
             continue;
-        const Status valid = validateEvaluate(p.req.evaluate);
+        Result<DeviceState *> dev = resolveDevice(p.req.evaluate.device);
+        if (!dev.ok()) {
+            p.response = makeErrorResponse(p.id, dev.status());
+            p.done = true;
+            metrics_.record(Verb::Evaluate, false, 0.0);
+            continue;
+        }
+        DeviceState &state = *dev.value();
+        ++state.requests;
+        const Status valid = validateEvaluate(state, p.req.evaluate);
         if (!valid.ok()) {
             p.response = makeErrorResponse(p.id, valid);
             p.done = true;
@@ -316,8 +422,9 @@ Service::runEvaluates(std::vector<Pending> &pending)
         }
         const KernelProfile *profile = findKernel(p.req.evaluate.kernel);
         if (options_.batching) {
-            const std::pair<std::string, int> key{
-                p.req.evaluate.kernel, p.req.evaluate.iteration};
+            const std::tuple<std::string, std::string, int> key{
+                state.device.name(), p.req.evaluate.kernel,
+                p.req.evaluate.iteration};
             const auto it = groupIndex.find(key);
             if (it != groupIndex.end()) {
                 groups[it->second].members.push_back(i);
@@ -325,8 +432,8 @@ Service::runEvaluates(std::vector<Pending> &pending)
             }
             groupIndex.emplace(key, groups.size());
         }
-        groups.push_back(
-            EvalGroup{profile, p.req.evaluate.iteration, {i}});
+        groups.push_back(EvalGroup{&state, profile,
+                                   p.req.evaluate.iteration, {i}});
     }
 
     for (EvalGroup &group : groups) {
@@ -347,15 +454,15 @@ Service::runEvaluates(std::vector<Pending> &pending)
 }
 
 Status
-Service::ensureTraining()
+Service::ensureTraining(DeviceState &dev)
 {
-    if (predictor_)
+    if (dev.predictor)
         return Status::okStatus();
     try {
         TrainingOptions opt;
         opt.jobs = options_.jobs;
-        training_ = trainPredictors(device_, standardSuite(), opt);
-        predictor_ = training_->predictor();
+        dev.training = trainPredictors(dev.device, standardSuite(), opt);
+        dev.predictor = dev.training->predictor();
     } catch (...) {
         return statusFromCurrentException();
     }
@@ -363,17 +470,17 @@ Service::ensureTraining()
 }
 
 Result<std::unique_ptr<Governor>>
-Service::buildGovernor(const std::string &name)
+Service::buildGovernor(DeviceState &dev, const std::string &name)
 {
     GovernorSpec spec;
-    spec.device = &device_;
-    spec.predictor = predictor_ ? &*predictor_ : nullptr;
+    spec.device = &dev.device;
+    spec.predictor = dev.predictor ? &*dev.predictor : nullptr;
     spec.sweep.jobs = options_.jobs;
     spec.sweep.rngSeed = options_.rngSeed;
 
     Result<std::unique_ptr<Governor>> governor =
         makeGovernor(name, spec);
-    if (governor.ok() || predictor_)
+    if (governor.ok() || dev.predictor)
         return governor;
 
     // Predictor-driven governors fail until the predictors are
@@ -381,9 +488,9 @@ Service::buildGovernor(const std::string &name)
     if (governor.status().message().find("predictor") ==
         std::string::npos)
         return governor;
-    if (const Status trained = ensureTraining(); !trained.ok())
+    if (const Status trained = ensureTraining(dev); !trained.ok())
         return trained;
-    spec.predictor = &*predictor_;
+    spec.predictor = &*dev.predictor;
     return makeGovernor(name, spec);
 }
 
@@ -425,28 +532,50 @@ Service::runGovern(const GovernParams &p)
                 "session limit (" +
                 std::to_string(options_.maxSessions) + ") reached");
         }
+        Result<DeviceState *> dev = resolveDevice(p.device);
+        if (!dev.ok())
+            return dev.status();
         const std::string name =
             p.governor.empty() ? "harmonia" : p.governor;
         Result<std::unique_ptr<Governor>> governor =
-            buildGovernor(name);
+            buildGovernor(*dev.value(), name);
         if (!governor.ok())
             return governor.status();
         it = sessions_
                  .emplace(p.session,
                           GovernorSession{
-                              name, std::move(governor.value()), 0})
+                              name, dev.value()->device.name(),
+                              std::move(governor.value()), 0})
                  .first;
     } else if (!p.governor.empty() &&
                p.governor != it->second.governorName) {
         return Status::failedPrecondition(
             "session \"" + p.session + "\" is bound to governor \"" +
             it->second.governorName + "\"");
+    } else if (!p.device.empty()) {
+        // A session is bound to one device for life: a later step may
+        // restate it (canonicalized through the registry) but never
+        // switch it.
+        Result<DeviceProfile> named =
+            DeviceRegistry::instance().profile(p.device);
+        if (!named.ok())
+            return named.status();
+        if (named.value().name != it->second.deviceName) {
+            return Status::failedPrecondition(
+                "session \"" + p.session + "\" is bound to device \"" +
+                it->second.deviceName + "\"");
+        }
     }
 
     GovernorSession &session = it->second;
+    // Present by construction: session creation instantiated it, and
+    // device states are never evicted.
+    DeviceState &dev = *devices_.find(session.deviceName)->second;
+    ++dev.requests;
     const HardwareConfig cfg =
         session.governor->decide(*profile, p.iteration);
-    const KernelResult result = device_.run(*profile, p.iteration, cfg);
+    const KernelResult result =
+        dev.device.run(*profile, p.iteration, cfg);
 
     KernelSample sample;
     sample.kernelId = profile->id();
@@ -458,7 +587,7 @@ Service::runGovern(const GovernParams &p)
     session.governor->observe(sample);
     ++session.steps;
 
-    return JsonValue::object({
+    JsonValue out = JsonValue::object({
         {"session", JsonValue(p.session)},
         {"governor", JsonValue(session.governor->name())},
         {"kernel", JsonValue(p.kernel)},
@@ -470,6 +599,9 @@ Service::runGovern(const GovernParams &p)
         {"ed2", JsonValue(result.ed2())},
         {"steps", JsonValue(static_cast<int64_t>(session.steps))},
     });
+    if (!p.device.empty())
+        out.set("device", JsonValue(session.deviceName));
+    return out;
 }
 
 Result<JsonValue>
@@ -484,14 +616,20 @@ Service::runSweep(const SweepParams &p)
         parseObjective(p.objective);
     if (!objective.ok())
         return objective.status();
+    Result<DeviceState *> devResult = resolveDevice(p.device);
+    if (!devResult.ok())
+        return devResult.status();
+    DeviceState &dev = *devResult.value();
+    ++dev.requests;
+    const ConfigSweep &sweep = dev.sweep;
 
     const std::vector<KernelResult> &results =
-        sweep_.evaluate(*profile, p.iteration);
-    const std::vector<HardwareConfig> &configs = sweep_.configs();
+        sweep.evaluate(*profile, p.iteration);
+    const std::vector<HardwareConfig> &configs = sweep.configs();
 
     const HardwareConfig best =
-        bestConfigFor(sweep_, *profile, p.iteration, objective.value());
-    const size_t bestIdx = sweep_.indexOf(best);
+        bestConfigFor(sweep, *profile, p.iteration, objective.value());
+    const size_t bestIdx = sweep.indexOf(best);
 
     JsonValue bestJson = kernelResultJson(best, results[bestIdx]);
     bestJson.set("score", JsonValue(objectiveScore(objective.value(),
@@ -504,6 +642,8 @@ Service::runSweep(const SweepParams &p)
         {"points", JsonValue(static_cast<int64_t>(results.size()))},
         {"best", std::move(bestJson)},
     });
+    if (!p.device.empty())
+        out.set("device", JsonValue(dev.device.name()));
 
     if (p.top > 0) {
         // Rank by objective score; ties break on canonical lattice
@@ -534,27 +674,75 @@ Service::runSweep(const SweepParams &p)
 JsonValue
 Service::statsJson() const
 {
-    return JsonValue::object({
+    // Top-level counters keep their pre-registry meaning: they
+    // describe the default device, so dashboards built against the
+    // old schema read unchanged numbers on a device-less stream.
+    JsonValue out = JsonValue::object({
         {"metrics", metrics_.toJson()},
         {"sessions",
          JsonValue(static_cast<int64_t>(sessions_.size()))},
         {"sweep_cache",
          JsonValue::object({
-             {"hits",
-              JsonValue(static_cast<int64_t>(sweep_.cacheHits()))},
-             {"misses",
-              JsonValue(static_cast<int64_t>(sweep_.cacheMisses()))},
-             {"entries",
-              JsonValue(static_cast<int64_t>(sweep_.cacheEntries()))},
+             {"hits", JsonValue(static_cast<int64_t>(
+                          defaultDevice_->sweep.cacheHits()))},
+             {"misses", JsonValue(static_cast<int64_t>(
+                            defaultDevice_->sweep.cacheMisses()))},
+             {"entries", JsonValue(static_cast<int64_t>(
+                             defaultDevice_->sweep.cacheEntries()))},
          })},
         {"point_cache_invocations",
-         JsonValue(static_cast<int64_t>(points_.size()))},
-        {"trained", JsonValue(predictor_.has_value())},
+         JsonValue(
+             static_cast<int64_t>(defaultDevice_->points.size()))},
+        {"trained", JsonValue(defaultDevice_->predictor.has_value())},
         {"jobs", JsonValue(options_.jobs)},
         {"batching", JsonValue(options_.batching)},
         {"cache", JsonValue(options_.cache)},
         {"simd", JsonValue(options_.simd)},
     });
+
+    // Per-device breakdown: every registered name, plus live counters
+    // for each state instantiated so far. The separate sweep/point
+    // cache blocks per device are the observable proof that caches
+    // are partitioned by device, never shared.
+    JsonValue registered = JsonValue::array();
+    for (const std::string &name : deviceNames())
+        registered.push(JsonValue(name));
+    JsonValue active = JsonValue::object();
+    for (const auto &[name, state] : devices_) {
+        int64_t boundSessions = 0;
+        for (const auto &[id, session] : sessions_) {
+            (void)id;
+            if (session.deviceName == name)
+                ++boundSessions;
+        }
+        active.set(
+            name,
+            JsonValue::object({
+                {"requests",
+                 JsonValue(static_cast<int64_t>(state->requests))},
+                {"sessions", JsonValue(boundSessions)},
+                {"lattice_points",
+                 JsonValue(static_cast<int64_t>(
+                     state->sweep.configs().size()))},
+                {"sweep_cache",
+                 JsonValue::object({
+                     {"hits", JsonValue(static_cast<int64_t>(
+                                  state->sweep.cacheHits()))},
+                     {"misses", JsonValue(static_cast<int64_t>(
+                                    state->sweep.cacheMisses()))},
+                     {"entries", JsonValue(static_cast<int64_t>(
+                                     state->sweep.cacheEntries()))},
+                 })},
+                {"point_cache_invocations",
+                 JsonValue(static_cast<int64_t>(state->points.size()))},
+                {"trained", JsonValue(state->predictor.has_value())},
+            }));
+    }
+    out.set("devices", JsonValue::object({
+                           {"registered", std::move(registered)},
+                           {"active", std::move(active)},
+                       }));
+    return out;
 }
 
 std::vector<std::string>

@@ -43,6 +43,7 @@
 #include "core/training.hh"
 #include "serve/metrics.hh"
 #include "serve/protocol.hh"
+#include "sim/device_registry.hh"
 #include "sim/gpu_device.hh"
 
 namespace harmonia::serve
@@ -80,12 +81,22 @@ struct ServiceOptions
      * (tests/test_serve_determinism.cpp); false is the daemon's
      * --no-simd escape hatch. */
     bool simd = true;
+
+    /**
+     * Registry name of the device backing requests that carry no
+     * `device` field (the daemon's --device flag). Empty selects
+     * kDefaultDeviceName. Unknown names make the Service constructor
+     * throw ConfigError — validate with DeviceRegistry::contains (or
+     * Device::make) first.
+     */
+    std::string defaultDevice;
 };
 
 /** One stateful governor session (the `govern` verb). */
 struct GovernorSession
 {
     std::string governorName;  ///< Registry name it was built from.
+    std::string deviceName;    ///< Device the session is bound to.
     std::unique_ptr<Governor> governor;
     uint64_t steps = 0; ///< decide/run/observe cycles executed.
 };
@@ -98,13 +109,20 @@ class Service
     ~Service(); // Out of line: PointCacheEntry is incomplete here.
 
     const ServiceOptions &options() const { return options_; }
-    const GpuDevice &device() const { return device_; }
+
+    /** The default device (registry profile "hd7970"). */
+    const GpuDevice &device() const;
     const ServiceMetrics &metrics() const { return metrics_; }
 
     /** Mutable metrics handle for the transport layer's counters. */
     ServiceMetrics &metricsMut() { return metrics_; }
-    const ConfigSweep &sweep() const { return sweep_; }
+
+    /** The default device's sweep engine. */
+    const ConfigSweep &sweep() const;
     size_t sessionCount() const { return sessions_.size(); }
+
+    /** Devices instantiated so far (default + every one requested). */
+    size_t deviceCount() const { return devices_.size(); }
 
     /**
      * Process one coalescing window's worth of request lines and
@@ -139,43 +157,50 @@ class Service
     struct Pending;
     struct EvalGroup;
     struct PointCacheEntry;
+    struct DeviceState;
 
     const KernelProfile *findKernel(const std::string &id) const;
-    Status validateEvaluate(const EvaluateParams &p) const;
+
+    /**
+     * Map a request's `device` field to its per-device state. Empty
+     * selects the default device; unknown names yield the structured
+     * `unknown_device` error; the first request for a registered
+     * non-default device instantiates its state lazily.
+     */
+    Result<DeviceState *> resolveDevice(const std::string &name);
+
+    Status validateEvaluate(const DeviceState &dev,
+                            const EvaluateParams &p) const;
     void runEvaluates(std::vector<Pending> &pending);
     void runEvalGroup(EvalGroup &group, std::vector<Pending> &pending);
-    JsonValue evaluateResultJson(const EvaluateParams &p,
+    JsonValue evaluateResultJson(const DeviceState &dev,
+                                 const EvaluateParams &p,
                                  const std::vector<KernelResult> &full);
-    JsonValue evaluateResultJson(const EvaluateParams &p,
+    JsonValue evaluateResultJson(const DeviceState &dev,
+                                 const EvaluateParams &p,
                                  const PointCacheEntry &entry);
     Result<JsonValue> runGovern(const GovernParams &p);
     Result<JsonValue> runSweep(const SweepParams &p);
     Result<std::unique_ptr<Governor>>
-    buildGovernor(const std::string &name);
-    Status ensureTraining();
+    buildGovernor(DeviceState &dev, const std::string &name);
+    Status ensureTraining(DeviceState &dev);
 
     ServiceOptions options_;
-    GpuDevice device_;
-    ConfigSweep sweep_;
 
     /** "App.Kernel" -> profile, for the whole standard suite. */
     std::map<std::string, KernelProfile> kernels_;
 
     /**
-     * Partial-lattice result cache: (kernel id, iteration) -> sparse
-     * 448-slot vector. Reuses the sweep memo's transparent hash so
-     * lookups allocate nothing; a full-lattice result in the sweep
-     * memo (via `sweep` or `configs:"all"`) supersedes it.
+     * Per-device serving state, keyed by the registry's canonical
+     * (lowercased) device name. The default device's state is built in
+     * the constructor; others appear on first use. Declared before
+     * sessions_ so every session's governor (which may point into a
+     * state's predictor) is destroyed first. std::map, not unordered:
+     * the `stats` verb iterates it.
      */
-    std::unordered_map<std::pair<std::string, int>,
-                       std::unique_ptr<PointCacheEntry>,
-                       detail::SweepKeyHash, detail::SweepKeyEqual>
-        points_;
+    std::map<std::string, std::unique_ptr<DeviceState>> devices_;
+    DeviceState *defaultDevice_ = nullptr;
 
-    // The predictor must outlive the sessions whose governors point at
-    // it: declared before them, so it is destroyed after them.
-    std::optional<TrainingResult> training_;
-    std::optional<SensitivityPredictor> predictor_;
     std::map<std::string, GovernorSession> sessions_;
 
     ServiceMetrics metrics_;

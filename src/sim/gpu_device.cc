@@ -10,18 +10,18 @@ namespace harmonia
 {
 
 GpuDevice::GpuDevice(const GcnDeviceConfig &dev, TimingEngine engine,
-                     GpuPowerModel gpuPower, BoardPowerModel boardPower)
+                     GpuPowerModel gpuPower, BoardPowerModel boardPower,
+                     std::string name)
     : dev_(dev), engine_(std::move(engine)),
-      gpuPower_(std::move(gpuPower)), boardPower_(std::move(boardPower))
+      gpuPower_(std::move(gpuPower)), boardPower_(std::move(boardPower)),
+      name_(std::move(name))
 {
     dev_.validate();
 }
 
-GpuDevice::GpuDevice()
-    : GpuDevice(hd7970(), TimingEngine(hd7970()), GpuPowerModel(hd7970()),
-                BoardPowerModel())
-{
-}
+// GpuDevice::GpuDevice() is defined in device_registry.cc: the
+// default device is the registry's default profile, and this file
+// stays free of hardwired part parameters.
 
 KernelResult
 GpuDevice::run(const KernelProfile &profile, int iteration,

@@ -12,6 +12,7 @@
 #ifndef HARMONIA_SIM_GPU_DEVICE_HH
 #define HARMONIA_SIM_GPU_DEVICE_HH
 
+#include <string>
 #include <vector>
 
 #include "power/board_power.hh"
@@ -48,12 +49,21 @@ struct KernelResult
 class GpuDevice
 {
   public:
-    /** Build with explicit models. */
+    /**
+     * Build with explicit models. @p name labels the part in sweep
+     * cache keys and serve stats; registry-built devices carry their
+     * profile name (sim/device_registry.hh), ad-hoc compositions
+     * default to "custom".
+     */
     GpuDevice(const GcnDeviceConfig &dev, TimingEngine engine,
-              GpuPowerModel gpuPower, BoardPowerModel boardPower);
+              GpuPowerModel gpuPower, BoardPowerModel boardPower,
+              std::string name = "custom");
 
-    /** Default HD7970 device. */
+    /** The default device: the registry's "hd7970" profile. */
     GpuDevice();
+
+    /** The registry/profile name this device was built from. */
+    const std::string &name() const { return name_; }
 
     const GcnDeviceConfig &config() const { return dev_; }
     const ConfigSpace &space() const { return engine_.configSpace(); }
@@ -127,6 +137,7 @@ class GpuDevice
     TimingEngine engine_;
     GpuPowerModel gpuPower_;
     BoardPowerModel boardPower_;
+    std::string name_;
 };
 
 } // namespace harmonia

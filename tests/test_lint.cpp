@@ -255,6 +255,41 @@ TEST(LintRules, FacadeOnlyClientsFires)
     EXPECT_EQ(diags[0].line, 3);
 }
 
+TEST(LintRules, DeviceViaRegistryFiresOnRawFactoryCall)
+{
+    const Project p =
+        ProjectBuilder()
+            .add("src/core/tuner.cc",
+                 "#include \"arch/gcn_config.hh\"\n"
+                 "GcnDeviceConfig cfg = hd7970();\n")
+            .build();
+    const auto diags = runRule("device-via-registry", p);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].ruleId, "device-via-registry");
+    EXPECT_EQ(diags[0].file, "src/core/tuner.cc");
+    EXPECT_EQ(diags[0].line, 2);
+    EXPECT_FALSE(diags[0].fixHint.empty());
+}
+
+TEST(LintRules, DeviceViaRegistryAllowsRegistryArchAndNonCalls)
+{
+    const Project p =
+        ProjectBuilder()
+            .add("src/sim/device_registry.cc",
+                 "DeviceProfile p; p.config = hd7970();\n")
+            .add("src/arch/gcn_config.cc",
+                 "GcnDeviceConfig hd7970() { return {}; }\n")
+            // The DPM-table helper is a different symbol; the name
+            // alone (a comment-stripped string key) is not a call.
+            .add("src/power/gpu_power.cc",
+                 "DpmTable dpm = hd7970ComputeDpm();\n"
+                 "const char *key = hd7970;\n")
+            .add("tests/test_device_registry.cpp",
+                 "GcnDeviceConfig cfg = hd7970();\n")
+            .build();
+    EXPECT_TRUE(runRule("device-via-registry", p).empty());
+}
+
 TEST(LintRules, ServeNoThrowFires)
 {
     const Project p =
@@ -338,7 +373,7 @@ TEST(LintRules, UsingNamespaceInHeaderFires)
 TEST(LintRegistry, CatalogIsCompleteSortedAndSearchable)
 {
     const auto rules = RuleRegistry::instance().all();
-    EXPECT_EQ(rules.size(), 9u);
+    EXPECT_EQ(rules.size(), 10u);
     EXPECT_TRUE(std::is_sorted(
         rules.begin(), rules.end(),
         [](const LintRule *a, const LintRule *b) {

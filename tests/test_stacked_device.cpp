@@ -1,40 +1,56 @@
 /**
  * @file
- * Tests for the future-system extensions: the stacked-memory device
- * variant (the paper's Section 9 future work) and memory-interface
- * voltage scaling (the Section 3.3/7.2 "would be greater" remark).
+ * Tests for the future-system extensions, now served through the
+ * DeviceRegistry: the "hbm-stacked" profile (the paper's Section 9
+ * future work) and memory-interface voltage scaling (the Section
+ * 3.3/7.2 "would be greater" remark).
  */
 
 #include <gtest/gtest.h>
 
 #include "core/harmonia_governor.hh"
 #include "core/sensitivity.hh"
-#include "sim/stacked_device.hh"
+#include "sim/device_registry.hh"
 #include "workloads/suite.hh"
 
 using namespace harmonia;
 
+namespace
+{
+
+DeviceProfile
+stackedProfile()
+{
+    return DeviceRegistry::instance().profile("hbm-stacked").value();
+}
+
+} // namespace
+
 TEST(StackedDevice, ConfigValidatesAndDoublesBandwidth)
 {
-    const GcnDeviceConfig cfg = stackedMemoryConfig();
+    const DeviceProfile profile = stackedProfile();
+    const GcnDeviceConfig &cfg = profile.config;
     EXPECT_NO_THROW(cfg.validate());
     // 550 MHz x 512 B x 2 = 563 GB/s, ~2x the GDDR5 card.
     EXPECT_NEAR(cfg.peakMemBandwidth(cfg.memFreqMaxMhz), 563.2e9,
                 1e9);
+    const GcnDeviceConfig gddr5 =
+        DeviceRegistry::instance().profile("hd7970").value().config;
     EXPECT_GT(cfg.peakMemBandwidth(cfg.memFreqMaxMhz),
-              2.0 * hd7970().peakMemBandwidth(1375.0));
+              2.0 * gddr5.peakMemBandwidth(1375.0));
 }
 
 TEST(StackedDevice, LatticeHasEightMemoryPoints)
 {
-    const GpuDevice device = makeStackedDevice();
+    const GpuDevice device = makeDevice("hbm-stacked").value();
     EXPECT_EQ(device.space().values(Tunable::MemFreq).size(), 8u);
     EXPECT_EQ(device.space().size(), 8u * 8u * 8u);
+    EXPECT_EQ(stackedProfile().latticeSize(), 8u * 8u * 8u);
 }
 
 TEST(StackedDevice, RunsTheWholeSuiteUnchanged)
 {
-    const GpuDevice device = makeStackedDevice();
+    const GpuDevice device = makeDevice("hbm-stacked").value();
     const HardwareConfig maxCfg = device.space().maxConfig();
     for (const auto &app : standardSuite()) {
         for (const auto &k : app.kernels) {
@@ -48,9 +64,9 @@ TEST(StackedDevice, RunsTheWholeSuiteUnchanged)
 TEST(StackedDevice, LowerPerBitEnergyThanGddr5)
 {
     // Same traffic, far less interface power on package.
+    const DeviceProfile profile = stackedProfile();
     const Gddr5Model gddr5;
-    const Gddr5Model hbm(stackedMemoryTimingParams(),
-                         stackedMemoryPowerParams());
+    const Gddr5Model hbm(profile.memTiming, profile.memPower);
     const double traffic = 200e9;
     const double pG = gddr5.power(1375.0, traffic, 0.7).total();
     const double pH = hbm.power(550.0, traffic, 0.7).total();
@@ -60,7 +76,7 @@ TEST(StackedDevice, LowerPerBitEnergyThanGddr5)
 TEST(StackedDevice, MemoryBoundKernelsSpeedUpOnTheStack)
 {
     const GpuDevice gddr5;
-    const GpuDevice stacked = makeStackedDevice();
+    const GpuDevice stacked = makeDevice("hbm-stacked").value();
     const KernelProfile k = makeDeviceMemory().kernels.front();
     const double tG =
         gddr5.run(k, 0, gddr5.space().maxConfig()).time();
@@ -71,7 +87,7 @@ TEST(StackedDevice, MemoryBoundKernelsSpeedUpOnTheStack)
 
 TEST(StackedDevice, SensitivityMeasurementIsLatticeGeneric)
 {
-    const GpuDevice device = makeStackedDevice();
+    const GpuDevice device = makeDevice("hbm-stacked").value();
     const KernelProfile k = makeMaxFlops().kernels.front();
     const SensitivityVector s = measureSensitivities(device, k, 0);
     EXPECT_GT(s.compute(), 0.8);
@@ -80,7 +96,7 @@ TEST(StackedDevice, SensitivityMeasurementIsLatticeGeneric)
 
 TEST(StackedDevice, OptionsHelperProducesValidTargets)
 {
-    const GpuDevice device = makeStackedDevice();
+    const GpuDevice device = makeDevice("hbm-stacked").value();
     const HarmoniaOptions options =
         harmoniaOptionsFor(device.space());
     // Constructing the governor validates every bin target against
@@ -94,8 +110,8 @@ TEST(StackedDevice, OptionsHelperProducesValidTargets)
 
 TEST(OptionsHelper, ReproducesHd7970Defaults)
 {
-    const ConfigSpace space(hd7970());
-    const HarmoniaOptions derived = harmoniaOptionsFor(space);
+    const GpuDevice device; // Registry default: hd7970.
+    const HarmoniaOptions derived = harmoniaOptionsFor(device.space());
     const HarmoniaOptions defaults;
     EXPECT_EQ(derived.cuTargets, defaults.cuTargets);
     EXPECT_EQ(derived.freqTargets, defaults.freqTargets);

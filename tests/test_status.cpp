@@ -40,6 +40,8 @@ TEST(Status, NamedConstructorsCarryCodeAndMessage)
     EXPECT_EQ(Status::unavailable("bye").code(),
               StatusCode::Unavailable);
     EXPECT_EQ(Status::internal("bug").code(), StatusCode::Internal);
+    EXPECT_EQ(Status::unknownDevice("no such part").code(),
+              StatusCode::UnknownDevice);
 
     const Status s = Status::notFound("no such kernel");
     EXPECT_FALSE(s.ok());
@@ -59,6 +61,8 @@ TEST(Status, CodeNamesAreStableWireStrings)
                  "resource_exhausted");
     EXPECT_STREQ(statusCodeName(StatusCode::Unavailable),
                  "unavailable");
+    EXPECT_STREQ(statusCodeName(StatusCode::UnknownDevice),
+                 "unknown_device");
     EXPECT_STREQ(statusCodeName(StatusCode::Internal), "internal");
 }
 
@@ -106,6 +110,8 @@ TEST(Result, ErrorCarriesStatusAndRethrows)
     EXPECT_EQ(r.status().code(), StatusCode::NotFound);
     // User-caused codes rethrow as ConfigError...
     EXPECT_THROW(r.value(), ConfigError);
+    Result<int> dev(Status::unknownDevice("no such part"));
+    EXPECT_THROW(dev.value(), ConfigError);
     // ...internal ones as InternalError.
     Result<std::string> bug(Status::internal("oops"));
     EXPECT_THROW(bug.value(), InternalError);

@@ -5,9 +5,14 @@
  * invariant of the performance/power model (src/check/).
  *
  * Usage:
- *   check_model [--jobs N] [--iterations N] [--app NAME]...
- *               [--invariant ID]... [--max-report N] [--list]
+ *   check_model [--device NAME] [--jobs N] [--iterations N]
+ *               [--app NAME]... [--invariant ID]... [--max-report N]
+ *               [--list] [--list-devices]
  *
+ *   --device NAME   Check a registered device profile instead of the
+ *                   default hd7970 (see --list-devices). The sweep
+ *                   covers that device's full lattice.
+ *   --list-devices  Print the registered device names and exit.
  *   --jobs N        Worker threads for the sweeps (or HARMONIA_JOBS).
  *   --iterations N  Cap iterations checked per kernel (default: all).
  *   --app NAME      Restrict to one application (repeatable).
@@ -39,17 +44,19 @@ struct CliOptions
 {
     CheckOptions check;
     std::vector<std::string> apps;
+    std::string device; ///< Registry name; empty = default.
     size_t maxReport = 25;
     bool list = false;
+    bool listDevices = false;
 };
 
 [[noreturn]] void
 usage(int status)
 {
     std::cout
-        << "usage: check_model [--jobs N] [--iterations N] "
-           "[--app NAME]... [--invariant ID]... [--max-report N] "
-           "[--no-simd] [--list]\n";
+        << "usage: check_model [--device NAME] [--jobs N] "
+           "[--iterations N] [--app NAME]... [--invariant ID]... "
+           "[--max-report N] [--no-simd] [--list] [--list-devices]\n";
     std::exit(status);
 }
 
@@ -82,6 +89,12 @@ parseArgs(int argc, char **argv)
             opt.check.maxIterationsPerKernel = intArg(i, arg);
         } else if (arg == "--app") {
             opt.apps.push_back(strArg(i, arg));
+        } else if (arg == "--device") {
+            opt.device = strArg(i, arg);
+        } else if (arg.rfind("--device=", 0) == 0) {
+            opt.device = arg.substr(9);
+        } else if (arg == "--list-devices") {
+            opt.listDevices = true;
         } else if (arg == "--invariant") {
             opt.check.invariantIds.push_back(strArg(i, arg));
         } else if (arg == "--max-report") {
@@ -117,6 +130,20 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (opt.listDevices) {
+        TextTable table({"device", "lattice", "description"});
+        for (const std::string &name : Device::names()) {
+            const DeviceProfile profile =
+                DeviceRegistry::instance().profile(name).value();
+            table.row()
+                .cell(profile.name)
+                .numInt(static_cast<long long>(profile.latticeSize()))
+                .cell(profile.description);
+        }
+        table.print(std::cout, "Device catalog");
+        return 0;
+    }
+
     try {
         std::vector<Application> suite;
         if (opt.apps.empty()) {
@@ -127,10 +154,22 @@ main(int argc, char **argv)
                 suite.push_back(all.app(name).value());
         }
 
-        const Device device;
+        const Device device = [&] {
+            if (opt.device.empty())
+                return Device();
+            // value() throws ConfigError on an unknown name; the
+            // SimError handler below turns it into exit status 2.
+            return std::move(Device::make(opt.device).value());
+        }();
         const ModelChecker checker(device.gpu(), opt.check);
 
-        std::cout << "check_model: " << suite.size() << " app(s), "
+        // The device tag is printed only under --device: the default
+        // invocation's stdout predates the registry and stays
+        // byte-identical.
+        std::cout << "check_model: ";
+        if (!opt.device.empty())
+            std::cout << device.name() << ", ";
+        std::cout << suite.size() << " app(s), "
                   << device.space().size() << " configurations, "
                   << checker.invariants().size() << " invariant(s)\n\n";
 

@@ -29,6 +29,15 @@
  *   --group G        Consecutive requests sharing one
  *                    (kernel, iteration) — the unit the daemon's
  *                    micro-batcher can coalesce (default 4).
+ *   --device NAME    Tag requests with a registered device profile
+ *                    (repeatable). One name sends the whole stream to
+ *                    that device; several deal cohorts across them
+ *                    round-robin — a mixed-device replay that
+ *                    exercises the daemon's per-device cache
+ *                    partitioning (visible under "devices" in
+ *                    --stats). Configs are drawn from each named
+ *                    device's own lattice. Default: no device field
+ *                    (the daemon's default device).
  *   --governor NAME  Governor for govern requests (default baseline —
  *                    keeps the smoke test free of training cost).
  *   --seed N         Workload RNG seed (default 1).
@@ -78,6 +87,7 @@ struct ClientOptions
     int configsPerRequest = 8;
     int kernels = 4;
     int group = 4;
+    std::vector<std::string> devices; ///< Empty = no device field.
     std::string governor = "baseline";
     uint64_t seed = 1;
     bool stats = false;
@@ -93,9 +103,9 @@ usage(int status)
                  "                       [--requests N] [--rate R] "
                  "[--mix evaluate|mixed]\n"
                  "                       [--configs K] [--kernels M] "
-                 "[--governor NAME] [--seed N]\n"
-                 "                       [--stats] [--shutdown] "
-                 "[--quiet]\n";
+                 "[--device NAME]... [--governor NAME]\n"
+                 "                       [--seed N] [--stats] "
+                 "[--shutdown] [--quiet]\n";
     std::exit(status);
 }
 
@@ -110,17 +120,44 @@ nextRand(uint64_t &state)
     return z ^ (z >> 31);
 }
 
-struct Workload
+/** One device's request vocabulary: its name tag + lattice axes. */
+struct DeviceLattice
 {
-    std::vector<std::string> kernelIds;
+    std::string name; ///< "device" field value; empty = omit.
     std::vector<int> cuValues{4, 8, 12, 16, 20, 24, 28, 32};
     std::vector<int> computeValues{300, 400, 500, 600,
                                    700, 800, 900, 1000};
     std::vector<int> memValues{475, 625, 775, 925, 1075, 1225, 1375};
 };
 
+struct Workload
+{
+    std::vector<std::string> kernelIds;
+    std::vector<DeviceLattice> devices; ///< >= 1 entry.
+};
+
+/** Axis values for one registered device, from its own lattice. */
+DeviceLattice
+latticeFor(const std::string &name)
+{
+    const Result<DeviceProfile> profile =
+        DeviceRegistry::instance().profile(name);
+    if (!profile.ok()) {
+        std::cerr << "harmonia_client: " << profile.status().message()
+                  << '\n';
+        std::exit(2);
+    }
+    const ConfigSpace space(profile.value().config);
+    DeviceLattice lattice;
+    lattice.name = profile.value().name;
+    lattice.cuValues = space.values(Tunable::CuCount);
+    lattice.computeValues = space.values(Tunable::ComputeFreq);
+    lattice.memValues = space.values(Tunable::MemFreq);
+    return lattice;
+}
+
 JsonValue
-randomConfig(Workload &w, uint64_t &rng)
+randomConfig(const DeviceLattice &w, uint64_t &rng)
 {
     return JsonValue::object({
         {"cu", JsonValue(w.cuValues[nextRand(rng) %
@@ -142,14 +179,20 @@ makeRequest(const ClientOptions &opt, Workload &w, uint64_t &rng,
         {"id", JsonValue(static_cast<int64_t>(index))},
     });
 
-    // Requests in the same cohort target the same (kernel, iteration)
-    // with different config subsets, so ones that arrive within a
-    // coalescing window fuse into a single lattice run.
+    // Requests in the same cohort target the same (device, kernel,
+    // iteration) with different config subsets, so ones that arrive
+    // within a coalescing window fuse into a single lattice run.
+    // Cohorts deal round-robin across the --device list: adjacent
+    // cohorts hit different per-device caches.
     const int cohort = index / std::max(1, opt.group);
+    const DeviceLattice &device =
+        w.devices[static_cast<size_t>(cohort) % w.devices.size()];
     const std::string &kernel =
         w.kernelIds[static_cast<size_t>(cohort) % w.kernelIds.size()];
     const int iteration =
         cohort / static_cast<int>(w.kernelIds.size());
+    if (!device.name.empty())
+        req.set("device", JsonValue(device.name));
 
     // Mixed traffic: mostly evaluates, a sprinkling of everything
     // else — the pattern the coalescer sees in practice.
@@ -162,7 +205,7 @@ makeRequest(const ClientOptions &opt, Workload &w, uint64_t &rng,
     if (lane == 0) {
         JsonValue configs = JsonValue::array();
         for (int c = 0; c < opt.configsPerRequest; ++c)
-            configs.push(randomConfig(w, rng));
+            configs.push(randomConfig(device, rng));
         req.set("verb", JsonValue("evaluate"));
         req.set("kernel", JsonValue(kernel));
         req.set("iteration", JsonValue(iteration));
@@ -175,8 +218,12 @@ makeRequest(const ClientOptions &opt, Workload &w, uint64_t &rng,
         req.set("top", JsonValue(3));
     } else if (lane == 2) {
         req.set("verb", JsonValue("govern"));
-        req.set("session",
-                JsonValue("load-" + std::to_string(index % 4)));
+        // Sessions are device-bound: qualify the name so the same
+        // slot on two devices never collides into a binding error.
+        std::string session = "load-" + std::to_string(index % 4);
+        if (!device.name.empty())
+            session += "@" + device.name;
+        req.set("session", JsonValue(session));
         req.set("governor", JsonValue(opt.governor));
         req.set("kernel", JsonValue(kernel));
         req.set("iteration", JsonValue(index));
@@ -229,6 +276,8 @@ parseArgs(int argc, char **argv)
             opt.kernels = std::max(1, std::atoi(value(i, arg).c_str()));
         else if (arg == "--group")
             opt.group = std::max(1, std::atoi(value(i, arg).c_str()));
+        else if (arg == "--device")
+            opt.devices.push_back(value(i, arg));
         else if (arg == "--governor")
             opt.governor = value(i, arg);
         else if (arg == "--seed")
@@ -343,6 +392,14 @@ main(int argc, char **argv)
     const ClientOptions opt = parseArgs(argc, argv);
 
     Workload workload;
+    if (opt.devices.empty()) {
+        // No tag, HD7970 axes: byte-identical streams to the
+        // pre-registry client.
+        workload.devices.emplace_back();
+    } else {
+        for (const std::string &name : opt.devices)
+            workload.devices.push_back(latticeFor(name));
+    }
     for (const Application &app : standardSuite()) {
         for (const KernelProfile &k : app.kernels) {
             workload.kernelIds.push_back(k.id());

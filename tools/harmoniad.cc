@@ -18,6 +18,11 @@
  *                     startup). May be combined with --socket; both
  *                     listeners feed the same reactor.
  *   --stdio           Serve stdin -> stdout instead of sockets.
+ *   --device NAME     Registered device profile backing device-less
+ *                     requests (default hd7970; see --list-devices).
+ *                     Requests carrying an explicit "device" field
+ *                     still select their own profile per request.
+ *   --list-devices    Print the registered device names and exit.
  *   --jobs N          Worker threads for lattice runs (or
  *                     HARMONIA_JOBS; default 1).
  *   --no-batching     Disable evaluate micro-batching (one lattice
@@ -47,8 +52,7 @@
 #include <iostream>
 #include <string>
 
-#include "serve/server.hh"
-#include "serve/service.hh"
+#include "harmonia/harmonia.hh"
 
 using namespace harmonia;
 using namespace harmonia::serve;
@@ -60,13 +64,14 @@ namespace
 usage(int status)
 {
     std::cout << "usage: harmoniad (--socket PATH | --tcp HOST:PORT | "
-                 "--stdio) [--jobs N]\n"
-                 "                 [--no-batching] [--no-cache] "
-                 "[--no-simd] [--coalesce-us N]\n"
-                 "                 [--max-configs N] [--max-sessions N] "
-                 "[--max-connections N]\n"
-                 "                 [--idle-timeout-ms N] "
-                 "[--max-write-buf BYTES] [--seed N]\n";
+                 "--stdio) [--device NAME]\n"
+                 "                 [--list-devices] [--jobs N] "
+                 "[--no-batching] [--no-cache]\n"
+                 "                 [--no-simd] [--coalesce-us N] "
+                 "[--max-configs N] [--max-sessions N]\n"
+                 "                 [--max-connections N] "
+                 "[--idle-timeout-ms N]\n"
+                 "                 [--max-write-buf BYTES] [--seed N]\n";
     std::exit(status);
 }
 
@@ -107,6 +112,16 @@ main(int argc, char **argv)
             server.tcpBind = argv[++i];
         } else if (arg == "--stdio") {
             server.stdio = true;
+        } else if (arg == "--device") {
+            if (i + 1 >= argc) {
+                std::cerr << "harmoniad: --device needs a value\n";
+                usage(2);
+            }
+            service.defaultDevice = argv[++i];
+        } else if (arg == "--list-devices") {
+            for (const std::string &name : Device::names())
+                std::cout << name << '\n';
+            return 0;
         } else if (arg == "--jobs") {
             service.jobs = std::max(1, intArg(i, arg));
         } else if (arg == "--no-batching") {
@@ -155,6 +170,15 @@ main(int argc, char **argv)
         (!server.socketPath.empty() || !server.tcpBind.empty())) {
         std::cerr << "harmoniad: --stdio excludes --socket/--tcp\n";
         usage(2);
+    }
+    if (!service.defaultDevice.empty() &&
+        !DeviceRegistry::instance().contains(service.defaultDevice)) {
+        std::cerr << "harmoniad: unknown device '"
+                  << service.defaultDevice << "' (have:";
+        for (const std::string &name : Device::names())
+            std::cerr << ' ' << name;
+        std::cerr << ")\n";
+        return 2;
     }
 
     Service svc(service);
