@@ -7,7 +7,7 @@
  * src/exp/exhibits/fig10_ed2.cc.
  */
 
-#include "exp/driver.hh"
+#include "harmonia/exp.hh"
 
 int
 main(int argc, char **argv)

@@ -6,7 +6,7 @@
  * exhibit itself lives in src/exp/exhibits/fig13_performance.cc.
  */
 
-#include "exp/driver.hh"
+#include "harmonia/exp.hh"
 
 int
 main(int argc, char **argv)

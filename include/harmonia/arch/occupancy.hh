@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Kernel occupancy calculator.
+ *
+ * Kernel occupancy measures concurrent execution: the fraction of the
+ * architectural wavefront slots a kernel can actually fill given its
+ * register, LDS, and workgroup-size demands (Section 3.5). The paper's
+ * example: Sort.BottomScan uses 66 VGPRs per work-item, so only
+ * floor(256/66) = 3 of the 10 wave slots per SIMD can be occupied ->
+ * 30% occupancy and reduced memory-level parallelism.
+ */
+
+#ifndef HARMONIA_ARCH_OCCUPANCY_HH
+#define HARMONIA_ARCH_OCCUPANCY_HH
+
+#include "harmonia/arch/gcn_config.hh"
+
+namespace harmonia
+{
+
+/** Static per-kernel resource demands that bound concurrency. */
+struct KernelResources
+{
+    int vgprPerWorkitem = 32;    ///< Vector registers per work-item.
+    int sgprPerWave = 24;        ///< Scalar registers per wavefront.
+    int ldsPerWorkgroupBytes = 0; ///< LDS bytes per workgroup.
+    int workgroupSize = 256;     ///< Work-items per workgroup.
+
+    /** Validate against a device; @throws ConfigError. */
+    void validate(const GcnDeviceConfig &dev) const;
+};
+
+/** Which resource capped the wave count. */
+enum class OccupancyLimiter
+{
+    WaveSlots,   ///< Architectural maximum (fully occupied).
+    Vgpr,        ///< Vector register file.
+    Sgpr,        ///< Scalar register file.
+    Lds,         ///< Local data share capacity.
+    Workgroup,   ///< Workgroup granularity rounding.
+};
+
+/** Name of a limiter for reports. */
+const char *occupancyLimiterName(OccupancyLimiter limiter);
+
+/** Result of the occupancy computation. */
+struct OccupancyInfo
+{
+    int wavesPerSimd = 0;        ///< Concurrent waves per SIMD unit.
+    int wavesPerCu = 0;          ///< Concurrent waves per CU.
+    int workgroupsPerCu = 0;     ///< Concurrent workgroups per CU.
+    double occupancy = 0.0;      ///< wavesPerSimd / maxWavesPerSimd.
+    OccupancyLimiter limiter = OccupancyLimiter::WaveSlots;
+};
+
+/**
+ * Compute the occupancy of a kernel on a device.
+ *
+ * Models the GCN allocation rules: VGPRs are allocated per-lane per
+ * SIMD, SGPRs per-SIMD, LDS and workgroup slots per-CU. Waves of one
+ * workgroup must co-reside, so the CU-level wave count is rounded down
+ * to whole workgroups.
+ */
+OccupancyInfo computeOccupancy(const GcnDeviceConfig &dev,
+                               const KernelResources &res);
+
+} // namespace harmonia
+
+#endif // HARMONIA_ARCH_OCCUPANCY_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Public campaign surface: the 14-application workload suite, the
+ * suite x schemes evaluation campaign, the sweep engine over the
+ * configuration lattice, sensitivity analysis, the oracle governor,
+ * and the TextTable report vocabulary the exhibits emit.
+ */
+
+#ifndef HARMONIA_CAMPAIGN_HH
+#define HARMONIA_CAMPAIGN_HH
+
+#include "harmonia/common/status.hh"
+#include "harmonia/common/table.hh"
+#include "harmonia/core/campaign.hh"
+#include "harmonia/core/oracle.hh"
+#include "harmonia/core/sensitivity.hh"
+#include "harmonia/core/sweep.hh"
+#include "harmonia/workloads/suite.hh"
+
+namespace harmonia
+{
+
+/**
+ * The workload suite: a named collection of applications with
+ * structured-error lookups.
+ */
+class Suite
+{
+  public:
+    /** The paper's 14-application standard suite. */
+    static Suite standard() { return Suite(standardSuite()); }
+
+    /** Standard suite minus the two stress benchmarks ("Geomean2"). */
+    static Suite withoutStress() { return Suite(suiteWithoutStress()); }
+
+    explicit Suite(std::vector<Application> apps)
+        : apps_(std::move(apps))
+    {
+    }
+
+    const std::vector<Application> &apps() const { return apps_; }
+    size_t size() const { return apps_.size(); }
+
+    /** Application by name. */
+    Result<Application> app(const std::string &name) const
+    {
+        for (const Application &a : apps_) {
+            if (a.name == name)
+                return a;
+        }
+        return Status::notFound("unknown application '" + name + "'");
+    }
+
+    /** Kernel profile by "App.Kernel" id. */
+    Result<KernelProfile> kernel(const std::string &id) const
+    {
+        for (const Application &a : apps_) {
+            for (const KernelProfile &k : a.kernels) {
+                if (k.id() == id)
+                    return k;
+            }
+        }
+        return Status::notFound("unknown kernel '" + id + "'");
+    }
+
+  private:
+    std::vector<Application> apps_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_CAMPAIGN_HH

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Public model-checker surface: the 11-invariant catalog and the
+ * lattice-walking Checker behind the check_model CLI (namespace
+ * harmonia; see docs/CHECKING.md).
+ */
+
+#ifndef HARMONIA_CHECK_HH
+#define HARMONIA_CHECK_HH
+
+#include "harmonia/check/checker.hh"
+
+#endif // HARMONIA_CHECK_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Model checker: drives the invariant registry over every
+ * (application x kernel x iteration x 448-config) point of a workload
+ * suite, reusing the parallel, memoized ConfigSweep engine so the
+ * sweep cost is shared with any campaign evaluating the same device.
+ *
+ * Determinism: invocations are visited in suite order, each sweep is
+ * bit-identical for any thread count (see sweep.hh), and invariants
+ * run serially over the finished result vector, so the report —
+ * including the order of its diagnostics — is independent of --jobs.
+ */
+
+#ifndef HARMONIA_CHECK_CHECKER_HH
+#define HARMONIA_CHECK_CHECKER_HH
+
+#include <string>
+#include <vector>
+
+#include "harmonia/check/invariants.hh"
+#include "harmonia/core/sweep.hh"
+#include "harmonia/workloads/app.hh"
+
+namespace harmonia
+{
+
+/** Knobs of a checker run. */
+struct CheckOptions
+{
+    /** Worker threads for the underlying config sweeps. */
+    int jobs = 1;
+
+    /** Cap on iterations checked per kernel; <= 0 checks every
+     * iteration the application declares. */
+    int maxIterationsPerKernel = 0;
+
+    /** Relative FP tolerance handed to the invariants. */
+    double relTol = 1e-9;
+
+    /** Subset of invariant ids to run; empty = the full catalog.
+     * @throws ConfigError on an unknown id at construction. */
+    std::vector<std::string> invariantIds;
+
+    /** Sweep through the SIMD-batched lattice kernels (bitwise
+     * identical to the scalar path; false = check_model --no-simd,
+     * which lets CI assert 0 violations on both paths). */
+    bool simd = true;
+};
+
+/** Aggregated outcome of a checker run. */
+struct CheckReport
+{
+    size_t invocations = 0;  ///< (kernel, iteration) pairs swept.
+    size_t points = 0;       ///< Design-space points visited.
+    size_t checksRun = 0;    ///< Invariant evaluations performed.
+    std::vector<Diagnostic> violations;
+
+    bool clean() const { return violations.empty(); }
+
+    /** Fold another report into this one (order-preserving). */
+    void merge(CheckReport other);
+};
+
+/**
+ * Sweeps applications through the invariant catalog.
+ */
+class ModelChecker
+{
+  public:
+    explicit ModelChecker(const GpuDevice &device,
+                          CheckOptions options = {});
+
+    const CheckOptions &options() const { return options_; }
+
+    /** The invariants this checker runs (catalog or selected subset). */
+    const std::vector<Invariant> &invariants() const
+    {
+        return invariants_;
+    }
+
+    /** Check one kernel invocation across all 448 configurations. */
+    CheckReport checkInvocation(const KernelProfile &profile,
+                                int iteration) const;
+
+    /** Check every (kernel, iteration) of one application. */
+    CheckReport checkApplication(const Application &app) const;
+
+    /** Check a whole suite, in order; memoized sweeps are dropped
+     * between applications to bound memory. */
+    CheckReport checkSuite(const std::vector<Application> &suite) const;
+
+  private:
+    const GpuDevice &device_;
+    CheckOptions options_;
+    std::vector<Invariant> invariants_;
+    SensitivityPredictor predictor_;
+    ConfigSweep sweep_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_CHECK_CHECKER_HH

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Structured error propagation for the library's public boundaries.
+ *
+ * Internal layers keep the exception convention of common/error.hh
+ * (fatal() -> ConfigError, panic() -> InternalError): deep call stacks
+ * stay clean and the test suite can assert on throw sites. The public
+ * facade (include/harmonia/harmonia.hh) and the serving protocol
+ * (src/serve/) must never leak an exception across the API or onto a
+ * client connection, so their boundaries translate into Status /
+ * Result<T>:
+ *
+ *  - Status: a machine-readable code plus a human-readable message.
+ *    Codes mirror the wire-protocol error vocabulary
+ *    (docs/SERVING.md), so a Status can be serialized into an error
+ *    reply without remapping.
+ *  - Result<T>: either a value or a non-OK Status. value() rethrows
+ *    the library exception the Status was derived from (ConfigError
+ *    for user errors, InternalError otherwise), which keeps
+ *    exception-style call sites terse where failure is fatal anyway.
+ */
+
+#ifndef HARMONIA_COMMON_STATUS_HH
+#define HARMONIA_COMMON_STATUS_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "harmonia/common/error.hh"
+
+namespace harmonia
+{
+
+/** Machine-readable error category, stable across the wire. */
+enum class StatusCode
+{
+    Ok,
+    InvalidArgument,   ///< Malformed request/argument (user error).
+    NotFound,          ///< Named entity does not exist.
+    UnknownDevice,     ///< Device name not in the DeviceRegistry.
+    FailedPrecondition,///< Operation illegal in the current state.
+    ResourceExhausted, ///< A configured limit was exceeded.
+    Unavailable,       ///< Service is shutting down / not serving.
+    Internal,          ///< Library bug or unexpected failure.
+};
+
+/** Stable lowercase code name, e.g. "invalid_argument". */
+const char *statusCodeName(StatusCode code);
+
+/** Success-or-error value carried across public boundaries. */
+class Status
+{
+  public:
+    /** OK status. */
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    static Status okStatus() { return {}; }
+
+    static Status invalidArgument(std::string msg)
+    {
+        return {StatusCode::InvalidArgument, std::move(msg)};
+    }
+
+    static Status notFound(std::string msg)
+    {
+        return {StatusCode::NotFound, std::move(msg)};
+    }
+
+    static Status unknownDevice(std::string msg)
+    {
+        return {StatusCode::UnknownDevice, std::move(msg)};
+    }
+
+    static Status failedPrecondition(std::string msg)
+    {
+        return {StatusCode::FailedPrecondition, std::move(msg)};
+    }
+
+    static Status resourceExhausted(std::string msg)
+    {
+        return {StatusCode::ResourceExhausted, std::move(msg)};
+    }
+
+    static Status unavailable(std::string msg)
+    {
+        return {StatusCode::Unavailable, std::move(msg)};
+    }
+
+    static Status internal(std::string msg)
+    {
+        return {StatusCode::Internal, std::move(msg)};
+    }
+
+    bool ok() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "invalid_argument: bad config" ("ok" when OK). */
+    std::string str() const;
+
+    bool operator==(const Status &other) const = default;
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+/**
+ * Translate an in-flight exception into a Status. Call from a catch
+ * block: ConfigError -> InvalidArgument, InternalError -> Internal,
+ * other std::exception -> Internal.
+ */
+Status statusFromCurrentException();
+
+/**
+ * A value of type T or the Status explaining why it is absent.
+ */
+template <typename T> class Result
+{
+  public:
+    /** Success. */
+    Result(T value) : value_(std::move(value)) {}
+
+    /** Failure; @p status must be non-OK. */
+    Result(Status status) : status_(std::move(status))
+    {
+        panicIf(status_.ok(), "Result: error-constructed with OK status");
+    }
+
+    bool ok() const { return value_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    /** The status: OK exactly when a value is present. */
+    const Status &status() const { return status_; }
+
+    /**
+     * The value; on error rethrows the library exception matching the
+     * status (ConfigError for user-caused codes, InternalError for
+     * Internal), so exception-style callers keep working.
+     */
+    T &value() &
+    {
+        throwIfError();
+        return *value_;
+    }
+
+    const T &value() const &
+    {
+        throwIfError();
+        return *value_;
+    }
+
+    T &&value() &&
+    {
+        throwIfError();
+        return std::move(*value_);
+    }
+
+    /** The value, or @p fallback when absent. */
+    T valueOr(T fallback) const
+    {
+        return ok() ? *value_ : std::move(fallback);
+    }
+
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+
+  private:
+    void throwIfError() const
+    {
+        if (ok())
+            return;
+        if (status_.code() == StatusCode::Internal)
+            throw InternalError(status_.str());
+        throw ConfigError(status_.str());
+    }
+
+    std::optional<T> value_;
+    Status status_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_COMMON_STATUS_HH

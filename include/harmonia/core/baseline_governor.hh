@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Baseline governor: the state-of-the-practice PowerTune-style policy
+ * (paper Sections 2.3 and 7).
+ *
+ * The commodity policy manages only the GPU DPM states against a
+ * power/thermal budget and leaves the memory bus and CU count at
+ * maximum. With the consistent thermal headroom of the paper's setup
+ * it always runs the boost state (1 GHz) — which is exactly what all
+ * results are normalized against. The budget logic is still modeled:
+ * when average card power exceeds the TDP headroom the governor steps
+ * the DPM state down, mirroring PowerTune's behaviour in constrained
+ * scenarios.
+ */
+
+#ifndef HARMONIA_CORE_BASELINE_GOVERNOR_HH
+#define HARMONIA_CORE_BASELINE_GOVERNOR_HH
+
+#include "harmonia/core/governor.hh"
+#include "harmonia/dvfs/dpm_table.hh"
+
+namespace harmonia
+{
+
+/** PowerTune-like baseline. */
+class BaselineGovernor : public Governor
+{
+  public:
+    /**
+     * @param space Configuration lattice of the device.
+     * @param tdpWatts Card power budget; the default exceeds anything
+     *        the model produces, so the boost state always holds.
+     */
+    explicit BaselineGovernor(const ConfigSpace &space,
+                              double tdpWatts = 300.0);
+
+    std::string name() const override { return "Baseline"; }
+
+    HardwareConfig decide(const KernelProfile &profile,
+                          int iteration) override;
+
+    void observe(const KernelSample &sample) override;
+
+    void reset() override;
+
+    /** Current DPM frequency (for tests). */
+    int currentFreqMhz() const { return current_.computeFreqMhz; }
+
+  private:
+    ConfigSpace space_;
+    DpmTable dpm_;
+    double tdpWatts_;
+    HardwareConfig current_;
+    double avgPower_ = 0.0;
+    bool havePower_ = false;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_CORE_BASELINE_GOVERNOR_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Evaluation campaign: runs the whole workload suite under every
+ * power-management scheme the paper compares (Section 7) and exposes
+ * the normalized metrics behind Figures 10-13 and 17-18.
+ *
+ * Schemes: Baseline (PowerTune boost), CG-only, Harmonia (FG+CG),
+ * the ED^2 oracle, and the compute-DVFS-only ablation.
+ */
+
+#ifndef HARMONIA_CORE_CAMPAIGN_HH
+#define HARMONIA_CORE_CAMPAIGN_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harmonia/core/baseline_governor.hh"
+#include "harmonia/core/harmonia_governor.hh"
+#include "harmonia/core/oracle.hh"
+#include "harmonia/core/runtime.hh"
+#include "harmonia/core/training.hh"
+#include "harmonia/workloads/app.hh"
+
+namespace harmonia
+{
+
+/** The compared power-management schemes. */
+enum class Scheme
+{
+    Baseline,
+    CgOnly,
+    Harmonia,
+    Oracle,
+    FreqOnly, ///< Compute-DVFS-only ablation (Section 7.2).
+};
+
+/** Printable scheme name. */
+const char *schemeName(Scheme scheme);
+
+/** Metrics reported per application. */
+enum class CampaignMetric
+{
+    Ed2,     ///< Energy-delay^2 (Figure 10).
+    Energy,  ///< Energy (Figure 11).
+    Power,   ///< Average card power (Figure 12).
+    Time,    ///< Execution time (Figure 13).
+};
+
+/** Campaign configuration. */
+struct CampaignOptions
+{
+    bool includeOracle = true;
+    bool includeFreqOnly = false;
+    TrainingOptions training;
+    HarmoniaOptions harmonia;
+
+    /**
+     * Worker threads (1 = serial). The campaign parallelizes across
+     * its (scheme, application) cells — every cell runs a fresh
+     * governor against the const device model, so cells are
+     * independent and results are bit-identical for any job count
+     * (tests/test_sweep_determinism.cpp). Unless training.jobs was
+     * set explicitly, training inherits this value too.
+     */
+    int jobs = 1;
+
+    /**
+     * Optional precomputed training result. When set, run() copies it
+     * instead of retraining — callers that already trained on the
+     * same (device, suite) pair (e.g. the experiment driver's shared
+     * context, src/exp/context.hh) avoid a redundant pipeline pass.
+     * Training is jobs-invariant (tests/test_sweep_determinism.cpp),
+     * so the campaign results are bit-identical either way. The
+     * pointee must outlive run().
+     */
+    const TrainingResult *pretrained = nullptr;
+};
+
+/**
+ * Runs and stores the full cross product of suite x schemes.
+ */
+class Campaign
+{
+  public:
+    Campaign(const GpuDevice &device, std::vector<Application> suite,
+             CampaignOptions options = {});
+
+    /** Train the predictor and execute every scheme. */
+    void run();
+
+    /** True once run() completed. */
+    bool ran() const { return ran_; }
+
+    /** Application names in suite order. */
+    std::vector<std::string> appNames() const;
+
+    /** Result of one (scheme, application) cell; @throws if absent. */
+    const AppRunResult &result(Scheme scheme,
+                               const std::string &app) const;
+
+    /** Raw metric value of one cell. */
+    double metric(Scheme scheme, const std::string &app,
+                  CampaignMetric metric) const;
+
+    /**
+     * Metric normalized to the baseline (value / baseline value);
+     * < 1 is an improvement for all four metrics.
+     */
+    double normalized(Scheme scheme, const std::string &app,
+                      CampaignMetric metric) const;
+
+    /**
+     * Geometric mean of normalized metric across applications.
+     * @param excludeStress Drop MaxFlops and DeviceMemory ("Geomean2").
+     */
+    double geomeanNormalized(Scheme scheme, CampaignMetric metric,
+                             bool excludeStress = false) const;
+
+    /** The trained sensitivity predictor used by Harmonia/CG. */
+    const SensitivityPredictor &predictor() const;
+
+    /** The training result (for the Table 3 bench). */
+    const TrainingResult &training() const;
+
+    /** Schemes actually executed. */
+    std::vector<Scheme> schemes() const;
+
+  private:
+    std::unique_ptr<Governor> makeGovernor(Scheme scheme) const;
+
+    const GpuDevice &device_;
+    std::vector<Application> suite_;
+    CampaignOptions options_;
+    std::unique_ptr<TrainingResult> training_;
+    std::unique_ptr<SensitivityPredictor> predictor_;
+    std::map<Scheme, std::map<std::string, AppRunResult>> results_;
+    bool ran_ = false;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_CORE_CAMPAIGN_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Power-management governor interface.
+ *
+ * A governor is consulted at every kernel boundary: decide() picks the
+ * hardware configuration for the upcoming invocation, and observe()
+ * feeds back the measured sample afterwards (Section 5.1's monitoring
+ * loop). Governors are stateful per application run; reset() clears
+ * history between applications.
+ */
+
+#ifndef HARMONIA_CORE_GOVERNOR_HH
+#define HARMONIA_CORE_GOVERNOR_HH
+
+#include <string>
+
+#include "harmonia/counters/sampler.hh"
+#include "harmonia/dvfs/tunables.hh"
+#include "harmonia/timing/kernel_profile.hh"
+
+namespace harmonia
+{
+
+/** Abstract kernel-boundary power governor. */
+class Governor
+{
+  public:
+    virtual ~Governor() = default;
+
+    /** Scheme name for reports, e.g. "Harmonia(FG+CG)". */
+    virtual std::string name() const = 0;
+
+    /** Configuration for the upcoming invocation of @p profile. */
+    virtual HardwareConfig decide(const KernelProfile &profile,
+                                  int iteration) = 0;
+
+    /** Feedback after the invocation completes. */
+    virtual void observe(const KernelSample &sample) = 0;
+
+    /** Clear all per-kernel state (between applications). */
+    virtual void reset() = 0;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_CORE_GOVERNOR_HH

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Harmonia: the two-level coordinated power-management governor
+ * (paper Section 5, Algorithm 1).
+ *
+ * At every kernel boundary the monitoring loop samples counters and
+ * computes compute/bandwidth sensitivities with the linear predictors,
+ * binned into LOW/MED/HIGH (<30%, 30-70%, >70%).
+ *
+ * Coarse-grain (CG) block: when a kernel first exhibits a sensitivity
+ * bin pair, all three tunables are set concurrently to the empirically
+ * fixed value associated with each bin. The bin pair acts as the
+ * kernel's *phase signature*: Harmonia "records the last best hardware
+ * configuration" per phase (Section 5.1), so when a known phase
+ * recurs the governor jumps straight to that phase's converged
+ * configuration instead of re-running CG — this is what lets Graph500
+ * dither between memory states across BFS levels without paying the
+ * exploration cost every level.
+ *
+ * Fine-grain (FG) block: when the phase signature is unchanged
+ * between two subsequent iterations, the tunables are stepped down by
+ * one step each (core 100 MHz, memory 150 MHz = 30 GB/s, CU 4) —
+ * "all tunables can be fine-tuned concurrently" (Section 5.2).
+ * Tunables whose predicted sensitivity bin is HIGH are excluded
+ * (changing them is known to cost performance in proportion). While
+ * the performance gradient stays >= 0 the descent continues; when
+ * performance degrades the concurrent step is reverted and FG
+ * "isolates the responsible tunable" by re-probing the reverted
+ * tunables one at a time. A tunable that keeps oscillating (maxDither
+ * reverts) locks at its last good value for the phase. When
+ * performance sits below the phase's known-good level without a
+ * pending step (e.g. after a CG overshoot), the governor converges to
+ * "the last best state" (Section 5.2) in one jump, and a coarse-grain
+ * decision that caused the drop is vetoed for this kernel.
+ *
+ * Deviations from the paper, forced by observability differences:
+ *  - the performance proxy is work-normalized throughput
+ *    (instructions/second) rather than the raw VALUBusy gradient; the
+ *    paper used VALUBusy only because its device exposes nothing
+ *    better at kernel granularity;
+ *  - performance references are kept per phase signature, never
+ *    compared across phases (the paper's counter-limited monitoring
+ *    has the same constraint implicitly: its workloads' phases hold
+ *    still for many control intervals);
+ *  - CG-only mode (used as the paper's "CG" comparison point) applies
+ *    no performance feedback at all: coarse decisions stand, which is
+ *    exactly why the paper reports CG-only losing up to 27% on
+ *    Streamcluster while full Harmonia recovers it.
+ */
+
+#ifndef HARMONIA_CORE_HARMONIA_GOVERNOR_HH
+#define HARMONIA_CORE_HARMONIA_GOVERNOR_HH
+
+#include <array>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "harmonia/core/governor.hh"
+#include "harmonia/core/predictor.hh"
+
+namespace harmonia
+{
+
+/** Tuning options of the Harmonia governor. */
+struct HarmoniaOptions
+{
+    bool enableCg = true;  ///< Coarse-grain sensitivity tuning.
+    bool enableFg = true;  ///< Fine-grain feedback tuning.
+
+    /** Which tunables the governor may adjust (CU, CU-freq, mem-freq);
+     * used by the compute-DVFS-only ablation of Section 7.2. */
+    std::array<bool, 3> tunableEnabled = {true, true, true};
+
+    /** Oscillations tolerated before a tunable locks. */
+    int maxDither = 2;
+
+    /** Relative performance drop treated as noise. */
+    double gradientTolerance = 0.015;
+
+    /**
+     * Maximum FG descent, in lattice steps below the CG anchor value
+     * of each tunable. Bounds how far the feedback walk can drift on
+     * workload noise before the dithering locks engage; the paper's FG
+     * typically converges within 3-4 iterations of its CG vicinity.
+     */
+    int maxFgDepth = 3;
+
+    /** CG target values per bin, indexed [LOW, MED, HIGH]. The CG
+     * block only needs to reach the *vicinity* of the balance point —
+     * the FG walk descends further. ED^2 weights delay quadratically
+     * and the paper observes that Harmonia mostly adjusts CU counts
+     * and memory bus frequency rather than CU frequency (Section 7.2,
+     * insight 2), so MED compute keeps the maximum configuration and
+     * deep cuts are reserved for LOW-sensitivity (past-the-knee)
+     * kernels. The LOW memory target is 775 MHz rather than the
+     * floor: dropping straight to 475 MHz crosses the bandwidth knee
+     * of any kernel with moderate traffic, and the paper's Figure 16
+     * shows 475 MHz reached only ~8% of the time — the FG walk
+     * descends there when it is truly free. */
+    std::array<int, 3> cuTargets = {16, 32, 32};
+    std::array<int, 3> freqTargets = {700, 1000, 1000};
+    std::array<int, 3> memTargets = {775, 925, 1375};
+
+    /**
+     * Clock-domain-crossing guard (paper Section 3.5 / Figure 9 and
+     * insight 3): the L2 and the L2->MC crossing run at the compute
+     * clock, so for kernels with high off-chip interconnect activity
+     * the compute frequency must stay high enough that the L2 path
+     * can still source the observed traffic. These constants describe
+     * the hardware (bytes per compute cycle) and are known to any
+     * vendor governor; the floor uses icActivity and CacheHit from
+     * the sampled counters.
+     */
+    double crossingBytesPerCycle = 320.0;
+    double l2BytesPerCycle = 512.0;
+    double crossingSafetyMargin = 1.05;
+
+    /**
+     * FG volatility gate: when a kernel's phase signature churns
+     * (EWMA of bin changes above this), fine-grain probes are
+     * suspended — a probe scheduled in one phase would be evaluated
+     * in another. Phase-dithering workloads like Graph500 then adapt
+     * purely through the CG targets and per-phase best configurations,
+     * which is how the paper describes its memory-state dithering.
+     */
+    double fgVolatilityGate = 0.4;
+};
+
+/**
+ * Derive CG bin targets for an arbitrary configuration lattice.
+ *
+ * The default HarmoniaOptions values are the empirically fixed HD7970
+ * targets; devices with a different lattice (e.g. the stacked-memory
+ * variant) need targets at the equivalent *positions*: LOW compute at
+ * ~45% of the CU range and ~50% of the frequency range, LOW memory two
+ * points above the floor (~35%), MED memory at mid-range, HIGH always
+ * the maximum. On the HD7970 lattice this reproduces the defaults
+ * exactly.
+ */
+HarmoniaOptions harmoniaOptionsFor(const ConfigSpace &space);
+
+/** The Harmonia coordinated two-level governor. */
+class HarmoniaGovernor : public Governor
+{
+  public:
+    HarmoniaGovernor(const ConfigSpace &space,
+                     SensitivityPredictor predictor,
+                     HarmoniaOptions options = {});
+
+    std::string name() const override;
+
+    HardwareConfig decide(const KernelProfile &profile,
+                          int iteration) override;
+
+    void observe(const KernelSample &sample) override;
+
+    void reset() override;
+
+    const HarmoniaOptions &options() const { return options_; }
+    const SensitivityPredictor &predictor() const { return predictor_; }
+
+    /** Introspection for tests: last bins computed for a kernel. */
+    std::optional<SensitivityBins>
+    lastBins(const std::string &kernelId) const;
+
+  private:
+    /** What kind of change the governor made last iteration. */
+    enum class ChangeKind
+    {
+        None,        ///< Configuration left as-is.
+        CoarseGrain, ///< CG retune to bin targets.
+        FgStep,      ///< FG step(s) on one or more tunables.
+        Revert,      ///< Undo of a previous change.
+        Recover,     ///< Jump back to the phase's last good config.
+        PhaseJump,   ///< Jump to a recurring phase's best config.
+    };
+
+    /** Per-(kernel, phase-signature) fine-grain state. */
+    struct PhaseState
+    {
+        bool initialized = false;
+        HardwareConfig anchor;    ///< CG vicinity bounding FG depth.
+        HardwareConfig lastGood;  ///< Phase's best known configuration.
+        double lastGoodPerf = 0.0;
+        bool haveRef = false;
+        std::vector<Tunable> pendingSteps;
+        std::vector<Tunable> isolationQueue;
+        std::array<int, 3> dither = {0, 0, 0};
+        std::array<bool, 3> locked = {false, false, false};
+    };
+
+    /** Per-kernel controller state. */
+    struct KernelState
+    {
+        HardwareConfig planned;
+        ChangeKind lastChange = ChangeKind::None;
+        bool haveBins = false;
+        SensitivityBins bins;
+        SensitivityBins cgBins; ///< Bins behind the last CG move.
+        HardwareConfig prevConfig; ///< Config of the previous sample.
+        double prevPerf = 0.0;     ///< Perf proxy of the previous sample.
+        double prevWork = 0.0;     ///< Instruction count of it.
+        double volatility = 0.0;   ///< EWMA of phase-signature churn.
+        std::map<std::pair<int, int>, PhaseState> phases;
+        /** Bin pairs whose CG decision proved harmful. */
+        std::set<std::pair<int, int>> vetoedBins;
+    };
+
+    /** Map bins to the CG target configuration, respecting the
+     * clock-domain-crossing frequency floor for the sampled traffic. */
+    HardwareConfig cgTarget(const SensitivityBins &bins,
+                            const HardwareConfig &current,
+                            const CounterSet &counters) const;
+
+    /** Lowest compute frequency (MHz, snapped up to the lattice) that
+     * keeps the L2/crossing path ahead of the observed traffic. */
+    int freqFloorMhz(const CounterSet &counters,
+                     const HardwareConfig &current) const;
+
+    /** Schedule the next FG decrement(s): all eligible tunables
+     * concurrently, or a single one when isolating a culprit. */
+    bool scheduleDecrements(PhaseState &ph, const SensitivityBins &bins,
+                            HardwareConfig &cfg, int freqFloor);
+
+    /** True when FG may step @p t down under the current bins. */
+    bool fgEligible(const PhaseState &ph, const SensitivityBins &bins,
+                    Tunable t, const HardwareConfig &cfg,
+                    int freqFloor) const;
+
+    static size_t indexOf(Tunable t);
+    static std::pair<int, int> binKey(const SensitivityBins &bins);
+
+    ConfigSpace space_;
+    SensitivityPredictor predictor_;
+    HarmoniaOptions options_;
+    std::map<std::string, KernelState> state_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_CORE_HARMONIA_GOVERNOR_HH

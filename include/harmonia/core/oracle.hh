@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Oracle governor (paper Section 7).
+ *
+ * For every kernel iteration, exhaustively profiles all ~450 hardware
+ * configurations and picks the one minimizing ED^2. The paper builds
+ * the same oracle by exhaustive online profiling and notes it is
+ * impractical to deploy; here it serves as the upper bound Harmonia is
+ * compared against (Harmonia lands within ~3% on average).
+ *
+ * The exhaustive replay runs on the ConfigSweep engine: the search
+ * parallelizes across configurations (SweepOptions::jobs) and repeated
+ * searches of the same invocation are served from the sweep's memo
+ * cache. The argmax reduction always walks the canonical enumeration
+ * order, so parallel and serial searches pick bit-identical configs.
+ */
+
+#ifndef HARMONIA_CORE_ORACLE_HH
+#define HARMONIA_CORE_ORACLE_HH
+
+#include <map>
+#include <string>
+
+#include "harmonia/core/governor.hh"
+#include "harmonia/core/sweep.hh"
+#include "harmonia/sim/gpu_device.hh"
+
+namespace harmonia
+{
+
+/** Metric the oracle optimizes. */
+enum class OracleObjective
+{
+    MinEd2,     ///< Minimize energy * delay^2 (the paper's oracle).
+    MinEnergy,  ///< Minimize energy.
+    MaxPerf,    ///< Minimize delay.
+    MinEd,      ///< Minimize energy * delay.
+};
+
+/** Printable objective name. */
+const char *oracleObjectiveName(OracleObjective objective);
+
+/** Exhaustive-search oracle. */
+class OracleGovernor : public Governor
+{
+  public:
+    /**
+     * @param device The device model to profile against (the oracle
+     *        gets to "replay" each iteration on every configuration).
+     * @param objective The optimization target.
+     * @param sweep Sweep options (jobs = parallel search width).
+     */
+    explicit OracleGovernor(const GpuDevice &device,
+                            OracleObjective objective =
+                                OracleObjective::MinEd2,
+                            SweepOptions sweep = {});
+
+    std::string name() const override;
+
+    HardwareConfig decide(const KernelProfile &profile,
+                          int iteration) override;
+
+    void observe(const KernelSample &sample) override { (void)sample; }
+
+    void reset() override { cache_.clear(); }
+
+    /** Number of exhaustive searches performed (for tests). */
+    size_t searches() const { return searches_; }
+
+    /** The sweep engine backing the searches (for cache stats). */
+    const ConfigSweep &sweep() const { return sweep_; }
+
+  private:
+    double score(const KernelResult &result) const;
+
+    ConfigSweep sweep_;
+    OracleObjective objective_;
+    std::map<std::string, HardwareConfig> cache_;
+    size_t searches_ = 0;
+};
+
+/**
+ * Standalone exhaustive search on an existing sweep engine: best
+ * configuration for one kernel invocation under an objective. The
+ * reduction is a serial walk of sweep.configs() order, so the result
+ * does not depend on the sweep's thread count.
+ */
+HardwareConfig bestConfigFor(const ConfigSweep &sweep,
+                             const KernelProfile &profile, int iteration,
+                             OracleObjective objective);
+
+/**
+ * Convenience overload building a throwaway serial sweep. Used by the
+ * oracle-adjacent analyses (Figure 6 metric tradeoffs) that only need
+ * one search per invocation.
+ */
+HardwareConfig bestConfigFor(const GpuDevice &device,
+                             const KernelProfile &profile, int iteration,
+                             OracleObjective objective);
+
+} // namespace harmonia
+
+#endif // HARMONIA_CORE_ORACLE_HH

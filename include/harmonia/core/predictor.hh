@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Online sensitivity predictors (paper Sections 4.2-4.3).
+ *
+ * Two linear models over performance-counter features predict the
+ * compute-throughput and memory-bandwidth sensitivities of the *next*
+ * invocation of a kernel from the counters of the previous one. The
+ * paper's published coefficients (Table 3) are provided as defaults;
+ * the training pipeline (training.hh) can refit them to any device
+ * model or workload suite.
+ */
+
+#ifndef HARMONIA_CORE_PREDICTOR_HH
+#define HARMONIA_CORE_PREDICTOR_HH
+
+#include <vector>
+
+#include "harmonia/core/sensitivity.hh"
+#include "harmonia/counters/perf_counters.hh"
+
+namespace harmonia
+{
+
+/** One linear sensitivity model: intercept + coeffs . features. */
+struct LinearSensitivityModel
+{
+    double intercept = 0.0;
+    std::vector<double> coeffs;
+
+    /** Evaluate on a feature vector; clamps the output to [0, 1]. */
+    double evaluate(const std::vector<double> &features) const;
+};
+
+/**
+ * The pair of models Harmonia consults each kernel boundary.
+ */
+class SensitivityPredictor
+{
+  public:
+    /**
+     * @param bandwidth Model over CounterSet::bandwidthFeatures().
+     * @param compute Model over CounterSet::computeFeatures().
+     */
+    SensitivityPredictor(LinearSensitivityModel bandwidth,
+                         LinearSensitivityModel compute);
+
+    /** The paper's Table 3 coefficients. */
+    static SensitivityPredictor paperTable3();
+
+    /** Predicted memory-bandwidth sensitivity in [0, 1]. */
+    double predictBandwidth(const CounterSet &counters) const;
+
+    /** Predicted compute-throughput sensitivity in [0, 1]. */
+    double predictCompute(const CounterSet &counters) const;
+
+    /** Both predictions, binned for the CG block. */
+    SensitivityBins predictBins(const CounterSet &counters) const;
+
+    const LinearSensitivityModel &bandwidthModel() const
+    {
+        return bandwidth_;
+    }
+    const LinearSensitivityModel &computeModel() const
+    {
+        return compute_;
+    }
+
+  private:
+    LinearSensitivityModel bandwidth_;
+    LinearSensitivityModel compute_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_CORE_PREDICTOR_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Application runtime: executes a workload under a governor on the
+ * device model, mirroring the paper's measurement loop — at each
+ * kernel boundary the governor picks a configuration, the kernel runs,
+ * the DAQ integrates card energy, and the sample is fed back.
+ */
+
+#ifndef HARMONIA_CORE_RUNTIME_HH
+#define HARMONIA_CORE_RUNTIME_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harmonia/common/stats.hh"
+#include "harmonia/core/governor.hh"
+#include "harmonia/sim/gpu_device.hh"
+#include "harmonia/workloads/app.hh"
+
+namespace harmonia
+{
+
+/** One executed kernel invocation in an application run. */
+struct KernelTrace
+{
+    std::string kernelId;
+    int iteration = 0;
+    HardwareConfig config;
+    KernelResult result;
+};
+
+/** Aggregate result of running one application under one governor. */
+struct AppRunResult
+{
+    std::string appName;
+    std::string governorName;
+
+    double totalTime = 0.0;    ///< Sum of kernel execution times (s).
+    double cardEnergy = 0.0;   ///< Total card energy (J).
+    double gpuEnergy = 0.0;    ///< GPU-chip share (J).
+    double memEnergy = 0.0;    ///< Memory share (J).
+
+    std::vector<KernelTrace> trace;
+
+    /** Time-weighted residency of each tunable's states. */
+    Residency cuResidency;
+    Residency freqResidency;
+    Residency memResidency;
+
+    /** Average card power over the run (W). */
+    double averagePower() const
+    {
+        return totalTime > 0.0 ? cardEnergy / totalTime : 0.0;
+    }
+
+    /** Energy-delay product (J*s). */
+    double ed() const { return cardEnergy * totalTime; }
+
+    /** Energy-delay-squared product (J*s^2). */
+    double ed2() const { return cardEnergy * totalTime * totalTime; }
+
+    /** Residency of one tunable by enum. */
+    const Residency &residency(Tunable t) const;
+
+    /**
+     * Export the per-invocation trace as CSV (one row per kernel
+     * invocation: kernel, iteration, configuration, time, energy,
+     * power, and the headline counters) for offline analysis or
+     * re-plotting.
+     */
+    void writeTraceCsv(std::ostream &os) const;
+};
+
+/**
+ * Runs applications on a device under a governor.
+ */
+class Runtime
+{
+  public:
+    explicit Runtime(const GpuDevice &device);
+
+    /**
+     * Execute @p app: for each iteration, each kernel in order —
+     * decide, run, observe. The governor is reset() first.
+     */
+    AppRunResult run(const Application &app, Governor &governor) const;
+
+  private:
+    const GpuDevice &device_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_CORE_RUNTIME_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Sensitivity-predictor training pipeline (paper Sections 4.1-4.3).
+ *
+ * For every kernel in a workload suite:
+ *  1. run it across a sample of hardware configurations, recording
+ *     counters, and average each counter across configurations (the
+ *     paper's data-reduction step in Section 4.2);
+ *  2. measure ground-truth compute and bandwidth sensitivities by
+ *     finite differences at the maximum configuration;
+ *  3. fit linear regressions from the averaged counter features to the
+ *     measured sensitivities, reporting the correlation coefficients
+ *     the paper quotes (0.91 compute, 0.96 bandwidth).
+ */
+
+#ifndef HARMONIA_CORE_TRAINING_HH
+#define HARMONIA_CORE_TRAINING_HH
+
+#include <string>
+#include <vector>
+
+#include "harmonia/core/predictor.hh"
+#include "harmonia/core/sensitivity.hh"
+#include "harmonia/linalg/least_squares.hh"
+#include "harmonia/workloads/app.hh"
+
+namespace harmonia
+{
+
+/** One training point: a kernel invocation's features and targets. */
+struct TrainingSample
+{
+    std::string kernelId;
+    int iteration = 0;
+    CounterSet counters;       ///< Averaged across configurations.
+    double bandwidthSens = 0.0;
+    double computeSens = 0.0;
+};
+
+/** Options controlling training cost/fidelity. */
+struct TrainingOptions
+{
+    /** Iterations sampled per kernel (the rest behave similarly). */
+    int iterationsPerKernel = 4;
+
+    /** Configurations per kernel at which counters are collected.
+     * Sampled deterministically around the operating points the
+     * governor actually visits. */
+    int configsPerKernel = 6;
+
+    /**
+     * When true, replace each kernel's counters by their average
+     * across the sampled configurations before fitting — the paper's
+     * Section 4.2 data reduction (11250 -> 2000 points). The default
+     * keeps one sample per configuration, which trains a predictor
+     * that is robust to being evaluated at whatever configuration the
+     * kernel last ran at.
+     */
+    bool averageAcrossConfigs = false;
+
+    /**
+     * Worker threads for sample collection (1 = serial). Collection
+     * parallelizes across (kernel, iteration) tasks whose samples are
+     * reassembled in the serial order, so the training set — and
+     * therefore the fitted predictor — is bit-identical for any value.
+     */
+    int jobs = 1;
+};
+
+/** Output of the training pipeline. */
+struct TrainingResult
+{
+    std::vector<TrainingSample> samples;
+    RegressionFit bandwidthFit;
+    RegressionFit computeFit;
+
+    /** Mean absolute prediction error on the training set. */
+    double bandwidthMae = 0.0;
+    double computeMae = 0.0;
+
+    /** Build a predictor from the fitted coefficients. */
+    SensitivityPredictor predictor() const;
+};
+
+/** Collect training samples from a suite on a device. */
+std::vector<TrainingSample>
+collectTrainingSamples(const GpuDevice &device,
+                       const std::vector<Application> &suite,
+                       const TrainingOptions &options = {});
+
+/** Fit both sensitivity models from collected samples. */
+TrainingResult fitPredictors(const std::vector<TrainingSample> &samples);
+
+/** Full pipeline: collect + fit. */
+TrainingResult trainPredictors(const GpuDevice &device,
+                               const std::vector<Application> &suite,
+                               const TrainingOptions &options = {});
+
+} // namespace harmonia
+
+#endif // HARMONIA_CORE_TRAINING_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Kernel-boundary counter sampling and per-kernel history.
+ *
+ * Harmonia's monitoring block samples performance counters at kernel
+ * boundaries and uses each kernel's historical data from previous
+ * iterations to predict configurations for the next invocation of the
+ * same kernel (Section 5.1). This module provides that history store.
+ */
+
+#ifndef HARMONIA_COUNTERS_SAMPLER_HH
+#define HARMONIA_COUNTERS_SAMPLER_HH
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harmonia/counters/perf_counters.hh"
+#include "harmonia/dvfs/tunables.hh"
+
+namespace harmonia
+{
+
+/** One sampled kernel invocation. */
+struct KernelSample
+{
+    std::string kernelId;       ///< Unique kernel name (app.kernel).
+    int iteration = 0;          ///< Application iteration index.
+    HardwareConfig config;      ///< Configuration it ran at.
+    CounterSet counters;        ///< Counters at the kernel boundary.
+    double execTime = 0.0;      ///< Kernel execution time (s).
+    double cardEnergy = 0.0;    ///< GPU card energy over the kernel (J).
+};
+
+/**
+ * Bounded per-kernel sample history.
+ */
+class KernelHistory
+{
+  public:
+    /** @param capacity Samples retained per kernel (>= 2). */
+    explicit KernelHistory(size_t capacity = 16);
+
+    /** Record one sample. */
+    void record(const KernelSample &sample);
+
+    /** Most recent sample for a kernel, if any. */
+    std::optional<KernelSample> last(const std::string &kernelId) const;
+
+    /** Second-most-recent sample, if any. */
+    std::optional<KernelSample>
+    previous(const std::string &kernelId) const;
+
+    /** All retained samples for a kernel, oldest first. */
+    std::vector<KernelSample> samples(const std::string &kernelId) const;
+
+    /** Number of samples retained for a kernel. */
+    size_t count(const std::string &kernelId) const;
+
+    /** Kernels seen so far. */
+    std::vector<std::string> kernels() const;
+
+    /** Remove all state (e.g. between applications). */
+    void clear();
+
+  private:
+    size_t capacity_;
+    std::map<std::string, std::deque<KernelSample>> perKernel_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_COUNTERS_SAMPLER_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Public device surface: the simulated GPU card and everything needed
+ * to drive one — kernel execution over the configuration lattice,
+ * predictor training, the string-keyed governor factory, and the
+ * DeviceRegistry profiles behind Device::make(name).
+ *
+ * Include this (or the harmonia.hh aggregator) instead of the
+ * sim/core internals; see docs/DEVICES.md for the registered parts.
+ */
+
+#ifndef HARMONIA_DEVICE_HH
+#define HARMONIA_DEVICE_HH
+
+#include "harmonia/common/status.hh"
+#include "harmonia/core/governor_registry.hh"
+#include "harmonia/core/runtime.hh"
+#include "harmonia/core/training.hh"
+#include "harmonia/sim/device_registry.hh"
+#include "harmonia/sim/gpu_device.hh"
+
+namespace harmonia
+{
+
+/**
+ * The public handle on a simulated GPU card. Owns the underlying
+ * GpuDevice model and layers the facade conveniences on top: governor
+ * construction by name, predictor training, and sweep/runtime
+ * helpers. Copyable views of the internals remain reachable through
+ * gpu()/space() for the analysis types that take them by reference.
+ */
+class Device
+{
+  public:
+    /** The default HD7970 model. */
+    Device() = default;
+
+    /** Wrap an explicitly-built model (e.g. a registry profile). */
+    explicit Device(GpuDevice gpu) : gpu_(std::move(gpu)) {}
+
+    /**
+     * Build a device by registry name ("hd7970", "hbm-stacked",
+     * "ampere-ga100", or anything added via DeviceRegistry). Name
+     * matching is case-insensitive; unknown names yield a
+     * StatusCode::UnknownDevice error listing the registered parts.
+     */
+    static Result<Device> make(const std::string &name)
+    {
+        Result<GpuDevice> gpu = makeDevice(name);
+        if (!gpu.ok())
+            return gpu.status();
+        return Device(std::move(gpu.value()));
+    }
+
+    /** Registered device names, sorted (see docs/DEVICES.md). */
+    static std::vector<std::string> names() { return deviceNames(); }
+
+    const GpuDevice &gpu() const { return gpu_; }
+
+    /** The registry name this model was built from ("custom" when
+     * wrapped directly). */
+    const std::string &name() const { return gpu_.name(); }
+    const ConfigSpace &space() const { return gpu_.space(); }
+    const GcnDeviceConfig &config() const { return gpu_.config(); }
+
+    /** Run one kernel invocation at @p cfg. */
+    KernelResult run(const KernelProfile &profile, int iteration,
+                     const HardwareConfig &cfg) const
+    {
+        return gpu_.run(profile, iteration, cfg);
+    }
+
+    /**
+     * Train the sensitivity predictors on @p suite.
+     * @returns the training result or the error explaining why the
+     *          suite/options were rejected.
+     */
+    Result<TrainingResult>
+    train(const std::vector<Application> &suite,
+          const TrainingOptions &options = {}) const
+    {
+        try {
+            return trainPredictors(gpu_, suite, options);
+        } catch (...) {
+            return statusFromCurrentException();
+        }
+    }
+
+    /**
+     * Build a governor by registry name ("baseline", "cg",
+     * "harmonia", "freq-only", "oracle", or anything registered via
+     * GovernorRegistry). Predictor-driven governors need
+     * @p predictor; it must outlive the returned governor.
+     */
+    Result<std::unique_ptr<Governor>>
+    makeGovernor(const std::string &name,
+                 const SensitivityPredictor *predictor = nullptr,
+                 const HarmoniaOptions &options = {}) const
+    {
+        GovernorSpec spec;
+        spec.device = &gpu_;
+        spec.predictor = predictor;
+        spec.harmonia = options;
+        return harmonia::makeGovernor(name, spec);
+    }
+
+    /** Execute @p app under @p governor (facade over Runtime). */
+    AppRunResult runApp(const Application &app, Governor &governor) const
+    {
+        return Runtime(gpu_).run(app, governor);
+    }
+
+  private:
+    GpuDevice gpu_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_DEVICE_HH

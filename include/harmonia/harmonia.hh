@@ -1,213 +1,46 @@
 /**
  * @file
- * The public Harmonia API facade.
+ * The public Harmonia API facade — a thin aggregator over the topic
+ * headers that carry the stable surface:
  *
- * This is the single header applications include:
+ *  - harmonia/device.hh:   Device (the simulated GPU card: kernel
+ *                          execution, lattice, training, governor
+ *                          factory) and the DeviceRegistry profiles
+ *                          behind Device::make(name);
+ *  - harmonia/campaign.hh: Suite (the 14-application workloads), the
+ *                          suite x schemes Campaign, the sweep engine,
+ *                          sensitivity analysis, and TextTable;
+ *  - harmonia/serve.hh:    the harmoniad serving vocabulary (namespace
+ *                          harmonia::serve): JsonValue, the
+ *                          harmonia.request/1 protocol, Service and
+ *                          the Server reactor (docs/SERVING.md);
+ *  - harmonia/check.hh:    the 11-invariant model checker behind
+ *                          check_model;
+ *  - harmonia/lint.hh:     the source-contract analyzer behind
+ *                          harmonia_lint (namespace harmonia::lint);
+ *  - harmonia/exp.hh:      the registered-exhibit driver behind
+ *                          harmonia_exp (namespace harmonia::exp).
+ *
+ * Applications can keep including this one header:
  *
  *   #include "harmonia/harmonia.hh"
  *
- * It provides the stable surface —
- *
- *  - Device:   the simulated GPU card (default HD7970), with kernel
- *              execution, the configuration lattice, training, and a
- *              string-keyed governor factory; Device::make(name)
- *              builds any part registered in the DeviceRegistry
- *              (sim/device_registry.hh) — "hd7970", "hbm-stacked",
- *              "ampere-ga100", or a third-party registration;
- *  - Suite:    the 14-application workload suite and name lookups;
- *  - Campaign: the suite x schemes evaluation campaign (re-exported
- *              from the core layer);
- *  - makeGovernor(name, spec): the governor registry, replacing
- *              direct BaselineGovernor / HarmoniaGovernor /
- *              OracleGovernor construction;
- *  - Status / Result<T>: structured errors at every fallible facade
- *              call (common/status.hh); internals keep exceptions.
- *
- * — and re-exports the supporting vocabulary types (KernelProfile,
- * HardwareConfig, AppRunResult, TextTable, ...) so that examples,
- * tools, and external users never include src/core/ or src/sim/
- * headers directly. Everything lives in namespace harmonia.
- *
- * The validation tooling is part of the surface too: the model
- * checker (check/checker.hh, namespace harmonia) and the
- * source-contract analyzer (lint/linter.hh, namespace
- * harmonia::lint) back the check_model and harmonia_lint CLIs.
- *
- * The serving front-end for this surface is the `harmoniad` daemon
- * (src/serve/, docs/SERVING.md), which exposes the same operations —
- * evaluate / govern / sweep — over a newline-delimited JSON protocol.
- * The serving vocabulary is exported too (namespace harmonia::serve):
- * JsonValue and the harmonia.request/1 envelope helpers for protocol
- * clients like tools/harmonia_client, plus the Service/ServiceOptions
- * engine and the Server/ServerOptions reactor (serve/service.hh,
- * serve/server.hh) so the daemon itself builds against the facade
- * alone.
+ * or pick the topic headers they need. Either way the public surface
+ * is self-contained under include/harmonia/ — the supporting
+ * vocabulary types (KernelProfile, HardwareConfig, AppRunResult,
+ * Status/Result<T>, ...) live in harmonia/<layer>/ headers that the
+ * topic headers re-export, and nothing here reaches into src/
+ * internals (enforced by the public-header-isolation lint rule).
  */
 
 #ifndef HARMONIA_HARMONIA_HH
 #define HARMONIA_HARMONIA_HH
 
-#include "check/checker.hh"
-#include "common/status.hh"
-#include "common/table.hh"
-#include "core/campaign.hh"
-#include "core/governor_registry.hh"
-#include "core/oracle.hh"
-#include "core/runtime.hh"
-#include "core/sensitivity.hh"
-#include "core/sweep.hh"
-#include "core/training.hh"
-#include "lint/linter.hh"
-#include "serve/json.hh"
-#include "serve/protocol.hh"
-#include "serve/server.hh"
-#include "serve/service.hh"
-#include "sim/device_registry.hh"
-#include "sim/gpu_device.hh"
-#include "workloads/suite.hh"
-
-namespace harmonia
-{
-
-/**
- * The public handle on a simulated GPU card. Owns the underlying
- * GpuDevice model and layers the facade conveniences on top: governor
- * construction by name, predictor training, and sweep/runtime
- * helpers. Copyable views of the internals remain reachable through
- * gpu()/space() for the analysis types that take them by reference.
- */
-class Device
-{
-  public:
-    /** The default HD7970 model. */
-    Device() = default;
-
-    /** Wrap an explicitly-built model (e.g. a registry profile). */
-    explicit Device(GpuDevice gpu) : gpu_(std::move(gpu)) {}
-
-    /**
-     * Build a device by registry name ("hd7970", "hbm-stacked",
-     * "ampere-ga100", or anything added via DeviceRegistry). Name
-     * matching is case-insensitive; unknown names yield a
-     * StatusCode::UnknownDevice error listing the registered parts.
-     */
-    static Result<Device> make(const std::string &name)
-    {
-        Result<GpuDevice> gpu = makeDevice(name);
-        if (!gpu.ok())
-            return gpu.status();
-        return Device(std::move(gpu.value()));
-    }
-
-    /** Registered device names, sorted (see docs/DEVICES.md). */
-    static std::vector<std::string> names() { return deviceNames(); }
-
-    const GpuDevice &gpu() const { return gpu_; }
-
-    /** The registry name this model was built from ("custom" when
-     * wrapped directly). */
-    const std::string &name() const { return gpu_.name(); }
-    const ConfigSpace &space() const { return gpu_.space(); }
-    const GcnDeviceConfig &config() const { return gpu_.config(); }
-
-    /** Run one kernel invocation at @p cfg. */
-    KernelResult run(const KernelProfile &profile, int iteration,
-                     const HardwareConfig &cfg) const
-    {
-        return gpu_.run(profile, iteration, cfg);
-    }
-
-    /**
-     * Train the sensitivity predictors on @p suite.
-     * @returns the training result or the error explaining why the
-     *          suite/options were rejected.
-     */
-    Result<TrainingResult>
-    train(const std::vector<Application> &suite,
-          const TrainingOptions &options = {}) const
-    {
-        try {
-            return trainPredictors(gpu_, suite, options);
-        } catch (...) {
-            return statusFromCurrentException();
-        }
-    }
-
-    /**
-     * Build a governor by registry name ("baseline", "cg",
-     * "harmonia", "freq-only", "oracle", or anything registered via
-     * GovernorRegistry). Predictor-driven governors need
-     * @p predictor; it must outlive the returned governor.
-     */
-    Result<std::unique_ptr<Governor>>
-    makeGovernor(const std::string &name,
-                 const SensitivityPredictor *predictor = nullptr,
-                 const HarmoniaOptions &options = {}) const
-    {
-        GovernorSpec spec;
-        spec.device = &gpu_;
-        spec.predictor = predictor;
-        spec.harmonia = options;
-        return harmonia::makeGovernor(name, spec);
-    }
-
-    /** Execute @p app under @p governor (facade over Runtime). */
-    AppRunResult runApp(const Application &app, Governor &governor) const
-    {
-        return Runtime(gpu_).run(app, governor);
-    }
-
-  private:
-    GpuDevice gpu_;
-};
-
-/**
- * The workload suite: a named collection of applications with
- * structured-error lookups.
- */
-class Suite
-{
-  public:
-    /** The paper's 14-application standard suite. */
-    static Suite standard() { return Suite(standardSuite()); }
-
-    /** Standard suite minus the two stress benchmarks ("Geomean2"). */
-    static Suite withoutStress() { return Suite(suiteWithoutStress()); }
-
-    explicit Suite(std::vector<Application> apps)
-        : apps_(std::move(apps))
-    {
-    }
-
-    const std::vector<Application> &apps() const { return apps_; }
-    size_t size() const { return apps_.size(); }
-
-    /** Application by name. */
-    Result<Application> app(const std::string &name) const
-    {
-        for (const Application &a : apps_) {
-            if (a.name == name)
-                return a;
-        }
-        return Status::notFound("unknown application '" + name + "'");
-    }
-
-    /** Kernel profile by "App.Kernel" id. */
-    Result<KernelProfile> kernel(const std::string &id) const
-    {
-        for (const Application &a : apps_) {
-            for (const KernelProfile &k : a.kernels) {
-                if (k.id() == id)
-                    return k;
-            }
-        }
-        return Status::notFound("unknown kernel '" + id + "'");
-    }
-
-  private:
-    std::vector<Application> apps_;
-};
-
-} // namespace harmonia
+#include "harmonia/campaign.hh"
+#include "harmonia/check.hh"
+#include "harmonia/device.hh"
+#include "harmonia/exp.hh"
+#include "harmonia/lint.hh"
+#include "harmonia/serve.hh"
 
 #endif // HARMONIA_HARMONIA_HH

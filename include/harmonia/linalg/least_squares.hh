@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Linear least-squares solver and regression fit summary.
+ *
+ * Solves min ||A x - b||_2 via Householder QR (numerically safer than
+ * the normal equations for the counter matrices used in training the
+ * sensitivity predictors, which contain near-collinear columns).
+ */
+
+#ifndef HARMONIA_LINALG_LEAST_SQUARES_HH
+#define HARMONIA_LINALG_LEAST_SQUARES_HH
+
+#include <vector>
+
+#include "harmonia/linalg/matrix.hh"
+
+namespace harmonia
+{
+
+/** Result of a least-squares regression fit. */
+struct RegressionFit
+{
+    /** Coefficients; when fit with an intercept, coeffs[0] is it. */
+    Vector coeffs;
+
+    /** Residual 2-norm ||A x - b||. */
+    double residualNorm = 0.0;
+
+    /** Coefficient of determination (1 - SSres/SStot). */
+    double rSquared = 0.0;
+
+    /**
+     * Pearson correlation between predictions and targets; the paper
+     * reports this as the model quality metric (0.91 / 0.96).
+     */
+    double correlation = 0.0;
+
+    /** Evaluate the fitted model on a feature row (without intercept
+     * column; it is added automatically when the fit used one). */
+    double predict(const Vector &features) const;
+
+    /** True when the fit included an intercept term. */
+    bool hasIntercept = false;
+};
+
+/**
+ * Solve min ||A x - b|| by Householder QR.
+ *
+ * @param a Design matrix (rows >= cols, full column rank assumed; a
+ *          rank-deficient system raises ConfigError).
+ * @param b Target vector with a.rows() entries.
+ * @return Solution x with a.cols() entries.
+ */
+Vector solveLeastSquares(const Matrix &a, const Vector &b);
+
+/**
+ * Fit y ~ intercept + X * beta.
+ *
+ * @param x Feature matrix, one sample per row.
+ * @param y Targets, one per row of @p x.
+ * @param withIntercept Prepend a constant-1 column when true.
+ */
+RegressionFit fitLinearRegression(const Matrix &x, const Vector &y,
+                                  bool withIntercept = true);
+
+} // namespace harmonia
+
+#endif // HARMONIA_LINALG_LEAST_SQUARES_HH

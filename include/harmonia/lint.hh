@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Public source-contract analyzer surface (namespace harmonia::lint):
+ * scanProject + Linter + the registered rule catalog and baseline
+ * suppression behind the harmonia_lint CLI. The rule catalog and the
+ * contracts it enforces are documented in docs/CHECKING.md.
+ */
+
+#ifndef HARMONIA_LINT_HH
+#define HARMONIA_LINT_HH
+
+#include "harmonia/lint/linter.hh"
+
+#endif // HARMONIA_LINT_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Suppression baseline for pre-existing findings.
+ *
+ * lint-baseline.txt at the repo root lists `<rule-id> <path>` pairs
+ * (one per line, '#' comments). A finding whose (rule, file) pair is
+ * listed is reported as baselined and does not fail the run, so a
+ * legacy violation can be burned down on its own schedule while any
+ * *new* violation — a new file, or a new rule firing in an unlisted
+ * file — fails CI immediately. Keys carry no line numbers on purpose:
+ * unrelated edits to a baselined file must not resurrect its entry.
+ */
+
+#ifndef HARMONIA_LINT_BASELINE_HH
+#define HARMONIA_LINT_BASELINE_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "harmonia/lint/diagnostic.hh"
+
+namespace harmonia::lint
+{
+
+/** The parsed suppression set. */
+class Baseline
+{
+  public:
+    Baseline() = default;
+
+    /** Parse baseline text. @throws ConfigError on malformed lines. */
+    static Baseline parse(const std::string &text);
+
+    /** Read and parse @p path. @throws ConfigError when unreadable. */
+    static Baseline load(const std::string &path);
+
+    /** Number of suppression entries. */
+    size_t size() const { return keys_.size(); }
+
+    /**
+     * Mark each suppressed diagnostic's `baselined` flag; returns the
+     * number of *non*-baselined (i.e. failing) diagnostics.
+     */
+    size_t apply(std::vector<Diagnostic> &diagnostics) const;
+
+    /** Entries that matched no diagnostic in the last apply() —
+     * stale suppressions ready to be deleted. */
+    const std::vector<std::string> &unmatched() const
+    {
+        return unmatched_;
+    }
+
+  private:
+    std::set<std::string> keys_;
+    mutable std::vector<std::string> unmatched_;
+};
+
+} // namespace harmonia::lint
+
+#endif // HARMONIA_LINT_BASELINE_HH

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Umbrella header for the source-contract analyzer (harmonia_lint):
+ * the full lint API — project scanning, the rule registry, baseline
+ * suppression, and report rendering — behind one include, so the
+ * facade can re-export it the way it re-exports the model checker.
+ */
+
+#ifndef HARMONIA_LINT_LINTER_HH
+#define HARMONIA_LINT_LINTER_HH
+
+#include "harmonia/lint/baseline.hh"
+#include "harmonia/lint/diagnostic.hh"
+#include "harmonia/lint/project.hh"
+#include "harmonia/lint/report.hh"
+#include "harmonia/lint/rule.hh"
+#include "harmonia/lint/source.hh"
+
+#endif // HARMONIA_LINT_LINTER_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Report rendering for the lint driver: the human-readable text
+ * stream and the machine-readable JSON document
+ * (schema "harmonia.lint-report/1" — the same schema'd-artifact
+ * convention as the experiment layer's "harmonia.exhibit-table/1").
+ */
+
+#ifndef HARMONIA_LINT_REPORT_HH
+#define HARMONIA_LINT_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harmonia/lint/baseline.hh"
+#include "harmonia/lint/diagnostic.hh"
+#include "harmonia/lint/rule.hh"
+
+namespace harmonia::lint
+{
+
+/** Everything a report includes. */
+struct ReportInput
+{
+    const Project &project;
+    const std::vector<const LintRule *> &rules;
+    const std::vector<Diagnostic> &diagnostics;
+    const Baseline &baseline;
+};
+
+/** Non-baselined (failing) diagnostics in @p diagnostics. */
+size_t countFailing(const std::vector<Diagnostic> &diagnostics);
+
+/** Print diagnostics, stale-baseline notices, and a summary line. */
+void writeTextReport(std::ostream &out, const ReportInput &input);
+
+/** One-document JSON report, schema "harmonia.lint-report/1". */
+void writeJsonReport(std::ostream &out, const ReportInput &input);
+
+} // namespace harmonia::lint
+
+#endif // HARMONIA_LINT_REPORT_HH

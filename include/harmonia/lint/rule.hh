@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The rule layer: every source contract the repo guarantees
+ * (determinism, FP-contract safety, layering, hygiene) is a LintRule
+ * registered with the global RuleRegistry and executed by the single
+ * `harmonia_lint` driver (tools/harmonia_lint.cc).
+ *
+ * Rules self-register at static-initialization time via
+ * HARMONIA_REGISTER_LINT_RULE — the same pattern as the experiment
+ * layer's ExperimentRegistry (src/exp/experiment.hh), and for the
+ * same reason: adding a rule is one translation-unit-local class, no
+ * central list to edit. The catalog lives in src/lint/rules.cc and is
+ * documented in docs/CHECKING.md ("Layer 0: source contracts").
+ */
+
+#ifndef HARMONIA_LINT_RULE_HH
+#define HARMONIA_LINT_RULE_HH
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harmonia/lint/diagnostic.hh"
+#include "harmonia/lint/project.hh"
+
+namespace harmonia::lint
+{
+
+/**
+ * One named, documented, executable source contract.
+ */
+class LintRule
+{
+  public:
+    virtual ~LintRule() = default;
+
+    /** Stable kebab-case identifier, e.g. "no-ambient-randomness". */
+    virtual std::string id() const = 0;
+
+    /** One-line statement of the contract being enforced. */
+    virtual std::string description() const = 0;
+
+    /** Default severity of this rule's findings. */
+    virtual Severity severity() const { return Severity::Error; }
+
+    /** Append one Diagnostic per violation found in @p project. */
+    virtual void check(const Project &project,
+                       std::vector<Diagnostic> &out) const = 0;
+};
+
+/**
+ * Global registry of rules, populated by static registrars.
+ */
+class RuleRegistry
+{
+  public:
+    static RuleRegistry &instance();
+
+    /** Register @p rule; @throws ConfigError on duplicate ids. */
+    void add(std::unique_ptr<LintRule> rule);
+
+    /** Look up by id; nullptr when absent. */
+    const LintRule *find(std::string_view id) const;
+
+    /** All rules, sorted by id. */
+    std::vector<const LintRule *> all() const;
+
+    /** Number of registered rules. */
+    size_t size() const { return rules_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<LintRule>> rules_;
+};
+
+/**
+ * Run @p rules over @p project; diagnostics come back sorted by
+ * (file, line, rule id) so output is deterministic and diffable.
+ */
+std::vector<Diagnostic>
+runLint(const Project &project,
+        const std::vector<const LintRule *> &rules);
+
+namespace detail
+{
+
+template <class T> struct RuleRegistrar
+{
+    RuleRegistrar()
+    {
+        RuleRegistry::instance().add(std::make_unique<T>());
+    }
+};
+
+} // namespace detail
+
+} // namespace harmonia::lint
+
+/** Self-register a LintRule subclass with the global registry. */
+#define HARMONIA_REGISTER_LINT_RULE(Type)                                \
+    namespace                                                            \
+    {                                                                    \
+    const ::harmonia::lint::detail::RuleRegistrar<Type>                  \
+        lintRegistrar##Type;                                             \
+    }
+
+#endif // HARMONIA_LINT_RULE_HH

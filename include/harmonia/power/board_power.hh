@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Board-level power composition (paper Equation 4):
+ *
+ *   GPUCardPwr = GPUPwr + MemPwr + OtherPwr
+ *
+ * OtherPwr covers the fan (fixed at max RPM in the paper's setup so it
+ * is workload-independent), voltage-regulator losses, board trace
+ * losses, and miscellaneous discrete components.
+ */
+
+#ifndef HARMONIA_POWER_BOARD_POWER_HH
+#define HARMONIA_POWER_BOARD_POWER_HH
+
+#include "harmonia/memsys/gddr5.hh"
+#include "harmonia/power/gpu_power.hh"
+
+namespace harmonia
+{
+
+/** Fixed board component parameters. */
+struct BoardPowerParams
+{
+    double fanWatts = 10.0;        ///< Fan pinned at max RPM.
+    double miscWatts = 5.0;        ///< LEDs, sensors, trace losses.
+    double vrLossFraction = 0.07;  ///< VRM inefficiency on GPU+Mem.
+};
+
+/** Full card power breakdown (Watts). */
+struct CardPowerBreakdown
+{
+    GpuPowerBreakdown gpu;   ///< GPU chip (GPUPwr).
+    MemPowerBreakdown mem;   ///< Off-chip memory + PHY (MemPwr).
+    double other = 0.0;      ///< Fan + VRM + misc (OtherPwr).
+
+    double gpuTotal() const { return gpu.total(); }
+    double memTotal() const { return mem.total(); }
+    double total() const { return gpuTotal() + memTotal() + other; }
+};
+
+/**
+ * Combines chip and memory power into card power.
+ */
+class BoardPowerModel
+{
+  public:
+    explicit BoardPowerModel(BoardPowerParams params = {});
+
+    const BoardPowerParams &params() const { return params_; }
+
+    /** Compose a card breakdown from chip and memory breakdowns. */
+    CardPowerBreakdown compose(const GpuPowerBreakdown &gpu,
+                               const MemPowerBreakdown &mem) const;
+
+  private:
+    BoardPowerParams params_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_POWER_BOARD_POWER_HH

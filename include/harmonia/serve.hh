@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Public serving surface (namespace harmonia::serve): JsonValue and
+ * the harmonia.request/1 envelope helpers for protocol clients, the
+ * Service/ServiceOptions batched evaluation engine, and the
+ * Server/ServerOptions poll() reactor behind the harmoniad daemon.
+ * Protocol and operations are documented in docs/SERVING.md.
+ */
+
+#ifndef HARMONIA_SERVE_HH
+#define HARMONIA_SERVE_HH
+
+#include "harmonia/serve/json.hh"
+#include "harmonia/serve/protocol.hh"
+#include "harmonia/serve/server.hh"
+#include "harmonia/serve/service.hh"
+
+#endif // HARMONIA_SERVE_HH

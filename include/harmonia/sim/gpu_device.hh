@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The complete simulated GPU card: timing engine + power models.
+ *
+ * GpuDevice is the library's main substrate object. Governors,
+ * examples, and benchmarks run kernels through it and receive a
+ * KernelResult combining execution time, the Table 2 counter snapshot,
+ * and the measured card power breakdown (Equation 4), with energy
+ * integrated the way the paper's DAQ setup would measure it.
+ */
+
+#ifndef HARMONIA_SIM_GPU_DEVICE_HH
+#define HARMONIA_SIM_GPU_DEVICE_HH
+
+#include <string>
+#include <vector>
+
+#include "harmonia/power/board_power.hh"
+#include "harmonia/power/gpu_power.hh"
+#include "harmonia/timing/timing_engine.hh"
+
+namespace harmonia
+{
+
+class LatticeEvaluator;
+
+/** Result of one kernel invocation on the device. */
+struct KernelResult
+{
+    KernelTiming timing;       ///< Time + counters.
+    CardPowerBreakdown power;  ///< Average power while executing (W).
+    double cardEnergy = 0.0;   ///< Card energy over the kernel (J).
+    double gpuEnergy = 0.0;    ///< Chip-only energy (J).
+    double memEnergy = 0.0;    ///< Memory-only energy (J).
+
+    /** Execution time shorthand (s). */
+    double time() const { return timing.execTime; }
+
+    /** Energy-delay product (J*s). */
+    double ed() const { return cardEnergy * time(); }
+
+    /** Energy-delay-squared product (J*s^2). */
+    double ed2() const { return cardEnergy * time() * time(); }
+};
+
+/**
+ * The simulated GPU card.
+ */
+class GpuDevice
+{
+  public:
+    /**
+     * Build with explicit models. @p name labels the part in sweep
+     * cache keys and serve stats; registry-built devices carry their
+     * profile name (sim/device_registry.hh), ad-hoc compositions
+     * default to "custom".
+     */
+    GpuDevice(const GcnDeviceConfig &dev, TimingEngine engine,
+              GpuPowerModel gpuPower, BoardPowerModel boardPower,
+              std::string name = "custom");
+
+    /** The default device: the registry's "hd7970" profile. */
+    GpuDevice();
+
+    /** The registry/profile name this device was built from. */
+    const std::string &name() const { return name_; }
+
+    const GcnDeviceConfig &config() const { return dev_; }
+    const ConfigSpace &space() const { return engine_.configSpace(); }
+    const TimingEngine &engine() const { return engine_; }
+    const GpuPowerModel &gpuPower() const { return gpuPower_; }
+    const BoardPowerModel &boardPower() const { return boardPower_; }
+
+    /** Run one invocation of @p profile at iteration @p iteration. */
+    KernelResult run(const KernelProfile &profile, int iteration,
+                     const HardwareConfig &cfg) const;
+
+    /** Run with an explicit phase (bypasses the phase function). */
+    KernelResult run(const KernelProfile &profile,
+                     const KernelPhase &phase,
+                     const HardwareConfig &cfg) const;
+
+    /**
+     * Batch evaluation of one invocation across many lattice points:
+     * hoists the (profile, phase)-invariant bundle and the per-axis
+     * model tables once, then combines them per configuration. Writes
+     * result i for @p configs[i] into @p out[i]; @p out must have room
+     * for configs.size() results. Bitwise identical to calling run()
+     * per configuration (tests/test_factored_engine.cpp pins this).
+     *
+     * When @p pool is non-null, table construction and the per-config
+     * combine run on it; each index writes only its own slot, so
+     * results are scheduling-independent.
+     *
+     * @p simd selects the batched SIMD combine
+     * (LatticeEvaluator::evaluateBatchAtInto) over the scalar
+     * reference loop. The two paths are bitwise identical
+     * (tests/test_simd_equivalence.cpp); false is the runtime
+     * --no-simd escape hatch.
+     */
+    void runLattice(const KernelProfile &profile, const KernelPhase &phase,
+                    const std::vector<HardwareConfig> &configs,
+                    KernelResult *out, ThreadPool *pool = nullptr,
+                    bool simd = true) const;
+
+  private:
+    friend class LatticeEvaluator;
+
+    /**
+     * The per-config power/energy composition shared by run() and the
+     * factored lattice path. All model inputs that depend on a tunable
+     * axis arrive as arguments — computed by direct model calls in
+     * run(), by table lookup in LatticeEvaluator — so both paths
+     * execute identical arithmetic on identical values.
+     */
+    KernelResult composeResult(KernelTiming timing,
+                               const KernelPhase &phase,
+                               const GpuPowerFactors &gpuFactors,
+                               const GpuPowerBreakdown &idleGpu,
+                               const Gddr5PowerFactors &memFactors,
+                               const MemPowerBreakdown &idleMem,
+                               double l2BandwidthBps,
+                               double peakMemBps) const;
+
+    /** composeResult() writing into caller storage; assigns every
+     * field of @p out, so the lattice path can fill its result array
+     * without a per-config KernelResult copy. */
+    void composeResultInto(KernelResult &out, KernelTiming timing,
+                           const KernelPhase &phase,
+                           const GpuPowerFactors &gpuFactors,
+                           const GpuPowerBreakdown &idleGpu,
+                           const Gddr5PowerFactors &memFactors,
+                           const MemPowerBreakdown &idleMem,
+                           double l2BandwidthBps, double peakMemBps) const;
+
+    GcnDeviceConfig dev_;
+    TimingEngine engine_;
+    GpuPowerModel gpuPower_;
+    BoardPowerModel boardPower_;
+    std::string name_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_SIM_GPU_DEVICE_HH

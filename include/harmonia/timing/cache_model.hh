@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared-L2 interference model.
+ *
+ * All CUs share one 768 KB L2 (Section 2.2). When the combined
+ * footprint of the active CUs exceeds capacity, lines evict each other
+ * and the hit rate collapses — the cache thrashing/pollution the paper
+ * observes for BPT, CFD, and XSBench, where *reducing* the number of
+ * active CUs via power gating improves performance (Section 7.1,
+ * insight 5).
+ */
+
+#ifndef HARMONIA_TIMING_CACHE_MODEL_HH
+#define HARMONIA_TIMING_CACHE_MODEL_HH
+
+#include "harmonia/arch/gcn_config.hh"
+#include "harmonia/timing/kernel_profile.hh"
+
+namespace harmonia
+{
+
+/** Coefficients of the L2 interference model. */
+struct CacheModelParams
+{
+    /**
+     * Exponent controlling how quickly the hit rate decays once the
+     * aggregate footprint exceeds capacity: hit = base / ratio^exp.
+     */
+    double thrashExponent = 1.35;
+
+    /** L2 service bandwidth in bytes per compute-clock cycle. */
+    double l2BytesPerCycle = 512.0;
+};
+
+/**
+ * Pure-function cache model: maps (phase, active CU count) to an L2
+ * hit rate and derived traffic quantities.
+ */
+class CacheModel
+{
+  public:
+    CacheModel(const GcnDeviceConfig &dev, CacheModelParams params);
+    explicit CacheModel(const GcnDeviceConfig &dev);
+
+    const CacheModelParams &params() const { return params_; }
+
+    /**
+     * Effective L2 hit rate in [0, 1] for @p phase with @p cuCount
+     * active CUs. Monotonically non-increasing in cuCount.
+     */
+    double hitRate(const KernelPhase &phase, int cuCount) const;
+
+    /** L2 service bandwidth (bytes/s) at @p computeFreqMhz. */
+    double l2Bandwidth(double computeFreqMhz) const;
+
+  private:
+    GcnDeviceConfig dev_;
+    CacheModelParams params_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_TIMING_CACHE_MODEL_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Application container: an ordered set of kernels executed for a
+ * number of outer iterations.
+ *
+ * This mirrors how the paper's HPC workloads behave (Section 5.1):
+ * iterative convergence algorithms invoke the same kernels over and
+ * over, which is what lets Harmonia reuse per-kernel history across
+ * iterations and amortize fine-grain tuning.
+ */
+
+#ifndef HARMONIA_WORKLOADS_APP_HH
+#define HARMONIA_WORKLOADS_APP_HH
+
+#include <string>
+#include <vector>
+
+#include "harmonia/timing/kernel_profile.hh"
+
+namespace harmonia
+{
+
+/** An application: kernels executed in order, @p iterations times. */
+struct Application
+{
+    std::string name;
+    std::vector<KernelProfile> kernels;
+    int iterations = 10;
+
+    /** Find a kernel by name; @throws ConfigError when missing. */
+    const KernelProfile &kernel(const std::string &kernelName) const;
+
+    /** Validate structure; @throws ConfigError. */
+    void validate() const;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_WORKLOADS_APP_HH

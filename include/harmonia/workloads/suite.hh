@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The 14-application workload suite (Section 6).
+ *
+ * Each factory returns a synthetic application whose kernels are
+ * parameterized to reproduce the counter and sensitivity signatures
+ * the paper documents for the corresponding real workload:
+ *
+ *  - SHOC stress benchmarks: MaxFlops (compute limit), DeviceMemory
+ *    (memory limit), plus Stencil, Sort, SPMV;
+ *  - Rodinia: BPT (B+Tree), CFD, LUD, SRAD, Streamcluster;
+ *  - Exascale proxies: CoMD, XSBench, miniFE;
+ *  - Graph500.
+ *
+ * The suite totals 30 kernels, comparable to the paper's "total of 25
+ * application kernels representing a variety of behaviors".
+ */
+
+#ifndef HARMONIA_WORKLOADS_SUITE_HH
+#define HARMONIA_WORKLOADS_SUITE_HH
+
+#include <vector>
+
+#include "harmonia/workloads/app.hh"
+
+namespace harmonia
+{
+
+Application makeMaxFlops();      ///< SHOC compute-limit stress.
+Application makeDeviceMemory();  ///< SHOC memory-limit stress.
+Application makeLud();           ///< Rodinia LU decomposition.
+Application makeComd();          ///< Molecular-dynamics proxy.
+Application makeXsbench();       ///< Monte-Carlo neutronics proxy.
+Application makeMiniFe();        ///< Finite-element proxy.
+Application makeGraph500();      ///< Breadth-first search.
+Application makeBpt();           ///< B+Tree searches.
+Application makeCfd();           ///< Rodinia CFD solver.
+Application makeSrad();          ///< Rodinia speckle-reducing diffusion.
+Application makeStreamcluster(); ///< Rodinia online clustering.
+Application makeStencil();       ///< SHOC 2D stencil.
+Application makeSort();          ///< SHOC radix sort.
+Application makeSpmv();          ///< SHOC sparse matrix-vector.
+
+/** All 14 applications, in the paper's reporting order. */
+std::vector<Application> standardSuite();
+
+/** Suite minus the two stress benchmarks (for "Geomean2"). */
+std::vector<Application> suiteWithoutStress();
+
+/** Look up an application by name; @throws ConfigError. */
+Application appByName(const std::string &name);
+
+} // namespace harmonia
+
+#endif // HARMONIA_WORKLOADS_SUITE_HH

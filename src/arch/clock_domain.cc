@@ -1,6 +1,6 @@
-#include "clock_domain.hh"
+#include "harmonia/arch/clock_domain.hh"
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 #include "common/units.hh"
 
 namespace harmonia

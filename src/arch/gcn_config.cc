@@ -1,6 +1,6 @@
-#include "gcn_config.hh"
+#include "harmonia/arch/gcn_config.hh"
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 #include "common/units.hh"
 
 namespace harmonia

@@ -1,9 +1,9 @@
-#include "occupancy.hh"
+#include "harmonia/arch/occupancy.hh"
 
 #include <algorithm>
 
 #include "common/check.hh"
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

@@ -1,8 +1,8 @@
-#include "checker.hh"
+#include "harmonia/check/checker.hh"
 
 #include <algorithm>
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

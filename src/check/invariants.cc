@@ -1,10 +1,10 @@
-#include "invariants.hh"
+#include "harmonia/check/invariants.hh"
 
 #include <cmath>
 #include <sstream>
 
-#include "common/error.hh"
-#include "core/sensitivity.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/core/sensitivity.hh"
 
 namespace harmonia
 {

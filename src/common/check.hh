@@ -20,7 +20,7 @@
 
 #include <cmath>
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 #if defined(HARMONIA_FORCE_CHECKS) || !defined(NDEBUG)
 #define HARMONIA_CHECKS_ENABLED 1

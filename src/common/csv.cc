@@ -3,7 +3,7 @@
 #include <iomanip>
 #include <sstream>
 
-#include "error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

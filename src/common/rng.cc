@@ -1,8 +1,8 @@
-#include "rng.hh"
+#include "harmonia/common/rng.hh"
 
 #include <cmath>
 
-#include "error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

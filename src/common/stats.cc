@@ -1,9 +1,9 @@
-#include "stats.hh"
+#include "harmonia/common/stats.hh"
 
 #include <algorithm>
 #include <cmath>
 
-#include "error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

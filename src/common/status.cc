@@ -1,4 +1,4 @@
-#include "status.hh"
+#include "harmonia/common/status.hh"
 
 namespace harmonia
 {

@@ -1,11 +1,11 @@
-#include "table.hh"
+#include "harmonia/common/table.hh"
 
 #include <algorithm>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 
-#include "error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

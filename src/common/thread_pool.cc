@@ -1,4 +1,4 @@
-#include "thread_pool.hh"
+#include "harmonia/common/thread_pool.hh"
 
 #include <algorithm>
 #include <atomic>

@@ -1,6 +1,6 @@
-#include "baseline_governor.hh"
+#include "harmonia/core/baseline_governor.hh"
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

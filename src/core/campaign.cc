@@ -1,9 +1,9 @@
-#include "campaign.hh"
+#include "harmonia/core/campaign.hh"
 
-#include "common/error.hh"
-#include "common/stats.hh"
-#include "common/thread_pool.hh"
-#include "core/governor_registry.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/common/stats.hh"
+#include "harmonia/common/thread_pool.hh"
+#include "harmonia/core/governor_registry.hh"
 
 namespace harmonia
 {

@@ -1,11 +1,11 @@
-#include "governor_registry.hh"
+#include "harmonia/core/governor_registry.hh"
 
 #include <algorithm>
 #include <cctype>
 #include <optional>
 
-#include "core/baseline_governor.hh"
-#include "sim/gpu_device.hh"
+#include "harmonia/core/baseline_governor.hh"
+#include "harmonia/sim/gpu_device.hh"
 
 namespace harmonia
 {

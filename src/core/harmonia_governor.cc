@@ -1,9 +1,9 @@
-#include "harmonia_governor.hh"
+#include "harmonia/core/harmonia_governor.hh"
 
 #include <algorithm>
 #include <cmath>
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

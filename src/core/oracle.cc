@@ -1,8 +1,8 @@
-#include "oracle.hh"
+#include "harmonia/core/oracle.hh"
 
 #include <limits>
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

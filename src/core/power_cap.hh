@@ -18,8 +18,8 @@
 
 #include <memory>
 
-#include "core/governor.hh"
-#include "dvfs/tunables.hh"
+#include "harmonia/core/governor.hh"
+#include "harmonia/dvfs/tunables.hh"
 
 namespace harmonia
 {

@@ -1,9 +1,9 @@
-#include "predictor.hh"
+#include "harmonia/core/predictor.hh"
 
 #include <algorithm>
 
 #include "common/check.hh"
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

@@ -1,7 +1,7 @@
-#include "runtime.hh"
+#include "harmonia/core/runtime.hh"
 
 #include "common/csv.hh"
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

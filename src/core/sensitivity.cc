@@ -1,8 +1,8 @@
-#include "sensitivity.hh"
+#include "harmonia/core/sensitivity.hh"
 
 #include <algorithm>
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

@@ -1,6 +1,6 @@
-#include "sweep.hh"
+#include "harmonia/core/sweep.hh"
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

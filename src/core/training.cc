@@ -1,10 +1,10 @@
-#include "training.hh"
+#include "harmonia/core/training.hh"
 
 #include <algorithm>
 #include <cmath>
 
-#include "common/error.hh"
-#include "common/thread_pool.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/common/thread_pool.hh"
 #include "linalg/correlation.hh"
 
 namespace harmonia

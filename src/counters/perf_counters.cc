@@ -1,8 +1,8 @@
-#include "perf_counters.hh"
+#include "harmonia/counters/perf_counters.hh"
 
 #include <algorithm>
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

@@ -1,6 +1,6 @@
-#include "sampler.hh"
+#include "harmonia/counters/sampler.hh"
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

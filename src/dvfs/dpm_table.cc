@@ -1,6 +1,6 @@
-#include "dpm_table.hh"
+#include "harmonia/dvfs/dpm_table.hh"
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

@@ -1,9 +1,9 @@
-#include "tunables.hh"
+#include "harmonia/dvfs/tunables.hh"
 
 #include <algorithm>
 #include <sstream>
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

@@ -5,7 +5,7 @@
 #include <fstream>
 
 #include "common/csv.hh"
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia::exp
 {

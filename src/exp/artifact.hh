@@ -22,7 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "common/table.hh"
+#include "harmonia/common/table.hh"
 
 namespace harmonia::exp
 {

@@ -5,7 +5,7 @@
 #include <fstream>
 #include <ostream>
 
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia::exp
 {

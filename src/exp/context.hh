@@ -21,11 +21,11 @@
 #include <string>
 #include <vector>
 
-#include "core/campaign.hh"
-#include "core/training.hh"
+#include "harmonia/core/campaign.hh"
+#include "harmonia/core/training.hh"
 #include "exp/artifact.hh"
-#include "sim/gpu_device.hh"
-#include "workloads/app.hh"
+#include "harmonia/sim/gpu_device.hh"
+#include "harmonia/workloads/app.hh"
 
 namespace harmonia::exp
 {

@@ -1,4 +1,4 @@
-#include "driver.hh"
+#include "harmonia/exp.hh"
 
 #include <algorithm>
 #include <chrono>
@@ -6,11 +6,11 @@
 #include <iostream>
 #include <vector>
 
-#include "common/error.hh"
-#include "common/table.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/common/table.hh"
 #include "exp/context.hh"
 #include "exp/experiment.hh"
-#include "sim/device_registry.hh"
+#include "harmonia/sim/device_registry.hh"
 
 namespace harmonia::exp
 {
@@ -156,6 +156,22 @@ runSelection(const CliOptions &opt,
 
 } // namespace
 
+std::vector<ExperimentInfo>
+listExperiments()
+{
+    std::vector<ExperimentInfo> out;
+    for (const Experiment *e : ExperimentRegistry::instance().all()) {
+        ExperimentInfo info;
+        info.name = e->name();
+        info.description = e->description();
+        info.legacyBinary = e->legacyBinary();
+        info.tier = e->tier();
+        info.order = e->order();
+        out.push_back(std::move(info));
+    }
+    return out;
+}
+
 int
 runDriver(int argc, char **argv)
 {
@@ -203,13 +219,12 @@ runDriver(int argc, char **argv)
     if (opt.list) {
         TextTable table({"experiment", "tier", "legacy binary",
                          "description"});
-        for (const Experiment *e : registry.all()) {
+        for (const ExperimentInfo &e : listExperiments()) {
             table.row()
-                .cell(e->name())
-                .cell(e->tier())
-                .cell(e->legacyBinary().empty() ? "-"
-                                                : e->legacyBinary())
-                .cell(e->description());
+                .cell(e.name)
+                .cell(e.tier)
+                .cell(e.legacyBinary.empty() ? "-" : e.legacyBinary)
+                .cell(e.description);
         }
         table.print(std::cout,
                     "Registered experiments (" +

@@ -13,9 +13,9 @@
 #include <map>
 #include <vector>
 
-#include "common/stats.hh"
-#include "core/baseline_governor.hh"
-#include "core/training.hh"
+#include "harmonia/common/stats.hh"
+#include "harmonia/core/baseline_governor.hh"
+#include "harmonia/core/training.hh"
 #include "exp/context.hh"
 #include "exp/experiment.hh"
 

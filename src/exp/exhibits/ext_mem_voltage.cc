@@ -12,13 +12,13 @@
 
 #include <vector>
 
-#include "common/stats.hh"
-#include "core/baseline_governor.hh"
-#include "core/training.hh"
+#include "harmonia/common/stats.hh"
+#include "harmonia/core/baseline_governor.hh"
+#include "harmonia/core/training.hh"
 #include "exp/context.hh"
 #include "exp/experiment.hh"
-#include "sim/device_registry.hh"
-#include "workloads/suite.hh"
+#include "harmonia/sim/device_registry.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia::exp
 {

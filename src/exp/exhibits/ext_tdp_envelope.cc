@@ -17,10 +17,10 @@
 #include <memory>
 #include <vector>
 
-#include "common/stats.hh"
-#include "core/baseline_governor.hh"
+#include "harmonia/common/stats.hh"
+#include "harmonia/core/baseline_governor.hh"
 #include "core/power_cap.hh"
-#include "core/training.hh"
+#include "harmonia/core/training.hh"
 #include "exp/context.hh"
 #include "exp/experiment.hh"
 

@@ -12,7 +12,7 @@
 
 #include "exp/context.hh"
 #include "exp/experiment.hh"
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia::exp
 {

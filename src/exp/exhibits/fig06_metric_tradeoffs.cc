@@ -10,10 +10,10 @@
  * while still cutting a large share of the energy.
  */
 
-#include "core/oracle.hh"
+#include "harmonia/core/oracle.hh"
 #include "exp/context.hh"
 #include "exp/experiment.hh"
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia::exp
 {

@@ -10,10 +10,10 @@
  * bandwidth sensitivity.
  */
 
-#include "core/sensitivity.hh"
+#include "harmonia/core/sensitivity.hh"
 #include "exp/context.hh"
 #include "exp/experiment.hh"
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia::exp
 {

@@ -11,10 +11,10 @@
  * predict frequency sensitivity.
  */
 
-#include "core/sensitivity.hh"
+#include "harmonia/core/sensitivity.hh"
 #include "exp/context.hh"
 #include "exp/experiment.hh"
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia::exp
 {

@@ -11,10 +11,10 @@
  * compute frequency, especially at low compute clocks.
  */
 
-#include "core/sensitivity.hh"
+#include "harmonia/core/sensitivity.hh"
 #include "exp/context.hh"
 #include "exp/experiment.hh"
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia::exp
 {

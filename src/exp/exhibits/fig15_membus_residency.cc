@@ -9,10 +9,10 @@
  * for the bandwidth-heavy levels and the floor (475 MHz) rarely.
  */
 
-#include "core/training.hh"
+#include "harmonia/core/training.hh"
 #include "exp/context.hh"
 #include "exp/experiment.hh"
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia::exp
 {

@@ -10,10 +10,10 @@
  * 475 MHz.
  */
 
-#include "core/training.hh"
+#include "harmonia/core/training.hh"
 #include "exp/context.hh"
 #include "exp/experiment.hh"
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia::exp
 {

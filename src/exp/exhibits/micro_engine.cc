@@ -11,12 +11,12 @@
 #include <chrono>
 #include <functional>
 
-#include "core/harmonia_governor.hh"
-#include "core/oracle.hh"
-#include "core/predictor.hh"
+#include "harmonia/core/harmonia_governor.hh"
+#include "harmonia/core/oracle.hh"
+#include "harmonia/core/predictor.hh"
 #include "exp/context.hh"
 #include "exp/experiment.hh"
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia::exp
 {

@@ -10,11 +10,11 @@
 #include <functional>
 #include <vector>
 
-#include "core/predictor.hh"
-#include "core/training.hh"
+#include "harmonia/core/predictor.hh"
+#include "harmonia/core/training.hh"
 #include "exp/context.hh"
 #include "exp/experiment.hh"
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia::exp
 {

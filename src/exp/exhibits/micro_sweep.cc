@@ -24,10 +24,10 @@
 #include <string>
 #include <vector>
 
-#include "common/thread_pool.hh"
+#include "harmonia/common/thread_pool.hh"
 #include "exp/context.hh"
 #include "exp/experiment.hh"
-#include "sim/gpu_device.hh"
+#include "harmonia/sim/gpu_device.hh"
 
 namespace harmonia::exp
 {

@@ -10,8 +10,8 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/sensitivity.hh"
-#include "core/training.hh"
+#include "harmonia/core/sensitivity.hh"
+#include "harmonia/core/training.hh"
 #include "exp/context.hh"
 #include "exp/experiment.hh"
 

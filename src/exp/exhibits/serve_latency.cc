@@ -41,8 +41,8 @@
 
 #include "exp/context.hh"
 #include "exp/experiment.hh"
-#include "serve/server.hh"
-#include "serve/service.hh"
+#include "harmonia/serve/server.hh"
+#include "harmonia/serve/service.hh"
 
 namespace harmonia::exp
 {

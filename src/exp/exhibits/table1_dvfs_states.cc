@@ -4,7 +4,7 @@
  * and the derived voltage for every 100 MHz step Harmonia uses.
  */
 
-#include "dvfs/dpm_table.hh"
+#include "harmonia/dvfs/dpm_table.hh"
 #include "exp/context.hh"
 #include "exp/experiment.hh"
 

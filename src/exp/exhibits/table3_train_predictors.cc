@@ -9,7 +9,7 @@
  * the shape target is correlations >= ~0.9 on this model.
  */
 
-#include "core/training.hh"
+#include "harmonia/core/training.hh"
 #include "exp/context.hh"
 #include "exp/experiment.hh"
 

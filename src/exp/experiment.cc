@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia::exp
 {

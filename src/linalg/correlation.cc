@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

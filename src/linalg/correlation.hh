@@ -7,7 +7,7 @@
 #ifndef HARMONIA_LINALG_CORRELATION_HH
 #define HARMONIA_LINALG_CORRELATION_HH
 
-#include "linalg/matrix.hh"
+#include "harmonia/linalg/matrix.hh"
 
 namespace harmonia
 {

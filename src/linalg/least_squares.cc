@@ -1,8 +1,8 @@
-#include "least_squares.hh"
+#include "harmonia/linalg/least_squares.hh"
 
 #include <cmath>
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 #include "linalg/correlation.hh"
 
 namespace harmonia

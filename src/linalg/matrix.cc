@@ -1,8 +1,8 @@
-#include "matrix.hh"
+#include "harmonia/linalg/matrix.hh"
 
 #include <cmath>
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

@@ -1,10 +1,10 @@
-#include "lint/baseline.hh"
+#include "harmonia/lint/baseline.hh"
 
 #include <algorithm>
 #include <fstream>
 #include <sstream>
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia::lint
 {

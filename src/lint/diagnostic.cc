@@ -1,4 +1,4 @@
-#include "lint/diagnostic.hh"
+#include "harmonia/lint/diagnostic.hh"
 
 #include <sstream>
 

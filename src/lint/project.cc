@@ -1,4 +1,4 @@
-#include "lint/project.hh"
+#include "harmonia/lint/project.hh"
 
 #include <algorithm>
 #include <cctype>
@@ -6,7 +6,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace fs = std::filesystem;
 

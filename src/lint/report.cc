@@ -1,4 +1,4 @@
-#include "lint/report.hh"
+#include "harmonia/lint/report.hh"
 
 #include <cstdio>
 #include <ostream>

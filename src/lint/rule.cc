@@ -1,9 +1,9 @@
-#include "lint/rule.hh"
+#include "harmonia/lint/rule.hh"
 
 #include <algorithm>
 #include <tuple>
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia::lint
 {

@@ -27,7 +27,7 @@
 #include <cctype>
 #include <set>
 
-#include "lint/rule.hh"
+#include "harmonia/lint/rule.hh"
 
 namespace harmonia::lint
 {
@@ -146,7 +146,8 @@ class NoAmbientRandomness : public LintRule
             "time benchmarks with std::chrono::steady_clock";
 
         for (const SourceFile &file : project.files()) {
-            if (file.under("src/common/rng."))
+            if (file.under("src/common/rng.") ||
+                file.under("include/harmonia/common/rng."))
                 continue;
             const auto &lines = file.codeLines();
             for (size_t ln = 0; ln < lines.size(); ++ln) {
@@ -445,8 +446,8 @@ HARMONIA_REGISTER_LINT_RULE(NoFmaOutsideShim)
 /**
  * Headers under include/harmonia/ are the public surface; reaching
  * into src/ from there makes every internal header de-facto public.
- * (The facade's own umbrella includes predate this rule and are
- * baselined in lint-baseline.txt for incremental burn-down.)
+ * Since the PR-10 facade split the whole public closure lives under
+ * include/harmonia/, so the rule holds with zero suppressions.
  */
 class PublicHeaderIsolation : public LintRule
 {
@@ -485,9 +486,9 @@ class PublicHeaderIsolation : public LintRule
 HARMONIA_REGISTER_LINT_RULE(PublicHeaderIsolation)
 
 /**
- * tools/ and examples/ are facade clients: they include
- * "harmonia/harmonia.hh" and nothing deeper, so the internal layers
- * stay refactorable. (The three pre-facade tools are baselined.)
+ * tools/ and examples/ are facade clients: they include the
+ * "harmonia/..." public headers and nothing deeper, so the internal
+ * layers stay refactorable.
  */
 class FacadeOnlyClients : public LintRule
 {
@@ -544,10 +545,8 @@ class DeviceViaRegistry : public LintRule
     void check(const Project &project,
                std::vector<Diagnostic> &out) const override
     {
-        static constexpr std::array<std::string_view, 4> kAllowed = {{
-            "src/arch/gcn_config.hh",
+        static constexpr std::array<std::string_view, 2> kAllowed = {{
             "src/arch/gcn_config.cc",
-            "src/sim/device_registry.hh",
             "src/sim/device_registry.cc",
         }};
         for (const SourceFile &file : project.files()) {
@@ -607,6 +606,7 @@ class ServeNoThrow : public LintRule
     static bool servingSource(const SourceFile &file)
     {
         return file.under("src/serve/") ||
+               file.under("include/harmonia/serve/") ||
                file.path() == "tools/harmoniad.cc" ||
                file.path() == "tools/harmonia_client.cpp";
     }

@@ -1,11 +1,11 @@
-#include "lint/source.hh"
+#include "harmonia/lint/source.hh"
 
 #include <algorithm>
 #include <cctype>
 #include <fstream>
 #include <sstream>
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia::lint
 {

@@ -1,9 +1,9 @@
-#include "gddr5.hh"
+#include "harmonia/memsys/gddr5.hh"
 
 #include <algorithm>
 
 #include "common/check.hh"
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 #include "common/units.hh"
 
 namespace harmonia

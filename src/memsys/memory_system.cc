@@ -1,11 +1,11 @@
-#include "memory_system.hh"
+#include "harmonia/memsys/memory_system.hh"
 
 #include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "common/check.hh"
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 #include "common/simd.hh"
 
 namespace harmonia

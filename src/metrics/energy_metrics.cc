@@ -1,7 +1,7 @@
 #include "energy_metrics.hh"
 
-#include "common/error.hh"
-#include "common/stats.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/common/stats.hh"
 
 namespace harmonia
 {

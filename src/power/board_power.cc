@@ -1,7 +1,7 @@
-#include "board_power.hh"
+#include "harmonia/power/board_power.hh"
 
 #include "common/check.hh"
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

@@ -1,10 +1,10 @@
-#include "gpu_power.hh"
+#include "harmonia/power/gpu_power.hh"
 
 #include <algorithm>
 #include <cmath>
 
 #include "common/check.hh"
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

@@ -1,4 +1,4 @@
-#include "json.hh"
+#include "harmonia/serve/json.hh"
 
 #include <charconv>
 #include <cmath>

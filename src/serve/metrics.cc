@@ -1,4 +1,4 @@
-#include "metrics.hh"
+#include "harmonia/serve/metrics.hh"
 
 #include <cmath>
 

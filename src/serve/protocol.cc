@@ -1,4 +1,4 @@
-#include "protocol.hh"
+#include "harmonia/serve/protocol.hh"
 
 namespace harmonia::serve
 {

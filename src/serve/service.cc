@@ -1,13 +1,15 @@
-#include "service.hh"
+#include "harmonia/serve/service.hh"
 
 #include <algorithm>
 #include <chrono>
+#include <iostream>
 #include <numeric>
 #include <tuple>
 
-#include "core/governor_registry.hh"
-#include "core/oracle.hh"
-#include "workloads/suite.hh"
+#include "harmonia/core/governor_registry.hh"
+#include "harmonia/core/oracle.hh"
+#include "harmonia/workloads/suite.hh"
+#include "serve/snapshot.hh"
 
 namespace harmonia::serve
 {
@@ -93,12 +95,57 @@ struct Service::EvalGroup
 struct Service::PointCacheEntry
 {
     explicit PointCacheEntry(size_t points)
-        : results(points), present(points, 0)
+        : results(points), present(points, 0), fromSnapshot(points, 0)
     {
     }
 
     std::vector<KernelResult> results;
     std::vector<char> present;
+
+    /** 1 where the point was restored from the durable snapshot
+     * rather than computed this process (warm/cold hit stats). */
+    std::vector<char> fromSnapshot;
+};
+
+/**
+ * Durable-snapshot bookkeeping (src/serve/snapshot.hh): the sections
+ * loaded at startup that no instantiated device has consumed yet,
+ * plus every counter the stats verb's cache.persistent block reports.
+ */
+struct Service::PersistentCache
+{
+    std::string path;
+    bool loaded = false;     ///< A snapshot file was parsed OK.
+    std::string loadWarning; ///< Corruption/version note; "" if clean.
+
+    /** The raw snapshot file (mmap-backed where possible), kept alive
+     * because every EntryRef in the index (and in each device's
+     * lazy-entry map) views into it. */
+    SnapshotBytes bytes;
+
+    /** Structurally parsed sections awaiting a device instantiation.
+     * Hydration removes a device's section (consumed or invalidated);
+     * what remains at save time belongs to devices this process never
+     * touched and is carried over. */
+    SnapshotIndex index;
+
+    uint64_t warmHits = 0; ///< Points served from restored entries.
+    uint64_t coldHits = 0; ///< Points served from this process's runs.
+    uint64_t decodeFailures = 0; ///< Corrupt bodies found at decode.
+
+    uint64_t loadBytes = 0;
+    double loadMicros = 0.0;
+    uint64_t loadedDevices = 0;
+    uint64_t loadedEntries = 0;
+    uint64_t loadedPoints = 0;
+    uint64_t invalidatedDevices = 0;
+
+    uint64_t saves = 0;
+    uint64_t saveBytes = 0;
+    double saveMicros = 0.0;
+    uint64_t savedEntries = 0;
+    uint64_t savedPoints = 0;
+    std::string saveError; ///< Last save failure; "" after success.
 };
 
 /**
@@ -136,10 +183,50 @@ struct Service::DeviceState
     std::optional<SensitivityPredictor> predictor;
 
     uint64_t requests = 0; ///< evaluate/govern/sweep routed here.
+
+    /** modelFingerprint(), computed once per process when the durable
+     * snapshot is enabled (it prices a handful of probe runs). */
+    std::optional<uint64_t> snapshotFingerprint;
+    uint64_t snapshotEntries = 0; ///< Entries restored from disk.
+    uint64_t snapshotPoints = 0;  ///< Points restored from disk.
+
+    /** Snapshot entries that passed this device's fingerprint check
+     * but have not been touched by a request yet. Decoded (and moved
+     * into `points`) on first touch; whatever is still here at save
+     * time is decoded then, so untouched warmth is never dropped.
+     * Ordered map: savePersistentCache() iterates it. */
+    std::map<std::pair<std::string, int>, EntryRef> lazyEntries;
 };
 
 Service::Service(ServiceOptions options) : options_(std::move(options))
 {
+    // Durable snapshot: parse the cache file once, up front; device
+    // states hydrate from their section lazily as they appear. Every
+    // load failure — absent file, truncation, bit flips, version
+    // skew — degrades to a logged cold start, never a crash, and
+    // never changes a response byte. Persistence rides on the point
+    // cache, so --no-cache disables it too.
+    if (!options_.cacheFile.empty() && options_.cache) {
+        persistent_ = std::make_unique<PersistentCache>();
+        persistent_->path = options_.cacheFile;
+        const auto loadStart = Clock::now();
+        Status status =
+            loadSnapshotBytes(options_.cacheFile, &persistent_->bytes);
+        if (status.ok())
+            status = indexSnapshot(persistent_->bytes.view(),
+                                   &persistent_->index);
+        persistent_->loadMicros = microsSince(loadStart);
+        persistent_->loadBytes = persistent_->bytes.size();
+        if (status.ok()) {
+            persistent_->loaded = true;
+        } else if (status.code() != StatusCode::NotFound) {
+            persistent_->loadWarning = status.message();
+            std::cerr << "harmoniad: cache file '"
+                      << options_.cacheFile << "': "
+                      << status.message() << "; cold start\n";
+        }
+    }
+
     // The default device is always resident: legacy (device-less)
     // requests must not pay a lazy-construction step, and device()/
     // sweep() accessors need a state to point at from birth.
@@ -154,6 +241,7 @@ Service::Service(ServiceOptions options) : options_(std::move(options))
     defaultDevice_ = state.get();
     const std::string canonical = state->device.name();
     devices_.emplace(canonical, std::move(state));
+    hydrateFromSnapshot(*defaultDevice_);
 
     for (const Application &app : standardSuite()) {
         for (const KernelProfile &kernel : app.kernels)
@@ -193,6 +281,7 @@ Service::resolveDevice(const std::string &name)
             profile.value().makeDevice(), options_);
         DeviceState *raw = state.get();
         devices_.emplace(key, std::move(state));
+        hydrateFromSnapshot(*raw);
         return raw;
     } catch (...) {
         return statusFromCurrentException();
@@ -323,9 +412,12 @@ Service::runEvalGroup(EvalGroup &group, std::vector<Pending> &pending)
         if (options_.cache) {
             auto &slot = dev.points[detail::SweepKey{
                 dev.device.name(), profile.id(), iteration}];
-            if (!slot)
+            if (!slot) {
                 slot = std::make_unique<PointCacheEntry>(
                     dev.sweep.configs().size());
+                materializeFromSnapshot(dev, profile.id(), iteration,
+                                        *slot);
+            }
             entry = slot.get();
         } else {
             scratch = std::make_unique<PointCacheEntry>(
@@ -339,8 +431,15 @@ Service::runEvalGroup(EvalGroup &group, std::vector<Pending> &pending)
             for (const HardwareConfig &cfg :
                  pending[idx].req.evaluate.configs) {
                 const size_t slot = dev.sweep.indexOf(cfg);
-                if (entry->present[slot])
+                if (entry->present[slot]) {
+                    if (persistent_) {
+                        if (entry->fromSnapshot[slot])
+                            ++persistent_->warmHits;
+                        else
+                            ++persistent_->coldHits;
+                    }
                     continue;
+                }
                 entry->present[slot] = 1; // Marks "queued" too.
                 missing.push_back(slot);
                 missingConfigs.push_back(cfg);
@@ -467,6 +566,215 @@ Service::ensureTraining(DeviceState &dev)
         return statusFromCurrentException();
     }
     return Status::okStatus();
+}
+
+void
+Service::hydrateFromSnapshot(DeviceState &dev)
+{
+    if (!persistent_)
+        return;
+    // Fingerprint every instantiated device once: hydration needs it
+    // to validate a section now, and savePersistentCache() needs it
+    // to stamp the section it writes later.
+    dev.snapshotFingerprint =
+        modelFingerprint(dev.device, dev.sweep.configs());
+    if (!persistent_->loaded)
+        return;
+
+    auto &sections = persistent_->index.sections;
+    const auto it = std::find_if(
+        sections.begin(), sections.end(),
+        [&](const SectionRef &s) {
+            return s.device == dev.device.name();
+        });
+    if (it == sections.end())
+        return;
+
+    // The section is consumed either way: a stale one must not be
+    // carried over at save time, and a fresh one is superseded by the
+    // live cache it feeds.
+    SectionRef section = std::move(*it);
+    sections.erase(it);
+
+    if (section.fingerprint != *dev.snapshotFingerprint ||
+        section.latticeSize != dev.sweep.configs().size()) {
+        ++persistent_->invalidatedDevices;
+        std::cerr << "harmoniad: snapshot section for device '"
+                  << dev.device.name()
+                  << "' no longer matches the model (fingerprint or "
+                     "lattice changed); cold start\n";
+        return;
+    }
+
+    // Structure only — each entry body stays undecoded (a view into
+    // persistent_->bytes) until a request first touches its
+    // invocation, in materializeFromSnapshot().
+    for (EntryRef &entry : section.entries) {
+        ++dev.snapshotEntries;
+        dev.snapshotPoints += entry.slotCount;
+        dev.lazyEntries.emplace(
+            std::make_pair(entry.kernel, entry.iteration),
+            std::move(entry));
+    }
+    ++persistent_->loadedDevices;
+    persistent_->loadedEntries += dev.snapshotEntries;
+    persistent_->loadedPoints += dev.snapshotPoints;
+}
+
+void
+Service::materializeFromSnapshot(DeviceState &dev,
+                                 const std::string &kernelId,
+                                 int iteration,
+                                 PointCacheEntry &entry)
+{
+    if (dev.lazyEntries.empty())
+        return;
+    const auto it =
+        dev.lazyEntries.find(std::make_pair(kernelId, iteration));
+    if (it == dev.lazyEntries.end())
+        return;
+
+    SnapshotEntry decoded;
+    const Status status = decodeEntry(
+        it->second,
+        static_cast<uint32_t>(dev.sweep.configs().size()), &decoded);
+    dev.lazyEntries.erase(it);
+    // The header vouched for the structure only; a body that fails
+    // its own checksum here is blob corruption, and it costs exactly
+    // this entry — logged, counted, then served cold.
+    if (!status.ok()) {
+        ++persistent_->decodeFailures;
+        std::cerr << "harmoniad: snapshot entry (" << kernelId << ", "
+                  << iteration << ") for device '"
+                  << dev.device.name() << "': " << status.message()
+                  << "; recomputing\n";
+        return;
+    }
+    for (size_t i = 0; i < decoded.slots.size(); ++i) {
+        const uint32_t idx = decoded.slots[i];
+        entry.results[idx] = decoded.results[i];
+        entry.present[idx] = 1;
+        entry.fromSnapshot[idx] = 1;
+    }
+}
+
+Status
+Service::savePersistentCache()
+{
+    if (!persistent_)
+        return Status::okStatus();
+    const auto start = Clock::now();
+
+    Snapshot snap;
+    for (const auto &[name, state] : devices_) {
+        DeviceSection section;
+        section.device = name;
+        section.latticeSize =
+            static_cast<uint32_t>(state->sweep.configs().size());
+        if (!state->snapshotFingerprint)
+            state->snapshotFingerprint = modelFingerprint(
+                state->device, state->sweep.configs());
+        section.fingerprint = *state->snapshotFingerprint;
+
+        // The point cache is an unordered_map and snapshot bytes must
+        // be deterministic: pull the entries out, then sort by
+        // (kernel, iteration).
+        std::vector<std::pair<const detail::SweepKey *,
+                              const PointCacheEntry *>>
+            cached;
+        cached.reserve(state->points.size());
+        for (auto it = state->points.begin();
+             it != state->points.end(); ++it)
+            cached.emplace_back(&it->first, it->second.get());
+        std::sort(cached.begin(), cached.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.first->kernelId != b.first->kernelId)
+                          return a.first->kernelId < b.first->kernelId;
+                      return a.first->iteration < b.first->iteration;
+                  });
+
+        for (const auto &[key, entry] : cached) {
+            SnapshotEntry out;
+            out.kernel = key->kernelId;
+            out.iteration = key->iteration;
+            for (size_t i = 0; i < entry->present.size(); ++i) {
+                if (!entry->present[i])
+                    continue;
+                out.slots.push_back(static_cast<uint32_t>(i));
+                out.results.push_back(entry->results[i]);
+            }
+            if (out.slots.empty())
+                continue;
+            section.entries.push_back(std::move(out));
+        }
+
+        // Restored entries no request touched are still warmth worth
+        // keeping: decode them now (their keys are disjoint from the
+        // live cache — materialization consumes the lazy entry).
+        for (const auto &[key, ref] : state->lazyEntries) {
+            SnapshotEntry out;
+            if (decodeEntry(ref, section.latticeSize, &out).ok())
+                section.entries.push_back(std::move(out));
+            else
+                ++persistent_->decodeFailures;
+        }
+        std::sort(section.entries.begin(), section.entries.end(),
+                  [](const SnapshotEntry &a, const SnapshotEntry &b) {
+                      if (a.kernel != b.kernel)
+                          return a.kernel < b.kernel;
+                      return a.iteration < b.iteration;
+                  });
+        if (!section.entries.empty())
+            snap.devices.push_back(std::move(section));
+    }
+
+    // Sections for devices this process never instantiated are
+    // carried over, so a rolling restart that exercises one device
+    // does not shed every other device's warmth.
+    for (const SectionRef &ref : persistent_->index.sections) {
+        if (devices_.find(ref.device) != devices_.end())
+            continue;
+        DeviceSection section;
+        section.device = ref.device;
+        section.fingerprint = ref.fingerprint;
+        section.latticeSize = ref.latticeSize;
+        for (const EntryRef &entry : ref.entries) {
+            SnapshotEntry out;
+            if (decodeEntry(entry, ref.latticeSize, &out).ok())
+                section.entries.push_back(std::move(out));
+            else
+                ++persistent_->decodeFailures;
+        }
+        if (!section.entries.empty())
+            snap.devices.push_back(std::move(section));
+    }
+    std::sort(snap.devices.begin(), snap.devices.end(),
+              [](const DeviceSection &a, const DeviceSection &b) {
+                  return a.device < b.device;
+              });
+
+    uint64_t entries = 0;
+    uint64_t points = 0;
+    for (const DeviceSection &section : snap.devices) {
+        entries += section.entries.size();
+        for (const SnapshotEntry &entry : section.entries)
+            points += entry.slots.size();
+    }
+
+    size_t bytes = 0;
+    const Status status =
+        writeSnapshotFile(persistent_->path, snap, &bytes);
+    persistent_->saveMicros = microsSince(start);
+    if (!status.ok()) {
+        persistent_->saveError = status.message();
+        return status;
+    }
+    ++persistent_->saves;
+    persistent_->saveBytes = bytes;
+    persistent_->savedEntries = entries;
+    persistent_->savedPoints = points;
+    persistent_->saveError.clear();
+    return status;
 }
 
 Result<std::unique_ptr<Governor>>
@@ -671,6 +979,64 @@ Service::runSweep(const SweepParams &p)
     return out;
 }
 
+/**
+ * The stats verb's `cache` block: the in-process point cache switch
+ * plus everything observable about the durable snapshot layer.
+ */
+JsonValue
+Service::cacheStatsJson() const
+{
+    JsonValue persistent = JsonValue::object({
+        {"enabled", JsonValue(persistent_ != nullptr)},
+    });
+    if (persistent_) {
+        const PersistentCache &p = *persistent_;
+        persistent.set("path", JsonValue(p.path));
+        persistent.set("loaded", JsonValue(p.loaded));
+        persistent.set("load_warning", JsonValue(p.loadWarning));
+        persistent.set("warm_hits",
+                       JsonValue(static_cast<int64_t>(p.warmHits)));
+        persistent.set("cold_hits",
+                       JsonValue(static_cast<int64_t>(p.coldHits)));
+        persistent.set(
+            "decode_failures",
+            JsonValue(static_cast<int64_t>(p.decodeFailures)));
+        persistent.set(
+            "load",
+            JsonValue::object({
+                {"bytes",
+                 JsonValue(static_cast<int64_t>(p.loadBytes))},
+                {"micros", JsonValue(p.loadMicros)},
+                {"devices",
+                 JsonValue(static_cast<int64_t>(p.loadedDevices))},
+                {"entries",
+                 JsonValue(static_cast<int64_t>(p.loadedEntries))},
+                {"points",
+                 JsonValue(static_cast<int64_t>(p.loadedPoints))},
+                {"invalidated_devices",
+                 JsonValue(
+                     static_cast<int64_t>(p.invalidatedDevices))},
+            }));
+        persistent.set(
+            "save",
+            JsonValue::object({
+                {"saves", JsonValue(static_cast<int64_t>(p.saves))},
+                {"bytes",
+                 JsonValue(static_cast<int64_t>(p.saveBytes))},
+                {"micros", JsonValue(p.saveMicros)},
+                {"entries",
+                 JsonValue(static_cast<int64_t>(p.savedEntries))},
+                {"points",
+                 JsonValue(static_cast<int64_t>(p.savedPoints))},
+                {"error", JsonValue(p.saveError)},
+            }));
+    }
+    return JsonValue::object({
+        {"point_results", JsonValue(options_.cache)},
+        {"persistent", std::move(persistent)},
+    });
+}
+
 JsonValue
 Service::statsJson() const
 {
@@ -696,7 +1062,7 @@ Service::statsJson() const
         {"trained", JsonValue(defaultDevice_->predictor.has_value())},
         {"jobs", JsonValue(options_.jobs)},
         {"batching", JsonValue(options_.batching)},
-        {"cache", JsonValue(options_.cache)},
+        {"cache", cacheStatsJson()},
         {"simd", JsonValue(options_.simd)},
     });
 
@@ -735,6 +1101,13 @@ Service::statsJson() const
                  })},
                 {"point_cache_invocations",
                  JsonValue(static_cast<int64_t>(state->points.size()))},
+                {"snapshot",
+                 JsonValue::object({
+                     {"entries", JsonValue(static_cast<int64_t>(
+                                     state->snapshotEntries))},
+                     {"points", JsonValue(static_cast<int64_t>(
+                                    state->snapshotPoints))},
+                 })},
                 {"trained", JsonValue(state->predictor.has_value())},
             }));
     }

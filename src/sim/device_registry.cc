@@ -1,12 +1,12 @@
-#include "device_registry.hh"
+#include "harmonia/sim/device_registry.hh"
 
 #include <algorithm>
 #include <cctype>
 
-#include "common/error.hh"
-#include "memsys/memory_system.hh"
-#include "power/board_power.hh"
-#include "timing/cache_model.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/memsys/memory_system.hh"
+#include "harmonia/power/board_power.hh"
+#include "harmonia/timing/cache_model.hh"
 
 namespace harmonia
 {

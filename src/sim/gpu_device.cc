@@ -1,9 +1,9 @@
-#include "gpu_device.hh"
+#include "harmonia/sim/gpu_device.hh"
 
 #include <algorithm>
 
 #include "common/check.hh"
-#include "common/thread_pool.hh"
+#include "harmonia/common/thread_pool.hh"
 #include "sim/lattice_evaluator.hh"
 
 namespace harmonia

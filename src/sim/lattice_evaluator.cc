@@ -5,7 +5,7 @@
 
 #include "common/check.hh"
 #include "common/simd.hh"
-#include "common/thread_pool.hh"
+#include "harmonia/common/thread_pool.hh"
 
 namespace harmonia
 {

@@ -41,7 +41,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "sim/gpu_device.hh"
+#include "harmonia/sim/gpu_device.hh"
 
 namespace harmonia
 {

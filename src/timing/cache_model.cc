@@ -1,9 +1,9 @@
-#include "cache_model.hh"
+#include "harmonia/timing/cache_model.hh"
 
 #include <algorithm>
 #include <cmath>
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 #include "common/units.hh"
 
 namespace harmonia

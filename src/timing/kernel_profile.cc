@@ -1,6 +1,6 @@
-#include "kernel_profile.hh"
+#include "harmonia/timing/kernel_profile.hh"
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

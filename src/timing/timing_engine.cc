@@ -1,11 +1,11 @@
-#include "timing_engine.hh"
+#include "harmonia/timing/timing_engine.hh"
 
 #include <algorithm>
 #include <cmath>
 
 #include "common/check.hh"
-#include "common/error.hh"
-#include "common/thread_pool.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/common/thread_pool.hh"
 #include "common/units.hh"
 
 namespace harmonia

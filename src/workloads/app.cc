@@ -1,6 +1,6 @@
-#include "app.hh"
+#include "harmonia/workloads/app.hh"
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

@@ -9,7 +9,7 @@
  * shared L2 — Harmonia's largest ED^2 win (~36%).
  */
 
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia
 {

@@ -9,7 +9,7 @@
  * solver sweeps many time steps), good for FG convergence.
  */
 
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia
 {

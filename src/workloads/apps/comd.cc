@@ -10,7 +10,7 @@
  * (Figure 7). AdvancePosition is a light streaming update.
  */
 
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia
 {

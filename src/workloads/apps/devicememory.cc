@@ -10,7 +10,7 @@
  * being memory bound. Full occupancy and deep MLP.
  */
 
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia
 {

@@ -12,7 +12,7 @@
 
 #include <algorithm>
 
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia
 {

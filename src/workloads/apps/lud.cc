@@ -13,7 +13,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia
 {

@@ -8,7 +8,7 @@
  * the most energy-efficient. Full occupancy, no divergence.
  */
 
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia
 {

@@ -6,7 +6,7 @@
  * Waxpby are bandwidth-bound streams with deep MLP.
  */
 
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia
 {

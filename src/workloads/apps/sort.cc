@@ -11,7 +11,7 @@
  * compute-frequency sensitive despite only 6% branch divergence.
  */
 
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia
 {

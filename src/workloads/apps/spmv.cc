@@ -9,7 +9,7 @@
  * performance feedback is crucial.
  */
 
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia
 {

@@ -10,7 +10,7 @@
  * stencils; Reduce is a small tree reduction.
  */
 
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia
 {

@@ -9,7 +9,7 @@
  * bus to what the remaining compute can consume.
  */
 
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia
 {

@@ -11,7 +11,7 @@
  * the measured bandwidth sensitivity near 0.69.
  */
 
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia
 {

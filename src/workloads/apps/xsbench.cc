@@ -10,7 +10,7 @@
  * to act in a single step (Section 7.2).
  */
 
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia
 {

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

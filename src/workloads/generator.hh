@@ -12,9 +12,9 @@
 #ifndef HARMONIA_WORKLOADS_GENERATOR_HH
 #define HARMONIA_WORKLOADS_GENERATOR_HH
 
-#include "common/rng.hh"
-#include "timing/kernel_profile.hh"
-#include "workloads/app.hh"
+#include "harmonia/common/rng.hh"
+#include "harmonia/timing/kernel_profile.hh"
+#include "harmonia/workloads/app.hh"
 
 namespace harmonia
 {

@@ -1,6 +1,6 @@
-#include "suite.hh"
+#include "harmonia/workloads/suite.hh"
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 namespace harmonia
 {

@@ -8,8 +8,8 @@
 
 #include <gtest/gtest.h>
 
-#include "core/sensitivity.hh"
-#include "workloads/suite.hh"
+#include "harmonia/core/sensitivity.hh"
+#include "harmonia/workloads/suite.hh"
 
 using namespace harmonia;
 

@@ -6,8 +6,8 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
-#include "power/board_power.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/power/board_power.hh"
 #include "power/daq.hh"
 
 using namespace harmonia;

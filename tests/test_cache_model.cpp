@@ -7,8 +7,8 @@
 #include <cmath>
 
 
-#include "common/error.hh"
-#include "timing/cache_model.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/timing/cache_model.hh"
 
 using namespace harmonia;
 

@@ -5,9 +5,9 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
-#include "core/campaign.hh"
-#include "workloads/suite.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/core/campaign.hh"
+#include "harmonia/workloads/suite.hh"
 
 using namespace harmonia;
 

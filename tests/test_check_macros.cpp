@@ -16,7 +16,7 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 using namespace harmonia;
 

@@ -6,8 +6,8 @@
 
 #include <gtest/gtest.h>
 
-#include "arch/clock_domain.hh"
-#include "common/error.hh"
+#include "harmonia/arch/clock_domain.hh"
+#include "harmonia/common/error.hh"
 
 using namespace harmonia;
 

@@ -5,9 +5,9 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
-#include "core/sweep.hh"
-#include "dvfs/tunables.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/core/sweep.hh"
+#include "harmonia/dvfs/tunables.hh"
 
 using namespace harmonia;
 

@@ -14,9 +14,9 @@
 
 #include <gtest/gtest.h>
 
-#include "check/checker.hh"
-#include "sim/device_registry.hh"
-#include "workloads/suite.hh"
+#include "harmonia/check/checker.hh"
+#include "harmonia/sim/device_registry.hh"
+#include "harmonia/workloads/suite.hh"
 
 using namespace harmonia;
 

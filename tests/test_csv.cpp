@@ -8,7 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "common/csv.hh"
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 using namespace harmonia;
 

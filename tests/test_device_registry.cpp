@@ -6,7 +6,7 @@
  * registry's default profile and the pre-registry hardwired device.
  */
 
-#include "sim/device_registry.hh"
+#include "harmonia/sim/device_registry.hh"
 
 #include <algorithm>
 #include <string>
@@ -14,8 +14,8 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
-#include "workloads/suite.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/workloads/suite.hh"
 
 using namespace harmonia;
 

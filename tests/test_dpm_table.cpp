@@ -5,8 +5,8 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
-#include "dvfs/dpm_table.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/dvfs/dpm_table.hh"
 
 using namespace harmonia;
 

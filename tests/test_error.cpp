@@ -5,7 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 using namespace harmonia;
 

@@ -19,12 +19,12 @@
 #include <string>
 #include <vector>
 
-#include "common/error.hh"
-#include "common/thread_pool.hh"
-#include "core/sweep.hh"
-#include "sim/gpu_device.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/common/thread_pool.hh"
+#include "harmonia/core/sweep.hh"
+#include "harmonia/sim/gpu_device.hh"
 #include "sim/lattice_evaluator.hh"
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 using namespace harmonia;
 

@@ -6,8 +6,8 @@
 
 #include <gtest/gtest.h>
 
-#include "arch/gcn_config.hh"
-#include "common/error.hh"
+#include "harmonia/arch/gcn_config.hh"
+#include "harmonia/common/error.hh"
 
 using namespace harmonia;
 

@@ -5,8 +5,8 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
-#include "memsys/gddr5.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/memsys/gddr5.hh"
 
 using namespace harmonia;
 

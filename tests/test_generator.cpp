@@ -5,8 +5,8 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
-#include "sim/gpu_device.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/sim/gpu_device.hh"
 #include "workloads/generator.hh"
 
 using namespace harmonia;

@@ -25,8 +25,8 @@
 #include <string>
 #include <vector>
 
-#include "core/campaign.hh"
-#include "workloads/suite.hh"
+#include "harmonia/core/campaign.hh"
+#include "harmonia/workloads/suite.hh"
 
 using namespace harmonia;
 

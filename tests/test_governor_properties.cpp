@@ -9,13 +9,13 @@
 
 #include <gtest/gtest.h>
 
-#include "core/baseline_governor.hh"
-#include "core/campaign.hh"
-#include "core/harmonia_governor.hh"
-#include "core/runtime.hh"
-#include "core/training.hh"
+#include "harmonia/core/baseline_governor.hh"
+#include "harmonia/core/campaign.hh"
+#include "harmonia/core/harmonia_governor.hh"
+#include "harmonia/core/runtime.hh"
+#include "harmonia/core/training.hh"
 #include "workloads/generator.hh"
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 using namespace harmonia;
 

@@ -6,15 +6,15 @@
  * and third-party registration.
  */
 
-#include "core/governor_registry.hh"
+#include "harmonia/core/governor_registry.hh"
 
 #include <algorithm>
 #include <memory>
 
 #include <gtest/gtest.h>
 
-#include "sim/gpu_device.hh"
-#include "workloads/suite.hh"
+#include "harmonia/sim/gpu_device.hh"
+#include "harmonia/workloads/suite.hh"
 
 using namespace harmonia;
 

@@ -5,8 +5,8 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
-#include "power/gpu_power.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/power/gpu_power.hh"
 
 using namespace harmonia;
 

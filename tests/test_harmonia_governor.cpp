@@ -7,9 +7,9 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
-#include "core/harmonia_governor.hh"
-#include "workloads/suite.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/core/harmonia_governor.hh"
+#include "harmonia/workloads/suite.hh"
 
 using namespace harmonia;
 

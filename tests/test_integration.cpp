@@ -9,8 +9,8 @@
 
 #include <gtest/gtest.h>
 
-#include "core/campaign.hh"
-#include "workloads/suite.hh"
+#include "harmonia/core/campaign.hh"
+#include "harmonia/workloads/suite.hh"
 
 using namespace harmonia;
 

@@ -16,10 +16,10 @@
 
 #include <gtest/gtest.h>
 
-#include "check/checker.hh"
-#include "check/invariants.hh"
-#include "common/error.hh"
-#include "workloads/suite.hh"
+#include "harmonia/check/checker.hh"
+#include "harmonia/check/invariants.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/workloads/suite.hh"
 
 using namespace harmonia;
 

@@ -5,8 +5,8 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
-#include "timing/kernel_profile.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/timing/kernel_profile.hh"
 
 using namespace harmonia;
 

@@ -8,10 +8,10 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
-#include "common/rng.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/common/rng.hh"
 #include "linalg/correlation.hh"
-#include "linalg/least_squares.hh"
+#include "harmonia/linalg/least_squares.hh"
 
 using namespace harmonia;
 

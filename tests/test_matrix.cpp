@@ -5,8 +5,8 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
-#include "linalg/matrix.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/linalg/matrix.hh"
 
 using namespace harmonia;
 

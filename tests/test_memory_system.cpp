@@ -6,8 +6,8 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
-#include "memsys/memory_system.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/memsys/memory_system.hh"
 
 using namespace harmonia;
 

@@ -9,8 +9,8 @@
 
 #include <gtest/gtest.h>
 
-#include "sim/gpu_device.hh"
-#include "workloads/suite.hh"
+#include "harmonia/sim/gpu_device.hh"
+#include "harmonia/workloads/suite.hh"
 
 using namespace harmonia;
 

@@ -6,8 +6,8 @@
 
 #include <gtest/gtest.h>
 
-#include "arch/occupancy.hh"
-#include "common/error.hh"
+#include "harmonia/arch/occupancy.hh"
+#include "harmonia/common/error.hh"
 
 using namespace harmonia;
 

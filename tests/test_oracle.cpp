@@ -5,8 +5,8 @@
 
 #include <gtest/gtest.h>
 
-#include "core/oracle.hh"
-#include "workloads/suite.hh"
+#include "harmonia/core/oracle.hh"
+#include "harmonia/workloads/suite.hh"
 
 using namespace harmonia;
 

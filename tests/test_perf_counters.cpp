@@ -5,8 +5,8 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
-#include "counters/perf_counters.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/counters/perf_counters.hh"
 
 using namespace harmonia;
 

@@ -7,12 +7,12 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
-#include "core/baseline_governor.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/core/baseline_governor.hh"
 #include "core/power_cap.hh"
-#include "core/runtime.hh"
-#include "sim/gpu_device.hh"
-#include "workloads/suite.hh"
+#include "harmonia/core/runtime.hh"
+#include "harmonia/sim/gpu_device.hh"
+#include "harmonia/workloads/suite.hh"
 
 using namespace harmonia;
 

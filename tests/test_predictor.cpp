@@ -5,8 +5,8 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
-#include "core/predictor.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/core/predictor.hh"
 
 using namespace harmonia;
 

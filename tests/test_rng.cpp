@@ -5,8 +5,8 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
-#include "common/rng.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/common/rng.hh"
 
 using namespace harmonia;
 

@@ -8,10 +8,10 @@
 
 #include <gtest/gtest.h>
 
-#include "core/baseline_governor.hh"
-#include "common/error.hh"
-#include "core/runtime.hh"
-#include "workloads/suite.hh"
+#include "harmonia/core/baseline_governor.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/core/runtime.hh"
+#include "harmonia/workloads/suite.hh"
 
 using namespace harmonia;
 

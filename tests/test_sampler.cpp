@@ -5,8 +5,8 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
-#include "counters/sampler.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/counters/sampler.hh"
 
 using namespace harmonia;
 

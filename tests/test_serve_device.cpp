@@ -9,17 +9,17 @@
  * ever added to their responses).
  */
 
-#include "serve/service.hh"
+#include "harmonia/serve/service.hh"
 
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
-#include "serve/json.hh"
-#include "serve/protocol.hh"
-#include "workloads/suite.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/serve/json.hh"
+#include "harmonia/serve/protocol.hh"
+#include "harmonia/workloads/suite.hh"
 
 using namespace harmonia;
 using namespace harmonia::serve;

@@ -6,7 +6,7 @@
  * depends on.
  */
 
-#include "serve/json.hh"
+#include "harmonia/serve/json.hh"
 
 #include <string>
 

@@ -8,14 +8,14 @@
  * batch, and shutdown arriving mid-batch.
  */
 
-#include "serve/service.hh"
+#include "harmonia/serve/service.hh"
 
 #include <string>
 
 #include <gtest/gtest.h>
 
-#include "serve/json.hh"
-#include "serve/protocol.hh"
+#include "harmonia/serve/json.hh"
+#include "harmonia/serve/protocol.hh"
 
 using namespace harmonia;
 using namespace harmonia::serve;

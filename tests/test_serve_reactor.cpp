@@ -21,7 +21,7 @@
  * public `stats` verb, the same way an operator would see them.
  */
 
-#include "serve/server.hh"
+#include "harmonia/serve/server.hh"
 
 #include <cerrno>
 #include <chrono>
@@ -42,10 +42,10 @@
 
 #include <gtest/gtest.h>
 
-#include "serve/json.hh"
-#include "serve/protocol.hh"
-#include "serve/service.hh"
-#include "workloads/suite.hh"
+#include "harmonia/serve/json.hh"
+#include "harmonia/serve/protocol.hh"
+#include "harmonia/serve/service.hh"
+#include "harmonia/workloads/suite.hh"
 
 using namespace harmonia;
 using namespace harmonia::serve;

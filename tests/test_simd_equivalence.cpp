@@ -27,13 +27,13 @@
 #include <string>
 #include <vector>
 
-#include "common/thread_pool.hh"
-#include "core/sweep.hh"
-#include "dvfs/tunables.hh"
-#include "memsys/memory_system.hh"
-#include "sim/gpu_device.hh"
+#include "harmonia/common/thread_pool.hh"
+#include "harmonia/core/sweep.hh"
+#include "harmonia/dvfs/tunables.hh"
+#include "harmonia/memsys/memory_system.hh"
+#include "harmonia/sim/gpu_device.hh"
 #include "sim/lattice_evaluator.hh"
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 using namespace harmonia;
 

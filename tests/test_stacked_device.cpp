@@ -8,10 +8,10 @@
 
 #include <gtest/gtest.h>
 
-#include "core/harmonia_governor.hh"
-#include "core/sensitivity.hh"
-#include "sim/device_registry.hh"
-#include "workloads/suite.hh"
+#include "harmonia/core/harmonia_governor.hh"
+#include "harmonia/core/sensitivity.hh"
+#include "harmonia/sim/device_registry.hh"
+#include "harmonia/workloads/suite.hh"
 
 using namespace harmonia;
 

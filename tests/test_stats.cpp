@@ -7,9 +7,9 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
-#include "common/rng.hh"
-#include "common/stats.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/common/rng.hh"
+#include "harmonia/common/stats.hh"
 
 using namespace harmonia;
 

@@ -5,13 +5,13 @@
  * Result value/rethrow contract the facade and serving layers rely on.
  */
 
-#include "common/status.hh"
+#include "harmonia/common/status.hh"
 
 #include <string>
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
+#include "harmonia/common/error.hh"
 
 using namespace harmonia;
 

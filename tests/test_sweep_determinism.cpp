@@ -15,12 +15,12 @@
 
 #include <vector>
 
-#include "core/campaign.hh"
-#include "core/oracle.hh"
-#include "core/sensitivity.hh"
-#include "core/sweep.hh"
-#include "core/training.hh"
-#include "workloads/suite.hh"
+#include "harmonia/core/campaign.hh"
+#include "harmonia/core/oracle.hh"
+#include "harmonia/core/sensitivity.hh"
+#include "harmonia/core/sweep.hh"
+#include "harmonia/core/training.hh"
+#include "harmonia/workloads/suite.hh"
 
 using namespace harmonia;
 

@@ -5,8 +5,8 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
-#include "common/table.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/common/table.hh"
 
 using namespace harmonia;
 

@@ -13,7 +13,7 @@
 #include <thread>
 #include <vector>
 
-#include "common/thread_pool.hh"
+#include "harmonia/common/thread_pool.hh"
 
 using namespace harmonia;
 

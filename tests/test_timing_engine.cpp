@@ -6,10 +6,10 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
-#include "timing/timing_engine.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/timing/timing_engine.hh"
 #include "workloads/generator.hh"
-#include "workloads/suite.hh"
+#include "harmonia/workloads/suite.hh"
 
 using namespace harmonia;
 

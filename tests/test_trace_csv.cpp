@@ -14,11 +14,11 @@
 #include <string>
 #include <vector>
 
-#include "common/stats.hh"
-#include "core/baseline_governor.hh"
-#include "core/runtime.hh"
-#include "sim/gpu_device.hh"
-#include "workloads/suite.hh"
+#include "harmonia/common/stats.hh"
+#include "harmonia/core/baseline_governor.hh"
+#include "harmonia/core/runtime.hh"
+#include "harmonia/sim/gpu_device.hh"
+#include "harmonia/workloads/suite.hh"
 
 namespace harmonia
 {

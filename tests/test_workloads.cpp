@@ -8,9 +8,9 @@
 
 #include <gtest/gtest.h>
 
-#include "common/error.hh"
-#include "sim/gpu_device.hh"
-#include "workloads/suite.hh"
+#include "harmonia/common/error.hh"
+#include "harmonia/sim/gpu_device.hh"
+#include "harmonia/workloads/suite.hh"
 
 using namespace harmonia;
 

@@ -2,10 +2,10 @@
  * @file
  * The unified experiment driver: every paper exhibit (figures,
  * tables, ablations, extensions, microbenchmarks) registered in the
- * src/exp registry behind one CLI. See src/exp/driver.hh for usage.
+ * src/exp registry behind one CLI. See include/harmonia/exp.hh for usage.
  */
 
-#include "exp/driver.hh"
+#include "harmonia/exp.hh"
 
 int
 main(int argc, char **argv)

@@ -28,6 +28,13 @@
  *   --no-batching     Disable evaluate micro-batching (one lattice
  *                     run per request; results are identical).
  *   --no-cache        Disable the cross-request result cache.
+ *   --cache-file PATH Durable point-cache snapshot: load previously
+ *                     evaluated lattice points from PATH at startup
+ *                     (warm start) and write the caches back on
+ *                     drain, crash-safely. Absent/corrupt/stale
+ *                     files degrade to a logged cold start.
+ *                     Responses are byte-identical either way.
+ *                     Ignored under --no-cache.
  *   --no-simd         Run lattice evaluations through the scalar
  *                     reference path (responses are byte-identical).
  *   --coalesce-us N   Fixed coalescing window in microseconds
@@ -67,6 +74,7 @@ usage(int status)
                  "--stdio) [--device NAME]\n"
                  "                 [--list-devices] [--jobs N] "
                  "[--no-batching] [--no-cache]\n"
+                 "                 [--cache-file PATH]\n"
                  "                 [--no-simd] [--coalesce-us N] "
                  "[--max-configs N] [--max-sessions N]\n"
                  "                 [--max-connections N] "
@@ -128,6 +136,12 @@ main(int argc, char **argv)
             service.batching = false;
         } else if (arg == "--no-cache") {
             service.cache = false;
+        } else if (arg == "--cache-file") {
+            if (i + 1 >= argc) {
+                std::cerr << "harmoniad: --cache-file needs a value\n";
+                usage(2);
+            }
+            service.cacheFile = argv[++i];
         } else if (arg == "--no-simd") {
             service.simd = false;
         } else if (arg == "--coalesce-us") {
